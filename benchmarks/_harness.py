@@ -1,0 +1,104 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure from the paper's
+evaluation (see DESIGN.md §4).  Results are printed in the paper's row
+format and appended to ``benchmarks/results/`` so EXPERIMENTS.md can
+cite them.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE`` (float, default 1.0): scales repetition counts.
+- ``REPRO_BENCH_FULL=1``: run the full parameter sweeps (Table 2) and
+  the full locality ladder (Figure 4) instead of the quick defaults.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.params import SkeletonParams
+from repro.core.searchtypes import make_search_type
+from repro.core.sequential import sequential_search
+from repro.instances.library import spec_for
+from repro.runtime.costmodel import CostModel
+from repro.runtime.executor import SimulatedCluster, virtual_sequential_time
+from repro.runtime.topology import Topology
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+# One shared cost model for every experiment, so numbers are comparable
+# across benches.
+COST = CostModel()
+
+
+def write_result(name: str, lines: list[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print()
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def stype_of(name: str):
+    """Instantiate the search type an instance is registered with."""
+    spec, stype_name, kwargs = spec_for(name)
+    return spec, make_search_type(stype_name, **kwargs)
+
+
+def sequential_baseline(name: str):
+    """(virtual_time, SearchResult) of the Sequential skeleton run."""
+    spec, stype = stype_of(name)
+    return virtual_sequential_time(spec, stype, COST)
+
+
+def run_parallel(
+    name: str,
+    skeleton: str,
+    params: SkeletonParams,
+    *,
+    cost: CostModel | None = None,
+    pool_discipline: str = "order",
+):
+    """One simulated-cluster run of a library instance."""
+    from repro.core.skeletons import COORDINATIONS
+
+    spec, stype = stype_of(name)
+    cluster = SimulatedCluster(
+        Topology(params.localities, params.workers_per_locality),
+        cost if cost is not None else COST,
+        pool_discipline=pool_discipline,
+    )
+    return cluster.run(spec, stype, COORDINATIONS[skeleton], params)
+
+
+def fmt_row(cells: list, widths: list[int]) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def suite_table1() -> list[str]:
+    """The 18 MaxClique instances of Table 1."""
+    from repro.instances.library import suite
+
+    return suite("maxclique")
+
+
+# Instances per application used for the Table 2 speedup matrix.  Chosen
+# from the library for sequential sizes that give 120 workers real work
+# (tens of thousands of nodes) while keeping the sweep minutes-scale.
+TABLE2_SUITES: dict[str, list[str]] = {
+    "maxclique": ["sanr100-1", "p_hat100-2", "p_hat100-1"],
+    "tsp": ["tsp-rand-11", "tsp-rand-12"],
+    "knapsack": ["knap-sim-26", "knap-sim-30"],
+    "sip": ["sip-planted-20-70", "sip-planted-20-70b"],
+    "ns": ["ns-genus-14", "ns-genus-15"],
+    "uts": ["uts-geo-med", "uts-bin-med"],
+}
+
+
+def table2_suite(app: str) -> list[str]:
+    return list(TABLE2_SUITES[app])

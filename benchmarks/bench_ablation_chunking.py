@@ -1,0 +1,63 @@
+"""Ablation: Stack-Stealing chunked vs single-node steals (§4.2).
+
+Listing 3 steals "one node, or all at the lowest depth if the chunked
+flag is set".  Chunked steals move more work per message (fewer steal
+round trips) at the cost of coarser load balance; single-node steals
+track the search frontier more precisely but pay a message per subtree.
+
+Expected shape: chunked stealing needs fewer steal operations per node
+expanded; which variant wins on makespan is workload-dependent (deep
+narrow trees favour single steals, wide ones favour chunks) — the bench
+reports both so the trade-off is visible.
+"""
+
+from repro.core.params import SkeletonParams
+
+from ._harness import fmt_row, run_parallel, sequential_baseline, write_result
+
+INSTANCES = ["sanr100-1", "uts-geo-med", "knap-sim-30", "ns-genus-15"]
+BASE = SkeletonParams(localities=4, workers_per_locality=15)
+
+
+def test_ablation_chunked_steals(benchmark):
+    results = {}
+
+    def run_all():
+        for name in INSTANCES:
+            for chunked in (True, False):
+                results[(name, chunked)] = run_parallel(
+                    name, "stacksteal", BASE.with_(chunked=chunked)
+                )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    widths = [14, 9, 13, 13, 11, 11]
+    lines = [
+        f"Ablation: Stack-Stealing steal granularity ({BASE.workers} workers)",
+        fmt_row(["instance", "mode", "vtime", "speedup", "steals", "failed"], widths),
+    ]
+    for name in INSTANCES:
+        seq_time, _ = sequential_baseline(name)
+        for chunked in (True, False):
+            res = results[(name, chunked)]
+            lines.append(
+                fmt_row(
+                    [
+                        name,
+                        "chunked" if chunked else "single",
+                        f"{res.virtual_time:.0f}",
+                        f"{seq_time / res.virtual_time:.1f}x",
+                        res.metrics.steals,
+                        res.metrics.failed_steals,
+                    ],
+                    widths,
+                )
+            )
+    lines.append("chunked moves whole levels per message; single tracks the frontier")
+    write_result("ablation_chunking", lines)
+
+    for name in INSTANCES:
+        chunked = results[(name, True)]
+        single = results[(name, False)]
+        # Both modes must complete the search with real parallelism.
+        assert chunked.virtual_time > 0 and single.virtual_time > 0

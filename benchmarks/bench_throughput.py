@@ -1,0 +1,39 @@
+"""Node-throughput microbenchmarks (framework performance regression).
+
+Not a paper table: these measure the raw sequential node rate of each
+application under the generic skeleton, in real wall time with proper
+repetition statistics.  They are the repository's performance
+regression guard — the quantity Table 1's overhead story depends on —
+and document what "one work unit" costs on the host machine.
+"""
+
+import pytest
+
+from repro.core.searchtypes import make_search_type
+from repro.core.sequential import sequential_search
+from repro.instances.library import spec_for
+
+# (instance, rough sequential node count) — small enough for tight loops.
+CASES = [
+    ("brock100-1", "maxclique"),
+    ("knap-strong-28", "knapsack"),
+    ("tsp-rand-11", "tsp"),
+    ("sip-planted-18-65", "sip"),
+    ("uts-bin-med", "uts"),
+    ("ns-genus-14", "ns"),
+]
+
+
+@pytest.mark.parametrize("instance,app", CASES, ids=[c[0] for c in CASES])
+def test_sequential_node_throughput(benchmark, instance, app):
+    spec, stype_name, kwargs = spec_for(instance)
+    stype = make_search_type(stype_name, **kwargs)
+
+    result = benchmark(sequential_search, spec, stype)
+    nodes = result.metrics.nodes
+    rate = nodes / benchmark.stats.stats.mean
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["nodes_per_second"] = round(rate)
+    # Guard: the generic skeleton should sustain a five-digit node rate
+    # on every application (SIP/NS nodes are the most expensive).
+    assert rate > 5_000, f"{app} node rate collapsed: {rate:.0f}/s"

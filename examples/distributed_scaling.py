@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Figure-4-in-miniature: k-clique scaling across simulated localities.
+
+Runs the k-clique decision search on a planted-clique graph over
+1..8 localities of 15 workers each and prints runtime + relative
+speedup for the three parallel skeletons — the shape of Figure 4 at
+laptop scale.  (The full 17-locality sweep lives in
+benchmarks/bench_figure4_scaling.py.)
+
+Run:  python examples/distributed_scaling.py
+"""
+
+from repro import SkeletonParams, search
+from repro.instances.library import spec_for
+
+SKELETONS = [
+    ("depthbounded", {"d_cutoff": 2}),
+    ("stacksteal", {"chunked": True}),
+    ("budget", {"budget": 500}),
+]
+LOCALITIES = [1, 2, 4, 8]
+
+
+def main() -> None:
+    spec, stype, kwargs = spec_for("kclique-uniform-100")
+    print(f"instance: {spec.name} (decision target {kwargs['target']})")
+    print(f"{'skeleton':>14} | " + " | ".join(f"{n:>2} loc" for n in LOCALITIES))
+
+    for skeleton, knobs in SKELETONS:
+        times = []
+        for locs in LOCALITIES:
+            params = SkeletonParams(
+                localities=locs, workers_per_locality=15, **knobs
+            )
+            res = search(spec, skeleton=skeleton, search_type="decision",
+                         params=params, **kwargs)
+            assert res.found is True
+            times.append(res.virtual_time)
+        base = times[0]
+        cells = " | ".join(
+            f"{t:7.0f} ({base / t:4.1f}x)" for t in times
+        )
+        print(f"{skeleton:>14} | {cells}")
+    print("\n(times in simulated work units; speedup relative to 1 locality)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Exploring alternate parallelisations (§5.5, Table 2 in miniature).
+
+For one Knapsack instance, sweeps the Depth-Bounded cutoff and the
+Budget backtrack budget and prints the resulting virtual-time speedups
+over the Sequential skeleton — showing how sensitive each coordination
+is to its knob, and why Stack-Stealing ("few parameters") is a safe
+default when good parameters are unknown.
+
+Run:  python examples/parameter_sweep.py
+"""
+
+from repro import SkeletonParams, search
+from repro.apps.knapsack import knapsack_spec
+from repro.core.searchtypes import Optimisation
+from repro.instances.library import random_knapsack
+from repro.runtime.executor import virtual_sequential_time
+
+WORKERS = SkeletonParams(localities=2, workers_per_locality=8)
+
+
+def main() -> None:
+    inst = random_knapsack(26, seed=702, kind="strong")
+    spec = knapsack_spec(inst, name="knap-strong-26")
+    seq_time, seq_res = virtual_sequential_time(spec, Optimisation())
+    print(f"sequential: {seq_res.metrics.nodes} nodes, "
+          f"{seq_time:.0f} work units; optimum profit {seq_res.value}")
+    print(f"topology: {WORKERS.localities} localities x "
+          f"{WORKERS.workers_per_locality} workers\n")
+
+    print("Depth-Bounded cutoff sweep:")
+    for d in (1, 2, 3, 4, 5, 6):
+        res = search(spec, skeleton="depthbounded", search_type="optimisation",
+                     params=WORKERS.with_(d_cutoff=d))
+        print(f"  d_cutoff={d}: speedup {seq_time / res.virtual_time:5.1f}x  "
+              f"(tasks {res.metrics.spawns}, nodes {res.metrics.nodes})")
+
+    print("Budget sweep:")
+    for b in (10, 100, 1000, 10000):
+        res = search(spec, skeleton="budget", search_type="optimisation",
+                     params=WORKERS.with_(budget=b))
+        print(f"  budget={b:<6}: speedup {seq_time / res.virtual_time:5.1f}x  "
+              f"(tasks {res.metrics.spawns}, nodes {res.metrics.nodes})")
+
+    print("Stack-Stealing (no knob to mis-set):")
+    for chunked in (True, False):
+        res = search(spec, skeleton="stacksteal", search_type="optimisation",
+                     params=WORKERS.with_(chunked=chunked))
+        label = "chunked" if chunked else "single "
+        print(f"  {label}: speedup {seq_time / res.virtual_time:5.1f}x  "
+              f"(steals {res.metrics.steals}, nodes {res.metrics.nodes})")
+
+
+if __name__ == "__main__":
+    main()

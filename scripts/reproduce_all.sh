@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Reproduce the paper's full evaluation (the artifact-style driver).
+#
+# Usage:
+#   scripts/reproduce_all.sh          # quick mode (~4-6 min)
+#   scripts/reproduce_all.sh --full   # full parameter sweeps
+#
+# Outputs land in benchmarks/results/*.txt; the test suite runs first so
+# a broken build can't masquerade as a measurement.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--full" ]]; then
+    export REPRO_BENCH_FULL=1
+    echo "== full mode: complete parameter sweeps =="
+fi
+
+echo "== test suite =="
+python -m pytest tests/
+
+echo "== benchmark harnesses (paper tables, figures, ablations) =="
+python -m pytest benchmarks/ --benchmark-only
+
+echo "== results =="
+for f in benchmarks/results/*.txt; do
+    echo
+    echo "--- $f ---"
+    cat "$f"
+done

@@ -1,0 +1,92 @@
+"""repro — a Python reproduction of *YewPar: Skeletons for Exact
+Combinatorial Search* (Archibald, Maier, Stewart, Trinder; PPoPP 2020).
+
+Quick start::
+
+    from repro import search
+    from repro.apps.maxclique import maxclique_spec
+    from repro.instances import load_instance
+
+    graph = load_instance("uniform-60-0.5")
+    result = search(maxclique_spec(graph), skeleton="stacksteal",
+                    search_type="optimisation")
+    print(result.value, result.node)
+
+Package map:
+
+- :mod:`repro.core` — Lazy Node Generators, search types, the 12 skeletons.
+- :mod:`repro.runtime` — the simulated distributed cluster (HPX substitute).
+- :mod:`repro.semantics` — the executable formal model (Section 3).
+- :mod:`repro.apps` — the 7 search applications of the evaluation.
+- :mod:`repro.instances` — seeded instance generators + DIMACS parsing.
+"""
+
+from typing import Any, Optional
+
+from repro.core import (
+    ALL_SKELETONS,
+    validate_result,
+    Decision,
+    Enumeration,
+    Incumbent,
+    IterNodeGenerator,
+    ListNodeGenerator,
+    NodeGenerator,
+    Optimisation,
+    SearchMetrics,
+    SearchResult,
+    SearchSpec,
+    SearchType,
+    Skeleton,
+    SkeletonParams,
+    make_search_type,
+    make_skeleton,
+    sequential_search,
+)
+
+from repro.tuning import TuningReport, tune
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "search",
+    "tune",
+    "TuningReport",
+    "Skeleton",
+    "make_skeleton",
+    "ALL_SKELETONS",
+    "SearchSpec",
+    "SearchResult",
+    "SearchMetrics",
+    "SearchType",
+    "Enumeration",
+    "Optimisation",
+    "Decision",
+    "Incumbent",
+    "NodeGenerator",
+    "IterNodeGenerator",
+    "ListNodeGenerator",
+    "SkeletonParams",
+    "make_search_type",
+    "sequential_search",
+    "validate_result",
+    "__version__",
+]
+
+
+def search(
+    spec: SearchSpec,
+    *,
+    skeleton: str = "sequential",
+    search_type: str = "optimisation",
+    params: Optional[SkeletonParams] = None,
+    **type_kwargs: Any,
+) -> SearchResult:
+    """One-call entry point: compose a skeleton and run it on ``spec``.
+
+    ``skeleton`` is a coordination name (``sequential``,
+    ``depthbounded``, ``stacksteal``, ``budget``); ``search_type`` is
+    ``enumeration``, ``optimisation`` or ``decision`` (the latter takes
+    ``target=...`` through ``type_kwargs``).
+    """
+    return make_skeleton(skeleton, search_type).search(spec, params, **type_kwargs)

@@ -1,0 +1,44 @@
+"""The seven search applications of the evaluation (paper Section 5.1).
+
+Enumeration: :mod:`repro.apps.uts` (Unbalanced Tree Search),
+:mod:`repro.apps.semigroups` (Numerical Semigroups).
+Optimisation: :mod:`repro.apps.maxclique` (Maximum Clique),
+:mod:`repro.apps.knapsack` (0/1 Knapsack), :mod:`repro.apps.tsp`
+(Travelling Salesperson).
+Decision: :mod:`repro.apps.sip` (Subgraph Isomorphism),
+:mod:`repro.apps.kclique` (k-Clique).
+
+Each module exports a ``*_spec`` factory building a
+:class:`repro.core.SearchSpec` from instance data — the Lazy Node
+Generator plus objective/bound for that problem — so any of the 12
+skeletons can run it (Figure 3).
+"""
+
+from repro.apps.graph import Graph
+from repro.apps.kclique import kclique_spec, solve_kclique
+from repro.apps.knapsack import KnapsackInstance, knapsack_spec
+from repro.apps.maxclique import maxclique_spec, sequential_maxclique_specialised
+from repro.apps.semigroups import SemigroupInstance, semigroups_spec
+from repro.apps.sip import SIPInstance, sip_spec, solve_sip
+from repro.apps.tsp import TSPInstance, tour_length, tsp_spec
+from repro.apps.uts import UTSInstance, uts_spec
+
+__all__ = [
+    "Graph",
+    "kclique_spec",
+    "solve_kclique",
+    "KnapsackInstance",
+    "knapsack_spec",
+    "maxclique_spec",
+    "sequential_maxclique_specialised",
+    "SemigroupInstance",
+    "semigroups_spec",
+    "SIPInstance",
+    "sip_spec",
+    "solve_sip",
+    "TSPInstance",
+    "tour_length",
+    "tsp_spec",
+    "UTSInstance",
+    "uts_spec",
+]

@@ -1,0 +1,53 @@
+"""k-Clique — the decision variant of Maximum Clique (paper §5.1).
+
+Determines whether the graph contains a clique of ``k`` vertices.  The
+search tree and Lazy Node Generator are *identical* to MaxClique —
+that's the point of the skeleton decomposition: switching from
+"find the largest clique" to "is there a clique of size k" changes only
+the search type (Optimisation -> Decision), not the generator.
+
+Figure 4's scaling study runs exactly this application (a spread search
+in H(4,4) phrased as k-clique with ``--decisionBound 33``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.graph import Graph
+from repro.apps.maxclique import maxclique_spec, sequential_maxclique_specialised
+from repro.core.params import SkeletonParams
+from repro.core.results import SearchResult
+from repro.core.searchtypes import Decision
+from repro.core.skeletons import make_skeleton
+from repro.core.space import SearchSpec
+
+__all__ = ["kclique_spec", "solve_kclique", "kclique_exists_specialised"]
+
+
+def kclique_spec(graph: Graph, *, name: str = "kclique") -> SearchSpec:
+    """The k-clique :class:`SearchSpec` (same generator as MaxClique).
+
+    Pair with ``Decision(target=k)``; :func:`solve_kclique` does so.
+    """
+    return maxclique_spec(graph, name=name)
+
+
+def solve_kclique(
+    graph: Graph,
+    k: int,
+    *,
+    skeleton: str = "sequential",
+    params: Optional[SkeletonParams] = None,
+) -> SearchResult:
+    """Decide whether ``graph`` has a k-clique using any coordination."""
+    spec = kclique_spec(graph, name=f"kclique-{k}")
+    return make_skeleton(skeleton, "decision").search(
+        spec, params, stype=Decision(target=k)
+    )
+
+
+def kclique_exists_specialised(graph: Graph, k: int) -> bool:
+    """Hand-specialised decision solver (comparison baseline)."""
+    result = sequential_maxclique_specialised(graph, target=k)
+    return result.size >= k

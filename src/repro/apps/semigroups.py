@@ -1,0 +1,148 @@
+"""Numerical Semigroups — enumeration by genus (paper §5.1, [17]).
+
+A *numerical semigroup* is a cofinite subset of the naturals containing
+0 and closed under addition; its *genus* is the number of naturals it
+misses.  Fromentin & Hivert organise all numerical semigroups into a
+tree: the root is N itself (genus 0), and the children of a semigroup S
+are the semigroups ``S \\ {g}`` for each minimal generator ``g`` of S
+greater than S's Frobenius number (its largest gap).  Every semigroup
+appears exactly once, at depth = genus, so counting semigroups of genus
+g is counting tree nodes at depth g (OEIS A007323: 1, 1, 2, 4, 7, 12,
+23, 39, 67, 118, ...).
+
+The search is extremely *narrow near the root* (the root has a single
+child) — the paper calls NS out as the application that defeats static
+work generation and needs dynamic coordinations (§5.5).
+
+Representation: elements as an int bitmask over ``0..limit`` where
+``limit = 3*max_genus + 2`` (minimal generators of a genus-g semigroup
+never exceed 3g+1, since any element above F + multiplicity is
+reducible and F <= 2g-1, multiplicity <= g+1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.nodegen import IterNodeGenerator, NodeGenerator
+from repro.core.space import SearchSpec
+from repro.util.bitset import bit_indices, mask_below
+
+__all__ = [
+    "SemigroupInstance",
+    "SemigroupNode",
+    "SemigroupGen",
+    "semigroups_spec",
+    "minimal_generators",
+    "GENUS_COUNTS",
+]
+
+# A007323, for validation: number of numerical semigroups of genus g.
+GENUS_COUNTS = (
+    1, 1, 2, 4, 7, 12, 23, 39, 67, 118, 204, 343, 592, 1001, 1693, 2857,
+    4806, 8045, 13467, 22464, 37396, 62194, 103246, 170963, 282828, 467224,
+)
+
+
+@dataclass(frozen=True)
+class SemigroupInstance:
+    """Enumeration bounded at ``max_genus`` (the tree depth cutoff)."""
+
+    max_genus: int
+
+    def __post_init__(self) -> None:
+        if self.max_genus < 0:
+            raise ValueError("max_genus must be non-negative")
+
+    @property
+    def limit(self) -> int:
+        """Elements are tracked on ``0..limit`` inclusive."""
+        return 3 * self.max_genus + 2
+
+
+@dataclass(frozen=True, slots=True)
+class SemigroupNode:
+    """A numerical semigroup: element mask up to limit, Frobenius, genus."""
+
+    elements: int  # bitmask; bit e set <=> e in S (for e <= limit)
+    frobenius: int  # largest gap; -1 for N itself
+    genus: int
+
+
+def minimal_generators(elements: int, limit: int) -> list[int]:
+    """Minimal generators of S: nonzero elements not a sum of two
+    nonzero elements, ascending.
+
+    For each candidate e, checks whether some nonzero a in S with
+    ``e - a`` also in S exists; scanning a <= e/2 suffices by symmetry.
+    """
+    gens: list[int] = []
+    nonzero = elements & ~1  # drop 0
+    for e in bit_indices(nonzero):
+        reducible = False
+        for a in bit_indices(nonzero & mask_below(e // 2 + 1)):
+            if a == 0 or a >= e:
+                break
+            if nonzero >> (e - a) & 1:
+                reducible = True
+                break
+        if not reducible:
+            gens.append(e)
+    return gens
+
+
+def _children(inst: SemigroupInstance, node: SemigroupNode) -> Iterator[SemigroupNode]:
+    if node.genus >= inst.max_genus:
+        return
+    for g in minimal_generators(node.elements, inst.limit):
+        if g > node.frobenius:
+            yield SemigroupNode(
+                elements=node.elements & ~(1 << g),
+                frobenius=g,  # removing g > F makes g the largest gap
+                genus=node.genus + 1,
+            )
+
+
+class SemigroupGen(NodeGenerator[SemigroupInstance, SemigroupNode]):
+    """Children remove one minimal generator above the Frobenius number."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inst: SemigroupInstance, parent: SemigroupNode) -> None:
+        self._inner = IterNodeGenerator(_children(inst, parent))
+
+    def has_next(self) -> bool:
+        return self._inner.has_next()
+
+    def next(self) -> SemigroupNode:
+        return self._inner.next()
+
+
+def semigroups_spec(
+    inst: SemigroupInstance, *, name: str = "semigroups", count_genus: int | None = None
+) -> SearchSpec:
+    """NS :class:`SearchSpec`; pair with Enumeration.
+
+    With ``count_genus`` the objective counts only semigroups of that
+    exact genus (the paper's "how many of genus g"); by default it
+    counts every semigroup of genus <= max_genus (tree size).
+    """
+    if count_genus is not None and count_genus > inst.max_genus:
+        raise ValueError("count_genus exceeds the enumeration depth")
+    root = SemigroupNode(
+        elements=mask_below(inst.limit + 1),  # N: everything present
+        frobenius=-1,
+        genus=0,
+    )
+    if count_genus is None:
+        objective = lambda node: 1  # noqa: E731
+    else:
+        objective = lambda node: 1 if node.genus == count_genus else 0  # noqa: E731
+    return SearchSpec(
+        name=name,
+        space=inst,
+        root=root,
+        generator=SemigroupGen,
+        objective=objective,
+    )

@@ -1,0 +1,252 @@
+"""Subgraph Isomorphism Problem (SIP) — decision search (paper §5.1).
+
+Decide whether a copy of a *pattern* graph appears in a *target* graph:
+an injective mapping of pattern vertices to target vertices such that
+every pattern edge maps to a target edge (non-induced subgraph
+isomorphism, as in [27]).  The *induced* variant — pattern non-edges
+must also map to target non-edges — is supported via
+``SIPInstance.build(..., induced=True)``; it is the harder matching
+discipline needed by the bigraph-matching direction the paper's
+conclusion announces.
+
+A search-tree node assigns the first ``d`` pattern vertices (pattern
+vertices are statically ordered by non-increasing degree — hardest
+first, the fail-first heuristic).  Children map the next pattern vertex
+to each compatible target vertex: unused, degree-compatible, and
+adjacency-consistent with every assigned pattern neighbour.
+
+Objective is the number of assigned vertices; the Decision search type
+with ``target = pattern.n`` terminates on the first full embedding.
+The bound function performs a cheap global feasibility check (enough
+degree-compatible target vertices must remain) so invalidated subtrees
+die early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.apps.graph import Graph
+from repro.core.nodegen import IterNodeGenerator, NodeGenerator
+from repro.core.params import SkeletonParams
+from repro.core.results import SearchResult
+from repro.core.searchtypes import Decision
+from repro.core.skeletons import make_skeleton
+from repro.core.space import SearchSpec
+from repro.util.bitset import bit_indices, count_bits
+
+__all__ = ["SIPInstance", "SIPNode", "SIPGen", "sip_spec", "solve_sip", "check_embedding"]
+
+
+@dataclass(frozen=True)
+class SIPInstance:
+    """A pattern/target pair with the static pattern vertex order."""
+
+    pattern: Graph
+    target: Graph
+    order: tuple[int, ...]  # pattern vertices, most-constrained first
+    target_by_degree: tuple[int, ...]  # target vertices, high degree first
+    degree_rank: tuple[int, ...]  # degree_rank[w] = position in target_by_degree
+    min_degree_mask: tuple[int, ...]  # [d] = bitset of targets with degree >= d
+    induced: bool = False  # also require non-edges to map to non-edges
+
+    @classmethod
+    def build(cls, pattern: Graph, target: Graph, *, induced: bool = False) -> "SIPInstance":
+        if pattern.n == 0:
+            raise ValueError("pattern must be non-empty")
+        order = tuple(
+            sorted(range(pattern.n), key=lambda v: (-pattern.degree(v), v))
+        )
+        target_by_degree = tuple(
+            sorted(range(target.n), key=lambda w: (-target.degree(w), w))
+        )
+        degree_rank = [0] * target.n
+        for rank, w in enumerate(target_by_degree):
+            degree_rank[w] = rank
+        max_pdeg = max(pattern.degree(v) for v in range(pattern.n))
+        masks = []
+        for d in range(max_pdeg + 1):
+            mask = 0
+            for w in range(target.n):
+                if target.degree(w) >= d:
+                    mask |= 1 << w
+            masks.append(mask)
+        return cls(
+            pattern,
+            target,
+            order,
+            target_by_degree,
+            tuple(degree_rank),
+            tuple(masks),
+            induced,
+        )
+
+    def pattern_vertex(self, depth: int) -> int:
+        """The pattern vertex assigned at tree depth ``depth + 1``."""
+        return self.order[depth]
+
+
+@dataclass(frozen=True, slots=True)
+class SIPNode:
+    """A partial embedding: assignment[i] maps order[i]; used targets."""
+
+    assignment: tuple[int, ...]
+    used: int  # bitset of used target vertices
+
+    @property
+    def depth(self) -> int:
+        return len(self.assignment)
+
+
+def _candidates(inst: SIPInstance, node: SIPNode) -> Iterator[SIPNode]:
+    if node.depth >= inst.pattern.n:
+        return
+    p = inst.pattern_vertex(node.depth)
+    p_deg = inst.pattern.degree(p)
+    # Pattern neighbours of p that are already assigned, with their
+    # images, and how many of p's pattern neighbours are still to come.
+    # Candidate mask: unused, degree-compatible, adjacent to the image
+    # of every assigned pattern-neighbour of p — three bitset ANDs
+    # replace the per-candidate edge loops.
+    adj = inst.target.adj
+    mask = inst.min_degree_mask[p_deg] & ~node.used
+    for i in range(node.depth):
+        if inst.pattern.has_edge(p, inst.order[i]):
+            mask &= adj[node.assignment[i]]
+        elif inst.induced:
+            # Induced matching: a pattern *non*-edge forbids a target edge.
+            mask &= ~adj[node.assignment[i]]
+    future_neighbours = sum(
+        1
+        for i in range(node.depth + 1, inst.pattern.n)
+        if inst.pattern.has_edge(p, inst.order[i])
+    )
+    rank = inst.degree_rank
+    for w in sorted(bit_indices(mask), key=rank.__getitem__):
+        # Look-ahead (the cheap core of McCreesh-Prosser's filtering):
+        # w must keep enough *unused* neighbours to host the images of
+        # p's not-yet-assigned pattern neighbours.
+        if count_bits(adj[w] & ~node.used) < future_neighbours:
+            continue
+        yield SIPNode(assignment=node.assignment + (w,), used=node.used | (1 << w))
+
+
+class SIPGen(NodeGenerator[SIPInstance, SIPNode]):
+    """Children = consistent images for the next pattern vertex."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inst: SIPInstance, parent: SIPNode) -> None:
+        self._inner = IterNodeGenerator(_candidates(inst, parent))
+
+    def has_next(self) -> bool:
+        return self._inner.has_next()
+
+    def next(self) -> SIPNode:
+        return self._inner.next()
+
+
+def _remaining_degree_profiles(inst: SIPInstance) -> tuple[tuple[int, ...], ...]:
+    """``profiles[d]`` = degrees of the pattern vertices not yet assigned
+    at depth d, sorted descending.  Static per instance, computed once."""
+    profiles = []
+    for d in range(inst.pattern.n + 1):
+        profile = sorted(
+            (inst.pattern.degree(inst.order[i]) for i in range(d, inst.pattern.n)),
+            reverse=True,
+        )
+        profiles.append(tuple(profile))
+    return tuple(profiles)
+
+
+def _upper_bound(inst: SIPInstance, node: SIPNode, profiles=None) -> int:
+    """Admissible bound on the deepest embedding reachable below ``node``.
+
+    A full embedding needs, for each remaining pattern vertex, an unused
+    target vertex of at least its degree.  Compare the sorted remaining
+    pattern degrees against the sorted unused target degrees (a Hall-
+    style counting check).  If the matching is impossible no complete
+    embedding exists below this node, so the subtree can never reach the
+    decision target — return the current depth so the Decision search
+    type prunes it.
+
+    ``inst.target_by_degree`` is already degree-sorted, so filtering it
+    by the used-bitset yields the sorted unused degrees in O(n) without
+    a per-node sort.
+    """
+    remaining = (
+        profiles[node.depth]
+        if profiles is not None
+        else _remaining_degree_profiles(inst)[node.depth]
+    )
+    if not remaining:
+        return node.depth
+    used = node.used
+    k = 0
+    need = len(remaining)
+    for w in inst.target_by_degree:
+        if used >> w & 1:
+            continue
+        if inst.target.degree(w) < remaining[k]:
+            # Degrees only shrink from here on: the k-th requirement
+            # (and the match) is unsatisfiable.
+            return node.depth
+        k += 1
+        if k == need:
+            return inst.pattern.n
+    return node.depth  # fewer unused targets than remaining pattern vertices
+
+
+def sip_spec(inst: SIPInstance, *, name: str = "sip") -> SearchSpec:
+    """SIP :class:`SearchSpec`; pair with ``Decision(target=pattern.n)``."""
+    profiles = _remaining_degree_profiles(inst)
+    return SearchSpec(
+        name=name,
+        space=inst,
+        root=SIPNode(assignment=(), used=0),
+        generator=SIPGen,
+        objective=lambda node: node.depth,
+        upper_bound=lambda space, node: _upper_bound(space, node, profiles),
+        # Partial embeddings are valid witnesses of their own depth;
+        # complete ones must pass the full embedding check.
+        witness_check=lambda space, node: (
+            check_embedding(space, node) if node.depth == space.pattern.n else True
+        ),
+    )
+
+
+def solve_sip(
+    pattern: Graph,
+    target: Graph,
+    *,
+    skeleton: str = "sequential",
+    params: Optional[SkeletonParams] = None,
+    induced: bool = False,
+) -> SearchResult:
+    """Decide pattern-in-target with any coordination."""
+    inst = SIPInstance.build(pattern, target, induced=induced)
+    spec = sip_spec(inst, name=f"sip-{pattern.n}in{target.n}")
+    return make_skeleton(skeleton, "decision").search(
+        spec, params, stype=Decision(target=pattern.n)
+    )
+
+
+def check_embedding(inst: SIPInstance, node: SIPNode) -> bool:
+    """Verify a witness: injective and edge-preserving."""
+    if node.depth != inst.pattern.n:
+        return False
+    if count_bits(node.used) != inst.pattern.n:
+        return False
+    image = {inst.order[i]: node.assignment[i] for i in range(inst.pattern.n)}
+    for u, v in inst.pattern.edges():
+        if not inst.target.has_edge(image[u], image[v]):
+            return False
+    if inst.induced:
+        for u in range(inst.pattern.n):
+            for v in range(u + 1, inst.pattern.n):
+                if not inst.pattern.has_edge(u, v) and inst.target.has_edge(
+                    image[u], image[v]
+                ):
+                    return False
+    return True

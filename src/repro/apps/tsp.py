@@ -1,0 +1,174 @@
+"""Travelling Salesperson — branch-and-bound optimisation (paper §5.1).
+
+Find a shortest circular tour of N cities.  A search-tree node is a
+partial tour from city 0; children extend it by each unvisited city,
+nearest first (the classic search-order heuristic).
+
+YewPar skeletons *maximise*, so tour length is negated through a large
+constant: a complete tour of length L scores ``UB_TOTAL - L``, partial
+tours score 0, and the admissible upper bound on a partial tour is
+``UB_TOTAL - (cost so far + lower bound on the completion)``.  The lower
+bound charges every city that still needs an outgoing edge (the current
+city and each unvisited city) its cheapest feasible outgoing edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.nodegen import IterNodeGenerator, NodeGenerator
+from repro.core.space import SearchSpec
+from repro.util.bitset import bit_indices, count_bits, mask_below
+
+__all__ = ["TSPInstance", "TourNode", "TSPGen", "tsp_spec", "tour_length"]
+
+
+@dataclass(frozen=True)
+class TSPInstance:
+    """Symmetric distance matrix with non-negative integer entries."""
+
+    dist: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.dist)
+        for i, row in enumerate(self.dist):
+            if len(row) != n:
+                raise ValueError("distance matrix must be square")
+            if row[i] != 0:
+                raise ValueError(f"diagonal entry ({i},{i}) must be 0")
+            for j, d in enumerate(row):
+                if d < 0:
+                    raise ValueError("distances must be non-negative")
+                if d != self.dist[j][i]:
+                    raise ValueError(f"matrix not symmetric at ({i},{j})")
+
+    @classmethod
+    def from_points(cls, points: Sequence[tuple[float, float]]) -> "TSPInstance":
+        """Euclidean instance (distances rounded to nearest integer)."""
+        n = len(points)
+        dist = [[0] * n for _ in range(n)]
+        for i in range(n):
+            xi, yi = points[i]
+            for j in range(i + 1, n):
+                xj, yj = points[j]
+                d = round(((xi - xj) ** 2 + (yi - yj) ** 2) ** 0.5)
+                dist[i][j] = dist[j][i] = int(d)
+        return cls(tuple(tuple(row) for row in dist))
+
+    @property
+    def n(self) -> int:
+        return len(self.dist)
+
+    def ub_total(self) -> int:
+        """A constant exceeding any tour length (for objective negation)."""
+        max_d = max((d for row in self.dist for d in row), default=0)
+        return self.n * max_d + 1
+
+
+@dataclass(frozen=True, slots=True)
+class TourNode:
+    """A partial tour starting at city 0."""
+
+    tour: tuple[int, ...]  # visited cities in order, tour[0] == 0
+    visited: int  # bitset of visited cities
+    cost: int  # length of the path along `tour`
+
+    @property
+    def current(self) -> int:
+        return self.tour[-1]
+
+
+def tour_length(inst: TSPInstance, tour: Sequence[int]) -> int:
+    """Length of a complete circular tour (including the closing edge)."""
+    if sorted(tour) != list(range(inst.n)):
+        raise ValueError("tour must visit every city exactly once")
+    total = sum(inst.dist[tour[i]][tour[i + 1]] for i in range(len(tour) - 1))
+    return total + inst.dist[tour[-1]][tour[0]]
+
+
+def _children(inst: TSPInstance, node: TourNode) -> Iterator[TourNode]:
+    unvisited = mask_below(inst.n) & ~node.visited
+    row = inst.dist[node.current]
+    for city in sorted(bit_indices(unvisited), key=lambda c: row[c]):
+        yield TourNode(
+            tour=node.tour + (city,),
+            visited=node.visited | (1 << city),
+            cost=node.cost + row[city],
+        )
+
+
+class TSPGen(NodeGenerator[TSPInstance, TourNode]):
+    """Extend the tour by each unvisited city, nearest first."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inst: TSPInstance, parent: TourNode) -> None:
+        self._inner = IterNodeGenerator(_children(inst, parent))
+
+    def has_next(self) -> bool:
+        return self._inner.has_next()
+
+    def next(self) -> TourNode:
+        return self._inner.next()
+
+
+def _objective(inst: TSPInstance, node: TourNode, ub: int) -> int:
+    if count_bits(node.visited) < inst.n:
+        return 0
+    return ub - (node.cost + inst.dist[node.current][0])
+
+
+def _completion_lower_bound(inst: TSPInstance, node: TourNode) -> int:
+    """Admissible lower bound on finishing the tour from ``node``.
+
+    Every unvisited city, and the current city, must have one outgoing
+    edge in the completion; each is charged its cheapest edge towards a
+    legal successor (an unvisited city, or city 0 for the closing edge).
+    """
+    unvisited = mask_below(inst.n) & ~node.visited
+    if not unvisited:
+        return inst.dist[node.current][0]
+    total = 0
+    # Current city must move to some unvisited city.
+    row = inst.dist[node.current]
+    total += min(row[c] for c in bit_indices(unvisited))
+    # Each unvisited city must leave towards another unvisited city or home.
+    for c in bit_indices(unvisited):
+        targets = (unvisited & ~(1 << c)) | 1  # city 0 is always a legal target
+        row_c = inst.dist[c]
+        total += min(row_c[t] for t in bit_indices(targets))
+    return total
+
+
+def _upper_bound(inst: TSPInstance, node: TourNode, ub: int) -> int:
+    if count_bits(node.visited) == inst.n:
+        return _objective(inst, node, ub)
+    return ub - (node.cost + _completion_lower_bound(inst, node))
+
+
+def tsp_spec(inst: TSPInstance, *, name: str = "tsp") -> SearchSpec:
+    """TSP :class:`SearchSpec`; pair with Optimisation.
+
+    The result's ``value`` is ``ub_total() - optimal_length``; the
+    optimal tour is the witness node's ``tour`` (recover the length as
+    ``inst.ub_total() - result.value``).
+    """
+    root = TourNode(tour=(0,), visited=1, cost=0)
+    ub = inst.ub_total()  # computed once; O(n^2) scan of the matrix
+    def _check_witness(space: TSPInstance, node: TourNode) -> bool:
+        # Optimisation witnesses must be complete, valid circular tours
+        # whose length matches the encoded objective.
+        if sorted(node.tour) != list(range(space.n)):
+            return False
+        return ub - tour_length(space, node.tour) == _objective(space, node, ub)
+
+    return SearchSpec(
+        name=name,
+        space=inst,
+        root=root,
+        generator=TSPGen,
+        objective=lambda node: _objective(inst, node, ub),
+        upper_bound=lambda space, node: _upper_bound(space, node, ub),
+        witness_check=_check_witness,
+    )

@@ -1,0 +1,117 @@
+"""Unbalanced Tree Search (UTS) — synthetic enumeration workload [30].
+
+UTS counts the nodes of a synthetic tree whose shape is derived from a
+splittable hash: each node's child count is a pure function of the
+node's hash state, so the tree is identical no matter which worker
+expands which subtree — the property that makes UTS the standard
+load-balancing stress test (the paper, §5.1, uses it to evaluate the
+enumeration skeletons on extremely irregular workloads).
+
+Two tree shapes from the original benchmark:
+
+- **geometric**: child counts follow a geometric distribution with mean
+  ``b0``, cut off below ``max_depth`` (expected size ~ b0 * max_depth
+  branching structure, highly irregular depth profile);
+- **binomial**: the root has ``b0`` children; every other node has
+  ``m`` children with probability ``q`` and none otherwise (``q*m < 1``
+  keeps it finite), giving extreme subtree-size variance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.nodegen import IterNodeGenerator, NodeGenerator
+from repro.core.space import SearchSpec
+from repro.util.rng import splittable_hash
+
+__all__ = ["UTSInstance", "UTSNode", "UTSGen", "uts_spec"]
+
+_GEOMETRIC = "geometric"
+_BINOMIAL = "binomial"
+
+
+@dataclass(frozen=True)
+class UTSInstance:
+    """Parameters of a UTS tree; ``seed`` fixes the tree exactly."""
+
+    shape: str = _GEOMETRIC
+    b0: float = 4.0  # root/expected branching factor
+    max_depth: int = 6  # geometric shape only
+    m: int = 8  # binomial: children on a "success" node
+    q: float = 0.1  # binomial: success probability (q*m < 1)
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.shape not in (_GEOMETRIC, _BINOMIAL):
+            raise ValueError(f"unknown UTS shape {self.shape!r}")
+        if self.b0 <= 0:
+            raise ValueError("b0 must be positive")
+        if self.shape == _GEOMETRIC and self.max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if self.shape == _BINOMIAL and not (0 <= self.q * self.m < 1):
+            raise ValueError("binomial UTS requires 0 <= q*m < 1 (finite tree)")
+
+
+@dataclass(frozen=True, slots=True)
+class UTSNode:
+    """A UTS node: hash state + depth; children derive from these only."""
+
+    state: int
+    depth: int
+
+
+def _uniform(state: int) -> float:
+    """Map a 64-bit hash state to a uniform float in [0, 1)."""
+    return (state >> 11) * (1.0 / (1 << 53))
+
+
+def _num_children(inst: UTSInstance, node: UTSNode) -> int:
+    if inst.shape == _GEOMETRIC:
+        if node.depth >= inst.max_depth:
+            return 0
+        u = _uniform(node.state)
+        # Geometric with mean b0: P(children >= k) = (b0/(b0+1))^k.
+        ratio = inst.b0 / (inst.b0 + 1.0)
+        if u >= 1.0:
+            return 0
+        return int(math.floor(math.log(1.0 - u) / math.log(ratio)))
+    # binomial
+    if node.depth == 0:
+        return max(1, int(round(inst.b0)))
+    return inst.m if _uniform(node.state) < inst.q else 0
+
+
+def _children(inst: UTSInstance, node: UTSNode) -> Iterator[UTSNode]:
+    count = _num_children(inst, node)
+    for i in range(count):
+        yield UTSNode(state=splittable_hash(node.state, i), depth=node.depth + 1)
+
+
+class UTSGen(NodeGenerator[UTSInstance, UTSNode]):
+    """Children hashed from (parent state, child index) — order-independent."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inst: UTSInstance, parent: UTSNode) -> None:
+        self._inner = IterNodeGenerator(_children(inst, parent))
+
+    def has_next(self) -> bool:
+        return self._inner.has_next()
+
+    def next(self) -> UTSNode:
+        return self._inner.next()
+
+
+def uts_spec(inst: UTSInstance, *, name: str = "uts") -> SearchSpec:
+    """UTS :class:`SearchSpec`; pair with Enumeration (counts nodes)."""
+    root = UTSNode(state=splittable_hash(inst.seed, 0), depth=0)
+    return SearchSpec(
+        name=name,
+        space=inst,
+        root=root,
+        generator=UTSGen,
+        objective=lambda node: 1,
+    )

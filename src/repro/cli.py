@@ -1,0 +1,302 @@
+"""Command-line interface mirroring the YewPar artifact binaries.
+
+The paper's artifact exposes per-application binaries driven by flags
+like ``--skeleton``, ``-d`` (depth cutoff), ``-b`` (budget),
+``--chunked`` and ``--decisionBound`` (Appendix A).  This module
+reproduces that interface over the Python skeletons::
+
+    python -m repro.cli maxclique --instance sanr90-1 --skeleton depthbounded -d 2
+    python -m repro.cli maxclique -f mygraph.clq --skeleton budget -b 100 \\
+        --decisionBound 27 --localities 2 --workers 8
+    python -m repro.cli uts --shape geometric --b0 4 --depth 8 --skeleton stacksteal
+    python -m repro.cli ns --genus 14 --skeleton budget -b 50
+    python -m repro.cli knapsack --instance knap-sim-30 --skeleton stacksteal
+    python -m repro.cli tsp --instance tsp-rand-12 --skeleton depthbounded -d 3
+    python -m repro.cli sip --instance sip-planted-20-70 --skeleton stacksteal
+    python -m repro.cli tune --instance sanr90-1 --workers 8   # pick a skeleton
+    python -m repro.cli list            # show the instance library
+
+Exit status is 0 on success; decision searches exit 0 whether or not a
+witness exists (the answer is printed), matching the original binaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.params import SkeletonParams
+from repro.core.results import SearchResult
+from repro.core.searchtypes import make_search_type
+from repro.core.skeletons import COORDINATIONS, make_skeleton
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--skeleton",
+        default="sequential",
+        choices=sorted(COORDINATIONS),
+        help="search coordination (default: sequential)",
+    )
+    parser.add_argument(
+        "-d", "--depth-cutoff", type=int, default=2, metavar="D",
+        help="Depth-Bounded cutoff (default 2)",
+    )
+    parser.add_argument(
+        "-b", "--budget", type=int, default=1000, metavar="N",
+        help="Budget backtrack budget (default 1000)",
+    )
+    parser.add_argument(
+        "--chunked", action="store_true", default=False,
+        help="Stack-Stealing: steal whole lowest levels",
+    )
+    parser.add_argument(
+        "--spawn-probability", type=float, default=0.02, metavar="P",
+        help="Random coordination spawn probability",
+    )
+    parser.add_argument(
+        "--localities", type=int, default=1, help="simulated localities"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=15,
+        help="workers per locality (paper default 15)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulator seed")
+    parser.add_argument(
+        "--decisionBound", type=int, default=None, metavar="K",
+        help="run as a decision search with this target objective",
+    )
+    parser.add_argument(
+        "--trace", action="store_true", default=False,
+        help="print a worker Gantt chart of the (simulated) schedule",
+    )
+
+
+def _params(args: argparse.Namespace) -> SkeletonParams:
+    return SkeletonParams(
+        d_cutoff=args.depth_cutoff,
+        budget=args.budget,
+        chunked=args.chunked,
+        spawn_probability=args.spawn_probability,
+        localities=args.localities,
+        workers_per_locality=args.workers,
+        seed=args.seed,
+    )
+
+
+def _report(res: SearchResult, out) -> None:
+    print(f"search type: {res.kind}", file=out)
+    if res.kind == "decision":
+        print(f"found: {res.found}", file=out)
+    print(f"value: {res.value}", file=out)
+    if res.node is not None:
+        print(f"witness: {res.node}", file=out)
+    m = res.metrics
+    print(
+        f"nodes: {m.nodes}  prunes: {m.prunes}  backtracks: {m.backtracks}  "
+        f"spawns: {m.spawns}  steals: {m.steals}",
+        file=out,
+    )
+    if res.virtual_time is not None:
+        eff = res.efficiency()
+        eff_str = f"  efficiency: {eff:.0%}" if eff is not None else ""
+        print(
+            f"workers: {res.workers}  virtual time: {res.virtual_time:.1f}{eff_str}",
+            file=out,
+        )
+    if res.wall_time is not None:
+        print(f"wall time: {res.wall_time:.3f}s", file=out)
+
+
+def _library_instance(name: str, expect_app: Optional[str] = None):
+    from repro.instances.library import _entry, spec_for
+
+    entry = _entry(name)
+    if expect_app is not None and entry.app not in (expect_app, "kclique"):
+        raise SystemExit(
+            f"instance {name!r} belongs to application {entry.app!r}"
+        )
+    return spec_for(name)
+
+
+def _run(spec, search_type: str, args: argparse.Namespace, out, **type_kwargs):
+    skeleton = make_skeleton(args.skeleton, search_type)
+    stype = make_search_type(search_type, **type_kwargs)
+    cluster = None
+    if args.trace and args.skeleton != "sequential":
+        from repro.runtime.executor import SimulatedCluster
+        from repro.runtime.topology import Topology
+
+        cluster = SimulatedCluster(
+            Topology(args.localities, args.workers), trace=True
+        )
+    res = skeleton.search(spec, _params(args), stype=stype, cluster=cluster)
+    _report(res, out)
+    if res.trace is not None:
+        from repro.runtime.trace import render_gantt
+
+        print(render_gantt(res.trace), file=out)
+    return res
+
+
+# -- subcommands ----------------------------------------------------------
+
+
+def _cmd_maxclique(args, out) -> int:
+    from repro.apps.maxclique import maxclique_spec
+    from repro.instances.dimacs import parse_dimacs
+
+    if args.file:
+        graph = parse_dimacs(args.file)
+        spec = maxclique_spec(graph, name=args.file)
+    else:
+        spec, _, _ = _library_instance(args.instance, "maxclique")
+    if args.decisionBound is not None:
+        _run(spec, "decision", args, out, target=args.decisionBound)
+    else:
+        _run(spec, "optimisation", args, out)
+    return 0
+
+
+def _cmd_generic_library(app: str):
+    def cmd(args, out) -> int:
+        spec, stype_name, kwargs = _library_instance(args.instance, app)
+        if args.decisionBound is not None:
+            if stype_name == "decision":
+                kwargs = {"target": args.decisionBound}
+                _run(spec, "decision", args, out, **kwargs)
+            else:
+                _run(spec, "decision", args, out, target=args.decisionBound)
+        else:
+            _run(spec, stype_name, args, out, **kwargs)
+        return 0
+
+    return cmd
+
+
+def _cmd_uts(args, out) -> int:
+    from repro.apps.uts import UTSInstance, uts_spec
+
+    inst = UTSInstance(
+        shape=args.shape,
+        b0=args.b0,
+        max_depth=args.depth,
+        m=args.m,
+        q=args.q,
+        seed=args.tree_seed,
+    )
+    spec = uts_spec(inst, name=f"uts-{args.shape}")
+    _run(spec, "enumeration", args, out)
+    return 0
+
+
+def _cmd_ns(args, out) -> int:
+    from repro.apps.semigroups import SemigroupInstance, semigroups_spec
+
+    inst = SemigroupInstance(max_genus=args.genus)
+    spec = semigroups_spec(inst, name=f"ns-genus-{args.genus}",
+                           count_genus=args.genus if args.count_genus else None)
+    _run(spec, "enumeration", args, out)
+    return 0
+
+
+def _cmd_tune(args, out) -> int:
+    from repro.core.searchtypes import make_search_type
+    from repro.tuning import tune
+
+    spec, stype_name, kwargs = _library_instance(args.instance)
+    stype = make_search_type(stype_name, **kwargs)
+    report = tune(
+        spec,
+        stype,
+        localities=args.localities,
+        workers_per_locality=args.workers,
+        seed=args.seed,
+    )
+    print(report.render(), file=out)
+    return 0
+
+
+def _cmd_list(args, out) -> int:
+    from repro.instances.library import APPS, suite
+
+    for app in APPS:
+        print(f"{app}:", file=out)
+        for name in suite(app):
+            print(f"  {name}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser with all application subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="YewPar-reproduction search applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("maxclique", help="maximum clique / k-clique search")
+    p.add_argument("-f", "--file", help="DIMACS .clq file")
+    p.add_argument("--instance", default="sanr90-1", help="library instance name")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_maxclique)
+
+    for app, default in (
+        ("knapsack", "knap-sim-30"),
+        ("tsp", "tsp-rand-12"),
+        ("sip", "sip-planted-20-70"),
+    ):
+        p = sub.add_parser(app, help=f"{app} search over a library instance")
+        p.add_argument("--instance", default=default, help="library instance name")
+        _add_common(p)
+        p.set_defaults(fn=_cmd_generic_library(app))
+
+    p = sub.add_parser("uts", help="unbalanced tree search (node counting)")
+    p.add_argument("--shape", default="geometric", choices=["geometric", "binomial"])
+    p.add_argument("--b0", type=float, default=3.5, help="branching factor")
+    p.add_argument("--depth", type=int, default=8, help="geometric depth cutoff")
+    p.add_argument("--m", type=int, default=8, help="binomial children per success")
+    p.add_argument("--q", type=float, default=0.1, help="binomial success probability")
+    p.add_argument("--tree-seed", type=int, default=42, help="tree shape seed")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_uts)
+
+    p = sub.add_parser("ns", help="numerical semigroups by genus")
+    p.add_argument("--genus", type=int, default=12)
+    p.add_argument(
+        "--count-genus", action="store_true",
+        help="count only semigroups of exactly --genus (default: whole tree)",
+    )
+    _add_common(p)
+    p.set_defaults(fn=_cmd_ns)
+
+    p = sub.add_parser(
+        "tune", help="sweep skeletons/knobs on the simulator, recommend one"
+    )
+    p.add_argument("--instance", default="sanr90-1", help="library instance name")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("list", help="list the instance library")
+    p.set_defaults(fn=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args, out)
+    except BrokenPipeError:
+        # `repro ... | head` closed the pipe: standard CLI etiquette is
+        # to exit quietly rather than traceback.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

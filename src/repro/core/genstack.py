@@ -1,0 +1,125 @@
+"""The generator stack: shared machinery of every coordination (§4.1).
+
+Depth-first backtracking traversal is implemented by a stack of Lazy
+Node Generators: advancing the top generator and pushing a generator for
+the child is the (expand) rule; popping an exhausted generator is the
+(backtrack) rule.  Beyond traversal, the stack is how coordinations find
+subtrees to give away: Stack-Stealing and Budget scan it *bottom-up* for
+the first generator with remaining children — those are the unexplored
+subtrees closest to the root, i.e. heuristically the largest (§4.2).
+
+Each frame also records its node's *sibling index* (position within its
+parent's generator output), so any node the stack gives away can carry a
+**path key** — the tuple of sibling indices from the task root.  Path
+keys are lexicographic traversal order (the semantics' ``<<``), which is
+what the Ordered skeleton's rank-ordered workpool sorts by.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.nodegen import NodeGenerator
+
+__all__ = ["GenFrame", "GeneratorStack"]
+
+
+class GenFrame:
+    """One stack frame: a node, the generator over its children, the
+    node's depth and sibling index, and how many children it yielded."""
+
+    __slots__ = ("node", "gen", "depth", "index", "children_yielded")
+
+    def __init__(self, node: Any, gen: NodeGenerator, depth: int, index: int) -> None:
+        self.node = node
+        self.gen = gen
+        self.depth = depth
+        self.index = index  # position of `node` among its siblings
+        self.children_yielded = 0  # children produced from `gen` so far
+
+
+class GeneratorStack:
+    """A stack of :class:`GenFrame` with bottom-up splitting support."""
+
+    def __init__(self) -> None:
+        self._frames: list[GenFrame] = []
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __bool__(self) -> bool:
+        return bool(self._frames)
+
+    def push(self, node: Any, gen: NodeGenerator, index: int = 0) -> None:
+        """Push a frame for ``node`` (``index`` = its sibling position)."""
+        depth = self._frames[-1].depth + 1 if self._frames else 0
+        self._frames.append(GenFrame(node, gen, depth, index))
+
+    def top(self) -> GenFrame:
+        """The frame currently being expanded."""
+        return self._frames[-1]
+
+    def pop(self) -> GenFrame:
+        """Remove and return the top frame ((backtrack))."""
+        return self._frames.pop()
+
+    def next_from_top(self) -> tuple[Any, int]:
+        """Advance the top generator; returns ``(child, sibling_index)``."""
+        frame = self._frames[-1]
+        child = frame.gen.next()
+        index = frame.children_yielded
+        frame.children_yielded += 1
+        return child, index
+
+    def current_key(self) -> tuple[int, ...]:
+        """Sibling-index path of the top frame's node, task-relative.
+
+        The root frame contributes nothing (its index lives in the
+        owning task's key); deeper frames contribute their index.
+        """
+        return tuple(f.index for f in self._frames[1:])
+
+    def _key_at(self, frame_pos: int, child_index: int) -> tuple[int, ...]:
+        """Path key of the ``child_index``-th child of frame ``frame_pos``."""
+        prefix = tuple(self._frames[i].index for i in range(1, frame_pos + 1))
+        return prefix + (child_index,)
+
+    def split_one(self) -> Optional[tuple[Any, int, tuple[int, ...]]]:
+        """Steal the first unexplored node closest to the root.
+
+        Scans frames bottom-up (Listing 3, line 7) and takes a single
+        child from the first generator that has one.  Returns
+        ``(node, depth_of_node, path_key)`` or None if the whole stack
+        is exhausted.  This realises the (spawn-stack) rule: the stolen
+        node is ``nextLowest(S, v)``.
+        """
+        for pos, frame in enumerate(self._frames):
+            if frame.gen.has_next():
+                child = frame.gen.next()
+                index = frame.children_yielded
+                frame.children_yielded += 1
+                return child, frame.depth + 1, self._key_at(pos, index)
+        return None
+
+    def split_lowest(self) -> tuple[list[Any], int, list[tuple[int, ...]]]:
+        """Take *all* remaining children at the lowest non-exhausted depth.
+
+        Used by (spawn-budget) (Listing 4, lines 8-14) and by chunked
+        Stack-Stealing.  Returns ``(nodes, depth_of_nodes, path_keys)``;
+        the node list is in heuristic (traversal) order.  Empty list if
+        nothing is splittable.
+        """
+        for pos, frame in enumerate(self._frames):
+            if frame.gen.has_next():
+                nodes = []
+                keys = []
+                while frame.gen.has_next():
+                    nodes.append(frame.gen.next())
+                    keys.append(self._key_at(pos, frame.children_yielded))
+                    frame.children_yielded += 1
+                return nodes, frame.depth + 1, keys
+        return [], 0, []
+
+    def has_splittable_work(self) -> bool:
+        """True if any frame still has unexplored children."""
+        return any(frame.gen.has_next() for frame in self._frames)

@@ -1,0 +1,60 @@
+"""Skeleton tuning parameters (§4.3 "Skeletons API").
+
+The paper exposes the knobs that control the amount and location of work
+in the system — the Depth-Bounded cutoff ``d_cutoff``, the Budget
+backtrack budget, the Stack-Stealing ``chunked`` flag — plus the
+topology a run executes on.  Poor choices can starve or flood the
+system (§5.5); Table 2's worst/random/best columns sweep exactly these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["SkeletonParams"]
+
+
+@dataclass(frozen=True)
+class SkeletonParams:
+    """Tuning knobs for a skeleton run.
+
+    Attributes:
+        d_cutoff: Depth-Bounded — nodes at depth <= d_cutoff become tasks.
+        budget: Budget — backtracks allowed before spawning the lowest
+            unexplored subtrees.
+        chunked: Stack-Stealing — steal every node at the victim's lowest
+            depth instead of a single node.
+        spawn_probability: Random coordination — probability that a
+            generated child is hived off as a task (the generic (spawn)
+            rule with a coin flip; §4.2's "random task creation").
+        localities: number of simulated physical machines.
+        workers_per_locality: search workers per locality (the paper uses
+            15 of 16 cores, reserving one for HPX).
+        seed: simulator seed (victim selection and tie-breaking).
+    """
+
+    d_cutoff: int = 2
+    budget: int = 1000
+    chunked: bool = True
+    spawn_probability: float = 0.02
+    localities: int = 1
+    workers_per_locality: int = 15
+    seed: int = 0
+
+    @property
+    def workers(self) -> int:
+        return self.localities * self.workers_per_locality
+
+    def with_(self, **kwargs) -> "SkeletonParams":
+        """A copy with some fields replaced (sweep convenience)."""
+        return replace(self, **kwargs)
+
+    def __post_init__(self) -> None:
+        if self.d_cutoff < 0:
+            raise ValueError("d_cutoff must be >= 0")
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if not 0.0 <= self.spawn_probability <= 1.0:
+            raise ValueError("spawn_probability must be in [0, 1]")
+        if self.localities < 1 or self.workers_per_locality < 1:
+            raise ValueError("topology must have >= 1 locality and worker")

@@ -1,0 +1,115 @@
+"""Search results and metrics.
+
+Every skeleton returns a :class:`SearchResult`: the search outcome (an
+accumulator for enumeration, the optimal/witness node for optimisation
+and decision), plus a :class:`SearchMetrics` record of what the search
+did.  Parallel runs additionally report virtual makespan and per-worker
+utilisation from the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["SearchMetrics", "SearchResult", "validate_result"]
+
+
+@dataclass
+class SearchMetrics:
+    """Counters accumulated during a search.
+
+    ``nodes`` counts processed (visited) nodes; ``prunes`` counts
+    subtrees discarded by the bound; ``spawns`` counts tasks created;
+    ``steals``/``failed_steals`` count work-stealing traffic;
+    ``backtracks`` counts generator-stack pops.
+    """
+
+    nodes: int = 0
+    weighted_nodes: int = 0  # nodes scaled by spec.node_size (== nodes if unweighted)
+    backtracks: int = 0
+    prunes: int = 0
+    spawns: int = 0
+    steals: int = 0
+    failed_steals: int = 0
+    broadcasts: int = 0
+    max_depth: int = 0
+
+    def merge(self, other: "SearchMetrics") -> None:
+        """Fold another worker's counters into this one."""
+        self.nodes += other.nodes
+        self.weighted_nodes += other.weighted_nodes
+        self.backtracks += other.backtracks
+        self.prunes += other.prunes
+        self.spawns += other.spawns
+        self.steals += other.steals
+        self.failed_steals += other.failed_steals
+        self.broadcasts += other.broadcasts
+        self.max_depth = max(self.max_depth, other.max_depth)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one skeleton run.
+
+    Attributes:
+        kind: the search type that produced this result.
+        value: the monoid value — the accumulator (enumeration) or the
+            objective of the best node (optimisation/decision).
+        node: the witness node for optimisation/decision; None for
+            enumeration.
+        found: for decision searches, whether the target was reached.
+        metrics: aggregate counters over all workers.
+        virtual_time: simulated makespan (parallel skeletons only).
+        wall_time: real elapsed seconds for the run.
+        workers: number of workers that executed the search.
+        per_worker_busy: simulated busy time per worker (utilisation
+            analysis), parallel runs only.
+        trace: full schedule trace (:class:`repro.runtime.trace.Trace`)
+            when the cluster was built with ``trace=True``; None
+            otherwise.
+    """
+
+    kind: str
+    value: Any
+    node: Optional[Any] = None
+    found: Optional[bool] = None
+    metrics: SearchMetrics = field(default_factory=SearchMetrics)
+    virtual_time: Optional[float] = None
+    wall_time: Optional[float] = None
+    workers: int = 1
+    per_worker_busy: Optional[list] = None
+    trace: Optional[Any] = None
+
+    def efficiency(self) -> Optional[float]:
+        """Mean worker utilisation (busy / makespan), parallel runs only."""
+        if self.virtual_time is None or not self.per_worker_busy or self.virtual_time == 0:
+            return None
+        return sum(self.per_worker_busy) / (len(self.per_worker_busy) * self.virtual_time)
+
+
+def validate_result(spec, result: SearchResult) -> bool:
+    """Independently certify a search result against its spec.
+
+    - Optimisation: the witness's objective must equal the reported
+      value, and the spec's ``witness_check`` (if any) must accept it.
+    - Decision (found): the witness's objective must reach the reported
+      (clipped) value, plus the ``witness_check``.
+    - Enumeration: nothing structural to certify (the accumulator is
+      the result); returns True.
+
+    Raises ValueError on malformed results rather than returning False,
+    so silent corruption can't masquerade as "witness merely invalid".
+    """
+    if result.kind == "enumeration":
+        return True
+    if result.node is None:
+        raise ValueError("optimisation/decision result without a witness node")
+    objective = spec.objective(result.node)
+    if result.kind == "optimisation" and objective != result.value:
+        return False
+    if result.kind == "decision" and objective < result.value:
+        return False
+    if spec.witness_check is not None:
+        return bool(spec.witness_check(spec.space, result.node))
+    return True

@@ -1,0 +1,320 @@
+"""Resumable search tasks: the coordination state machines.
+
+A :class:`SearchTask` is one unit of work from the semantics — a subtree
+rooted at ``root`` — together with the traversal state needed to search
+it: the generator stack and the backtrack counter.  The task advances
+one reduction at a time via :meth:`step`, which makes the *same* state
+machine drivable in two ways:
+
+- a tight ``while not finished: step()`` loop (the Sequential skeleton
+  and the real-thread backend), and
+- one step per simulated time quantum (the discrete-event cluster),
+
+so the simulated parallel search expands exactly the tree a real worker
+would, given the same knowledge-arrival timing.
+
+The coordination (``seq`` / ``depth`` / ``budget`` / ``stack`` /
+``random``) is a parameter: it only changes *when subtrees are given
+away*, never how the tree is traversed — mirroring how Figure 2 factors
+spawn rules apart from traversal rules.  ``random`` is the extension
+coordination §4.2 suggests ("random task creation"): each generated
+child becomes a task with probability ``spawn_probability``, a direct
+instance of the generic (spawn) rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.genstack import GeneratorStack
+from repro.core.params import SkeletonParams
+from repro.core.searchtypes import SearchType
+from repro.core.space import SearchSpec
+from repro.util.rng import SplitMix64
+
+__all__ = [
+    "StepOutcome",
+    "SearchTask",
+    "SpawnedTask",
+    "SEQ",
+    "DEPTH",
+    "BUDGET",
+    "STACK",
+    "RANDOM",
+    "ORDERED",
+]
+
+SEQ = "seq"
+DEPTH = "depth"
+BUDGET = "budget"
+STACK = "stack"
+RANDOM = "random"
+# Ordered: Depth-Bounded task generation, but tasks carry their
+# heuristic-order path key and execute from a single rank-ordered pool —
+# the replicable branch-and-bound discipline of Archibald et al. [4]
+# (cited in the paper's §2.1 as the anomaly-controlling skeleton).
+ORDERED = "ordered"
+_POLICIES = (SEQ, DEPTH, BUDGET, STACK, RANDOM, ORDERED)
+
+
+@dataclass(frozen=True)
+class SpawnedTask:
+    """A child subtree handed to the workpool.
+
+    ``key`` is the root's sibling-index path from the global root —
+    lexicographic order on keys is the sequential traversal (heuristic)
+    order, which the Ordered coordination's workpool ranks by.
+    """
+
+    root: Any
+    depth: int
+    key: tuple = ()
+
+
+_NO_SPAWNS: tuple = ()
+
+
+class StepOutcome:
+    """What one :meth:`SearchTask.step` did (for metrics and cost model).
+
+    A plain mutable record.  Each task *reuses* one outcome object
+    across steps (one is read per simulated event, so allocation here
+    is simulator hot path); callers must consume the fields before the
+    task's next step.
+    """
+
+    __slots__ = (
+        "processed",
+        "pruned",
+        "backtracked",
+        "improved",
+        "goal",
+        "finished",
+        "spawned",
+        "weight",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all flags for the next step."""
+        self.processed = False  # a node was visited and processed
+        self.pruned = False  # a processed node's subtree was discarded
+        self.backtracked = False  # an exhausted generator was popped
+        self.improved = False  # the incumbent was strengthened
+        self.goal = False  # decision target reached -> stop everything
+        self.finished = False  # this task is complete
+        self.spawned: Any = _NO_SPAWNS  # fresh list only when spawning
+        self.weight = 1  # cost weight of the processed node (spec.node_size)
+
+
+class SearchTask:
+    """Searches the subtree under ``root`` depth-first, lazily.
+
+    ``root_depth`` is the root's depth in the *global* search tree; the
+    Depth-Bounded cutoff is defined against global depth, so tasks must
+    carry it.
+    """
+
+    __slots__ = (
+        "spec",
+        "stype",
+        "policy",
+        "params",
+        "root",
+        "root_depth",
+        "stack",
+        "backtracks",
+        "_started",
+        "_finished",
+        "_rng",
+        "key",
+        "_out",
+    )
+
+    def __init__(
+        self,
+        spec: SearchSpec,
+        stype: SearchType,
+        root: Any,
+        *,
+        policy: str = SEQ,
+        params: Optional[SkeletonParams] = None,
+        root_depth: int = 0,
+        task_seed: int = 0,
+        key: tuple = (),
+    ) -> None:
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown coordination policy {policy!r}")
+        self.spec = spec
+        self.stype = stype
+        self.policy = policy
+        self.params = params if params is not None else SkeletonParams()
+        self.root = root
+        self.root_depth = root_depth
+        self.key = key
+        self.stack = GeneratorStack()
+        self.backtracks = 0
+        self._started = False
+        self._finished = False
+        self._out = StepOutcome()  # reused across steps (see StepOutcome)
+        # Only the Random coordination consumes randomness; seeded per
+        # task so runs stay deterministic.
+        self._rng = (
+            SplitMix64(self.params.seed ^ (task_seed * 0x9E3779B9) ^ 0x5EED)
+            if policy == RANDOM
+            else None
+        )
+
+    # -- public protocol ----------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def current_depth(self) -> int:
+        """Global depth of the node currently being explored (the top
+        frame's node; frame depths are task-relative)."""
+        if not self.stack:
+            return self.root_depth
+        return self.root_depth + self.stack.top().depth
+
+    def step(self, knowledge: Any) -> tuple[Any, StepOutcome]:
+        """Perform one reduction; returns updated knowledge and outcome.
+
+        Exactly one of the semantics' step shapes happens per call:
+        schedule-and-process the root, spawn (budget exhaustion or
+        depth-bounded child), expand-and-process a child, or backtrack.
+        """
+        out = self._out
+        out.reset()
+        if self._finished:
+            out.finished = True
+            return knowledge, out
+
+        if not self._started:
+            return self._start(knowledge, out)
+
+        # (spawn-budget): Listing 4 line 7 — check the budget before the
+        # next traversal step, spawn the lowest unexplored subtrees and
+        # reset the counter.
+        if self.policy == BUDGET and self.backtracks >= self.params.budget:
+            nodes, depth, keys = self.stack.split_lowest()
+            self.backtracks = 0
+            if nodes:
+                gdepth = self.root_depth + depth
+                out.spawned = [
+                    SpawnedTask(n, gdepth, self.key + k)
+                    for n, k in zip(nodes, keys)
+                ]
+                return knowledge, out
+
+        if not self.stack:
+            self._finished = True
+            out.finished = True
+            return knowledge, out
+
+        frame = self.stack.top()
+        if frame.gen.has_next():
+            child, child_index = self.stack.next_from_top()
+            child_depth = self.root_depth + frame.depth + 1
+            # (spawn-depth): while the *parent* is above the cutoff,
+            # children become tasks instead of being searched in place.
+            # The child is left unprocessed; it is processed when its
+            # task is scheduled, as in the semantics.  Ordered uses the
+            # same rule; only its workpool discipline differs.
+            if (
+                self.policy in (DEPTH, ORDERED)
+                and (self.root_depth + frame.depth) < self.params.d_cutoff
+            ):
+                key = self.key + self.stack.current_key() + (child_index,)
+                out.spawned = [SpawnedTask(child, child_depth, key)]
+                return knowledge, out
+            # The generic (spawn) rule with a coin flip: hive off this
+            # unexplored child as a task instead of searching it here.
+            if (
+                self.policy == RANDOM
+                and self._rng.random() < self.params.spawn_probability
+            ):
+                key = self.key + self.stack.current_key() + (child_index,)
+                out.spawned = [SpawnedTask(child, child_depth, key)]
+                return knowledge, out
+            return self._process_and_push(child, child_index, knowledge, out)
+
+        # (backtrack)
+        self.stack.pop()
+        self.backtracks += 1
+        out.backtracked = True
+        if not self.stack:
+            self._finished = True
+            out.finished = True
+        return knowledge, out
+
+    def try_split(self, *, chunked: bool) -> list[SpawnedTask]:
+        """(spawn-stack): give away unexplored subtrees nearest the root.
+
+        Called by the scheduler when a steal request reaches this task's
+        worker.  Returns one stolen node, or all nodes at the victim's
+        lowest unexplored depth when ``chunked``; empty list if there is
+        nothing to give.
+        """
+        if self._finished or not self._started:
+            return []
+        if chunked:
+            nodes, depth, keys = self.stack.split_lowest()
+            if not nodes:
+                return []
+            gdepth = self.root_depth + depth
+            return [
+                SpawnedTask(n, gdepth, self.key + k) for n, k in zip(nodes, keys)
+            ]
+        split = self.stack.split_one()
+        if split is None:
+            return []
+        node, depth, key = split
+        return [SpawnedTask(node, self.root_depth + depth, self.key + key)]
+
+    # -- internals ------------------------------------------------------------
+
+    def _start(self, knowledge: Any, out: StepOutcome) -> tuple[Any, StepOutcome]:
+        """(schedule) + node-processing of the task root."""
+        self._started = True
+        knowledge, out.improved = self.stype.process(self.spec, self.root, knowledge)
+        out.processed = True
+        if self.spec.node_size is not None:
+            out.weight = self.spec.node_size(self.root)
+        if self.stype.is_goal(knowledge):
+            out.goal = True
+            self._finished = True
+            out.finished = True
+            return knowledge, out
+        if self.stype.should_prune(self.spec, self.root, knowledge):
+            # The whole task was invalidated (e.g. by a bound that
+            # arrived since it was spawned): it dies without expansion.
+            out.pruned = True
+            self._finished = True
+            out.finished = True
+            return knowledge, out
+        self.stack.push(self.root, self.spec.children_of(self.root))
+        return knowledge, out
+
+    def _process_and_push(
+        self, child: Any, child_index: int, knowledge: Any, out: StepOutcome
+    ) -> tuple[Any, StepOutcome]:
+        """(expand) + node-processing, with the (prune) check."""
+        knowledge, out.improved = self.stype.process(self.spec, child, knowledge)
+        out.processed = True
+        if self.spec.node_size is not None:
+            out.weight = self.spec.node_size(child)
+        if self.stype.is_goal(knowledge):
+            out.goal = True
+            self._finished = True
+            out.finished = True
+            return knowledge, out
+        if self.stype.should_prune(self.spec, child, knowledge):
+            out.pruned = True  # subtree under child abandoned before creation
+            return knowledge, out
+        self.stack.push(child, self.spec.children_of(child), index=child_index)
+        return knowledge, out

@@ -1,0 +1,49 @@
+"""Instance generation and parsing.
+
+The paper evaluates on ~30 standard challenge instances (DIMACS clique
+graphs, finite-geometry k-clique instances, knapsack/TSP/SIP suites).
+Those exact files cannot be shipped here, so :mod:`repro.instances`
+provides *seeded synthetic generators* in the same families — uniform
+random, Brockington-style camouflaged planted cliques, p_hat-style wide
+degree spreads, san-style planted cliques — scaled so the searches are
+hard enough to exercise every coordination but small enough for
+laptop-scale Python runs.  A DIMACS ``.clq`` parser is included for
+users with the original files (see DESIGN.md §2 for the substitution
+rationale).
+
+:mod:`repro.instances.library` is the named registry the tests,
+examples and benchmark harnesses draw from.
+"""
+
+from repro.instances.dimacs import parse_dimacs, write_dimacs
+from repro.instances.knapfile import parse_knapsack, write_knapsack
+from repro.instances.tsplib import parse_tsplib, write_tsplib
+from repro.instances.graphs import (
+    brock_like,
+    cycle_graph,
+    p_hat_like,
+    planted_clique,
+    uniform_graph,
+)
+from repro.instances.library import (
+    instance_names,
+    load_instance,
+    suite,
+)
+
+__all__ = [
+    "parse_dimacs",
+    "write_dimacs",
+    "parse_knapsack",
+    "write_knapsack",
+    "parse_tsplib",
+    "write_tsplib",
+    "uniform_graph",
+    "planted_clique",
+    "brock_like",
+    "p_hat_like",
+    "cycle_graph",
+    "load_instance",
+    "instance_names",
+    "suite",
+]

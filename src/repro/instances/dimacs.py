@@ -1,0 +1,66 @@
+"""DIMACS ``.clq`` graph format (the clique benchmark interchange format).
+
+The paper's MaxClique evaluation uses the DIMACS Second Implementation
+Challenge instances [21].  Users who have those files can load them with
+:func:`parse_dimacs` and run any skeleton on the real graphs; the
+round-trip writer exists mainly so the synthetic library can be
+exported for use with other solvers.
+
+Format: ``c`` comment lines; one ``p edge <n> <m>`` problem line;
+``e <u> <v>`` edge lines with 1-based vertex numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.apps.graph import Graph
+
+__all__ = ["parse_dimacs", "parse_dimacs_text", "write_dimacs"]
+
+
+def parse_dimacs_text(text: str) -> Graph:
+    """Parse DIMACS ``.clq`` content into a :class:`Graph` (0-based)."""
+    n = None
+    edges: list[tuple[int, int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if n is not None:
+                raise ValueError(f"line {lineno}: duplicate problem line")
+            if len(parts) < 4 or parts[1] not in ("edge", "col"):
+                raise ValueError(f"line {lineno}: malformed problem line {line!r}")
+            n = int(parts[2])
+        elif parts[0] == "e":
+            if len(parts) != 3:
+                raise ValueError(f"line {lineno}: malformed edge line {line!r}")
+            u, v = int(parts[1]), int(parts[2])
+            if u == v:
+                continue  # some files carry self-loops; cliques ignore them
+            edges.append((u - 1, v - 1))
+        else:
+            raise ValueError(f"line {lineno}: unknown record {parts[0]!r}")
+    if n is None:
+        raise ValueError("missing problem line")
+    g = Graph(n)
+    for u, v in edges:
+        if not g.has_edge(u, v):  # duplicate edge lines are tolerated
+            g.add_edge(u, v)
+    return g
+
+
+def parse_dimacs(path: Union[str, Path]) -> Graph:
+    """Load a DIMACS ``.clq`` file."""
+    return parse_dimacs_text(Path(path).read_text())
+
+
+def write_dimacs(graph: Graph, path: Union[str, Path], *, comments: Iterable[str] = ()) -> None:
+    """Write ``graph`` in DIMACS ``.clq`` format (1-based vertices)."""
+    lines = [f"c {c}" for c in comments]
+    lines.append(f"p edge {graph.n} {graph.edge_count()}")
+    lines.extend(f"e {u + 1} {v + 1}" for u, v in graph.edges())
+    Path(path).write_text("\n".join(lines) + "\n")

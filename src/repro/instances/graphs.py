@@ -1,0 +1,110 @@
+"""Seeded random graph generators in the DIMACS families.
+
+All generators are pure functions of their parameters (including the
+seed), so every instance in the library is exactly reproducible — the
+synthetic analogue of distributing the benchmark files.
+"""
+
+from __future__ import annotations
+
+from repro.apps.graph import Graph
+from repro.util.rng import SplitMix64
+
+__all__ = [
+    "uniform_graph",
+    "planted_clique",
+    "brock_like",
+    "p_hat_like",
+    "cycle_graph",
+]
+
+
+def uniform_graph(n: int, p: float, seed: int) -> Graph:
+    """Erdos-Renyi G(n, p) — the sanr-style uniform random family."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("edge probability must be in [0, 1]")
+    rng = SplitMix64(seed)
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def planted_clique(n: int, p: float, k: int, seed: int) -> Graph:
+    """G(n, p) with a clique planted on k random vertices (san-style).
+
+    san graphs hide a known maximum clique inside an otherwise random
+    graph; searches are hard because the planted clique's vertices are
+    not degree-distinguished until deep in the tree.
+    """
+    if k > n:
+        raise ValueError("clique size exceeds vertex count")
+    g = uniform_graph(n, p, seed)
+    rng = SplitMix64(seed ^ 0xC11C5E)
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    members = vertices[:k]
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if not g.has_edge(u, v):
+                g.add_edge(u, v)
+    return g
+
+
+def brock_like(n: int, p: float, k: int, seed: int) -> Graph:
+    """Camouflaged planted clique (Brockington-Culberson style).
+
+    Plants a k-clique, then removes random non-clique edges incident to
+    clique members until their expected degree matches the background,
+    so degree heuristics cannot spot the clique — the property that
+    makes brock instances hard for greedy-ordered solvers.
+    """
+    if k > n:
+        raise ValueError("clique size exceeds vertex count")
+    g = uniform_graph(n, p, seed)
+    rng = SplitMix64(seed ^ 0xB20C4)
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    members = set(vertices[:k])
+    for i_u, u in enumerate(sorted(members)):
+        for v in sorted(members):
+            if v > u and not g.has_edge(u, v):
+                g.add_edge(u, v)
+    # Each clique member gained ~(k-1)*(1-p) unexpected edges; remove
+    # that many of its random edges to outsiders to hide the bump.
+    surplus = int(round((k - 1) * (1.0 - p)))
+    for u in sorted(members):
+        outsiders = [v for v in range(n) if v not in members and g.has_edge(u, v)]
+        rng.shuffle(outsiders)
+        for v in outsiders[:surplus]:
+            g.adj[u] &= ~(1 << v)
+            g.adj[v] &= ~(1 << u)
+    return g
+
+
+def p_hat_like(n: int, p_min: float, p_max: float, seed: int) -> Graph:
+    """Wide degree-spread random graph (p_hat style).
+
+    Each vertex draws a weight in [p_min, p_max]; an edge appears with
+    the mean of its endpoints' weights.  The resulting degree spread
+    produces the long colouring tails characteristic of p_hat instances.
+    """
+    if not 0.0 <= p_min <= p_max <= 1.0:
+        raise ValueError("need 0 <= p_min <= p_max <= 1")
+    rng = SplitMix64(seed)
+    weights = [p_min + (p_max - p_min) * rng.random() for _ in range(n)]
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.5 * (weights[u] + weights[v]):
+                g.add_edge(u, v)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n — handy deterministic fixture for tests."""
+    if n < 3:
+        raise ValueError("cycles need at least 3 vertices")
+    return Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])

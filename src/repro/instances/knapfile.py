@@ -1,0 +1,63 @@
+"""Knapsack instance files (Pisinger's benchmark layout).
+
+The de-facto standard text layout used by the hard-instance generators::
+
+    n
+    capacity
+    p_1 w_1
+    p_2 w_2
+    ...
+
+Comment lines starting with ``#`` and blank lines are ignored, so the
+files are self-documenting.  Reading sorts items into density order
+(the canonical form every part of this library assumes).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.apps.knapsack import KnapsackInstance
+
+__all__ = ["parse_knapsack", "parse_knapsack_text", "write_knapsack"]
+
+
+def parse_knapsack_text(text: str) -> KnapsackInstance:
+    """Parse knapsack file content."""
+    tokens: list[str] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens.extend(line.split())
+    if len(tokens) < 2:
+        raise ValueError("file too short: need item count and capacity")
+    n = int(tokens[0])
+    capacity = int(tokens[1])
+    rest = tokens[2:]
+    if len(rest) != 2 * n:
+        raise ValueError(
+            f"expected {2 * n} profit/weight tokens for {n} items, got {len(rest)}"
+        )
+    profits = [int(rest[2 * i]) for i in range(n)]
+    weights = [int(rest[2 * i + 1]) for i in range(n)]
+    return KnapsackInstance.sorted_by_density(profits, weights, capacity)
+
+
+def parse_knapsack(path: Union[str, Path]) -> KnapsackInstance:
+    """Load a knapsack instance file."""
+    return parse_knapsack_text(Path(path).read_text())
+
+
+def write_knapsack(
+    inst: KnapsackInstance, path: Union[str, Path], *, comment: str = ""
+) -> None:
+    """Write an instance in the standard layout (density order)."""
+    lines = []
+    if comment:
+        lines.append(f"# {comment}")
+    lines.append(str(inst.n))
+    lines.append(str(inst.capacity))
+    lines.extend(f"{p} {w}" for p, w in zip(inst.profits, inst.weights))
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,124 @@
+"""TSPLIB95 parsing (EUC_2D and explicit matrices).
+
+The standard interchange format for TSP instances, so users can run the
+TSP skeletons on the classic benchmark files (berlin52, eil51, ...).
+Supports the subset that covers the symmetric instances the paper-scale
+searches can handle:
+
+- ``EDGE_WEIGHT_TYPE: EUC_2D`` with a ``NODE_COORD_SECTION`` (distances
+  are rounded Euclidean, per the TSPLIB definition), and
+- ``EDGE_WEIGHT_TYPE: EXPLICIT`` with ``FULL_MATRIX``,
+  ``UPPER_ROW`` or ``LOWER_DIAG_ROW`` weight sections.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.apps.tsp import TSPInstance
+
+__all__ = ["parse_tsplib", "parse_tsplib_text", "write_tsplib"]
+
+
+def _tokenise_sections(text: str) -> tuple[dict, dict]:
+    """Split a TSPLIB file into header fields and section token lists."""
+    header: dict[str, str] = {}
+    sections: dict[str, list[str]] = {}
+    current: list[str] | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line == "EOF":
+            continue
+        upper = line.split()[0].rstrip(":").upper()
+        if upper.endswith("_SECTION") or upper == "NODE_COORD_SECTION":
+            current = sections.setdefault(upper, [])
+            continue
+        if ":" in line and current is None:
+            key, _, value = line.partition(":")
+            header[key.strip().upper()] = value.strip()
+            continue
+        if current is not None:
+            current.extend(line.split())
+        else:
+            raise ValueError(f"unexpected line outside any section: {line!r}")
+    return header, sections
+
+
+def parse_tsplib_text(text: str) -> TSPInstance:
+    """Parse TSPLIB content into a :class:`TSPInstance`."""
+    header, sections = _tokenise_sections(text)
+    if header.get("TYPE", "TSP").split()[0] not in ("TSP",):
+        raise ValueError(f"unsupported TYPE {header.get('TYPE')!r}")
+    n = int(header["DIMENSION"])
+    weight_type = header.get("EDGE_WEIGHT_TYPE", "EUC_2D").upper()
+
+    if weight_type == "EUC_2D":
+        tokens = sections.get("NODE_COORD_SECTION")
+        if tokens is None:
+            raise ValueError("EUC_2D instance without NODE_COORD_SECTION")
+        if len(tokens) != 3 * n:
+            raise ValueError(f"expected {3 * n} coord tokens, got {len(tokens)}")
+        points: list[tuple[float, float]] = [(0.0, 0.0)] * n
+        for i in range(n):
+            idx, x, y = tokens[3 * i : 3 * i + 3]
+            points[int(idx) - 1] = (float(x), float(y))
+        return TSPInstance.from_points(points)
+
+    if weight_type == "EXPLICIT":
+        fmt = header.get("EDGE_WEIGHT_FORMAT", "FULL_MATRIX").upper()
+        tokens = [int(float(t)) for t in sections.get("EDGE_WEIGHT_SECTION", [])]
+        dist = [[0] * n for _ in range(n)]
+        if fmt == "FULL_MATRIX":
+            if len(tokens) != n * n:
+                raise ValueError("FULL_MATRIX token count mismatch")
+            for i in range(n):
+                for j in range(n):
+                    dist[i][j] = tokens[i * n + j]
+        elif fmt == "UPPER_ROW":
+            expected = n * (n - 1) // 2
+            if len(tokens) != expected:
+                raise ValueError("UPPER_ROW token count mismatch")
+            it = iter(tokens)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    d = next(it)
+                    dist[i][j] = dist[j][i] = d
+        elif fmt == "LOWER_DIAG_ROW":
+            expected = n * (n + 1) // 2
+            if len(tokens) != expected:
+                raise ValueError("LOWER_DIAG_ROW token count mismatch")
+            it = iter(tokens)
+            for i in range(n):
+                for j in range(i + 1):
+                    d = next(it)
+                    dist[i][j] = dist[j][i] = d
+        else:
+            raise ValueError(f"unsupported EDGE_WEIGHT_FORMAT {fmt!r}")
+        for i in range(n):
+            dist[i][i] = 0
+        return TSPInstance(tuple(tuple(row) for row in dist))
+
+    raise ValueError(f"unsupported EDGE_WEIGHT_TYPE {weight_type!r}")
+
+
+def parse_tsplib(path: Union[str, Path]) -> TSPInstance:
+    """Load a ``.tsp`` file."""
+    return parse_tsplib_text(Path(path).read_text())
+
+
+def write_tsplib(
+    inst: TSPInstance, path: Union[str, Path], *, name: str = "instance"
+) -> None:
+    """Write an instance as an EXPLICIT FULL_MATRIX TSPLIB file."""
+    lines = [
+        f"NAME: {name}",
+        "TYPE: TSP",
+        f"DIMENSION: {inst.n}",
+        "EDGE_WEIGHT_TYPE: EXPLICIT",
+        "EDGE_WEIGHT_FORMAT: FULL_MATRIX",
+        "EDGE_WEIGHT_SECTION",
+    ]
+    lines.extend(" ".join(str(d) for d in row) for row in inst.dist)
+    lines.append("EOF")
+    Path(path).write_text("\n".join(lines) + "\n")

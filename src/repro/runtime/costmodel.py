@@ -1,0 +1,94 @@
+"""The simulator's cost model.
+
+All simulated durations are in abstract *work units*; one unit is the
+cost of processing one search-tree node in the hand-specialised
+implementation (roughly a microsecond on the paper's hardware).  The
+defaults encode the relative magnitudes that drive the paper's observed
+behaviour:
+
+- a node expansion dominates a backtrack,
+- intra-locality communication is an order of magnitude cheaper than
+  inter-locality communication (shared memory vs Ethernet),
+- bound broadcast is asynchronous and slower across localities, so
+  remote workers prune on stale bounds for a while (§4.3),
+- the *generic framework* pays per-node overhead over hand-written code
+  (node copying, generator indirection — Table 1's "cost of
+  generality"), plus per-task bookkeeping (workpool entries, scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Durations (work units) charged by the simulated cluster.
+
+    Attributes:
+        node_cost: processing + expanding one node, specialised code.
+        backtrack_cost: popping an exhausted generator.
+        framework_node_overhead: *additional* per-node cost of the
+            generic skeleton (lazy generator allocation, node copies).
+            Zero models a hand-specialised implementation.
+        spawn_cost: creating a task and pushing it to a workpool.
+        schedule_cost: popping a task and installing it on a worker.
+        steal_latency_local: one-way message between same-locality
+            workers / pools.
+        steal_latency_remote: one-way message between localities.
+        broadcast_latency_local / _remote: delay until a strengthened
+            incumbent becomes visible on the publishing / other
+            localities.
+        steal_retry_backoff: initial idle retry delay for thieves; grows
+            exponentially to ``steal_retry_cap`` while steals fail.
+    """
+
+    node_cost: float = 1.0
+    backtrack_cost: float = 0.1
+    framework_node_overhead: float = 0.08
+    spawn_cost: float = 0.4
+    schedule_cost: float = 0.4
+    steal_latency_local: float = 2.0
+    steal_latency_remote: float = 25.0
+    broadcast_latency_local: float = 1.0
+    broadcast_latency_remote: float = 20.0
+    steal_retry_backoff: float = 2.0
+    steal_retry_cap: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.node_cost <= 0:
+            raise ValueError("node_cost must be positive")
+        for name in (
+            "backtrack_cost",
+            "framework_node_overhead",
+            "spawn_cost",
+            "schedule_cost",
+            "steal_latency_local",
+            "steal_latency_remote",
+            "broadcast_latency_local",
+            "broadcast_latency_remote",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.steal_retry_backoff <= 0 or self.steal_retry_cap < self.steal_retry_backoff:
+            raise ValueError("invalid steal retry backoff parameters")
+
+    def per_node(self, size: int = 1) -> float:
+        """Cost of processing a node of weight ``size`` under the
+        generic skeleton."""
+        return (self.node_cost + self.framework_node_overhead) * size
+
+    def specialised(self) -> "CostModel":
+        """This model with all framework overheads removed — the
+        hand-written baseline of Table 1."""
+        return replace(self, framework_node_overhead=0.0, spawn_cost=self.spawn_cost * 0.5)
+
+    def steal_latency(self, local: bool) -> float:
+        """One-way steal-message latency for the locality relation."""
+        return self.steal_latency_local if local else self.steal_latency_remote
+
+    def broadcast_latency(self, local: bool) -> float:
+        """Bound-broadcast delay for the locality relation."""
+        return self.broadcast_latency_local if local else self.broadcast_latency_remote

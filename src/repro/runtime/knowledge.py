@@ -1,0 +1,81 @@
+"""Knowledge management: delayed incumbent broadcast (§4.3).
+
+YewPar shares bounds through HPX's PGAS: a strengthened incumbent is
+broadcast to every locality, each of which keeps a possibly-stale local
+copy.  Staleness is harmless for correctness — a stale bound only
+*misses* pruning opportunities — which is exactly why the paper can
+tolerate communication delays.
+
+:class:`KnowledgeManager` models this: each locality has a local
+incumbent view; a worker that strengthens its locality's view publishes
+it, and the update arrives at other localities after the (remote)
+broadcast latency.  Arrivals merge with ``combine`` (monoid max), so
+out-of-order deliveries cannot regress a view.
+
+Enumeration searches never publish: their accumulators stay worker-local
+and are folded once at the end (commutativity makes this sound).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.searchtypes import SearchType
+from repro.runtime.costmodel import CostModel
+from repro.runtime.sim import Simulator
+from repro.runtime.topology import Topology
+
+__all__ = ["KnowledgeManager"]
+
+
+class KnowledgeManager:
+    """Per-locality incumbent views with simulated broadcast delay."""
+
+    def __init__(
+        self,
+        stype: SearchType,
+        initial: Any,
+        topology: Topology,
+        cost: CostModel,
+        sim: Simulator,
+        on_goal: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self.stype = stype
+        self.topology = topology
+        self.cost = cost
+        self.sim = sim
+        self.on_goal = on_goal
+        self._views: list[Any] = [initial for _ in range(topology.localities)]
+        self._global = initial
+        self.broadcasts = 0
+
+    def view(self, locality: int) -> Any:
+        """The incumbent as locality ``locality`` currently sees it."""
+        return self._views[locality]
+
+    @property
+    def global_best(self) -> Any:
+        """The true best knowledge published anywhere (authoritative result)."""
+        return self._global
+
+    def publish(self, locality: int, knowledge: Any) -> None:
+        """A worker on ``locality`` strengthened the incumbent.
+
+        The publishing locality's view updates after the local latency;
+        other localities after the remote latency.  The global best
+        updates immediately (it exists only for result extraction and
+        goal detection, not for pruning decisions).
+        """
+        self._global = self.stype.combine(self._global, knowledge)
+        self.broadcasts += 1
+        if self.on_goal is not None and self.stype.is_goal(self._global):
+            self.on_goal(self._global)
+        for loc in range(self.topology.localities):
+            latency = self.cost.broadcast_latency(loc == locality)
+            self.sim.at(latency, self._make_arrival(loc, knowledge))
+
+    def _make_arrival(self, locality: int, knowledge: Any) -> Callable[[], None]:
+        def arrive() -> None:
+            self._views[locality] = self.stype.combine(self._views[locality], knowledge)
+
+        return arrive

@@ -1,0 +1,59 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal event loop: callbacks scheduled at virtual times, executed in
+(time, insertion-sequence) order.  The sequence number makes simultaneous
+events execute in a deterministic order, which — together with the
+seeded RNG used for victim selection — makes every cluster run exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Virtual clock + event heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._stopped = False
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def at(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def stop(self) -> None:
+        """Halt the simulation; pending events are discarded by run()."""
+        self._stopped = True
+
+    def run(self, *, max_events: Optional[int] = None) -> int:
+        """Process events until the heap empties or stop() is called.
+
+        Returns the number of events executed.  ``max_events`` guards
+        against runaway simulations (a scheduling bug would otherwise
+        spin forever); exceeding it raises.
+        """
+        executed = 0
+        while self._heap and not self._stopped:
+            time, _, fn = heapq.heappop(self._heap)
+            if time < self.now:
+                raise AssertionError("event heap yielded a past event")
+            self.now = time
+            fn()
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+        return executed

@@ -1,0 +1,52 @@
+"""Cluster topology: localities and workers.
+
+Mirrors the paper's experimental setup — a set of *localities* (physical
+machines), each hosting a fixed number of search workers (the paper uses
+15 workers on 16-core machines, reserving one core for HPX's manager
+thread, which the simulator does not need to model explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """``localities`` machines x ``workers_per_locality`` workers each.
+
+    Workers are numbered globally ``0 .. total_workers-1``; worker ``w``
+    lives on locality ``w // workers_per_locality``.
+    """
+
+    localities: int = 1
+    workers_per_locality: int = 15
+
+    def __post_init__(self) -> None:
+        if self.localities < 1:
+            raise ValueError("need at least one locality")
+        if self.workers_per_locality < 1:
+            raise ValueError("need at least one worker per locality")
+
+    @property
+    def total_workers(self) -> int:
+        return self.localities * self.workers_per_locality
+
+    def locality_of(self, worker: int) -> int:
+        """The locality hosting global worker id ``worker``."""
+        if not 0 <= worker < self.total_workers:
+            raise ValueError(f"worker {worker} out of range")
+        return worker // self.workers_per_locality
+
+    def workers_of(self, locality: int) -> range:
+        """Global worker ids hosted on ``locality``."""
+        if not 0 <= locality < self.localities:
+            raise ValueError(f"locality {locality} out of range")
+        start = locality * self.workers_per_locality
+        return range(start, start + self.workers_per_locality)
+
+    def is_local(self, worker_a: int, worker_b: int) -> bool:
+        """True if the two workers share a locality (cheap communication)."""
+        return self.locality_of(worker_a) == self.locality_of(worker_b)

@@ -1,0 +1,133 @@
+"""Execution traces: what every simulated worker did, and when.
+
+The paper's performance story (§5) rests on being able to see workload
+management behave: who starved, when steals happened, how fast the
+system ramped up.  A :class:`Trace` collects per-worker task intervals
+and knowledge events from a simulated run; :func:`render_gantt` and
+:func:`utilisation_timeline` turn it into terminal-readable pictures.
+
+Enable with ``SimulatedCluster(..., trace=True)``; the trace is attached
+to the returned result as ``result.trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TaskInterval", "Trace", "render_gantt", "utilisation_timeline"]
+
+
+@dataclass(frozen=True)
+class TaskInterval:
+    """One task execution on one worker: [start, end) in virtual time."""
+
+    worker: int
+    start: float
+    end: float
+    nodes: int  # nodes the task processed
+
+
+@dataclass
+class Trace:
+    """Everything observable about one simulated run's schedule."""
+
+    workers: int
+    intervals: list[TaskInterval] = field(default_factory=list)
+    improvements: list[tuple[float, int]] = field(default_factory=list)  # (time, value)
+    makespan: float = 0.0
+
+    # -- recording (called by the executor) --------------------------------
+
+    def record_interval(self, worker: int, start: float, end: float, nodes: int) -> None:
+        """Record one task execution interval on ``worker``."""
+        if end < start:
+            raise ValueError("interval ends before it starts")
+        self.intervals.append(TaskInterval(worker, start, end, nodes))
+
+    def record_improvement(self, time: float, value: int) -> None:
+        """Record an incumbent strengthening at virtual ``time``."""
+        self.improvements.append((time, value))
+
+    # -- analysis -----------------------------------------------------------
+
+    def busy_time(self, worker: int) -> float:
+        """Total in-task time of ``worker`` across its intervals."""
+        return sum(i.end - i.start for i in self.intervals if i.worker == worker)
+
+    def tasks_of(self, worker: int) -> list[TaskInterval]:
+        """The worker's intervals, ordered by start time."""
+        return sorted(
+            (i for i in self.intervals if i.worker == worker), key=lambda i: i.start
+        )
+
+    def ramp_up_time(self) -> Optional[float]:
+        """Time until every worker has run at least one task (None if
+        some worker never worked — itself a diagnostic)."""
+        first_start: dict[int, float] = {}
+        for i in self.intervals:
+            if i.worker not in first_start or i.start < first_start[i.worker]:
+                first_start[i.worker] = i.start
+        if len(first_start) < self.workers:
+            return None
+        return max(first_start.values())
+
+
+def utilisation_timeline(trace: Trace, *, buckets: int = 20) -> list[float]:
+    """Mean worker utilisation per time bucket over the makespan.
+
+    The classic ramp-up/tail picture: early buckets show work
+    distribution starting, late buckets show starvation as the workload
+    drains.
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    span = trace.makespan
+    if span <= 0:
+        return [0.0] * buckets
+    width = span / buckets
+    busy = [0.0] * buckets
+    for interval in trace.intervals:
+        b_lo = min(int(interval.start / width), buckets - 1)
+        b_hi = min(int(interval.end / width), buckets - 1)
+        for b in range(b_lo, b_hi + 1):
+            lo = max(interval.start, b * width)
+            hi = min(interval.end, (b + 1) * width)
+            if hi > lo:
+                busy[b] += hi - lo
+    capacity = width * trace.workers
+    return [min(1.0, b / capacity) for b in busy]
+
+
+def render_gantt(trace: Trace, *, width: int = 72, max_workers: int = 32) -> str:
+    """A text Gantt chart: one row per worker, '#' where it was busy.
+
+    Rows are truncated to ``max_workers``; the footer shows the
+    utilisation timeline ('0'-'9' deciles) and incumbent improvement
+    marks ('*').
+    """
+    span = trace.makespan
+    lines = []
+    if span <= 0:
+        return "(empty trace)"
+    scale = width / span
+    for w in range(min(trace.workers, max_workers)):
+        row = [" "] * width
+        for i in trace.tasks_of(w):
+            lo = min(int(i.start * scale), width - 1)
+            hi = min(int(i.end * scale), width - 1)
+            for c in range(lo, hi + 1):
+                row[c] = "#"
+        lines.append(f"w{w:<3d}|{''.join(row)}|")
+    if trace.workers > max_workers:
+        lines.append(f"... ({trace.workers - max_workers} more workers)")
+    util = utilisation_timeline(trace, buckets=width)
+    lines.append(
+        "util|" + "".join(str(min(9, int(u * 10))) for u in util) + "|"
+    )
+    marks = [" "] * width
+    for t, _ in trace.improvements:
+        marks[min(int(t * scale), width - 1)] = "*"
+    lines.append("inc |" + "".join(marks) + "|")
+    lines.append(f"      0 {'-' * (width - 12)} {span:.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Executable formal model of parallel backtracking search (paper Section 3).
+
+The paper models search trees as non-empty prefix-closed sets of words
+over an alphabet, search types as folds into commutative monoids, and
+parallel search as a nondeterministic small-step reduction over
+configurations ``<sigma, Tasks, theta_1 .. theta_n>`` (Figure 2).  This
+package implements that model *directly* — materialised trees, the
+thirteen reduction rules, and an abstract machine that applies them under
+arbitrary interleavings — so that the correctness theorems (3.1–3.3) can
+be checked by property-based testing, and so the production skeletons in
+:mod:`repro.core` can be validated against the semantics.
+"""
+
+from repro.semantics.words import (
+    EPSILON,
+    Word,
+    is_prefix,
+    is_proper_prefix,
+    parent,
+    strict_extensions,
+)
+from repro.semantics.tree import OrderedTree, Subtree
+from repro.semantics.monoids import (
+    BoundedMaxMonoid,
+    CommutativeMonoid,
+    MaxMonoid,
+    SumMonoid,
+)
+from repro.semantics.generators import OrderedTreeGenerator, tree_of_generator
+from repro.semantics.machine import (
+    Configuration,
+    Machine,
+    SearchProblem,
+    ThreadState,
+)
+
+__all__ = [
+    "EPSILON",
+    "Word",
+    "is_prefix",
+    "is_proper_prefix",
+    "parent",
+    "strict_extensions",
+    "OrderedTree",
+    "Subtree",
+    "CommutativeMonoid",
+    "SumMonoid",
+    "MaxMonoid",
+    "BoundedMaxMonoid",
+    "OrderedTreeGenerator",
+    "tree_of_generator",
+    "Configuration",
+    "Machine",
+    "SearchProblem",
+    "ThreadState",
+]

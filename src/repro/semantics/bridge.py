@@ -1,0 +1,118 @@
+"""Bridge between production SearchSpecs and the formal model.
+
+:func:`materialise_spec` unfolds a (small) application's Lazy Node
+Generator into the semantics' materialised :class:`OrderedTree`,
+together with the word→node mapping and the objective as a function on
+words.  That lets the *abstract machine* run real applications — a tiny
+MaxClique instance can be searched by the Figure 2 reduction rules and
+checked against the skeleton result — and gives tests a second,
+independent execution path through every application's generator.
+
+Words are sibling-index paths (`(0, 2, 1)` = first child's third
+child's second child), the same encoding the Ordered skeleton uses for
+its rank keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.space import SearchSpec
+from repro.semantics.machine import (
+    DECISION,
+    ENUMERATION,
+    OPTIMISATION,
+    Machine,
+    SearchProblem,
+)
+from repro.semantics.monoids import BoundedMaxMonoid, MaxMonoid, SumMonoid
+from repro.semantics.tree import OrderedTree
+from repro.semantics.words import EPSILON, Word
+
+__all__ = ["materialise_spec", "machine_search"]
+
+
+def materialise_spec(
+    spec: SearchSpec, *, max_nodes: int = 100_000
+) -> tuple[OrderedTree, dict[Word, Any]]:
+    """Unfold ``spec``'s generator into an OrderedTree.
+
+    Returns ``(tree, node_of_word)``.  ``max_nodes`` guards against
+    accidentally materialising a production-sized space — the formal
+    model is for small instances and tests.
+    """
+    node_of: dict[Word, Any] = {EPSILON: spec.root}
+    children: dict[Word, list[Word]] = {}
+    frontier: list[Word] = [EPSILON]
+    count = 1
+    while frontier:
+        word = frontier.pop()
+        kids = list(spec.children_of(node_of[word]))
+        child_words = [word + (i,) for i in range(len(kids))]
+        children[word] = child_words
+        for cw, child in zip(child_words, kids):
+            node_of[cw] = child
+        count += len(kids)
+        if count > max_nodes:
+            raise ValueError(
+                f"spec {spec.name!r} exceeds {max_nodes} nodes; "
+                "the formal model is for small instances"
+            )
+        frontier.extend(child_words)
+    return OrderedTree(children), node_of
+
+
+def machine_search(
+    spec: SearchSpec,
+    kind: str,
+    *,
+    target: Optional[int] = None,
+    n_threads: int = 2,
+    spawn_policy: Optional[str] = "any",
+    seed: int = 0,
+    max_nodes: int = 100_000,
+    use_pruning: bool = True,
+) -> Any:
+    """Run ``spec`` through the abstract machine; returns the result in
+    the application's terms (a sum, or the witness *application node*).
+
+    For optimisation/decision searches with a bound function, the
+    machine prunes with the induced admissible relation
+    ``u |> v  iff  bound(v) <= h(u)`` (clipped at ``target`` for
+    decision searches, where ``bound(v) < target`` also justifies
+    pruning — matching the production Decision search type).
+    """
+    tree, node_of = materialise_spec(spec, max_nodes=max_nodes)
+
+    if kind == ENUMERATION:
+        problem = SearchProblem(
+            ENUMERATION, SumMonoid(), lambda w: spec.objective(node_of[w])
+        )
+        machine = Machine(problem, spawn_policy=spawn_policy, d_cutoff=1,
+                          k_budget=1, seed=seed)
+        return machine.search(tree, n_threads=n_threads, max_steps=10_000_000)
+
+    prunes: Optional[Callable[[Word, Word], bool]] = None
+    if kind == OPTIMISATION:
+        h = lambda w: spec.objective(node_of[w])  # noqa: E731
+        monoid: Any = MaxMonoid()
+        if use_pruning and spec.can_prune:
+            prunes = lambda u, v: spec.bound(node_of[v]) <= h(u)  # noqa: E731
+    elif kind == DECISION:
+        if target is None:
+            raise ValueError("decision searches need a target")
+        h = lambda w: min(spec.objective(node_of[w]), target)  # noqa: E731
+        monoid = BoundedMaxMonoid(target)
+        if use_pruning and spec.can_prune:
+            prunes = (  # noqa: E731
+                lambda u, v: spec.bound(node_of[v]) < target
+                or spec.bound(node_of[v]) <= h(u)
+            )
+    else:
+        raise ValueError(f"unknown search kind {kind!r}")
+
+    problem = SearchProblem(kind, monoid, h, prunes=prunes)
+    machine = Machine(problem, spawn_policy=spawn_policy, d_cutoff=1,
+                      k_budget=1, seed=seed)
+    best_word = machine.search(tree, n_threads=n_threads, max_steps=10_000_000)
+    return node_of[best_word]

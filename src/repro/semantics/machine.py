@@ -1,0 +1,346 @@
+"""The nondeterministic multi-threaded abstract machine (Sections 3.3–3.6).
+
+A :class:`Configuration` is ``<sigma, Tasks, theta_1 .. theta_n>``:
+global knowledge, a queue of pending tasks (subtrees), and ``n`` thread
+states.  :class:`Machine` applies the reduction rules of Figure 2 under a
+caller-controlled (seeded) interleaving, so property tests can explore
+many schedules and check the correctness theorems:
+
+- Theorem 3.1: enumeration runs end with the sum of objective values.
+- Theorem 3.2: optimisation/decision runs end with an optimal incumbent.
+- Theorem 3.3: every run terminates.
+
+Per the paper, the overall relation is
+``-> = (->T o ->N) | ->P | ->S`` per thread: a traversal step is always
+immediately followed by a node-processing step; prune and spawn steps
+stand alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.semantics.monoids import CommutativeMonoid
+from repro.semantics.tree import OrderedTree, Subtree
+from repro.semantics.words import Word
+from repro.util.rng import SplitMix64
+
+__all__ = [
+    "SearchProblem",
+    "ThreadState",
+    "Configuration",
+    "Machine",
+    "ENUMERATION",
+    "OPTIMISATION",
+    "DECISION",
+]
+
+ENUMERATION = "enumeration"
+OPTIMISATION = "optimisation"
+DECISION = "decision"
+
+
+@dataclass(frozen=True)
+class SearchProblem:
+    """A search type instance: monoid, objective and (optional) pruning.
+
+    ``prunes(u, v)`` implements the abstract relation ``u |> v`` ("the
+    incumbent u justifies pruning v"); it must satisfy the admissibility
+    conditions of Section 3.5, which tests verify for the concrete
+    relations used.
+    """
+
+    kind: str
+    monoid: CommutativeMonoid
+    objective: Callable[[Word], object]
+    prunes: Optional[Callable[[Word, Word], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ENUMERATION, OPTIMISATION, DECISION):
+            raise ValueError(f"unknown search kind {self.kind!r}")
+        if self.kind == ENUMERATION and self.prunes is not None:
+            raise ValueError("enumeration searches do not prune")
+        if self.kind == DECISION and self.monoid.greatest() is None:
+            raise ValueError("decision searches need a bounded monoid")
+
+
+@dataclass(frozen=True)
+class ThreadState:
+    """An active thread ``<S, v>^k``: task, current node, backtrack count."""
+
+    task: Subtree
+    node: Word
+    backtracks: int = 0
+
+
+@dataclass
+class Configuration:
+    """``<sigma, Tasks, theta_1, ..., theta_n>``.
+
+    ``knowledge`` is a monoid accumulator for enumeration searches and an
+    incumbent node for optimisation/decision searches.  ``threads[i] is
+    None`` encodes the idle thread state.
+    """
+
+    knowledge: object
+    tasks: deque = field(default_factory=deque)
+    threads: list = field(default_factory=list)
+
+    @classmethod
+    def initial(
+        cls, problem: SearchProblem, tree: OrderedTree, n_threads: int
+    ) -> "Configuration":
+        """``<sigma_0, [S_0], bot, ..., bot>`` per Section 3.3."""
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        if problem.kind == ENUMERATION:
+            knowledge = problem.monoid.zero()
+        else:
+            knowledge = ()  # the root node is the initial incumbent
+        return cls(
+            knowledge=knowledge,
+            tasks=deque([tree.whole()]),
+            threads=[None] * n_threads,
+        )
+
+    def is_final(self) -> bool:
+        """True for ``<sigma, [], bot...bot>`` — the search is complete."""
+        return not self.tasks and all(t is None for t in self.threads)
+
+    def live_nodes(self) -> int:
+        """Total nodes in tasks plus unexplored nodes in threads.
+
+        This is (the sum of) the termination measure of Theorem 3.3:
+        every reduction strictly decreases the multiset it summarises.
+        """
+        total = sum(len(t) for t in self.tasks)
+        for th in self.threads:
+            if th is not None:
+                total += th.task.unexplored_after(th.node)
+        return total
+
+
+class Machine:
+    """Drives reductions over configurations.
+
+    ``spawn_policy`` selects which derived spawn rule the machine uses
+    (mirroring which coordination a skeleton implements):
+
+    - ``None`` — no spawning (Sequential)
+    - ``"any"`` — the generic (spawn) rule with a random unexplored u
+    - ``"depth"`` — (spawn-depth) with parameter ``d_cutoff``
+    - ``"budget"`` — (spawn-budget) with parameter ``k_budget``
+    - ``"stack"`` — (spawn-stack), fires only on an empty task queue
+    """
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        *,
+        spawn_policy: Optional[str] = "any",
+        d_cutoff: int = 0,
+        k_budget: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if spawn_policy not in (None, "any", "depth", "budget", "stack"):
+            raise ValueError(f"unknown spawn policy {spawn_policy!r}")
+        self.problem = problem
+        self.spawn_policy = spawn_policy
+        self.d_cutoff = d_cutoff
+        self.k_budget = k_budget
+        self.rng = SplitMix64(seed)
+        self.trace: list[str] = []
+
+    # -- rule implementations ---------------------------------------------
+    # Each returns the successor configuration, or None if not applicable.
+
+    def _schedule(self, cfg: Configuration, i: int) -> Optional[Configuration]:
+        if cfg.threads[i] is not None or not cfg.tasks:
+            return None
+        tasks = deque(cfg.tasks)
+        task = tasks.popleft()
+        threads = list(cfg.threads)
+        threads[i] = ThreadState(task, task.root, 0)
+        return Configuration(cfg.knowledge, tasks, threads)
+
+    def _traverse(self, cfg: Configuration, i: int) -> Optional[Configuration]:
+        """(expand), (backtrack) or (terminate) on an active thread."""
+        th = cfg.threads[i]
+        if th is None:
+            return None
+        nxt = th.task.next(th.node)
+        threads = list(cfg.threads)
+        if nxt is None:  # (terminate)
+            threads[i] = None
+        elif len(nxt) > len(th.node) and nxt[: len(th.node)] == th.node:  # (expand)
+            threads[i] = ThreadState(th.task, nxt, th.backtracks)
+        else:  # (backtrack)
+            threads[i] = ThreadState(th.task, nxt, th.backtracks + 1)
+        return Configuration(cfg.knowledge, deque(cfg.tasks), threads)
+
+    def _process(self, cfg: Configuration, i: int) -> Configuration:
+        """(accumulate), (strengthen)/(skip), or (noop)."""
+        th = cfg.threads[i]
+        if th is None:  # (noop)
+            return cfg
+        h, monoid = self.problem.objective, self.problem.monoid
+        if self.problem.kind == ENUMERATION:  # (accumulate)
+            knowledge = monoid.plus(cfg.knowledge, h(th.node))
+        else:
+            incumbent = cfg.knowledge
+            if not monoid.leq(h(th.node), h(incumbent)):  # (strengthen)
+                knowledge = th.node
+            else:  # (skip)
+                knowledge = incumbent
+        return Configuration(knowledge, deque(cfg.tasks), list(cfg.threads))
+
+    def _prune(self, cfg: Configuration, i: int) -> Optional[Configuration]:
+        """(prune): remove subtree(S, v) \\ {v} when incumbent |> v."""
+        if self.problem.kind == ENUMERATION or self.problem.prunes is None:
+            return None
+        th = cfg.threads[i]
+        if th is None:
+            return None
+        incumbent = cfg.knowledge
+        if not self.problem.prunes(incumbent, th.node):
+            return None
+        doomed = set(th.task.subtree(th.node).nodes) - {th.node}
+        if not doomed:
+            return None
+        threads = list(cfg.threads)
+        threads[i] = ThreadState(th.task.remove(doomed), th.node, th.backtracks)
+        return Configuration(cfg.knowledge, deque(cfg.tasks), threads)
+
+    def _shortcircuit(self, cfg: Configuration, i: int) -> Optional[Configuration]:
+        """(shortcircuit): the incumbent hit the greatest element."""
+        if self.problem.kind != DECISION:
+            return None
+        greatest = self.problem.monoid.greatest()
+        if self.problem.objective(cfg.knowledge) != greatest:
+            return None
+        return Configuration(cfg.knowledge, deque(), [None] * len(cfg.threads))
+
+    def _spawn(self, cfg: Configuration, i: int) -> Optional[Configuration]:
+        th = cfg.threads[i]
+        if th is None or self.spawn_policy is None:
+            return None
+        S, v = th.task, th.node
+
+        if self.spawn_policy == "any":
+            candidates = S.succ(v)
+            if not candidates:
+                return None
+            u = candidates[self.rng.randrange(len(candidates))]
+            return self._spawn_subtrees(cfg, i, [u], reset_backtracks=False)
+
+        if self.spawn_policy == "depth":
+            if len(v) >= self.d_cutoff:
+                return None
+            kids = [u for u in S.children(v) if S.tree.before(v, u)]
+            kids = [u for u in kids if u in S]
+            if not kids:
+                return None
+            return self._spawn_subtrees(cfg, i, kids, reset_backtracks=False)
+
+        if self.spawn_policy == "budget":
+            if th.backtracks < self.k_budget:
+                return None
+            low = S.lowest(v)
+            if not low:
+                return None
+            return self._spawn_subtrees(cfg, i, low, reset_backtracks=True)
+
+        if self.spawn_policy == "stack":
+            if cfg.tasks:
+                return None
+            u = S.next_lowest(v)
+            if u is None:
+                return None
+            return self._spawn_subtrees(cfg, i, [u], reset_backtracks=False)
+
+        raise AssertionError(f"unreachable policy {self.spawn_policy!r}")
+
+    def _spawn_subtrees(
+        self, cfg: Configuration, i: int, roots: list[Word], *, reset_backtracks: bool
+    ) -> Configuration:
+        """Carve ``subtree(S, u)`` for each root u, enqueue in traversal order."""
+        th = cfg.threads[i]
+        S = th.task
+        roots = sorted(roots, key=S.tree.traversal_key)
+        tasks = deque(cfg.tasks)
+        remaining = S
+        for u in roots:
+            sub = remaining.subtree(u)
+            tasks.append(sub)
+            remaining = remaining.remove(sub.nodes)
+        threads = list(cfg.threads)
+        threads[i] = ThreadState(
+            remaining, th.node, 0 if reset_backtracks else th.backtracks
+        )
+        return Configuration(cfg.knowledge, tasks, threads)
+
+    # -- the overall reduction relation -------------------------------------
+
+    def step(self, cfg: Configuration) -> Optional[Configuration]:
+        """One ``->`` reduction under a random applicable (thread, rule).
+
+        Returns None iff the configuration is final (no rule applies).
+        Note (noop) paired with an idle thread is *not* counted as
+        progress; the paper's (noop) exists only to let ``->T o ->N``
+        compose after (terminate).
+        """
+        n = len(cfg.threads)
+        order = list(range(n))
+        self.rng.shuffle(order)
+        # Gather all applicable (thread, category) moves, then pick one at
+        # random, so every interleaving has positive probability.
+        moves: list[tuple[int, str]] = []
+        for i in order:
+            if cfg.threads[i] is None:
+                if cfg.tasks:
+                    moves.append((i, "traverse"))  # schedule then process(noop)
+            else:
+                moves.append((i, "traverse"))
+                if self._prune(cfg, i) is not None:
+                    moves.append((i, "prune"))
+                if self._shortcircuit(cfg, i) is not None:
+                    moves.append((i, "shortcircuit"))
+                if self._spawn(cfg, i) is not None:
+                    moves.append((i, "spawn"))
+        if not moves:
+            return None
+        i, kind = moves[self.rng.randrange(len(moves))]
+        if kind == "traverse":
+            nxt = self._schedule(cfg, i)
+            if nxt is None:
+                nxt = self._traverse(cfg, i)
+            nxt = self._process(nxt, i)
+        elif kind == "prune":
+            nxt = self._prune(cfg, i)
+        elif kind == "shortcircuit":
+            nxt = self._shortcircuit(cfg, i)
+        else:
+            nxt = self._spawn(cfg, i)
+        self.trace.append(f"{kind}@{i}")
+        return nxt
+
+    def run(
+        self, cfg: Configuration, *, max_steps: int = 1_000_000
+    ) -> Configuration:
+        """Reduce to a final configuration; raises if max_steps exceeded."""
+        for _ in range(max_steps):
+            nxt = self.step(cfg)
+            if nxt is None:
+                return cfg
+            cfg = nxt
+        raise RuntimeError(f"machine did not terminate within {max_steps} steps")
+
+    def search(
+        self, tree: OrderedTree, n_threads: int = 1, *, max_steps: int = 1_000_000
+    ) -> object:
+        """Convenience: run a full search and return the final knowledge."""
+        cfg = Configuration.initial(self.problem, tree, n_threads)
+        final = self.run(cfg, max_steps=max_steps)
+        return final.knowledge

@@ -1,0 +1,115 @@
+"""Commutative monoids for accumulating search knowledge (Section 3.2).
+
+All three search types are folds of the search tree into a commutative
+monoid ``<M, +, 0>``:
+
+- **Enumeration** uses any commutative monoid and sums objective values.
+- **Optimisation** needs the monoid to induce a total order with least
+  element 0 and ``+`` acting as max.
+- **Decision** additionally needs the order to be *bounded*; reaching the
+  greatest element short-circuits the whole search.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["CommutativeMonoid", "SumMonoid", "MaxMonoid", "BoundedMaxMonoid"]
+
+
+class CommutativeMonoid(Generic[T]):
+    """Abstract commutative monoid ``<M, +, 0>``.
+
+    Subclasses provide ``zero`` and ``plus``; ordered monoids (used by
+    optimisation/decision searches) additionally provide ``leq`` such
+    that ``plus`` is the max operator of the order.
+    """
+
+    def zero(self) -> T:
+        """The identity element 0."""
+        raise NotImplementedError
+
+    def plus(self, a: T, b: T) -> T:
+        """The commutative, associative operation ``+``."""
+        raise NotImplementedError
+
+    def leq(self, a: T, b: T) -> bool:
+        """``a <= b`` in the induced order; only for ordered monoids."""
+        raise NotImplementedError(f"{type(self).__name__} is not ordered")
+
+    def greatest(self) -> Optional[T]:
+        """The greatest element if the order is bounded, else None."""
+        return None
+
+    def fold(self, values) -> T:
+        """Fold an iterable of monoid values."""
+        acc = self.zero()
+        for v in values:
+            acc = self.plus(acc, v)
+        return acc
+
+
+class SumMonoid(CommutativeMonoid[int]):
+    """Natural numbers with addition — the node-counting monoid."""
+
+    def zero(self) -> int:
+        """0, the additive identity."""
+        return 0
+
+    def plus(self, a: int, b: int) -> int:
+        """Integer addition."""
+        return a + b
+
+
+class MaxMonoid(CommutativeMonoid[int]):
+    """Naturals with max: the optimisation monoid (total order, least 0)."""
+
+    def zero(self) -> int:
+        """0, the least element."""
+        return 0
+
+    def plus(self, a: int, b: int) -> int:
+        """Binary max."""
+        return a if a >= b else b
+
+    def leq(self, a: int, b: int) -> bool:
+        """The usual total order on naturals."""
+        return a <= b
+
+
+class BoundedMaxMonoid(CommutativeMonoid[int]):
+    """``{0..k}`` with max: the decision monoid.
+
+    ``k`` is the greatest element; the paper's decision example maps each
+    node to ``min(depth, k)`` so the search can terminate the moment the
+    objective hits ``k``.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"bound must be non-negative, got {k}")
+        self.k = k
+
+    def zero(self) -> int:
+        """0, the least element."""
+        return 0
+
+    def plus(self, a: int, b: int) -> int:
+        """Max, after checking both operands lie in the bounded order."""
+        self._check(a)
+        self._check(b)
+        return a if a >= b else b
+
+    def leq(self, a: int, b: int) -> bool:
+        """The usual order on ``{0..k}``."""
+        return a <= b
+
+    def greatest(self) -> int:
+        """k, the greatest element (decision short-circuit trigger)."""
+        return self.k
+
+    def _check(self, a: int) -> None:
+        if not 0 <= a <= self.k:
+            raise ValueError(f"{a} outside the bounded order [0, {self.k}]")

@@ -1,0 +1,224 @@
+"""Materialised ordered trees and subtrees (paper Section 3.1).
+
+An :class:`OrderedTree` is a non-empty prefix-closed set of words with a
+sibling order.  A :class:`Subtree` is the semantics' unit of work: a
+rooted, prefix-closed-above-the-root subset of an ordered tree, from
+which the spawn and prune rules carve pieces.
+
+The traversal order ``<<`` (depth-first, siblings in order) is realised
+by mapping each node to its *index path* — the tuple of sibling indices
+along the path from the root — and comparing index paths
+lexicographically.  Python tuple comparison makes a proper prefix compare
+smaller, which is exactly preorder.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Optional
+
+from repro.semantics.words import EPSILON, Word, is_prefix, parent
+
+__all__ = ["OrderedTree", "Subtree"]
+
+
+class OrderedTree:
+    """A finite, prefix-closed, sibling-ordered set of words.
+
+    Construct from a mapping ``node -> ordered list of children``; every
+    child must extend its parent by exactly one letter, and the sibling
+    order is the list order.
+    """
+
+    def __init__(self, children: Mapping[Word, Iterable[Word]]) -> None:
+        self._children: dict[Word, tuple[Word, ...]] = {}
+        nodes: set[Word] = {EPSILON}
+        for node, kids in children.items():
+            kids = tuple(kids)
+            for kid in kids:
+                if len(kid) != len(node) + 1 or kid[: len(node)] != node:
+                    raise ValueError(
+                        f"{kid!r} is not a one-letter extension of {node!r}"
+                    )
+            if len(set(kids)) != len(kids):
+                raise ValueError(f"duplicate children under {node!r}")
+            self._children[node] = kids
+            nodes.update(kids)
+            nodes.add(node)
+        # prefix closure check
+        for node in nodes:
+            if node != EPSILON and parent(node) not in nodes:
+                raise ValueError(f"tree is not prefix-closed at {node!r}")
+        # every node that appears as a child key must itself be reachable
+        for node in self._children:
+            if node not in nodes:
+                raise ValueError(f"children given for unreachable node {node!r}")
+        self._nodes = frozenset(nodes)
+        self._index_path: dict[Word, tuple[int, ...]] = {EPSILON: ()}
+        self._assign_index_paths(EPSILON)
+        if len(self._index_path) != len(self._nodes):
+            unreachable = set(self._nodes) - set(self._index_path)
+            raise ValueError(f"nodes unreachable from the root: {unreachable!r}")
+
+    def _assign_index_paths(self, node: Word) -> None:
+        base = self._index_path[node]
+        for i, kid in enumerate(self._children.get(node, ())):
+            self._index_path[kid] = base + (i,)
+            self._assign_index_paths(kid)
+
+    @classmethod
+    def from_nodes(cls, nodes: Iterable[Word]) -> "OrderedTree":
+        """Build a tree from a plain node set, ordering siblings by letter.
+
+        Convenient for tests: the sibling order is the natural order of
+        the letters, so the tree is fully determined by the node set.
+        """
+        node_set = set(nodes) | {EPSILON}
+        children: dict[Word, list[Word]] = {}
+        for node in node_set:
+            if node != EPSILON:
+                children.setdefault(parent(node), []).append(node)
+        for kids in children.values():
+            kids.sort(key=lambda w: w[-1])
+        return cls(children)
+
+    # -- basic queries ---------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset:
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Word) -> bool:
+        return node in self._nodes
+
+    def children(self, node: Word) -> tuple[Word, ...]:
+        """Children of ``node`` in sibling order."""
+        if node not in self._nodes:
+            raise KeyError(node)
+        return self._children.get(node, ())
+
+    def traversal_key(self, node: Word) -> tuple[int, ...]:
+        """The index path of ``node``; lexicographic order = ``<<``."""
+        return self._index_path[node]
+
+    def before(self, u: Word, v: Word) -> bool:
+        """``u << v``: u strictly precedes v in traversal (preorder)."""
+        return u != v and self._index_path[u] <= self._index_path[v]
+
+    def preorder(self) -> list[Word]:
+        """All nodes in traversal order."""
+        return sorted(self._nodes, key=self._index_path.__getitem__)
+
+    def whole(self) -> "Subtree":
+        """The entire tree as a subtree rooted at the root."""
+        return Subtree(self, EPSILON, self._nodes)
+
+
+class Subtree:
+    """A unit of work: nodes of a tree, rooted and prefix-closed above it.
+
+    Supports the operations the reduction rules need — ``next``,
+    ``children``, ``lowest``/``next_lowest``, rooted-subtree extraction
+    and node-set subtraction — each a direct transcription of the
+    definitions in Section 3.1.
+    """
+
+    def __init__(self, tree: OrderedTree, root: Word, nodes: Iterable[Word]) -> None:
+        self.tree = tree
+        self.root = root
+        self._nodes = frozenset(nodes)
+        if root not in self._nodes:
+            raise ValueError("subtree must contain its root")
+        for node in self._nodes:
+            if node not in tree:
+                raise ValueError(f"{node!r} is not a node of the underlying tree")
+            if not is_prefix(root, node):
+                raise ValueError(f"{node!r} does not extend the root {root!r}")
+        # prefix closure above the root
+        for node in self._nodes:
+            while node != root:
+                node = parent(node)
+                if node not in self._nodes:
+                    raise ValueError(f"subtree not prefix-closed at {node!r}")
+
+    # -- container protocol ----------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset:
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Word) -> bool:
+        return node in self._nodes
+
+    def __iter__(self) -> Iterator[Word]:
+        return iter(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Subtree)
+            and self.tree is other.tree
+            and self.root == other.root
+            and self._nodes == other._nodes
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.tree), self.root, self._nodes))
+
+    def __repr__(self) -> str:
+        return f"Subtree(root={self.root!r}, size={len(self._nodes)})"
+
+    # -- Section 3.1 operations -------------------------------------------
+
+    def children(self, v: Word) -> list[Word]:
+        """``children(S, v)``: children of v present in this subtree."""
+        return [c for c in self.tree.children(v) if c in self._nodes]
+
+    def subtree(self, v: Word) -> "Subtree":
+        """``subtree(S, v)``: the nodes of S that extend v, rooted at v."""
+        if v not in self._nodes:
+            raise KeyError(v)
+        return Subtree(
+            self.tree, v, [w for w in self._nodes if is_prefix(v, w)]
+        )
+
+    def succ(self, v: Word) -> list[Word]:
+        """``succ(S, v)``: nodes of S strictly after v in traversal order."""
+        key = self.tree.traversal_key(v)
+        return [w for w in self._nodes if w != v and self.tree.traversal_key(w) > key]
+
+    def next(self, v: Word) -> Optional[Word]:
+        """``next(S, v)``: the traversal-order successor of v in S, or None."""
+        succ = self.succ(v)
+        if not succ:
+            return None
+        return min(succ, key=self.tree.traversal_key)
+
+    def lowest(self, v: Word) -> list[Word]:
+        """``lowest(S, v)``: successors of v at minimum depth, in order."""
+        succ = self.succ(v)
+        if not succ:
+            return []
+        min_depth = min(len(w) for w in succ)
+        low = [w for w in succ if len(w) == min_depth]
+        low.sort(key=self.tree.traversal_key)
+        return low
+
+    def next_lowest(self, v: Word) -> Optional[Word]:
+        """``nextLowest(S, v)``: first (traversal order) of ``lowest``."""
+        low = self.lowest(v)
+        return low[0] if low else None
+
+    def remove(self, nodes: Iterable[Word]) -> "Subtree":
+        """``S \\ S'`` for a node set S' (caller must keep the result rooted)."""
+        remaining = self._nodes - set(nodes)
+        return Subtree(self.tree, self.root, remaining)
+
+    def unexplored_after(self, v: Word) -> int:
+        """Number of nodes still to visit (used by the termination measure)."""
+        return len(self.succ(v))

@@ -1,0 +1,62 @@
+"""Words over an alphabet and the prefix order (paper Section 3.1).
+
+A search-tree node is a finite word over a non-empty alphabet ``X``; the
+root is the empty word.  We represent words as tuples of hashable
+letters, which makes them usable as dict keys and set members, and makes
+the prefix order a simple slice comparison.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Hashable
+
+__all__ = [
+    "Word",
+    "EPSILON",
+    "is_prefix",
+    "is_proper_prefix",
+    "parent",
+    "strict_extensions",
+    "is_isogram",
+]
+
+Word = tuple  # a word is a tuple of letters
+EPSILON: Word = ()  # the empty word: the root of every tree
+
+
+def is_prefix(u: Word, v: Word) -> bool:
+    """``u <= v`` in the prefix order (reflexive)."""
+    return len(u) <= len(v) and v[: len(u)] == u
+
+
+def is_proper_prefix(u: Word, v: Word) -> bool:
+    """``u < v`` in the prefix order (irreflexive)."""
+    return len(u) < len(v) and v[: len(u)] == u
+
+
+def parent(w: Word) -> Word:
+    """The parent of a non-root node (the word minus its last letter)."""
+    if not w:
+        raise ValueError("the root has no parent")
+    return w[:-1]
+
+
+def strict_extensions(u: Word, nodes: Iterable[Word]) -> list[Word]:
+    """All words in ``nodes`` that have ``u`` as a proper prefix."""
+    return [v for v in nodes if is_proper_prefix(u, v)]
+
+
+def is_isogram(letters: Iterable[Hashable]) -> bool:
+    """True if no letter repeats.
+
+    Ordered tree generators must produce isograms (Section 3.1) so the
+    induced sibling order is total: ``u a_i`` and ``u a_j`` are distinct
+    children exactly when ``a_i != a_j``.
+    """
+    seen = set()
+    for a in letters:
+        if a in seen:
+            return False
+        seen.add(a)
+    return True

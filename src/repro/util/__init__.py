@@ -1,0 +1,38 @@
+"""Low-level utilities shared across the reproduction.
+
+- :mod:`repro.util.bitset` — int-backed bitsets (the Python analogue of the
+  paper's vectorised ``std::bitset<N>``).
+- :mod:`repro.util.rng` — splittable, hash-based deterministic RNG used by
+  UTS and the simulator.
+- :mod:`repro.util.stats` — summary statistics used by the benchmark
+  harnesses (geometric means, speedup tables).
+"""
+
+from repro.util.bitset import (
+    bit_indices,
+    bitset_from_iterable,
+    count_bits,
+    first_bit,
+    highest_bit,
+    mask_below,
+    singleton,
+    without_bit,
+)
+from repro.util.rng import SplitMix64, splittable_hash
+from repro.util.stats import geometric_mean, relative_speedups, summarize_overheads
+
+__all__ = [
+    "bit_indices",
+    "bitset_from_iterable",
+    "count_bits",
+    "first_bit",
+    "highest_bit",
+    "mask_below",
+    "singleton",
+    "without_bit",
+    "SplitMix64",
+    "splittable_hash",
+    "geometric_mean",
+    "relative_speedups",
+    "summarize_overheads",
+]

@@ -1,0 +1,88 @@
+"""Terminal line charts for the benchmark harnesses.
+
+Figure 4 is a plot, so its reproduction should look like one: a small
+multi-series scatter/line renderer over a character grid, with optional
+log-scaled y (runtimes spanning orders of magnitude) — enough to read
+the scaling shape straight from the bench output without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    """Normalise ``value`` into [0, 1] linearly or logarithmically."""
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0.5
+    return (value - lo) / (hi - lo)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    ylabel: str = "",
+    xlabel: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series onto a character grid.
+
+    Each series gets a marker from ``oxx+*...``; points landing on the
+    same cell show the later series' marker.  Returns the chart with a
+    legend; raises on empty input or non-positive values under
+    ``log_y``.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    if log_y and min(ys) <= 0:
+        raise ValueError("log_y requires positive y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = round(_scale(x, x_lo, x_hi, False) * (width - 1))
+            row = round(_scale(y, y_lo, y_hi, log_y) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:g}"
+    y_bot = f"{y_lo:g}"
+    label_w = max(len(y_top), len(y_bot))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_top.rjust(label_w)
+        elif r == height - 1:
+            label = y_bot.rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(
+        " " * label_w + f"  {x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(width // 2)
+    )
+    if xlabel or ylabel:
+        lines.append(
+            " " * label_w
+            + f"  x: {xlabel}" * bool(xlabel)
+            + f"   y: {ylabel}{' (log)' if log_y else ''}" * bool(ylabel)
+        )
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Int-backed bitsets.
+
+The paper represents vertex sets as ``std::bitset<N>`` so that set
+intersection and population count vectorise (Section 4.1, Listing 1; the
+bitset encoding is credited with up to 20x speedups for MaxClique [36]).
+Python's arbitrary-precision integers provide the same word-parallel
+semantics: ``&``, ``|``, ``^`` and ``int.bit_count()`` all operate a
+machine word at a time inside CPython, which makes a plain ``int`` the
+idiomatic high-performance bitset in pure Python.
+
+A bitset is therefore just an ``int`` where bit ``i`` set means "element
+``i`` is a member".  This module collects the handful of helpers that the
+applications need on top of the native operators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bitset_from_iterable",
+    "singleton",
+    "mask_below",
+    "count_bits",
+    "first_bit",
+    "highest_bit",
+    "without_bit",
+    "bit_indices",
+]
+
+
+def bitset_from_iterable(elements: Iterable[int]) -> int:
+    """Build a bitset containing every index in ``elements``.
+
+    >>> bin(bitset_from_iterable([0, 2, 5]))
+    '0b100101'
+    """
+    bits = 0
+    for e in elements:
+        if e < 0:
+            raise ValueError(f"bitset elements must be non-negative, got {e}")
+        bits |= 1 << e
+    return bits
+
+
+def singleton(index: int) -> int:
+    """Bitset containing exactly ``index``."""
+    if index < 0:
+        raise ValueError(f"bitset elements must be non-negative, got {index}")
+    return 1 << index
+
+
+def mask_below(n: int) -> int:
+    """Bitset containing all indices ``0 .. n-1``.
+
+    >>> bin(mask_below(4))
+    '0b1111'
+    """
+    if n < 0:
+        raise ValueError(f"mask size must be non-negative, got {n}")
+    return (1 << n) - 1
+
+
+def count_bits(bits: int) -> int:
+    """Population count (cardinality of the set)."""
+    return bits.bit_count()
+
+
+def first_bit(bits: int) -> int:
+    """Index of the lowest set bit; -1 if the set is empty.
+
+    Uses the two's-complement trick ``bits & -bits`` to isolate the lowest
+    bit in O(words) rather than scanning bit by bit.
+    """
+    if bits == 0:
+        return -1
+    return (bits & -bits).bit_length() - 1
+
+
+def highest_bit(bits: int) -> int:
+    """Index of the highest set bit; -1 if the set is empty."""
+    if bits == 0:
+        return -1
+    return bits.bit_length() - 1
+
+
+def without_bit(bits: int, index: int) -> int:
+    """Bitset with ``index`` removed (no-op if absent)."""
+    return bits & ~(1 << index)
+
+
+def bit_indices(bits: int) -> Iterator[int]:
+    """Iterate set-bit indices in increasing order.
+
+    Clears the lowest set bit each step, so iteration is O(popcount)
+    lowest-bit isolations rather than O(universe) shifts.
+    """
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low

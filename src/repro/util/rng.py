@@ -1,0 +1,90 @@
+"""Splittable deterministic random number generation.
+
+Two consumers need reproducible randomness that is *independent of
+traversal order*:
+
+- **UTS** (Unbalanced Tree Search, Section 5.1) derives each node's child
+  count from a hash of the node's path, so that the same tree is generated
+  no matter which worker expands which subtree.  The original benchmark
+  uses SHA-1 splitting [30]; we use the SplitMix64 finaliser, which has
+  the same "hash of (parent state, child index)" structure and excellent
+  avalanche behaviour at a fraction of the cost.
+
+- The **simulator** (victim selection in random work stealing) must be a
+  pure function of its seed so every benchmark run is exactly repeatable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["splittable_hash", "SplitMix64"]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(z: int) -> int:
+    """SplitMix64 finaliser: a high-quality 64-bit mixing function."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def splittable_hash(state: int, index: int) -> int:
+    """Derive the RNG state of child ``index`` from parent ``state``.
+
+    Deterministic and order-independent: the value depends only on the
+    (state, index) pair, never on when or where it is computed.  This is
+    the property UTS relies on to define one fixed tree per seed.
+    """
+    return _mix64((state + _GOLDEN * (index + 1)) & _MASK64)
+
+
+class SplitMix64:
+    """Minimal sequential PRNG over the SplitMix64 stream.
+
+    Deliberately tiny: the simulator only needs uniform integers for
+    victim selection and jitter, and carrying a full ``numpy`` generator
+    per worker would dominate the footprint of the (thousands of)
+    simulated workers.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = _mix64(seed)
+
+    def next_u64(self) -> int:
+        """Next raw 64-bit output."""
+        self._state = (self._state + _GOLDEN) & _MASK64
+        return _mix64(self._state)
+
+    def randrange(self, n: int) -> int:
+        """Uniform integer in ``[0, n)``.
+
+        Uses rejection sampling on the top of the range so small moduli
+        are exactly uniform (no modulo bias).
+        """
+        if n <= 0:
+            raise ValueError(f"randrange bound must be positive, got {n}")
+        limit = _MASK64 - (_MASK64 + 1) % n
+        while True:
+            x = self.next_u64()
+            if x <= limit:
+                return x % n
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)`` with 53 bits of precision."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def choice(self, seq):
+        """Uniformly chosen element of a non-empty sequence."""
+        if not seq:
+            raise IndexError("choice from an empty sequence")
+        return seq[self.randrange(len(seq))]
+
+    def shuffle(self, seq: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randrange(i + 1)
+            seq[i], seq[j] = seq[j], seq[i]

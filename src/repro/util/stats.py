@@ -1,0 +1,123 @@
+"""Summary statistics for the benchmark harnesses.
+
+The paper reports geometric means of overheads and speedups (Tables 1
+and 2) and worst/random/best speedups over parameter sweeps.  These
+helpers compute exactly those quantities so the bench output matches the
+paper's row format.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["geometric_mean", "relative_speedups", "summarize_overheads", "SweepSummary"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Computed in log space so that long products of small ratios do not
+    underflow.  Raises on empty input or non-positive entries — both
+    indicate a harness bug, not a legitimate measurement.
+    """
+    total = 0.0
+    count = 0
+    for v in values:
+        if v <= 0.0:
+            raise ValueError(f"geometric mean requires positive values, got {v}")
+        total += math.log(v)
+        count += 1
+    if count == 0:
+        raise ValueError("geometric mean of empty sequence")
+    return math.exp(total / count)
+
+
+def relative_speedups(
+    baseline: Mapping[str, float], measured: Mapping[str, float]
+) -> dict[str, float]:
+    """Per-key speedup ``baseline[k] / measured[k]`` for shared keys."""
+    out: dict[str, float] = {}
+    for key, base in baseline.items():
+        if key in measured:
+            if measured[key] <= 0:
+                raise ValueError(f"non-positive runtime for {key!r}")
+            out[key] = base / measured[key]
+    return out
+
+
+def summarize_overheads(
+    reference: Mapping[str, float],
+    candidate: Mapping[str, float],
+    *,
+    min_runtime: float = 0.0,
+) -> dict[str, float]:
+    """Percentage slowdowns of ``candidate`` relative to ``reference``.
+
+    Table 1 computes its mean slowdown only over instances whose runtime
+    exceeds 1.5 s, because tiny instances produce wild relative numbers
+    (the paper's san400_0.9_1 example: +0.36 s reads as a 221 % slowdown).
+    ``min_runtime`` reproduces that filter against the *reference* time.
+    Returns ``{instance: slowdown_percent}``.
+    """
+    out: dict[str, float] = {}
+    for key, ref in reference.items():
+        if key not in candidate:
+            continue
+        if ref < min_runtime:
+            continue
+        out[key] = (candidate[key] / ref - 1.0) * 100.0
+    return out
+
+
+class SweepSummary:
+    """Worst / random / best aggregation over a parameter sweep.
+
+    Table 2 reports, per (application, skeleton), the geometric-mean
+    speedup across instances when the tunable parameter is chosen
+    worst-case, at random, and best-case.  ``add(instance, param,
+    speedup)`` records one sweep point; the properties aggregate.
+    """
+
+    def __init__(self, rng_seed: int = 0) -> None:
+        self._points: dict[str, dict[object, float]] = {}
+        self._seed = rng_seed
+
+    def add(self, instance: str, param: object, speedup: float) -> None:
+        """Record the speedup of one (instance, parameter) run."""
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup}")
+        self._points.setdefault(instance, {})[param] = speedup
+
+    @property
+    def instances(self) -> Sequence[str]:
+        return sorted(self._points)
+
+    def _per_instance(self, pick) -> list[float]:
+        if not self._points:
+            raise ValueError("no sweep points recorded")
+        return [pick(sweep) for sweep in self._points.values()]
+
+    def worst(self) -> float:
+        """Geo-mean speedup when the parameter is chosen worst per instance."""
+        return geometric_mean(self._per_instance(lambda s: min(s.values())))
+
+    def best(self) -> float:
+        """Geo-mean speedup when the parameter is chosen best per instance."""
+        return geometric_mean(self._per_instance(lambda s: max(s.values())))
+
+    def random(self) -> float:
+        """Geo-mean speedup for one fixed random parameter choice per instance.
+
+        Deterministic in the summary's seed, mirroring the paper's "some
+        random choice of parameters" column.
+        """
+        from repro.util.rng import SplitMix64
+
+        rng = SplitMix64(self._seed)
+        picks: list[float] = []
+        for instance in sorted(self._points):
+            sweep = self._points[instance]
+            keys = sorted(sweep, key=repr)
+            picks.append(sweep[keys[rng.randrange(len(keys))]])
+        return geometric_mean(picks)

@@ -1,0 +1,112 @@
+"""Tests for the bitset-adjacency Graph."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.graph import Graph
+from repro.instances.graphs import uniform_graph
+
+
+def random_graphs():
+    return st.builds(
+        uniform_graph,
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=100),
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n == 0
+        assert g.edge_count() == 0
+
+    def test_from_edges(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_adjacency_validation(self):
+        with pytest.raises(ValueError):
+            Graph(2, [0b10, 0b10])  # vertex 1 adjacent to itself
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_wrong_adjacency_length_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [0, 0])
+
+
+class TestQueries:
+    @pytest.fixture
+    def path(self):
+        return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+    def test_degree(self, path):
+        assert [path.degree(v) for v in range(4)] == [1, 2, 2, 1]
+
+    def test_neighbours(self, path):
+        assert list(path.neighbours(1)) == [0, 2]
+
+    def test_edges_each_once(self, path):
+        assert list(path.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_edge_count(self, path):
+        assert path.edge_count() == 3
+
+    def test_density(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.density() == pytest.approx(1.0)
+
+    def test_density_small_graph(self):
+        assert Graph(1).density() == 0.0
+
+    def test_subgraph_is_clique(self, path):
+        assert path.subgraph_is_clique(0b0011)  # {0,1}
+        assert not path.subgraph_is_clique(0b1001)  # {0,3}
+        assert path.subgraph_is_clique(0b0001)  # singleton
+        assert path.subgraph_is_clique(0)  # empty set
+
+
+class TestComplementAndRelabel:
+    @given(random_graphs())
+    def test_complement_involution(self, g):
+        assert g.complement().complement() == g
+
+    @given(random_graphs())
+    def test_complement_edge_flip(self, g):
+        c = g.complement()
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                assert g.has_edge(u, v) != c.has_edge(u, v)
+
+    def test_relabel_moves_edges(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        h = g.relabel([2, 0, 1])  # vertex 2 -> 0, vertex 0 -> 1, vertex 1 -> 2
+        assert h.has_edge(1, 2)
+        assert h.edge_count() == 1
+
+    @given(random_graphs())
+    def test_relabel_preserves_degree_multiset(self, g):
+        order = list(range(g.n))[::-1]
+        h = g.relabel(order)
+        assert sorted(g.degree(v) for v in range(g.n)) == sorted(
+            h.degree(v) for v in range(h.n)
+        )
+
+    def test_relabel_requires_permutation(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.relabel([0, 0, 1])

@@ -1,0 +1,69 @@
+"""Tests for the k-Clique decision application."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kclique import kclique_exists_specialised, solve_kclique
+from repro.core.params import SkeletonParams
+from repro.instances.graphs import cycle_graph, planted_clique, uniform_graph
+
+from .test_maxclique import brute_force_max_clique
+
+small_graphs = st.builds(
+    uniform_graph,
+    st.integers(min_value=1, max_value=9),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=100),
+)
+
+
+class TestDecision:
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs, st.integers(min_value=1, max_value=9))
+    def test_matches_brute_force(self, g, k):
+        expected = brute_force_max_clique(g) >= k
+        assert solve_kclique(g, k).found == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs, st.integers(min_value=1, max_value=9))
+    def test_specialised_agrees(self, g, k):
+        assert kclique_exists_specialised(g, k) == solve_kclique(g, k).found
+
+    def test_planted_clique_found(self):
+        g = planted_clique(40, 0.3, 10, seed=3)
+        assert solve_kclique(g, 10).found is True
+
+    def test_cycle_has_no_triangle(self):
+        assert solve_kclique(cycle_graph(6), 3).found is False
+
+    def test_far_target_refuted_at_root(self):
+        # The root colouring bound already excludes cliques twice the
+        # planted size: refutation is a single node.
+        g = planted_clique(40, 0.4, 10, seed=4)
+        unsat = solve_kclique(g, 20)
+        assert unsat.found is False
+        assert unsat.metrics.nodes == 1
+
+    def test_witness_short_circuits_against_full_optimisation(self):
+        from repro import search
+        from repro.apps.kclique import kclique_spec
+
+        g = planted_clique(40, 0.4, 10, seed=4)
+        sat = solve_kclique(g, 10)
+        full = search(kclique_spec(g), search_type="optimisation")
+        assert sat.found is True
+        assert sat.metrics.nodes <= full.metrics.nodes
+
+
+class TestParallelDecision:
+    @pytest.mark.parametrize("skeleton", ["depthbounded", "stacksteal", "budget"])
+    def test_parallel_agrees_with_sequential(self, skeleton):
+        g = uniform_graph(30, 0.6, seed=6)
+        seq = solve_kclique(g, 7)
+        par = solve_kclique(
+            g, 7, skeleton=skeleton,
+            params=SkeletonParams(localities=2, workers_per_locality=3,
+                                  d_cutoff=2, budget=20),
+        )
+        assert par.found == seq.found

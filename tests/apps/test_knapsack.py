@@ -1,0 +1,175 @@
+"""Tests for 0/1 Knapsack: generator, bound admissibility, DP oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.knapsack import (
+    KnapsackInstance,
+    KnapsackNode,
+    fractional_bound,
+    knapsack_spec,
+)
+from repro.core.searchtypes import Optimisation
+from repro.core.sequential import sequential_search
+from repro.instances.library import random_knapsack
+
+
+def dp_optimum(inst: KnapsackInstance) -> int:
+    """Classic O(n*C) dynamic program as an oracle."""
+    best = [0] * (inst.capacity + 1)
+    for p, w in zip(inst.profits, inst.weights):
+        for c in range(inst.capacity, w - 1, -1):
+            best[c] = max(best[c], best[c - w] + p)
+    return best[inst.capacity]
+
+
+instances = st.builds(
+    lambda n, seed, kind: random_knapsack(n, seed, kind=kind, max_weight=30),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=500),
+    st.sampled_from(["uncorrelated", "weak", "strong"]),
+)
+
+
+class TestInstanceValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance((1, 2), (1,), 5)
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance((1,), (0,), 5)
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance((1,), (1,), -1)
+
+    def test_density_sorting(self):
+        inst = KnapsackInstance.sorted_by_density([10, 30, 10], [10, 10, 5], 20)
+        densities = [p / w for p, w in zip(inst.profits, inst.weights)]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            random_knapsack(5, 1, kind="exotic")
+
+
+class TestGenerator:
+    def test_children_respect_capacity(self):
+        inst = KnapsackInstance((5, 4, 3), (4, 3, 2), 5)
+        spec = knapsack_spec(inst)
+        for child in spec.children_of(spec.root):
+            assert child.weight <= inst.capacity
+
+    def test_children_advance_index(self):
+        inst = KnapsackInstance((5, 4, 3), (1, 1, 1), 10)
+        spec = knapsack_spec(inst)
+        indices = [c.next_index for c in spec.children_of(spec.root)]
+        assert indices == [1, 2, 3]
+
+    def test_each_subset_generated_once(self):
+        inst = KnapsackInstance((1, 1, 1), (1, 1, 1), 3)
+        spec = knapsack_spec(inst)
+        seen = set()
+        stack = [(spec.root, frozenset())]
+        while stack:
+            node, subset = stack.pop()
+            assert subset not in seen or subset == frozenset()
+            seen.add(subset)
+            for child in spec.children_of(node):
+                stack.append((child, subset | {child.next_index - 1}))
+        assert len(seen) == 8  # all subsets fit
+
+
+class TestBound:
+    @settings(max_examples=50, deadline=None)
+    @given(instances)
+    def test_bound_admissible_at_root(self, inst):
+        spec = knapsack_spec(inst)
+        assert fractional_bound(inst, spec.root) >= dp_optimum(inst)
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances)
+    def test_bound_dominates_children(self, inst):
+        # Monotonicity: a child's bound never exceeds its parent's.
+        spec = knapsack_spec(inst)
+        stack = [spec.root]
+        while stack:
+            node = stack.pop()
+            parent_bound = fractional_bound(inst, node)
+            for child in spec.children_of(node):
+                assert fractional_bound(inst, child) <= parent_bound
+                if child.next_index < inst.n:
+                    stack.append(child)
+
+    def test_bound_exact_when_everything_fits(self):
+        inst = KnapsackInstance((3, 2), (1, 1), 10)
+        spec = knapsack_spec(inst)
+        assert fractional_bound(inst, spec.root) == 5
+
+
+class TestSearchCorrectness:
+    @settings(max_examples=50, deadline=None)
+    @given(instances)
+    def test_matches_dp(self, inst):
+        res = sequential_search(knapsack_spec(inst), Optimisation())
+        assert res.value == dp_optimum(inst)
+
+    def test_zero_capacity(self):
+        inst = KnapsackInstance((5,), (1,), 0)
+        res = sequential_search(knapsack_spec(inst), Optimisation())
+        assert res.value == 0
+
+    def test_witness_consistent(self):
+        inst = random_knapsack(10, 42, kind="strong", max_weight=20)
+        res = sequential_search(knapsack_spec(inst), Optimisation())
+        node = res.node
+        assert node.profit == res.value
+        assert node.weight <= inst.capacity
+
+    def test_pruning_happens(self):
+        inst = random_knapsack(14, 5, kind="strong", max_weight=40)
+        res = sequential_search(knapsack_spec(inst), Optimisation())
+        assert res.metrics.prunes > 0
+
+
+class TestBinaryGeneratorVariant:
+    """Take/skip branching: same optimum, different tree (§4.1 decoupling)."""
+
+    from repro.apps.knapsack import knapsack_binary_spec
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances)
+    def test_same_optimum_as_multiway(self, inst):
+        from repro.apps.knapsack import knapsack_binary_spec
+
+        multi = sequential_search(knapsack_spec(inst), Optimisation())
+        binary = sequential_search(knapsack_binary_spec(inst), Optimisation())
+        assert multi.value == binary.value == dp_optimum(inst)
+
+    def test_trees_differ(self):
+        from repro.apps.knapsack import knapsack_binary_spec
+
+        inst = random_knapsack(14, 9, kind="strong", max_weight=40)
+        multi = sequential_search(knapsack_spec(inst), Optimisation())
+        binary = sequential_search(knapsack_binary_spec(inst), Optimisation())
+        assert multi.metrics.nodes != binary.metrics.nodes
+
+    def test_binary_tree_bounded_depth(self):
+        from repro.apps.knapsack import knapsack_binary_spec
+
+        inst = random_knapsack(10, 10, kind="weak", max_weight=30)
+        res = sequential_search(knapsack_binary_spec(inst), Optimisation())
+        assert res.metrics.max_depth <= inst.n + 1
+
+    def test_parallel_agrees(self):
+        from repro import SkeletonParams, search
+        from repro.apps.knapsack import knapsack_binary_spec
+
+        inst = random_knapsack(14, 11, kind="strong", max_weight=40)
+        spec = knapsack_binary_spec(inst)
+        seq = sequential_search(spec, Optimisation())
+        par = search(spec, skeleton="stacksteal", search_type="optimisation",
+                     params=SkeletonParams(localities=1, workers_per_locality=4))
+        assert par.value == seq.value

@@ -1,0 +1,104 @@
+"""Tests for Numerical Semigroups enumeration (A007323)."""
+
+import pytest
+
+from repro.apps.semigroups import (
+    GENUS_COUNTS,
+    SemigroupInstance,
+    minimal_generators,
+    semigroups_spec,
+)
+from repro.core.searchtypes import Enumeration
+from repro.core.sequential import sequential_search
+from repro.util.bitset import bit_indices, mask_below
+
+
+def count_genus(g: int) -> int:
+    inst = SemigroupInstance(max_genus=g)
+    spec = semigroups_spec(inst, count_genus=g)
+    return sequential_search(spec, Enumeration()).value
+
+
+class TestMinimalGenerators:
+    def test_naturals_generated_by_one(self):
+        mask = mask_below(20)
+        assert minimal_generators(mask, 19) == [1]
+
+    def test_even_numbers_and_three(self):
+        # S = <2, 3> = {0, 2, 3, 4, ...}: generators are 2 and 3.
+        limit = 15
+        mask = mask_below(limit + 1) & ~0b10  # remove 1
+        assert minimal_generators(mask, limit) == [2, 3]
+
+    def test_multiples_of_three_shifted(self):
+        # S = <3, 5, 7> = {0,3,5,6,7,8,...}
+        elements = {0, 3, 5, 6, 7} | set(range(8, 16))
+        mask = sum(1 << e for e in elements)
+        assert minimal_generators(mask, 15) == [3, 5, 7]
+
+    def test_generator_not_sum_of_two_elements(self):
+        mask = mask_below(16) & ~0b10  # N minus {1}
+        for g in minimal_generators(mask, 15):
+            nonzero = [e for e in bit_indices(mask) if e > 0]
+            for a in nonzero:
+                for b in nonzero:
+                    assert a + b != g
+
+
+class TestTreeStructure:
+    def test_root_is_naturals(self):
+        inst = SemigroupInstance(max_genus=3)
+        spec = semigroups_spec(inst)
+        assert spec.root.genus == 0
+        assert spec.root.frobenius == -1
+
+    def test_root_has_single_child(self):
+        # The paper singles NS out: the tree is very narrow at the root.
+        inst = SemigroupInstance(max_genus=3)
+        spec = semigroups_spec(inst)
+        kids = list(spec.children_of(spec.root))
+        assert len(kids) == 1
+        assert kids[0].frobenius == 1
+
+    def test_children_increase_genus_by_one(self):
+        inst = SemigroupInstance(max_genus=4)
+        spec = semigroups_spec(inst)
+        stack = [spec.root]
+        while stack:
+            node = stack.pop()
+            for child in spec.children_of(node):
+                assert child.genus == node.genus + 1
+                assert child.frobenius > node.frobenius
+                stack.append(child)
+
+    def test_enumeration_stops_at_max_genus(self):
+        inst = SemigroupInstance(max_genus=2)
+        spec = semigroups_spec(inst)
+        stack = [spec.root]
+        while stack:
+            node = stack.pop()
+            kids = list(spec.children_of(node))
+            if node.genus == 2:
+                assert kids == []
+            stack.extend(kids)
+
+
+class TestGenusCounts:
+    @pytest.mark.parametrize("genus", range(0, 13))
+    def test_matches_oeis(self, genus):
+        assert count_genus(genus) == GENUS_COUNTS[genus]
+
+    def test_total_tree_size_is_partial_sum(self):
+        inst = SemigroupInstance(max_genus=8)
+        spec = semigroups_spec(inst)
+        total = sequential_search(spec, Enumeration()).value
+        assert total == sum(GENUS_COUNTS[: 8 + 1])
+
+    def test_count_genus_validation(self):
+        inst = SemigroupInstance(max_genus=3)
+        with pytest.raises(ValueError):
+            semigroups_spec(inst, count_genus=5)
+
+    def test_negative_genus_rejected(self):
+        with pytest.raises(ValueError):
+            SemigroupInstance(max_genus=-1)

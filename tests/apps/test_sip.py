@@ -1,0 +1,158 @@
+"""Tests for Subgraph Isomorphism, with networkx as the oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.graph import Graph
+from repro.apps.sip import SIPInstance, check_embedding, sip_spec, solve_sip
+from repro.core.searchtypes import Decision
+from repro.core.sequential import sequential_search
+from repro.instances.graphs import cycle_graph, uniform_graph
+from repro.instances.library import random_sip
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    out.add_edges_from(g.edges())
+    return out
+
+
+def nx_has_subgraph_iso(pattern: Graph, target: Graph) -> bool:
+    """Non-induced ('monomorphism') subgraph isomorphism oracle."""
+    matcher = nx.algorithms.isomorphism.GraphMatcher(to_nx(target), to_nx(pattern))
+    return matcher.subgraph_is_monomorphic()
+
+
+pattern_graphs = st.builds(
+    uniform_graph,
+    st.integers(min_value=1, max_value=5),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=100),
+)
+target_graphs = st.builds(
+    uniform_graph,
+    st.integers(min_value=1, max_value=9),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=100, max_value=200),
+)
+
+
+class TestInstance:
+    def test_order_most_constrained_first(self):
+        pattern = cycle_graph(4)
+        inst = SIPInstance.build(pattern, cycle_graph(6))
+        degs = [pattern.degree(v) for v in inst.order]
+        assert degs == sorted(degs, reverse=True)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            SIPInstance.build(Graph(0), cycle_graph(3))
+
+
+class TestSearch:
+    def test_triangle_in_k4(self):
+        k4 = Graph.from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        res = solve_sip(cycle_graph(3), k4)
+        assert res.found is True
+
+    def test_triangle_not_in_tree(self):
+        tree = Graph.from_edges(5, [(0, 1), (0, 2), (1, 3), (1, 4)])
+        res = solve_sip(cycle_graph(3), tree)
+        assert res.found is False
+
+    def test_c4_in_c4(self):
+        res = solve_sip(cycle_graph(4), cycle_graph(4))
+        assert res.found is True
+
+    def test_c5_not_in_c4(self):
+        res = solve_sip(cycle_graph(5), cycle_graph(4))
+        assert res.found is False
+
+    def test_pattern_larger_than_target_refuted(self):
+        res = solve_sip(cycle_graph(5), cycle_graph(3))
+        assert res.found is False
+
+    @settings(max_examples=50, deadline=None)
+    @given(pattern_graphs, target_graphs)
+    def test_matches_networkx(self, pattern, target):
+        res = solve_sip(pattern, target)
+        assert res.found == nx_has_subgraph_iso(pattern, target)
+
+    def test_witness_is_valid_embedding(self):
+        inst = random_sip(6, 25, 0.3, seed=7, planted=True)
+        spec = sip_spec(inst)
+        res = sequential_search(spec, Decision(target=inst.pattern.n))
+        assert res.found is True
+        assert check_embedding(inst, res.node)
+
+    def test_planted_instances_always_sat(self):
+        for seed in range(5):
+            inst = random_sip(7, 30, 0.25, seed=seed, planted=True)
+            res = sequential_search(sip_spec(inst), Decision(target=7))
+            assert res.found is True
+
+
+class TestCheckEmbedding:
+    def test_rejects_partial(self):
+        inst = random_sip(5, 20, 0.3, seed=1)
+        spec = sip_spec(inst)
+        assert not check_embedding(inst, spec.root)
+
+    def test_rejects_non_edge_preserving(self):
+        pattern = cycle_graph(3)
+        target = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])  # path: no triangle
+        inst = SIPInstance.build(pattern, target)
+        from repro.apps.sip import SIPNode
+
+        fake = SIPNode(assignment=(0, 1, 2), used=0b111)
+        assert not check_embedding(inst, fake)
+
+
+class TestInducedVariant:
+    """Induced subgraph isomorphism: non-edges must also be preserved."""
+
+    def test_path_in_cycle_non_induced_only(self):
+        # P3 (path on 3 vertices) appears in C3 as a monomorphism but not
+        # as an induced subgraph (C3 has the extra closing edge).
+        p3 = Graph.from_edges(3, [(0, 1), (1, 2)])
+        c3 = cycle_graph(3)
+        assert solve_sip(p3, c3).found is True
+        assert solve_sip(p3, c3, induced=True).found is False
+
+    def test_induced_cycle_found(self):
+        assert solve_sip(cycle_graph(4), cycle_graph(4), induced=True).found is True
+
+    def test_c4_in_k4_non_induced_only(self):
+        k4 = Graph.from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert solve_sip(cycle_graph(4), k4).found is True
+        assert solve_sip(cycle_graph(4), k4, induced=True).found is False
+
+    @settings(max_examples=50, deadline=None)
+    @given(pattern_graphs, target_graphs)
+    def test_matches_networkx_induced(self, pattern, target):
+        matcher = nx.algorithms.isomorphism.GraphMatcher(to_nx(target), to_nx(pattern))
+        expected = matcher.subgraph_is_isomorphic()  # induced semantics
+        assert solve_sip(pattern, target, induced=True).found == expected
+
+    def test_induced_witness_verified(self):
+        pattern = cycle_graph(5)
+        target = cycle_graph(9)
+        inst = SIPInstance.build(pattern, target, induced=True)
+        res = sequential_search(sip_spec(inst), Decision(target=5))
+        if res.found:
+            assert check_embedding(inst, res.node)
+
+    def test_parallel_induced(self):
+        from repro.core.params import SkeletonParams
+
+        pattern = cycle_graph(4)
+        target = uniform_graph(25, 0.35, seed=44)
+        seq = solve_sip(pattern, target, induced=True)
+        par = solve_sip(
+            pattern, target, induced=True, skeleton="stacksteal",
+            params=SkeletonParams(localities=1, workers_per_locality=4),
+        )
+        assert par.found == seq.found

@@ -1,0 +1,146 @@
+"""Tests for TSP: instance validation, bound admissibility, brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.tsp import TSPInstance, tour_length, tsp_spec
+from repro.core.searchtypes import Optimisation
+from repro.core.sequential import sequential_search
+from repro.instances.library import random_tsp
+
+
+def brute_force_optimum(inst: TSPInstance) -> int:
+    best = None
+    for perm in itertools.permutations(range(1, inst.n)):
+        length = tour_length(inst, (0,) + perm)
+        best = length if best is None else min(best, length)
+    return best
+
+
+instances = st.builds(
+    random_tsp,
+    st.integers(min_value=2, max_value=7),
+    st.integers(min_value=0, max_value=300),
+)
+
+
+class TestInstanceValidation:
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            TSPInstance(((0, 1), (2, 0)))
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            TSPInstance(((1,),))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TSPInstance(((0, -1), (-1, 0)))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            TSPInstance(((0, 1, 2), (1, 0, 3)))
+
+    def test_from_points_symmetric(self):
+        inst = TSPInstance.from_points([(0, 0), (3, 4), (6, 8)])
+        assert inst.dist[0][1] == 5
+        assert inst.dist[1][0] == 5
+        assert inst.dist[0][2] == 10
+
+    def test_ub_total_exceeds_any_tour(self):
+        inst = random_tsp(6, 1)
+        assert inst.ub_total() > brute_force_optimum(inst)
+
+
+class TestTourLength:
+    def test_triangle(self):
+        inst = TSPInstance(((0, 1, 2), (1, 0, 3), (2, 3, 0)))
+        assert tour_length(inst, (0, 1, 2)) == 1 + 3 + 2
+
+    def test_rejects_partial_tour(self):
+        inst = random_tsp(4, 2)
+        with pytest.raises(ValueError):
+            tour_length(inst, (0, 1))
+
+
+class TestGenerator:
+    def test_children_nearest_first(self):
+        inst = random_tsp(6, 3)
+        spec = tsp_spec(inst)
+        children = list(spec.children_of(spec.root))
+        costs = [c.cost for c in children]
+        assert costs == sorted(costs)
+
+    def test_children_extend_by_unvisited(self):
+        inst = random_tsp(5, 4)
+        spec = tsp_spec(inst)
+        for child in spec.children_of(spec.root):
+            assert len(child.tour) == 2
+            assert child.tour[0] == 0
+
+    def test_leaf_nodes_are_complete_tours(self):
+        inst = random_tsp(4, 5)
+        spec = tsp_spec(inst)
+        stack, leaves = [spec.root], []
+        while stack:
+            node = stack.pop()
+            kids = list(spec.children_of(node))
+            if kids:
+                stack.extend(kids)
+            else:
+                leaves.append(node)
+        assert len(leaves) == 6  # 3! permutations of the other cities
+        for leaf in leaves:
+            assert sorted(leaf.tour) == list(range(4))
+
+
+class TestBoundAdmissibility:
+    @settings(max_examples=25, deadline=None)
+    @given(instances)
+    def test_bound_dominates_descendant_objectives(self, inst):
+        spec = tsp_spec(inst)
+        # Collect objectives of all complete tours under each node and
+        # compare with the node's bound.
+        def complete_objs(node):
+            kids = list(spec.children_of(node))
+            if not kids:
+                return [spec.objective(node)]
+            out = []
+            for k in kids:
+                out.extend(complete_objs(k))
+            return out
+
+        stack = [spec.root]
+        while stack:
+            node = stack.pop()
+            bound = spec.bound(node)
+            for obj in complete_objs(node):
+                assert bound >= obj
+            stack.extend(spec.children_of(node))
+
+
+class TestSearchCorrectness:
+    @settings(max_examples=25, deadline=None)
+    @given(instances)
+    def test_matches_brute_force(self, inst):
+        res = sequential_search(tsp_spec(inst), Optimisation())
+        assert inst.ub_total() - res.value == brute_force_optimum(inst)
+
+    def test_witness_is_valid_tour(self):
+        inst = random_tsp(8, 11)
+        res = sequential_search(tsp_spec(inst), Optimisation())
+        assert sorted(res.node.tour) == list(range(8))
+        assert tour_length(inst, res.node.tour) == inst.ub_total() - res.value
+
+    def test_pruning_happens(self):
+        inst = random_tsp(9, 12)
+        res = sequential_search(tsp_spec(inst), Optimisation())
+        assert res.metrics.prunes > 0
+
+    def test_two_cities(self):
+        inst = random_tsp(2, 13)
+        res = sequential_search(tsp_spec(inst), Optimisation())
+        assert inst.ub_total() - res.value == 2 * inst.dist[0][1]

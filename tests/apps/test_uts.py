@@ -1,0 +1,102 @@
+"""Tests for Unbalanced Tree Search."""
+
+import pytest
+
+from repro.apps.uts import UTSInstance, UTSNode, uts_spec
+from repro.core.searchtypes import Enumeration
+from repro.core.sequential import sequential_search
+
+
+def count_tree(inst: UTSInstance) -> int:
+    spec = uts_spec(inst)
+    return sequential_search(spec, Enumeration()).value
+
+
+class TestInstanceValidation:
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            UTSInstance(shape="fractal")
+
+    def test_nonpositive_b0(self):
+        with pytest.raises(ValueError):
+            UTSInstance(b0=0)
+
+    def test_supercritical_binomial_rejected(self):
+        with pytest.raises(ValueError):
+            UTSInstance(shape="binomial", m=8, q=0.2)  # q*m = 1.6
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self):
+        a = UTSInstance(shape="geometric", b0=3.0, max_depth=6, seed=5)
+        b = UTSInstance(shape="geometric", b0=3.0, max_depth=6, seed=5)
+        assert count_tree(a) == count_tree(b)
+
+    def test_different_seed_different_tree(self):
+        counts = {
+            count_tree(UTSInstance(shape="geometric", b0=3.0, max_depth=6, seed=s))
+            for s in range(8)
+        }
+        assert len(counts) > 1
+
+    def test_children_depend_only_on_node_state(self):
+        """Order-independence: re-generating children gives identical nodes."""
+        inst = UTSInstance(shape="geometric", b0=3.0, max_depth=5, seed=2)
+        spec = uts_spec(inst)
+        first = list(spec.children_of(spec.root))
+        second = list(spec.children_of(spec.root))
+        assert first == second
+
+
+class TestShapes:
+    def test_geometric_depth_cutoff(self):
+        inst = UTSInstance(shape="geometric", b0=4.0, max_depth=3, seed=1)
+        spec = uts_spec(inst)
+        stack = [spec.root]
+        max_depth = 0
+        while stack:
+            node = stack.pop()
+            max_depth = max(max_depth, node.depth)
+            stack.extend(spec.children_of(node))
+        assert max_depth <= 3
+
+    def test_binomial_root_branching(self):
+        inst = UTSInstance(shape="binomial", b0=50, m=4, q=0.1, seed=3)
+        spec = uts_spec(inst)
+        assert len(list(spec.children_of(spec.root))) == 50
+
+    def test_binomial_inner_nodes_all_or_nothing(self):
+        inst = UTSInstance(shape="binomial", b0=20, m=4, q=0.2, seed=4)
+        spec = uts_spec(inst)
+        for child in spec.children_of(spec.root):
+            kids = list(spec.children_of(child))
+            assert len(kids) in (0, 4)
+
+    def test_binomial_tree_finite(self):
+        inst = UTSInstance(shape="binomial", b0=100, m=5, q=0.15, seed=6)
+        assert count_tree(inst) >= 101
+
+    def test_irregularity(self):
+        """Subtree sizes at depth 1 vary widely — the point of UTS."""
+        inst = UTSInstance(shape="binomial", b0=30, m=6, q=0.15, seed=8)
+        spec = uts_spec(inst)
+
+        def size(node):
+            total = 1
+            for c in spec.children_of(node):
+                total += size(c)
+            return total
+
+        sizes = [size(c) for c in spec.children_of(spec.root)]
+        assert max(sizes) > min(sizes)
+
+
+class TestObjective:
+    def test_counts_every_node_once(self):
+        inst = UTSInstance(shape="geometric", b0=2.5, max_depth=5, seed=9)
+        spec = uts_spec(inst)
+
+        def manual(node):
+            return 1 + sum(manual(c) for c in spec.children_of(node))
+
+        assert count_tree(inst) == manual(spec.root)

@@ -1,0 +1,82 @@
+"""Shared fixtures: a tiny explicit-tree search application.
+
+``toy_spec`` builds a SearchSpec over an explicit dict tree — the
+simplest possible Lazy Node Generator — with per-node objective values
+and the tightest admissible bound (max objective over the subtree).
+Used to unit-test coordinations without dragging a real application in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nodegen import ListNodeGenerator
+from repro.core.space import SearchSpec
+
+
+class ToyTree:
+    """Explicit tree: children lists + objective values per node."""
+
+    def __init__(self, children: dict, values: dict) -> None:
+        self.children = children
+        self.values = values
+        self.bounds = {}
+        self._compute_bounds("root")
+
+    def _compute_bounds(self, node):
+        best = self.values[node]
+        for c in self.children.get(node, []):
+            best = max(best, self._compute_bounds(c))
+        self.bounds[node] = best
+        return best
+
+    def all_nodes(self):
+        out, stack = [], ["root"]
+        while stack:
+            n = stack.pop()
+            out.append(n)
+            stack.extend(reversed(self.children.get(n, [])))
+        return out
+
+
+def make_toy_spec(children: dict, values: dict, *, with_bound: bool = True) -> SearchSpec:
+    tree = ToyTree(children, values)
+    return SearchSpec(
+        name="toy",
+        space=tree,
+        root="root",
+        generator=lambda space, node: ListNodeGenerator(
+            list(space.children.get(node, []))
+        ),
+        objective=lambda node: tree.values[node],
+        upper_bound=(lambda space, node: space.bounds[node]) if with_bound else None,
+    )
+
+
+@pytest.fixture
+def toy_spec():
+    r"""A small irregular tree::
+
+            root(0)
+           /   |   \
+         a(1) b(5)  c(2)
+        /  \          \
+      aa(3) ab(2)     ca(7)
+                        \
+                        caa(4)
+    """
+    children = {
+        "root": ["a", "b", "c"],
+        "a": ["aa", "ab"],
+        "c": ["ca"],
+        "ca": ["caa"],
+    }
+    values = {"root": 0, "a": 1, "b": 5, "c": 2, "aa": 3, "ab": 2, "ca": 7, "caa": 4}
+    return make_toy_spec(children, values)
+
+
+@pytest.fixture
+def toy_spec_unbounded():
+    children = {"root": ["a", "b"], "a": ["aa"]}
+    values = {"root": 0, "a": 1, "b": 2, "aa": 3}
+    return make_toy_spec(children, values, with_bound=False)

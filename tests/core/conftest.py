@@ -1,0 +1,8 @@
+"""Re-export shared fixtures for intra-package imports.
+
+Test modules in this package do ``from .conftest import make_toy_spec``;
+the definitions live in the top-level tests/conftest.py so the runtime
+and integration suites can use the same fixtures.
+"""
+
+from tests.conftest import ToyTree, make_toy_spec  # noqa: F401

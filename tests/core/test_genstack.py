@@ -1,0 +1,128 @@
+"""Tests for the generator stack and its splitting operations (§4.1/4.2)."""
+
+from repro.core.genstack import GeneratorStack
+from repro.core.nodegen import ListNodeGenerator
+
+
+def stack_of(*levels):
+    """Build a stack with one frame per level, each a list generator."""
+    s = GeneratorStack()
+    for i, children in enumerate(levels):
+        s.push(f"node{i}", ListNodeGenerator(list(children)))
+    return s
+
+
+class TestStackBasics:
+    def test_empty(self):
+        s = GeneratorStack()
+        assert len(s) == 0
+        assert not s
+
+    def test_push_assigns_depths(self):
+        s = stack_of([1], [2], [3])
+        assert s.top().depth == 2
+        assert len(s) == 3
+
+    def test_pop_returns_top(self):
+        s = stack_of([1], [2])
+        assert s.pop().node == "node1"
+        assert s.top().node == "node0"
+
+    def test_depth_restarts_after_full_pop(self):
+        s = stack_of([1])
+        s.pop()
+        s.push("fresh", ListNodeGenerator([]))
+        assert s.top().depth == 0
+
+
+class TestSplitOne:
+    def test_takes_from_bottom_frame(self):
+        s = stack_of([10, 11], [20, 21])
+        node, depth, key = s.split_one()
+        assert node == 10
+        assert depth == 1  # child of the depth-0 frame
+        assert key == (0,)
+
+    def test_skips_exhausted_bottom(self):
+        s = stack_of([], [20, 21])
+        node, depth, key = s.split_one()
+        assert node == 20
+        assert depth == 2
+        assert key == (0, 0)
+
+    def test_none_when_all_exhausted(self):
+        s = stack_of([], [])
+        assert s.split_one() is None
+
+    def test_leaves_siblings_behind(self):
+        s = stack_of([10, 11])
+        s.split_one()
+        assert s.top().gen.has_next()
+        assert s.top().gen.next() == 11
+
+    def test_empty_stack(self):
+        assert GeneratorStack().split_one() is None
+
+
+class TestSplitLowest:
+    def test_drains_bottom_frame(self):
+        s = stack_of([10, 11, 12], [20])
+        nodes, depth, keys = s.split_lowest()
+        assert nodes == [10, 11, 12]
+        assert depth == 1
+        assert keys == [(0,), (1,), (2,)]
+        # deeper frame untouched
+        assert s.top().gen.has_next()
+
+    def test_skips_exhausted_frames(self):
+        s = stack_of([], [], [30, 31])
+        nodes, depth, keys = s.split_lowest()
+        assert nodes == [30, 31]
+        assert depth == 3
+        assert keys == [(0, 0, 0), (0, 0, 1)]
+
+    def test_empty_when_no_work(self):
+        s = stack_of([], [])
+        assert s.split_lowest() == ([], 0, [])
+
+    def test_preserves_heuristic_order(self):
+        s = stack_of(["best", "good", "ok"])
+        nodes, _, keys = s.split_lowest()
+        assert nodes == ["best", "good", "ok"]
+        assert keys == sorted(keys)
+
+
+class TestHasSplittableWork:
+    def test_true_when_any_frame_live(self):
+        assert stack_of([], [1]).has_splittable_work()
+
+    def test_false_when_exhausted(self):
+        assert not stack_of([], []).has_splittable_work()
+
+    def test_false_when_empty(self):
+        assert not GeneratorStack().has_splittable_work()
+
+
+class TestPathKeys:
+    def test_next_from_top_tracks_indices(self):
+        s = stack_of([1, 2, 3])
+        assert s.next_from_top() == (1, 0)
+        assert s.next_from_top() == (2, 1)
+
+    def test_current_key_excludes_root_frame(self):
+        s = GeneratorStack()
+        s.push("root", ListNodeGenerator([]))
+        assert s.current_key() == ()
+        s.push("a", ListNodeGenerator([]), index=2)
+        assert s.current_key() == (2,)
+        s.push("b", ListNodeGenerator([]), index=5)
+        assert s.current_key() == (2, 5)
+
+    def test_split_keys_encode_positions(self):
+        # Steals come shallowest-first, but each key encodes the stolen
+        # node's sibling path — the total traversal order — exactly.
+        s = stack_of([1, 2], [3, 4], [5])
+        collected = []
+        while (split := s.split_one()) is not None:
+            collected.append(split[2])
+        assert collected == [(0,), (1,), (0, 0), (0, 1), (0, 0, 0)]

@@ -1,0 +1,88 @@
+"""Tests for the Lazy Node Generator protocol."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.nodegen import IterNodeGenerator, ListNodeGenerator
+
+
+class TestListNodeGenerator:
+    def test_empty(self):
+        gen = ListNodeGenerator([])
+        assert not gen.has_next()
+
+    def test_yields_in_order(self):
+        gen = ListNodeGenerator([1, 2, 3])
+        assert [gen.next(), gen.next(), gen.next()] == [1, 2, 3]
+        assert not gen.has_next()
+
+    def test_next_past_end_raises(self):
+        gen = ListNodeGenerator([1])
+        gen.next()
+        with pytest.raises(StopIteration):
+            gen.next()
+
+    def test_has_next_is_idempotent(self):
+        gen = ListNodeGenerator([1])
+        assert gen.has_next() and gen.has_next()
+        assert gen.next() == 1
+
+    def test_drain(self):
+        gen = ListNodeGenerator([1, 2, 3])
+        gen.next()
+        assert gen.drain() == [2, 3]
+        assert gen.drain() == []
+
+    def test_iter_protocol(self):
+        assert list(ListNodeGenerator([4, 5])) == [4, 5]
+
+
+class TestIterNodeGenerator:
+    def test_wraps_python_generator(self):
+        gen = IterNodeGenerator(x * x for x in range(4))
+        assert list(gen) == [0, 1, 4, 9]
+
+    def test_has_next_does_not_consume(self):
+        gen = IterNodeGenerator(iter([7, 8]))
+        assert gen.has_next()
+        assert gen.has_next()
+        assert gen.next() == 7
+        assert gen.next() == 8
+        assert not gen.has_next()
+
+    def test_laziness(self):
+        """Elements are only pulled when probed/asked — the point of the API."""
+        pulled = []
+
+        def source():
+            for i in range(5):
+                pulled.append(i)
+                yield i
+
+        gen = IterNodeGenerator(source())
+        assert pulled == []
+        gen.has_next()
+        assert pulled == [0]  # one lookahead element, no more
+        gen.next()
+        assert pulled == [0]
+
+    def test_next_without_probe(self):
+        gen = IterNodeGenerator(iter([1]))
+        assert gen.next() == 1
+
+    def test_next_past_end_raises(self):
+        gen = IterNodeGenerator(iter([]))
+        with pytest.raises(StopIteration):
+            gen.next()
+
+    def test_drain_after_partial_consumption(self):
+        gen = IterNodeGenerator(iter(range(5)))
+        gen.next()
+        assert gen.drain() == [1, 2, 3, 4]
+
+    @given(st.lists(st.integers(), max_size=30))
+    def test_equivalent_to_list_generator(self, items):
+        a = IterNodeGenerator(iter(items))
+        b = ListNodeGenerator(items)
+        assert list(a) == list(b) == items

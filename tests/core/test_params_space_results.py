@@ -1,0 +1,89 @@
+"""Tests for SkeletonParams, SearchSpec and SearchResult plumbing."""
+
+import pytest
+
+from repro.core.params import SkeletonParams
+from repro.core.results import SearchMetrics, SearchResult
+from repro.core.space import SearchSpec
+
+from .conftest import make_toy_spec
+
+
+class TestSkeletonParams:
+    def test_defaults(self):
+        p = SkeletonParams()
+        assert p.workers == 15
+
+    def test_workers_product(self):
+        p = SkeletonParams(localities=4, workers_per_locality=8)
+        assert p.workers == 32
+
+    def test_with_(self):
+        p = SkeletonParams().with_(d_cutoff=5)
+        assert p.d_cutoff == 5
+        assert p.budget == SkeletonParams().budget
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            SkeletonParams(d_cutoff=-1)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            SkeletonParams(budget=0)
+
+    def test_invalid_topology(self):
+        with pytest.raises(ValueError):
+            SkeletonParams(localities=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SkeletonParams().d_cutoff = 3  # type: ignore[misc]
+
+
+class TestSearchSpec:
+    def test_children_of(self, toy_spec):
+        gen = toy_spec.children_of("root")
+        assert [gen.next() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_bound(self, toy_spec):
+        assert toy_spec.bound("c") == 7
+        assert toy_spec.can_prune
+
+    def test_bound_without_function_raises(self, toy_spec_unbounded):
+        assert not toy_spec_unbounded.can_prune
+        with pytest.raises(ValueError):
+            toy_spec_unbounded.bound("a")
+
+
+class TestSearchMetrics:
+    def test_merge(self):
+        a = SearchMetrics(nodes=3, backtracks=1, prunes=2, max_depth=4)
+        b = SearchMetrics(nodes=5, spawns=2, steals=1, max_depth=7)
+        a.merge(b)
+        assert a.nodes == 8
+        assert a.spawns == 2
+        assert a.max_depth == 7
+        assert a.backtracks == 1
+
+    def test_defaults_zero(self):
+        m = SearchMetrics()
+        assert (m.nodes, m.steals, m.failed_steals) == (0, 0, 0)
+
+
+class TestSearchResult:
+    def test_efficiency_none_for_sequential(self):
+        r = SearchResult(kind="optimisation", value=3)
+        assert r.efficiency() is None
+
+    def test_efficiency_mean_utilisation(self):
+        r = SearchResult(
+            kind="optimisation",
+            value=3,
+            virtual_time=10.0,
+            per_worker_busy=[10.0, 5.0],
+        )
+        assert r.efficiency() == pytest.approx(0.75)
+
+    def test_efficiency_guards_zero_makespan(self):
+        r = SearchResult(kind="x", value=0, virtual_time=0.0, per_worker_busy=[0.0])
+        assert r.efficiency() is None

@@ -1,0 +1,139 @@
+"""Tests for the Enumeration / Optimisation / Decision search types."""
+
+import pytest
+
+from repro.core.searchtypes import (
+    Decision,
+    Enumeration,
+    Incumbent,
+    Optimisation,
+    make_search_type,
+)
+
+from .conftest import make_toy_spec
+
+
+@pytest.fixture
+def spec(toy_spec):
+    return toy_spec
+
+
+class TestEnumeration:
+    def test_initial_zero(self, spec):
+        assert Enumeration().initial_knowledge(spec) == 0
+
+    def test_process_accumulates(self, spec):
+        e = Enumeration()
+        k, improved = e.process(spec, "b", 10)
+        assert k == 15
+        assert improved is False  # accumulators are never broadcast
+
+    def test_combine_is_monoid_plus(self):
+        assert Enumeration().combine(3, 4) == 7
+
+    def test_custom_monoid(self, spec):
+        # max-monoid enumeration: a histogram-style fold
+        e = Enumeration(plus=max, zero=-1)
+        k, _ = e.process(spec, "ca", 3)
+        assert k == 7
+
+    def test_never_prunes(self, spec):
+        assert not Enumeration().should_prune(spec, "a", 0)
+
+    def test_never_goal(self):
+        assert not Enumeration().is_goal(123)
+
+
+class TestOptimisation:
+    def test_initial_is_root_incumbent(self, spec):
+        inc = Optimisation().initial_knowledge(spec)
+        assert inc == Incumbent(0, "root")
+
+    def test_strengthen(self, spec):
+        o = Optimisation()
+        inc, improved = o.process(spec, "b", Incumbent(1, "a"))
+        assert improved
+        assert inc == Incumbent(5, "b")
+
+    def test_skip_on_equal(self, spec):
+        o = Optimisation()
+        inc, improved = o.process(spec, "ab", Incumbent(2, "c"))
+        assert not improved
+        assert inc == Incumbent(2, "c")
+
+    def test_combine_keeps_max(self):
+        o = Optimisation()
+        assert o.combine(Incumbent(3, "x"), Incumbent(5, "y")) == Incumbent(5, "y")
+        assert o.combine(Incumbent(5, "y"), Incumbent(3, "x")) == Incumbent(5, "y")
+
+    def test_prune_when_bound_cannot_beat(self, spec):
+        o = Optimisation()
+        # subtree under "a" maxes at 3; incumbent 5 dominates
+        assert o.should_prune(spec, "a", Incumbent(5, "b"))
+
+    def test_no_prune_when_bound_can_beat(self, spec):
+        o = Optimisation()
+        assert not o.should_prune(spec, "c", Incumbent(5, "b"))  # bound 7 > 5
+
+    def test_no_prune_without_bound_function(self, toy_spec_unbounded):
+        o = Optimisation()
+        assert not o.should_prune(toy_spec_unbounded, "a", Incumbent(100, "b"))
+
+    def test_never_goal(self):
+        assert not Optimisation().is_goal(Incumbent(10, "x"))
+
+
+class TestDecision:
+    def test_initial_clips_to_target(self, spec):
+        d = Decision(target=3)
+        inc = d.initial_knowledge(spec)
+        assert inc.value == 0
+
+    def test_process_clips(self, spec):
+        d = Decision(target=3)
+        inc, improved = d.process(spec, "ca", Incumbent(0, "root"))
+        assert inc.value == 3  # h=7 clipped to target
+        assert improved
+
+    def test_goal_at_target(self):
+        d = Decision(target=3)
+        assert d.is_goal(Incumbent(3, "w"))
+        assert not d.is_goal(Incumbent(2, "w"))
+
+    def test_prune_when_target_unreachable(self, spec):
+        d = Decision(target=9)
+        # bound of "a" subtree is 3 < 9: cannot ever reach the target
+        assert d.should_prune(spec, "a", Incumbent(0, "root"))
+
+    def test_prune_when_cannot_improve_incumbent(self, spec):
+        d = Decision(target=7)
+        assert d.should_prune(spec, "a", Incumbent(5, "b"))
+
+    def test_no_prune_when_target_reachable(self, spec):
+        d = Decision(target=7)
+        assert not d.should_prune(spec, "c", Incumbent(0, "root"))
+
+    def test_combine(self):
+        d = Decision(target=5)
+        assert d.combine(Incumbent(1, "a"), Incumbent(4, "b")).value == 4
+
+
+class TestFactory:
+    def test_enumeration(self):
+        assert make_search_type("enumeration").kind == "enumeration"
+
+    def test_optimisation(self):
+        assert make_search_type("optimisation").kind == "optimisation"
+
+    def test_decision(self):
+        st = make_search_type("decision", target=4)
+        assert st.kind == "decision"
+        assert st.target == 4
+
+    def test_decision_requires_target(self):
+        with pytest.raises(ValueError):
+            make_search_type("decision")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_search_type("approximation")

@@ -1,0 +1,270 @@
+"""Tests for the resumable SearchTask state machines (every coordination)."""
+
+import pytest
+
+from repro.core.params import SkeletonParams
+from repro.core.searchtypes import Decision, Enumeration, Optimisation
+from repro.core.tasks import BUDGET, DEPTH, SEQ, STACK, SearchTask
+
+from .conftest import make_toy_spec
+
+
+def run_to_completion(task, stype, spec, knowledge=None):
+    """Drive a task and any tasks it spawns, sequentially; return
+    (knowledge, processed_nodes, spawn_events)."""
+    if knowledge is None:
+        knowledge = stype.initial_knowledge(spec)
+    processed = 0
+    spawned_all = []
+    queue = [task]
+    while queue:
+        t = queue.pop(0)
+        while not t.finished:
+            knowledge, out = t.step(knowledge)
+            processed += int(out.processed)
+            for sp in out.spawned:
+                spawned_all.append(sp)
+                queue.append(
+                    SearchTask(
+                        spec,
+                        stype,
+                        sp.root,
+                        policy=t.policy,
+                        params=t.params,
+                        root_depth=sp.depth,
+                    )
+                )
+            if out.goal:
+                return knowledge, processed, spawned_all
+    return knowledge, processed, spawned_all
+
+
+class TestSequentialPolicy:
+    def test_explores_whole_tree(self, toy_spec_unbounded):
+        stype = Enumeration()
+        task = SearchTask(toy_spec_unbounded, stype, toy_spec_unbounded.root)
+        k, processed, spawned = run_to_completion(task, stype, toy_spec_unbounded)
+        assert processed == 4
+        assert spawned == []
+
+    def test_optimisation_finds_max(self, toy_spec):
+        stype = Optimisation()
+        task = SearchTask(toy_spec, stype, toy_spec.root)
+        k, _, _ = run_to_completion(task, stype, toy_spec)
+        assert k.value == 7
+        assert k.node == "ca"
+
+    def test_pruning_skips_dominated_subtrees(self, toy_spec):
+        # Visiting order root,a,...: once incumbent reaches 7 (node ca),
+        # nothing else is expanded below pruned nodes.  With bound = exact
+        # subtree max, "a" is expanded only while incumbent < 3.
+        stype = Optimisation()
+        task = SearchTask(toy_spec, stype, toy_spec.root)
+        k, processed, _ = run_to_completion(task, stype, toy_spec)
+        assert k.value == 7
+        assert processed <= 8  # never more than the whole tree
+
+    def test_unknown_policy_rejected(self, toy_spec):
+        with pytest.raises(ValueError):
+            SearchTask(toy_spec, Enumeration(), toy_spec.root, policy="magic")
+
+    def test_step_after_finish_is_stable(self, toy_spec_unbounded):
+        stype = Enumeration()
+        task = SearchTask(toy_spec_unbounded, stype, toy_spec_unbounded.root)
+        k = stype.initial_knowledge(toy_spec_unbounded)
+        while not task.finished:
+            k, _ = task.step(k)
+        k2, out = task.step(k)
+        assert out.finished and k2 == k
+
+
+class TestGoalShortCircuit:
+    def test_goal_detected_on_processing(self, toy_spec):
+        stype = Decision(target=5)
+        task = SearchTask(toy_spec, stype, toy_spec.root)
+        k, processed, _ = run_to_completion(task, stype, toy_spec)
+        assert k.value == 5
+        # Sequential order: root, a, aa, ab, b -> goal at "b"; the "c"
+        # branch (which could also reach 5 via clipping 7) is never needed.
+        assert processed <= 5
+
+    def test_goal_at_root(self, toy_spec):
+        stype = Decision(target=0)
+        task = SearchTask(toy_spec, stype, toy_spec.root)
+        k, out = task.step(stype.initial_knowledge(toy_spec))
+        assert out.goal and out.finished
+
+    def test_root_prune_kills_task(self, toy_spec):
+        # A task whose root bound cannot beat the incumbent dies at start.
+        stype = Optimisation()
+        task = SearchTask(toy_spec, stype, "a")  # subtree max = 3
+        from repro.core.searchtypes import Incumbent
+
+        k, out = task.step(Incumbent(7, "ca"))
+        assert out.pruned and out.finished
+
+
+class TestDepthBoundedPolicy:
+    def _spawning_spec(self):
+        children = {"root": ["a", "b"], "a": ["aa", "ab"], "b": ["ba"]}
+        values = {n: 1 for n in ["root", "a", "b", "aa", "ab", "ba"]}
+        return make_toy_spec(children, values, with_bound=False)
+
+    def test_spawns_children_above_cutoff(self):
+        spec = self._spawning_spec()
+        stype = Enumeration()
+        params = SkeletonParams(d_cutoff=1)
+        task = SearchTask(spec, stype, spec.root, policy=DEPTH, params=params)
+        k = stype.initial_knowledge(spec)
+        spawned = []
+        while not task.finished:
+            k, out = task.step(k)
+            spawned.extend(out.spawned)
+        assert [sp.root for sp in spawned] == ["a", "b"]
+        assert all(sp.depth == 1 for sp in spawned)
+        assert k == 1  # only the root was processed locally
+
+    def test_spawned_tasks_respect_global_depth(self):
+        spec = self._spawning_spec()
+        stype = Enumeration()
+        params = SkeletonParams(d_cutoff=2)
+        task = SearchTask(
+            spec, stype, "a", policy=DEPTH, params=params, root_depth=1
+        )
+        k = stype.initial_knowledge(spec)
+        spawned = []
+        while not task.finished:
+            k, out = task.step(k)
+            spawned.extend(out.spawned)
+        # node "a" is at global depth 1 < 2, so its children spawn
+        assert [sp.root for sp in spawned] == ["aa", "ab"]
+        assert all(sp.depth == 2 for sp in spawned)
+
+    def test_total_work_conserved(self):
+        spec = self._spawning_spec()
+        stype = Enumeration()
+        params = SkeletonParams(d_cutoff=2)
+        task = SearchTask(spec, stype, spec.root, policy=DEPTH, params=params)
+        k, processed, _ = run_to_completion(task, stype, spec)
+        assert k == 6  # every node counted exactly once across tasks
+        assert processed == 6
+
+    def test_cutoff_zero_never_spawns(self):
+        spec = self._spawning_spec()
+        stype = Enumeration()
+        params = SkeletonParams(d_cutoff=0)
+        task = SearchTask(spec, stype, spec.root, policy=DEPTH, params=params)
+        k, processed, spawned = run_to_completion(task, stype, spec)
+        assert spawned == []
+        assert k == 6
+
+
+class TestBudgetPolicy:
+    def _deep_spec(self):
+        # A left spine with right leaves: backtracks accumulate quickly.
+        children = {
+            "root": ["l1", "r1"],
+            "l1": ["l2", "r2"],
+            "l2": ["l3", "r3"],
+            "l3": ["l4"],
+        }
+        nodes = ["root", "l1", "r1", "l2", "r2", "l3", "r3", "l4"]
+        return make_toy_spec(children, {n: 1 for n in nodes}, with_bound=False)
+
+    def test_budget_spawns_lowest_and_resets(self):
+        spec = self._deep_spec()
+        stype = Enumeration()
+        params = SkeletonParams(budget=2)
+        task = SearchTask(spec, stype, spec.root, policy=BUDGET, params=params)
+        k = stype.initial_knowledge(spec)
+        spawned = []
+        while not task.finished:
+            before = task.backtracks
+            k, out = task.step(k)
+            if out.spawned:
+                spawned.extend(out.spawned)
+                assert before >= params.budget
+                assert task.backtracks == 0
+        assert spawned, "budget exhaustion must spawn work"
+
+    def test_budget_conserves_total_count(self):
+        spec = self._deep_spec()
+        stype = Enumeration()
+        params = SkeletonParams(budget=1)
+        task = SearchTask(spec, stype, spec.root, policy=BUDGET, params=params)
+        k, processed, _ = run_to_completion(task, stype, spec)
+        assert k == 8
+
+    def test_huge_budget_never_spawns(self):
+        spec = self._deep_spec()
+        stype = Enumeration()
+        params = SkeletonParams(budget=10_000)
+        task = SearchTask(spec, stype, spec.root, policy=BUDGET, params=params)
+        _, _, spawned = run_to_completion(task, stype, spec)
+        assert spawned == []
+
+
+class TestStackStealSplit:
+    def _spec(self):
+        children = {"root": ["a", "b", "c"], "a": ["aa", "ab"]}
+        nodes = ["root", "a", "b", "c", "aa", "ab"]
+        return make_toy_spec(children, {n: 1 for n in nodes}, with_bound=False)
+
+    def _started_task(self, spec, stype):
+        task = SearchTask(spec, stype, spec.root, policy=STACK)
+        k = stype.initial_knowledge(spec)
+        k, _ = task.step(k)  # process root, push its generator
+        k, _ = task.step(k)  # expand into "a"
+        return task, k
+
+    def test_split_one_takes_lowest_unexplored(self):
+        spec = self._spec()
+        task, _ = self._started_task(spec, Enumeration())
+        stolen = task.try_split(chunked=False)
+        assert [sp.root for sp in stolen] == ["b"]
+        assert stolen[0].depth == 1
+
+    def test_split_chunked_takes_whole_level(self):
+        spec = self._spec()
+        task, _ = self._started_task(spec, Enumeration())
+        stolen = task.try_split(chunked=True)
+        assert [sp.root for sp in stolen] == ["b", "c"]
+
+    def test_split_before_start_gives_nothing(self):
+        spec = self._spec()
+        task = SearchTask(spec, Enumeration(), spec.root, policy=STACK)
+        assert task.try_split(chunked=True) == []
+
+    def test_split_conserves_total_work(self):
+        spec = self._spec()
+        stype = Enumeration()
+        task, k = self._started_task(spec, stype)
+        stolen = task.try_split(chunked=True)
+        # finish the victim
+        while not task.finished:
+            k, out = task.step(k)
+        # run the stolen subtrees
+        for sp in stolen:
+            t = SearchTask(spec, stype, sp.root, policy=STACK, root_depth=sp.depth)
+            while not t.finished:
+                k, out = t.step(k)
+        assert k == 6
+
+    def test_split_exhausted_task_gives_nothing(self):
+        spec = self._spec()
+        stype = Enumeration()
+        task = SearchTask(spec, stype, "b", policy=STACK)  # leaf task
+        k = stype.initial_knowledge(spec)
+        k, _ = task.step(k)
+        assert task.try_split(chunked=True) == []
+
+
+class TestCurrentDepth:
+    def test_tracks_global_depth(self, toy_spec):
+        stype = Enumeration()
+        task = SearchTask(toy_spec, stype, "a", root_depth=1)
+        assert task.current_depth() == 1
+        k = stype.initial_knowledge(toy_spec)
+        task.step(k)  # start: push root frame
+        task.step(k)  # expand first child (aa at global depth 2)
+        assert task.current_depth() == 2

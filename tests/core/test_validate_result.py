@@ -1,0 +1,99 @@
+"""Tests for independent result certification (validate_result)."""
+
+import pytest
+
+from repro import search
+from repro.core.results import SearchResult, validate_result
+from repro.core.searchtypes import Decision, Enumeration, Optimisation
+from repro.core.sequential import sequential_search
+
+
+class TestRealWitnesses:
+    def test_maxclique_witness_certified(self):
+        from repro.apps.maxclique import maxclique_spec
+        from repro.instances.graphs import uniform_graph
+
+        spec = maxclique_spec(uniform_graph(25, 0.5, seed=3))
+        res = sequential_search(spec, Optimisation())
+        assert validate_result(spec, res)
+
+    def test_tsp_witness_certified(self):
+        from repro.apps.tsp import tsp_spec
+        from repro.instances.library import random_tsp
+
+        spec = tsp_spec(random_tsp(8, seed=4))
+        res = sequential_search(spec, Optimisation())
+        assert validate_result(spec, res)
+
+    def test_knapsack_witness_certified(self):
+        from repro.apps.knapsack import knapsack_spec
+        from repro.instances.library import random_knapsack
+
+        spec = knapsack_spec(random_knapsack(12, seed=5))
+        res = sequential_search(spec, Optimisation())
+        assert validate_result(spec, res)
+
+    def test_sip_witness_certified(self):
+        from repro.apps.sip import sip_spec
+        from repro.instances.library import random_sip
+
+        inst = random_sip(6, 25, 0.3, seed=6, planted=True)
+        spec = sip_spec(inst)
+        res = sequential_search(spec, Decision(target=6))
+        assert res.found
+        assert validate_result(spec, res)
+
+    def test_parallel_witness_certified(self):
+        from repro import SkeletonParams
+        from repro.apps.maxclique import maxclique_spec
+        from repro.instances.graphs import uniform_graph
+
+        spec = maxclique_spec(uniform_graph(25, 0.5, seed=3))
+        res = search(spec, skeleton="stacksteal", search_type="optimisation",
+                     params=SkeletonParams(localities=1, workers_per_locality=4))
+        assert validate_result(spec, res)
+
+    def test_enumeration_trivially_valid(self):
+        from repro.apps.uts import UTSInstance, uts_spec
+
+        spec = uts_spec(UTSInstance(b0=2.5, max_depth=5, seed=7))
+        res = sequential_search(spec, Enumeration())
+        assert validate_result(spec, res)
+
+
+class TestForgedResults:
+    def _spec(self):
+        from repro.apps.maxclique import maxclique_spec
+        from repro.instances.graphs import uniform_graph
+
+        return maxclique_spec(uniform_graph(20, 0.5, seed=8))
+
+    def test_inflated_value_rejected(self):
+        spec = self._spec()
+        res = sequential_search(spec, Optimisation())
+        forged = SearchResult(kind="optimisation", value=res.value + 1, node=res.node)
+        assert not validate_result(spec, forged)
+
+    def test_non_clique_witness_rejected(self):
+        from repro.apps.maxclique import CliqueNode
+
+        spec = self._spec()
+        # claim the first three vertices are a clique (almost surely not)
+        fake = CliqueNode(0b111, 3, 0, 0)
+        if spec.space.subgraph_is_clique(0b111):
+            pytest.skip("vertices 0-2 happen to be a clique in this seed")
+        forged = SearchResult(kind="optimisation", value=3, node=fake)
+        assert not validate_result(spec, forged)
+
+    def test_missing_witness_raises(self):
+        spec = self._spec()
+        forged = SearchResult(kind="optimisation", value=3, node=None)
+        with pytest.raises(ValueError):
+            validate_result(spec, forged)
+
+    def test_decision_witness_below_value_rejected(self):
+        spec = self._spec()
+        res = sequential_search(spec, Decision(target=3))
+        assert res.found
+        forged = SearchResult(kind="decision", value=res.value + 2, node=res.node)
+        assert not validate_result(spec, forged)

@@ -1,0 +1,61 @@
+"""Tests for DIMACS .clq parsing and writing."""
+
+import pytest
+
+from repro.instances.dimacs import parse_dimacs, parse_dimacs_text, write_dimacs
+from repro.instances.graphs import uniform_graph
+
+
+class TestParse:
+    def test_basic(self):
+        g = parse_dimacs_text("c a comment\np edge 3 2\ne 1 2\ne 2 3\n")
+        assert g.n == 3
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 2)
+
+    def test_blank_lines_and_comments_ignored(self):
+        g = parse_dimacs_text("\nc x\n\np edge 2 1\ne 1 2\n")
+        assert g.edge_count() == 1
+
+    def test_col_format_accepted(self):
+        g = parse_dimacs_text("p col 2 1\ne 1 2\n")
+        assert g.edge_count() == 1
+
+    def test_duplicate_edges_tolerated(self):
+        g = parse_dimacs_text("p edge 2 2\ne 1 2\ne 2 1\n")
+        assert g.edge_count() == 1
+
+    def test_self_loops_dropped(self):
+        g = parse_dimacs_text("p edge 2 2\ne 1 1\ne 1 2\n")
+        assert g.edge_count() == 1
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs_text("e 1 2\n")
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs_text("p edge 2 1\np edge 2 1\n")
+
+    def test_malformed_edge(self):
+        with pytest.raises(ValueError):
+            parse_dimacs_text("p edge 2 1\ne 1\n")
+
+    def test_unknown_record(self):
+        with pytest.raises(ValueError):
+            parse_dimacs_text("p edge 2 1\nx 1 2\n")
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self, tmp_path):
+        g = uniform_graph(25, 0.4, 11)
+        path = tmp_path / "g.clq"
+        write_dimacs(g, path, comments=["generated for test"])
+        assert parse_dimacs(path) == g
+
+    def test_comments_written(self, tmp_path):
+        g = uniform_graph(5, 0.5, 1)
+        path = tmp_path / "g.clq"
+        write_dimacs(g, path, comments=["hello"])
+        assert path.read_text().startswith("c hello\n")

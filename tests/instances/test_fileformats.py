@@ -1,0 +1,141 @@
+"""Tests for TSPLIB and knapsack file formats."""
+
+import pytest
+
+from repro.apps.knapsack import KnapsackInstance
+from repro.apps.tsp import TSPInstance
+from repro.instances.knapfile import (
+    parse_knapsack,
+    parse_knapsack_text,
+    write_knapsack,
+)
+from repro.instances.library import random_knapsack, random_tsp
+from repro.instances.tsplib import parse_tsplib, parse_tsplib_text, write_tsplib
+
+BERLIN_STYLE = """NAME: tiny4
+TYPE: TSP
+COMMENT: four points on a unit square scaled by 10
+DIMENSION: 4
+EDGE_WEIGHT_TYPE: EUC_2D
+NODE_COORD_SECTION
+1 0 0
+2 10 0
+3 10 10
+4 0 10
+EOF
+"""
+
+
+class TestTsplibEuc2d:
+    def test_parse_square(self):
+        inst = parse_tsplib_text(BERLIN_STYLE)
+        assert inst.n == 4
+        assert inst.dist[0][1] == 10
+        assert inst.dist[0][2] == 14  # round(sqrt(200)) = 14
+        assert inst.dist[1][3] == 14
+
+    def test_missing_coords_rejected(self):
+        with pytest.raises(ValueError):
+            parse_tsplib_text(
+                "TYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nEOF\n"
+            )
+
+    def test_wrong_token_count_rejected(self):
+        with pytest.raises(ValueError):
+            parse_tsplib_text(
+                "DIMENSION: 2\nEDGE_WEIGHT_TYPE: EUC_2D\n"
+                "NODE_COORD_SECTION\n1 0 0\nEOF\n"
+            )
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_tsplib_text("TYPE: ATSP\nDIMENSION: 2\nEOF\n")
+
+    def test_unsupported_weight_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_tsplib_text(
+                "DIMENSION: 2\nEDGE_WEIGHT_TYPE: GEO\nNODE_COORD_SECTION\n"
+                "1 0 0\n2 1 1\nEOF\n"
+            )
+
+
+class TestTsplibExplicit:
+    def test_full_matrix_roundtrip(self, tmp_path):
+        inst = random_tsp(7, seed=31)
+        path = tmp_path / "t.tsp"
+        write_tsplib(inst, path, name="t7")
+        assert parse_tsplib(path) == inst
+
+    def test_upper_row(self):
+        text = (
+            "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+            "EDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n"
+            "5 7\n9\nEOF\n"
+        )
+        inst = parse_tsplib_text(text)
+        assert inst.dist[0][1] == 5
+        assert inst.dist[0][2] == 7
+        assert inst.dist[1][2] == 9
+        assert inst.dist[2][1] == 9
+
+    def test_lower_diag_row(self):
+        text = (
+            "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+            "EDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW\nEDGE_WEIGHT_SECTION\n"
+            "0\n5 0\n7 9 0\nEOF\n"
+        )
+        inst = parse_tsplib_text(text)
+        assert inst.dist[0][1] == 5
+        assert inst.dist[0][2] == 7
+        assert inst.dist[1][2] == 9
+
+    def test_token_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parse_tsplib_text(
+                "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+                "EDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n5\nEOF\n"
+            )
+
+    def test_parsed_instance_searches(self, tmp_path):
+        from repro import search
+        from repro.apps.tsp import tsp_spec
+
+        inst = random_tsp(7, seed=32)
+        path = tmp_path / "t.tsp"
+        write_tsplib(inst, path)
+        loaded = parse_tsplib(path)
+        a = search(tsp_spec(inst), search_type="optimisation")
+        b = search(tsp_spec(loaded), search_type="optimisation")
+        assert a.value == b.value
+
+
+class TestKnapsackFiles:
+    def test_parse_basic(self):
+        inst = parse_knapsack_text("# demo\n3\n10\n60 5\n50 4\n30 6\n")
+        assert inst.n == 3
+        assert inst.capacity == 10
+        # density sorted: 60/5=12 > 50/4=12.5? no: 12.5 > 12 > 5
+        assert inst.profits[0] / inst.weights[0] >= inst.profits[1] / inst.weights[1]
+
+    def test_roundtrip(self, tmp_path):
+        inst = random_knapsack(12, seed=41, kind="weak")
+        path = tmp_path / "k.txt"
+        write_knapsack(inst, path, comment="weakly correlated, seed 41")
+        loaded = parse_knapsack(path)
+        assert loaded == inst
+
+    def test_short_file_rejected(self):
+        with pytest.raises(ValueError):
+            parse_knapsack_text("3\n")
+
+    def test_item_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parse_knapsack_text("2\n10\n60 5\n")
+
+    def test_parsed_instance_searches(self):
+        from repro import search
+        from repro.apps.knapsack import knapsack_spec
+
+        inst = parse_knapsack_text("3\n10\n60 5\n50 4\n30 6\n")
+        res = search(knapsack_spec(inst), search_type="optimisation")
+        assert res.value == 110  # items of weight 5 and 4

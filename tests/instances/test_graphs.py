@@ -1,0 +1,89 @@
+"""Tests for the seeded graph generators."""
+
+import pytest
+
+from repro.instances.graphs import (
+    brock_like,
+    cycle_graph,
+    p_hat_like,
+    planted_clique,
+    uniform_graph,
+)
+from repro.util.bitset import bitset_from_iterable
+
+
+class TestUniform:
+    def test_deterministic(self):
+        assert uniform_graph(20, 0.5, 7) == uniform_graph(20, 0.5, 7)
+
+    def test_seed_changes_graph(self):
+        assert uniform_graph(20, 0.5, 7) != uniform_graph(20, 0.5, 8)
+
+    def test_density_tracks_p(self):
+        g = uniform_graph(60, 0.3, 9)
+        assert 0.2 < g.density() < 0.4
+
+    def test_extremes(self):
+        assert uniform_graph(10, 0.0, 1).edge_count() == 0
+        assert uniform_graph(10, 1.0, 1).edge_count() == 45
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            uniform_graph(5, 1.5, 1)
+
+
+class TestPlanted:
+    def test_contains_planted_clique(self):
+        g = planted_clique(30, 0.2, 8, seed=3)
+        # find it by checking every vertex subset is too slow; instead
+        # verify via the solver in test_maxclique; here check edge bound:
+        # a planted clique forces at least C(8,2) edges
+        assert g.edge_count() >= 28
+
+    def test_deterministic(self):
+        assert planted_clique(30, 0.2, 8, 3) == planted_clique(30, 0.2, 8, 3)
+
+    def test_k_exceeds_n_rejected(self):
+        with pytest.raises(ValueError):
+            planted_clique(5, 0.5, 6, 1)
+
+
+class TestBrock:
+    def test_contains_k_clique(self):
+        from repro.apps.kclique import solve_kclique
+
+        g = brock_like(40, 0.5, 10, seed=5)
+        assert solve_kclique(g, 10).found is True
+
+    def test_degrees_camouflaged(self):
+        # Clique members' degrees stay near the background mean.
+        g = brock_like(60, 0.5, 12, seed=6)
+        degs = sorted(g.degree(v) for v in range(g.n))
+        # no obvious 12-vertex degree outlier block at the top
+        assert degs[-1] - degs[0] < 35
+
+    def test_k_exceeds_n_rejected(self):
+        with pytest.raises(ValueError):
+            brock_like(5, 0.5, 6, 1)
+
+
+class TestPHat:
+    def test_wide_degree_spread(self):
+        g = p_hat_like(60, 0.1, 0.9, seed=7)
+        degs = [g.degree(v) for v in range(g.n)]
+        assert max(degs) - min(degs) > 15
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            p_hat_like(10, 0.9, 0.1, 1)
+
+
+class TestCycle:
+    def test_structure(self):
+        g = cycle_graph(5)
+        assert g.edge_count() == 5
+        assert all(g.degree(v) == 2 for v in range(5))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)

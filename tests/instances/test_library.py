@@ -1,0 +1,63 @@
+"""Tests for the named instance registry."""
+
+import pytest
+
+from repro.core.space import SearchSpec
+from repro.instances.library import (
+    APPS,
+    instance_names,
+    load_instance,
+    spec_for,
+    suite,
+)
+
+
+class TestRegistry:
+    def test_names_nonempty(self):
+        assert len(instance_names()) >= 25
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_instance("nonexistent-instance")
+
+    def test_load_is_memoised(self):
+        a = load_instance("sanr90-1")
+        b = load_instance("sanr90-1")
+        assert a is b
+
+    def test_every_app_has_a_suite(self):
+        for app in APPS:
+            assert suite(app), f"no instances registered for {app}"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            suite("sudoku")
+
+    def test_maxclique_suite_has_18_instances(self):
+        # Table 1 compares 18 instances.
+        assert len(suite("maxclique")) == 18
+
+
+class TestSpecFor:
+    def test_returns_spec_and_type(self):
+        spec, stype, kwargs = spec_for("sanr90-1")
+        assert isinstance(spec, SearchSpec)
+        assert stype == "optimisation"
+        assert kwargs == {}
+
+    def test_decision_instances_carry_target(self):
+        spec, stype, kwargs = spec_for("kclique-planted-80")
+        assert stype == "decision"
+        assert kwargs["target"] == 18
+
+    def test_every_instance_spec_builds(self):
+        for name in instance_names():
+            spec, stype, kwargs = spec_for(name)
+            assert spec.name
+            gen = spec.children_of(spec.root)
+            assert hasattr(gen, "has_next")
+
+    def test_enumeration_suites(self):
+        for name in suite("uts") + suite("ns"):
+            _, stype, _ = spec_for(name)
+            assert stype == "enumeration"

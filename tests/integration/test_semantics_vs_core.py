@@ -1,0 +1,123 @@
+"""Integration: the production skeletons agree with the formal model.
+
+The same search problem is run through (a) the abstract machine of
+:mod:`repro.semantics` over a materialised tree, and (b) the production
+skeletons of :mod:`repro.core` over an equivalent SearchSpec.  Both are
+instances of the paper's model, so their results must coincide — for
+every search type and coordination.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nodegen import ListNodeGenerator
+from repro.core.params import SkeletonParams
+from repro.core.searchtypes import Decision, Enumeration, Optimisation
+from repro.core.sequential import sequential_search
+from repro.core.space import SearchSpec
+from repro.semantics.machine import (
+    DECISION,
+    ENUMERATION,
+    OPTIMISATION,
+    Machine,
+    SearchProblem,
+)
+from repro.semantics.monoids import BoundedMaxMonoid, MaxMonoid, SumMonoid
+from repro.semantics.tree import OrderedTree
+from repro.semantics.words import EPSILON
+
+
+def close_under_prefix(words):
+    nodes = {EPSILON}
+    for w in words:
+        for i in range(len(w) + 1):
+            nodes.add(w[:i])
+    return nodes
+
+
+trees = st.lists(
+    st.lists(st.sampled_from("abc"), max_size=4).map(tuple), max_size=10
+).map(lambda ws: OrderedTree.from_nodes(close_under_prefix(ws)))
+
+seeds = st.integers(min_value=0, max_value=2**32)
+
+
+def spec_of_tree(tree: OrderedTree, h) -> SearchSpec:
+    """A SearchSpec whose Lazy Node Generator walks the materialised tree."""
+    return SearchSpec(
+        name="semantics-mirror",
+        space=tree,
+        root=EPSILON,
+        generator=lambda t, node: ListNodeGenerator(list(t.children(node))),
+        objective=h,
+    )
+
+
+def h_of(tree, seed):
+    values = {w: hash((w, seed)) % 11 for w in tree.nodes}
+    return values.__getitem__
+
+
+class TestEnumerationAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(trees, seeds, seeds)
+    def test_sequential_matches_machine(self, tree, hseed, mseed):
+        h = h_of(tree, hseed)
+        machine = Machine(
+            SearchProblem(ENUMERATION, SumMonoid(), h),
+            spawn_policy="any",
+            seed=mseed,
+        )
+        model = machine.search(tree, n_threads=3, max_steps=100_000)
+        core = sequential_search(spec_of_tree(tree, h), Enumeration()).value
+        assert core == model
+
+    @settings(max_examples=15, deadline=None)
+    @given(trees, seeds)
+    def test_parallel_skeleton_matches_machine(self, tree, hseed):
+        h = h_of(tree, hseed)
+        machine = Machine(
+            SearchProblem(ENUMERATION, SumMonoid(), h), spawn_policy="depth", d_cutoff=1
+        )
+        model = machine.search(tree, n_threads=2, max_steps=100_000)
+        from repro import search
+
+        core = search(
+            spec_of_tree(tree, h),
+            skeleton="budget",
+            search_type="enumeration",
+            params=SkeletonParams(localities=1, workers_per_locality=3, budget=2),
+        ).value
+        assert core == model
+
+
+class TestOptimisationAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(trees, seeds, seeds)
+    def test_max_value_agrees(self, tree, hseed, mseed):
+        h = h_of(tree, hseed)
+        machine = Machine(
+            SearchProblem(OPTIMISATION, MaxMonoid(), h),
+            spawn_policy="stack",
+            seed=mseed,
+        )
+        model_best = machine.search(tree, n_threads=2, max_steps=100_000)
+        core = sequential_search(spec_of_tree(tree, h), Optimisation())
+        assert core.value == h(model_best)
+
+
+class TestDecisionAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(trees, seeds)
+    def test_depth_decision_agrees(self, tree, mseed):
+        k = 2
+        h = lambda w: min(len(w), k)  # noqa: E731
+        machine = Machine(
+            SearchProblem(DECISION, BoundedMaxMonoid(k), h),
+            spawn_policy="budget",
+            k_budget=1,
+            seed=mseed,
+        )
+        model_best = machine.search(tree, n_threads=2, max_steps=100_000)
+        core = sequential_search(spec_of_tree(tree, h), Decision(target=k))
+        assert core.found == (h(model_best) >= k)

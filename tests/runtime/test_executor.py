@@ -1,0 +1,219 @@
+"""Tests for the simulated cluster executor.
+
+The key contract: every parallel coordination, on any topology and seed,
+computes the same search outcome as the Sequential skeleton — while the
+metrics show the coordination actually happened (spawns, steals).
+"""
+
+import pytest
+
+from repro.core.params import SkeletonParams
+from repro.core.searchtypes import Decision, Enumeration, Optimisation
+from repro.core.sequential import sequential_search
+from repro.core.tasks import BUDGET, DEPTH, STACK
+from repro.runtime.costmodel import CostModel
+from repro.runtime.executor import SimulatedCluster, virtual_sequential_time
+from repro.runtime.topology import Topology
+
+from tests.conftest import make_toy_spec
+
+
+def wide_spec(width=6, depth=3):
+    """A regular tree: width^depth leaves, every node value 1."""
+    children = {}
+    values = {"root": 1}
+
+    def grow(name, d):
+        if d == depth:
+            return
+        kids = [f"{name}/{i}" for i in range(width)]
+        children[name] = kids
+        for k in kids:
+            values[k] = 1
+            grow(k, d + 1)
+
+    grow("root", 0)
+    return make_toy_spec(children, values, with_bound=False)
+
+
+def cluster(localities=2, workers=3, **cost_kwargs):
+    return SimulatedCluster(
+        Topology(localities=localities, workers_per_locality=workers),
+        CostModel(**cost_kwargs) if cost_kwargs else None,
+    )
+
+
+POLICIES = [
+    (DEPTH, SkeletonParams(d_cutoff=2)),
+    (BUDGET, SkeletonParams(budget=3)),
+    (STACK, SkeletonParams(chunked=True)),
+    (STACK, SkeletonParams(chunked=False)),
+]
+
+
+class TestEnumerationEquivalence:
+    @pytest.mark.parametrize("policy,params", POLICIES)
+    def test_counts_match_sequential(self, policy, params):
+        spec = wide_spec()
+        seq = sequential_search(spec, Enumeration())
+        res = cluster().run(spec, Enumeration(), policy, params)
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes  # no pruning -> same tree
+
+    @pytest.mark.parametrize("policy,params", POLICIES)
+    def test_single_worker_cluster(self, policy, params):
+        spec = wide_spec(width=3, depth=3)
+        seq = sequential_search(spec, Enumeration())
+        res = cluster(localities=1, workers=1).run(spec, Enumeration(), policy, params)
+        assert res.value == seq.value
+
+
+class TestOptimisationEquivalence:
+    @pytest.mark.parametrize("policy,params", POLICIES)
+    def test_optimum_matches_sequential(self, toy_spec, policy, params):
+        seq = sequential_search(toy_spec, Optimisation())
+        res = cluster().run(toy_spec, Optimisation(), policy, params)
+        assert res.value == seq.value == 7
+
+    @pytest.mark.parametrize("policy,params", POLICIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_optimum_stable_across_seeds(self, toy_spec, policy, params, seed):
+        res = cluster().run(toy_spec, Optimisation(), policy, params.with_(seed=seed))
+        assert res.value == 7
+
+
+class TestDecisionEquivalence:
+    @pytest.mark.parametrize("policy,params", POLICIES)
+    def test_found(self, toy_spec, policy, params):
+        res = cluster().run(toy_spec, Decision(target=5), policy, params)
+        assert res.found is True
+        assert res.value == 5
+
+    @pytest.mark.parametrize("policy,params", POLICIES)
+    def test_refuted(self, policy, params):
+        spec = wide_spec(width=3, depth=2)  # all values 1
+        res = cluster().run(spec, Decision(target=2), policy, params)
+        assert res.found is False
+
+    def test_goal_stops_simulation_early(self, toy_spec):
+        res = cluster().run(toy_spec, Decision(target=5), DEPTH, SkeletonParams(d_cutoff=1))
+        full = cluster().run(toy_spec, Optimisation(), DEPTH, SkeletonParams(d_cutoff=1))
+        assert res.metrics.nodes <= full.metrics.nodes
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy,params", POLICIES)
+    def test_same_seed_same_run(self, policy, params):
+        spec = wide_spec(width=4, depth=3)
+        a = cluster().run(spec, Enumeration(), policy, params)
+        b = cluster().run(spec, Enumeration(), policy, params)
+        assert a.virtual_time == b.virtual_time
+        assert a.metrics.steals == b.metrics.steals
+        assert a.per_worker_busy == b.per_worker_busy
+
+    def test_different_seeds_change_schedule(self):
+        # Stack-Stealing picks victims at random, so the seed must be
+        # able to change the schedule (on a 2-locality pool topology the
+        # only remote choice is forced, hence the stack policy here).
+        spec = wide_spec(width=4, depth=4)
+        params = SkeletonParams(chunked=False)
+        times = {
+            cluster(localities=1, workers=6)
+            .run(spec, Enumeration(), STACK, params.with_(seed=s))
+            .virtual_time
+            for s in range(8)
+        }
+        assert len(times) > 1  # victim selection actually randomises
+
+
+class TestCoordinationBehaviour:
+    def test_depthbounded_spawns_all_nodes_above_cutoff(self):
+        spec = wide_spec(width=3, depth=3)
+        res = cluster().run(spec, Enumeration(), DEPTH, SkeletonParams(d_cutoff=2))
+        # nodes at depths 1 and 2: 3 + 9
+        assert res.metrics.spawns == 12
+
+    def test_budget_spawn_counts_grow_as_budget_shrinks(self):
+        spec = wide_spec(width=4, depth=4)
+        lo = cluster().run(spec, Enumeration(), BUDGET, SkeletonParams(budget=2))
+        hi = cluster().run(spec, Enumeration(), BUDGET, SkeletonParams(budget=500))
+        assert lo.metrics.spawns > hi.metrics.spawns
+
+    def test_stack_steals_happen(self):
+        spec = wide_spec(width=5, depth=4)
+        res = cluster().run(spec, Enumeration(), STACK, SkeletonParams())
+        assert res.metrics.steals > 0
+
+    def test_parallel_beats_sequential_virtual_time(self):
+        spec = wide_spec(width=5, depth=4)  # 781 nodes
+        seq_time, _ = virtual_sequential_time(spec, Enumeration())
+        res = cluster(localities=1, workers=8).run(
+            spec, Enumeration(), DEPTH, SkeletonParams(d_cutoff=1)
+        )
+        assert res.virtual_time < seq_time
+
+    def test_more_workers_not_slower_on_regular_tree(self):
+        spec = wide_spec(width=5, depth=4)
+        params = SkeletonParams(d_cutoff=2)
+        t2 = cluster(localities=1, workers=2).run(spec, Enumeration(), DEPTH, params).virtual_time
+        t8 = cluster(localities=1, workers=8).run(spec, Enumeration(), DEPTH, params).virtual_time
+        assert t8 < t2
+
+    def test_busy_time_bounded_by_makespan(self):
+        spec = wide_spec(width=4, depth=3)
+        res = cluster().run(spec, Enumeration(), DEPTH, SkeletonParams(d_cutoff=1))
+        assert all(b <= res.virtual_time + 1e-9 for b in res.per_worker_busy)
+
+    def test_remote_latency_hurts(self):
+        spec = wide_spec(width=4, depth=4)
+        params = SkeletonParams(d_cutoff=2)
+        fast = SimulatedCluster(
+            Topology(4, 2), CostModel(steal_latency_remote=2.0, broadcast_latency_remote=2.0)
+        ).run(spec, Enumeration(), DEPTH, params)
+        slow = SimulatedCluster(
+            Topology(4, 2), CostModel(steal_latency_remote=500.0, broadcast_latency_remote=500.0)
+        ).run(spec, Enumeration(), DEPTH, params)
+        assert slow.virtual_time > fast.virtual_time
+
+
+class TestVirtualSequentialTime:
+    def test_prices_nodes_and_backtracks(self, toy_spec):
+        cost = CostModel(node_cost=1.0, framework_node_overhead=0.0, backtrack_cost=0.5)
+        t, res = virtual_sequential_time(toy_spec, Enumeration(), cost)
+        assert t == pytest.approx(
+            res.metrics.nodes * 1.0 + res.metrics.backtracks * 0.5
+        )
+
+    def test_specialised_is_cheaper(self, toy_spec):
+        generic, _ = virtual_sequential_time(toy_spec, Enumeration())
+        special, _ = virtual_sequential_time(toy_spec, Enumeration(), specialised=True)
+        assert special < generic
+
+
+class TestGuards:
+    def test_sequential_policy_rejected_on_cluster(self, toy_spec):
+        with pytest.raises(ValueError):
+            cluster().run(toy_spec, Enumeration(), "seq", SkeletonParams())
+
+
+class TestEnumerationMonoidAcrossWorkers:
+    """Regression: per-worker accumulators must merge with the monoid
+    plus — a leaf-indicator objective (solution counting) must give the
+    same count on any topology."""
+
+    def test_solution_counting_parallel(self):
+        spec = wide_spec(width=3, depth=3)  # 27 leaves at depth 3
+        stype = Enumeration(objective=lambda n: 1 if n.count("/") == 3 else 0)
+        seq = sequential_search(spec, stype)
+        assert seq.value == 27
+        for policy, params in POLICIES:
+            res = cluster().run(spec, stype, policy, params)
+            assert res.value == 27, policy
+
+    def test_custom_max_monoid_parallel(self):
+        spec = wide_spec(width=3, depth=3)
+        stype = Enumeration(plus=max, zero=-1, objective=lambda n: len(n))
+        seq = sequential_search(spec, stype)
+        for policy, params in POLICIES:
+            res = cluster().run(spec, stype, policy, params)
+            assert res.value == seq.value, policy

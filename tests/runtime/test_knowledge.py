@@ -1,0 +1,76 @@
+"""Tests for delayed incumbent broadcast (§4.3 knowledge management)."""
+
+from repro.core.searchtypes import Decision, Incumbent, Optimisation
+from repro.runtime.costmodel import CostModel
+from repro.runtime.knowledge import KnowledgeManager
+from repro.runtime.sim import Simulator
+from repro.runtime.topology import Topology
+
+
+def make_km(stype=None, localities=2, on_goal=None):
+    sim = Simulator()
+    km = KnowledgeManager(
+        stype or Optimisation(),
+        Incumbent(0, "root"),
+        Topology(localities=localities, workers_per_locality=1),
+        CostModel(broadcast_latency_local=1.0, broadcast_latency_remote=10.0),
+        sim,
+        on_goal,
+    )
+    return sim, km
+
+
+class TestBroadcastDelay:
+    def test_publish_updates_global_immediately(self):
+        sim, km = make_km()
+        km.publish(0, Incumbent(5, "x"))
+        assert km.global_best.value == 5
+        # but no locality view has changed yet
+        assert km.view(0).value == 0
+        assert km.view(1).value == 0
+
+    def test_local_view_updates_after_local_latency(self):
+        sim, km = make_km()
+        km.publish(0, Incumbent(5, "x"))
+        sim.at(2.0, sim.stop)  # run past local latency only
+        sim.run()
+        assert km.view(0).value == 5
+        assert km.view(1).value == 0  # remote latency (10) not reached
+
+    def test_remote_view_updates_after_remote_latency(self):
+        sim, km = make_km()
+        km.publish(0, Incumbent(5, "x"))
+        sim.run()
+        assert km.view(1).value == 5
+
+    def test_out_of_order_arrivals_never_regress(self):
+        sim, km = make_km()
+        km.publish(0, Incumbent(5, "x"))
+        km.publish(1, Incumbent(3, "y"))  # weaker, published elsewhere
+        sim.run()
+        assert km.view(0).value == 5
+        assert km.view(1).value == 5
+        assert km.global_best.value == 5
+
+    def test_broadcast_counter(self):
+        sim, km = make_km()
+        km.publish(0, Incumbent(1, "a"))
+        km.publish(1, Incumbent(2, "b"))
+        assert km.broadcasts == 2
+
+
+class TestGoalCallback:
+    def test_on_goal_fires_at_target(self):
+        hits = []
+        sim, km = make_km(stype=Decision(target=4), on_goal=hits.append)
+        km.publish(0, Incumbent(3, "x"))
+        assert hits == []
+        km.publish(1, Incumbent(4, "y"))
+        assert len(hits) == 1
+        assert hits[0].value == 4
+
+    def test_on_goal_not_fired_for_optimisation(self):
+        hits = []
+        sim, km = make_km(on_goal=hits.append)
+        km.publish(0, Incumbent(100, "x"))
+        assert hits == []

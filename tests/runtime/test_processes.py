@@ -1,0 +1,107 @@
+"""Tests for the multiprocessing Depth-Bounded backend.
+
+Factories must be top-level (picklable) — that constraint is part of
+the backend's contract and these tests exercise it for real.
+"""
+
+import pytest
+
+from repro.core.searchtypes import Decision, Enumeration, Optimisation
+from repro.core.sequential import sequential_search
+from repro.runtime.processes import multiprocessing_depthbounded_search
+
+
+# -- top-level picklable factories -----------------------------------------
+
+
+def clique_spec_factory(n, p, seed):
+    """Rebuild a MaxClique spec from instance parameters."""
+    from repro.apps.maxclique import maxclique_spec
+    from repro.instances.graphs import uniform_graph
+
+    return maxclique_spec(uniform_graph(n, p, seed))
+
+
+def uts_spec_factory(b0, depth, seed):
+    """Rebuild a UTS spec from instance parameters."""
+    from repro.apps.uts import UTSInstance, uts_spec
+
+    return uts_spec(UTSInstance(shape="geometric", b0=b0, max_depth=depth, seed=seed))
+
+
+def optimisation_factory():
+    """Top-level Optimisation constructor (picklable)."""
+    return Optimisation()
+
+
+def enumeration_factory():
+    """Top-level Enumeration constructor (picklable)."""
+    return Enumeration()
+
+
+def decision_factory(target):
+    """Top-level Decision constructor (picklable)."""
+    return Decision(target=target)
+
+
+CLIQUE_ARGS = (35, 0.5, 9)
+
+
+class TestCorrectness:
+    def test_optimisation_matches_sequential(self):
+        seq = sequential_search(clique_spec_factory(*CLIQUE_ARGS), Optimisation())
+        res = multiprocessing_depthbounded_search(
+            clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+            n_processes=2, d_cutoff=1,
+        )
+        assert res.value == seq.value
+
+    def test_enumeration_matches_sequential(self):
+        args = (3.0, 6, 11)
+        seq = sequential_search(uts_spec_factory(*args), Enumeration())
+        res = multiprocessing_depthbounded_search(
+            uts_spec_factory, args, enumeration_factory,
+            n_processes=3, d_cutoff=2,
+        )
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes
+
+    def test_decision_found(self):
+        seq = sequential_search(clique_spec_factory(*CLIQUE_ARGS), Optimisation())
+        res = multiprocessing_depthbounded_search(
+            clique_spec_factory, CLIQUE_ARGS, decision_factory, (seq.value,),
+            n_processes=2, d_cutoff=1,
+        )
+        assert res.found is True
+        assert res.value == seq.value
+
+    def test_decision_refuted(self):
+        seq = sequential_search(clique_spec_factory(*CLIQUE_ARGS), Optimisation())
+        res = multiprocessing_depthbounded_search(
+            clique_spec_factory, CLIQUE_ARGS, decision_factory, (seq.value + 1,),
+            n_processes=2, d_cutoff=1,
+        )
+        assert res.found is False
+
+    def test_single_process(self):
+        seq = sequential_search(clique_spec_factory(*CLIQUE_ARGS), Optimisation())
+        res = multiprocessing_depthbounded_search(
+            clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+            n_processes=1, d_cutoff=2,
+        )
+        assert res.value == seq.value
+
+    def test_bad_process_count(self):
+        with pytest.raises(ValueError):
+            multiprocessing_depthbounded_search(
+                clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+                n_processes=0,
+            )
+
+    def test_workers_reported(self):
+        res = multiprocessing_depthbounded_search(
+            clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+            n_processes=3, d_cutoff=1,
+        )
+        assert res.workers == 3
+        assert res.wall_time is not None

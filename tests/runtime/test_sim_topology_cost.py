@@ -1,0 +1,130 @@
+"""Tests for the simulation engine, topology and cost model."""
+
+import pytest
+
+from repro.runtime.costmodel import CostModel
+from repro.runtime.sim import Simulator
+from repro.runtime.topology import Topology
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(5.0, lambda: log.append("late"))
+        sim.at(1.0, lambda: log.append("early"))
+        sim.run()
+        assert log == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append("first"))
+        sim.at(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: sim.at(2.0, lambda: log.append(sim.now)))
+        sim.run()
+        assert log == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.at(-1.0, lambda: None)
+
+    def test_stop_discards_pending(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, sim.stop)
+        sim.at(2.0, lambda: log.append("never"))
+        executed = sim.run()
+        assert log == []
+        assert executed == 1
+        assert sim.stopped
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def respawn():
+            sim.at(1.0, respawn)
+
+        sim.at(0.0, respawn)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=50)
+
+    def test_run_returns_event_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.at(i, lambda: None)
+        assert sim.run() == 5
+
+
+class TestTopology:
+    def test_total_workers(self):
+        t = Topology(localities=3, workers_per_locality=5)
+        assert t.total_workers == 15
+
+    def test_locality_of(self):
+        t = Topology(localities=2, workers_per_locality=4)
+        assert t.locality_of(0) == 0
+        assert t.locality_of(3) == 0
+        assert t.locality_of(4) == 1
+        assert t.locality_of(7) == 1
+
+    def test_workers_of(self):
+        t = Topology(localities=2, workers_per_locality=3)
+        assert list(t.workers_of(1)) == [3, 4, 5]
+
+    def test_is_local(self):
+        t = Topology(localities=2, workers_per_locality=2)
+        assert t.is_local(0, 1)
+        assert not t.is_local(1, 2)
+
+    def test_out_of_range_rejected(self):
+        t = Topology(localities=1, workers_per_locality=2)
+        with pytest.raises(ValueError):
+            t.locality_of(2)
+        with pytest.raises(ValueError):
+            t.workers_of(1)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(localities=0)
+        with pytest.raises(ValueError):
+            Topology(workers_per_locality=0)
+
+
+class TestCostModel:
+    def test_per_node_includes_framework_overhead(self):
+        c = CostModel(node_cost=1.0, framework_node_overhead=0.1)
+        assert c.per_node() == pytest.approx(1.1)
+        assert c.per_node(3) == pytest.approx(3.3)
+
+    def test_specialised_strips_overhead(self):
+        c = CostModel(framework_node_overhead=0.2)
+        s = c.specialised()
+        assert s.framework_node_overhead == 0.0
+        assert s.node_cost == c.node_cost
+
+    def test_steal_latency_selects_tier(self):
+        c = CostModel(steal_latency_local=2.0, steal_latency_remote=20.0)
+        assert c.steal_latency(local=True) == 2.0
+        assert c.steal_latency(local=False) == 20.0
+
+    def test_broadcast_latency_selects_tier(self):
+        c = CostModel(broadcast_latency_local=1.0, broadcast_latency_remote=9.0)
+        assert c.broadcast_latency(local=True) == 1.0
+        assert c.broadcast_latency(local=False) == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(node_cost=0.0)
+        with pytest.raises(ValueError):
+            CostModel(spawn_cost=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(steal_retry_backoff=10.0, steal_retry_cap=1.0)

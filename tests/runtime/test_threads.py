@@ -1,0 +1,110 @@
+"""Tests for the real-thread Depth-Bounded backend."""
+
+import pytest
+
+from repro.core.searchtypes import Decision, Enumeration, Optimisation
+from repro.core.sequential import sequential_search
+from repro.runtime.threads import threaded_depthbounded_search
+
+from tests.conftest import make_toy_spec
+
+
+def wide_spec(width=4, depth=4):
+    children = {}
+    values = {"root": 1}
+
+    def grow(name, d):
+        if d == depth:
+            return
+        kids = [f"{name}/{i}" for i in range(width)]
+        children[name] = kids
+        for k in kids:
+            values[k] = 1
+            grow(k, d + 1)
+
+    grow("root", 0)
+    return make_toy_spec(children, values, with_bound=False)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("cutoff", [1, 2])
+    def test_counts_match_sequential(self, threads, cutoff):
+        spec = wide_spec()
+        seq = sequential_search(spec, Enumeration())
+        res = threaded_depthbounded_search(
+            spec, Enumeration(), n_threads=threads, d_cutoff=cutoff
+        )
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes
+
+    def test_solution_counting(self):
+        spec = wide_spec(width=3, depth=3)
+        stype = Enumeration(objective=lambda n: 1 if n.count("/") == 3 else 0)
+        res = threaded_depthbounded_search(spec, stype, n_threads=3)
+        assert res.value == 27
+
+
+class TestOptimisation:
+    def test_matches_sequential(self, toy_spec):
+        seq = sequential_search(toy_spec, Optimisation())
+        res = threaded_depthbounded_search(toy_spec, Optimisation(), n_threads=3)
+        assert res.value == seq.value
+
+    def test_real_instance(self):
+        from repro.apps.maxclique import maxclique_spec
+        from repro.instances.graphs import uniform_graph
+
+        spec = maxclique_spec(uniform_graph(35, 0.5, seed=3))
+        seq = sequential_search(spec, Optimisation())
+        res = threaded_depthbounded_search(spec, Optimisation(), n_threads=4)
+        assert res.value == seq.value
+
+
+class TestDecision:
+    def test_found(self, toy_spec):
+        res = threaded_depthbounded_search(
+            toy_spec, Decision(target=5), n_threads=2, d_cutoff=1
+        )
+        assert res.found is True
+        assert res.value == 5
+
+    def test_refuted(self):
+        spec = wide_spec(width=3, depth=2)
+        res = threaded_depthbounded_search(spec, Decision(target=2), n_threads=2)
+        assert res.found is False
+
+    def test_goal_cuts_off_outstanding_tasks(self):
+        # With the goal met, later subtrees bail out early: total nodes
+        # stay below the exhaustive count.  Objective = node depth.
+        children = {}
+
+        def grow(name, d):
+            if d == 4:
+                return
+            kids = [f"{name}/{i}" for i in range(4)]
+            children[name] = kids
+            for k in kids:
+                grow(k, d + 1)
+
+        grow("root", 0)
+        values = {"root": 0}
+        values.update({n: n.count("/") for ns in children.values() for n in ns})
+        spec = make_toy_spec(children, values, with_bound=False)
+        res = threaded_depthbounded_search(
+            spec, Decision(target=4), n_threads=1, d_cutoff=1
+        )
+        exhaustive = sequential_search(spec, Enumeration())
+        assert res.found is True
+        assert res.metrics.nodes < exhaustive.metrics.nodes
+
+
+class TestValidation:
+    def test_bad_thread_count(self, toy_spec):
+        with pytest.raises(ValueError):
+            threaded_depthbounded_search(toy_spec, Optimisation(), n_threads=0)
+
+    def test_workers_reported(self, toy_spec):
+        res = threaded_depthbounded_search(toy_spec, Optimisation(), n_threads=5)
+        assert res.workers == 5
+        assert res.wall_time is not None

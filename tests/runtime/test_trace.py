@@ -1,0 +1,136 @@
+"""Tests for execution tracing and its renderings."""
+
+import pytest
+
+from repro.core.params import SkeletonParams
+from repro.core.searchtypes import Enumeration, Optimisation
+from repro.core.tasks import DEPTH, STACK
+from repro.runtime.executor import SimulatedCluster
+from repro.runtime.topology import Topology
+from repro.runtime.trace import Trace, render_gantt, utilisation_timeline
+
+from tests.conftest import make_toy_spec
+
+
+def wide_spec(width=5, depth=3):
+    children = {}
+    values = {"root": 1}
+
+    def grow(name, d):
+        if d == depth:
+            return
+        kids = [f"{name}/{i}" for i in range(width)]
+        children[name] = kids
+        for k in kids:
+            values[k] = 1
+            grow(k, d + 1)
+
+    grow("root", 0)
+    return make_toy_spec(children, values, with_bound=False)
+
+
+def traced_run(policy=DEPTH, params=None, stype=None, spec=None):
+    cluster = SimulatedCluster(Topology(2, 3), trace=True)
+    return cluster.run(
+        spec if spec is not None else wide_spec(),
+        stype if stype is not None else Enumeration(),
+        policy,
+        params if params is not None else SkeletonParams(d_cutoff=1),
+    )
+
+
+class TestTraceCollection:
+    def test_trace_attached_when_enabled(self):
+        res = traced_run()
+        assert res.trace is not None
+        assert res.trace.makespan == res.virtual_time
+
+    def test_trace_absent_by_default(self):
+        cluster = SimulatedCluster(Topology(1, 2))
+        res = cluster.run(wide_spec(), Enumeration(), DEPTH, SkeletonParams(d_cutoff=1))
+        assert res.trace is None
+
+    def test_intervals_cover_all_nodes(self):
+        res = traced_run()
+        assert sum(i.nodes for i in res.trace.intervals) == res.metrics.nodes
+
+    def test_intervals_within_makespan(self):
+        res = traced_run()
+        for i in res.trace.intervals:
+            assert 0.0 <= i.start <= i.end
+            assert i.end <= res.trace.makespan + 1e-9
+
+    def test_busy_time_close_to_reported(self):
+        res = traced_run()
+        for w in range(res.workers):
+            # trace intervals include scheduling/idle-free execution only,
+            # so they can't exceed the worker's accounted busy time by
+            # more than scheduling costs
+            assert res.trace.busy_time(w) <= res.virtual_time + 1e-9
+
+    def test_stack_policy_traced(self):
+        res = traced_run(policy=STACK, params=SkeletonParams(chunked=True))
+        assert sum(i.nodes for i in res.trace.intervals) == res.metrics.nodes
+
+    def test_improvements_recorded_for_optimisation(self, toy_spec):
+        res = traced_run(spec=toy_spec, stype=Optimisation(),
+                         params=SkeletonParams(d_cutoff=1))
+        assert res.trace.improvements
+        times = [t for t, _ in res.trace.improvements]
+        assert all(0 <= t <= res.trace.makespan for t in times)
+        values = [v for _, v in res.trace.improvements]
+        assert max(values) == res.value
+
+    def test_ramp_up_time(self):
+        # d_cutoff=2 spawns 30 tasks: plenty for all 6 workers.
+        res = traced_run(params=SkeletonParams(d_cutoff=2))
+        ramp = res.trace.ramp_up_time()
+        assert ramp is not None
+        assert 0 < ramp <= res.trace.makespan
+
+    def test_ramp_up_none_when_starved(self):
+        # Only 5 depth-1 tasks for 6 workers: someone never works.
+        res = traced_run(params=SkeletonParams(d_cutoff=1))
+        assert res.trace.ramp_up_time() is None
+
+
+class TestTraceValidation:
+    def test_backwards_interval_rejected(self):
+        t = Trace(workers=1)
+        with pytest.raises(ValueError):
+            t.record_interval(0, 5.0, 4.0, nodes=1)
+
+
+class TestRenderings:
+    def test_utilisation_timeline_bounds(self):
+        res = traced_run()
+        util = utilisation_timeline(res.trace, buckets=10)
+        assert len(util) == 10
+        assert all(0.0 <= u <= 1.0 for u in util)
+        assert max(util) > 0.0
+
+    def test_utilisation_empty_trace(self):
+        t = Trace(workers=2)
+        assert utilisation_timeline(t, buckets=5) == [0.0] * 5
+
+    def test_utilisation_bad_buckets(self):
+        with pytest.raises(ValueError):
+            utilisation_timeline(Trace(workers=1), buckets=0)
+
+    def test_gantt_renders_rows(self):
+        res = traced_run()
+        art = render_gantt(res.trace, width=40)
+        lines = art.splitlines()
+        assert lines[0].startswith("w0  |")
+        assert any("#" in line for line in lines)
+        assert any(line.startswith("util|") for line in lines)
+
+    def test_gantt_empty(self):
+        assert render_gantt(Trace(workers=1)) == "(empty trace)"
+
+    def test_gantt_truncates_many_workers(self):
+        cluster = SimulatedCluster(Topology(4, 15), trace=True)
+        res = cluster.run(wide_spec(width=6, depth=3), Enumeration(), DEPTH,
+                          SkeletonParams(d_cutoff=2))
+        art = render_gantt(res.trace, width=30, max_workers=8)
+        assert "more workers" in art

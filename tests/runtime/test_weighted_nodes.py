@@ -1,0 +1,95 @@
+"""Tests for per-node cost weights (SearchSpec.node_size).
+
+Node-processing cost is not uniform in real searches (a MaxClique node
+colours its candidate set; an NS node scans for minimal generators).
+``node_size`` lets a spec declare relative node weights, which the
+sequential baseline and the simulator both price — so cost-model time
+reflects where the work actually is.
+"""
+
+import pytest
+
+from repro.core.nodegen import ListNodeGenerator
+from repro.core.params import SkeletonParams
+from repro.core.searchtypes import Enumeration
+from repro.core.sequential import sequential_search, sequential_search_stepped
+from repro.core.space import SearchSpec
+from repro.core.tasks import DEPTH, STACK
+from repro.runtime.executor import SimulatedCluster, virtual_sequential_time
+from repro.runtime.topology import Topology
+
+
+def weighted_spec(heavy_weight=100):
+    """Root with two children: one heavy, one light, each with 3 leaves."""
+    children = {
+        "root": ["heavy", "light"],
+        "heavy": ["h1", "h2", "h3"],
+        "light": ["l1", "l2", "l3"],
+    }
+    weights = {"root": 1, "heavy": heavy_weight, "light": 1,
+               "h1": heavy_weight, "h2": heavy_weight, "h3": heavy_weight,
+               "l1": 1, "l2": 1, "l3": 1}
+    return SearchSpec(
+        name="weighted",
+        space=None,
+        root="root",
+        generator=lambda s, n: ListNodeGenerator(list(children.get(n, []))),
+        objective=lambda n: 1,
+        node_size=weights.__getitem__,
+    )
+
+
+class TestSequentialWeights:
+    def test_weighted_nodes_accumulated(self):
+        res = sequential_search(weighted_spec(100), Enumeration())
+        assert res.metrics.nodes == 9
+        assert res.metrics.weighted_nodes == 1 + 100 + 1 + 3 * 100 + 3
+
+    def test_unweighted_specs_unchanged(self, toy_spec):
+        res = sequential_search(toy_spec, Enumeration())
+        assert res.metrics.weighted_nodes == res.metrics.nodes
+
+    def test_drivers_agree_on_weights(self):
+        spec = weighted_spec(7)
+        a = sequential_search(spec, Enumeration())
+        b = sequential_search_stepped(spec, Enumeration())
+        assert a.metrics.weighted_nodes == b.metrics.weighted_nodes
+
+    def test_baseline_prices_weights(self):
+        spec = weighted_spec(100)
+        heavy_time, _ = virtual_sequential_time(spec, Enumeration())
+        light_time, _ = virtual_sequential_time(weighted_spec(1), Enumeration())
+        assert heavy_time > 10 * light_time
+
+
+class TestSimulatedWeights:
+    @pytest.mark.parametrize("policy", [DEPTH, STACK])
+    def test_makespan_reflects_heavy_nodes(self, policy):
+        heavy = SimulatedCluster(Topology(1, 2)).run(
+            weighted_spec(100), Enumeration(), policy, SkeletonParams(d_cutoff=1)
+        )
+        light = SimulatedCluster(Topology(1, 2)).run(
+            weighted_spec(1), Enumeration(), policy, SkeletonParams(d_cutoff=1)
+        )
+        assert heavy.virtual_time > 10 * light.virtual_time
+        assert heavy.value == light.value == 9
+
+    def test_weighted_metric_conserved_in_parallel(self):
+        spec = weighted_spec(13)
+        seq = sequential_search(spec, Enumeration())
+        res = SimulatedCluster(Topology(2, 2)).run(
+            spec, Enumeration(), DEPTH, SkeletonParams(d_cutoff=1)
+        )
+        assert res.metrics.weighted_nodes == seq.metrics.weighted_nodes
+
+    def test_parallelism_still_helps_with_weights(self):
+        # The heavy subtree bounds the makespan (critical path), but two
+        # workers still beat one.
+        spec = weighted_spec(50)
+        one = SimulatedCluster(Topology(1, 1)).run(
+            spec, Enumeration(), DEPTH, SkeletonParams(d_cutoff=1)
+        )
+        two = SimulatedCluster(Topology(1, 2)).run(
+            spec, Enumeration(), DEPTH, SkeletonParams(d_cutoff=1)
+        )
+        assert two.virtual_time < one.virtual_time

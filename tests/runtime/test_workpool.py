@@ -1,0 +1,60 @@
+"""Tests for the order-preserving workpool disciplines."""
+
+import pytest
+
+from repro.runtime.workpool import Workpool
+
+
+class TestOrderDiscipline:
+    def test_pops_shallowest_first(self):
+        p = Workpool("order")
+        p.push("deep", depth=5)
+        p.push("shallow", depth=1)
+        assert p.pop() == "shallow"
+        assert p.pop() == "deep"
+
+    def test_ties_by_spawn_order(self):
+        p = Workpool("order")
+        p.push("first", depth=2)
+        p.push("second", depth=2)
+        assert p.pop() == "first"
+        assert p.pop() == "second"
+
+    def test_preserves_heuristic_order_within_depth(self):
+        # Tasks spawned in traversal order come back in traversal order
+        # — the property that deque-based stealing breaks (§2.3).
+        p = Workpool("order")
+        for i in range(10):
+            p.push(f"t{i}", depth=3)
+        assert [p.pop() for _ in range(10)] == [f"t{i}" for i in range(10)]
+
+
+class TestLifoDiscipline:
+    def test_most_recent_first(self):
+        p = Workpool("lifo")
+        p.push("old", depth=1)
+        p.push("new", depth=9)
+        assert p.pop() == "new"
+
+
+class TestFifoDiscipline:
+    def test_spawn_order_ignores_depth(self):
+        p = Workpool("fifo")
+        p.push("deep-but-first", depth=9)
+        p.push("shallow-later", depth=0)
+        assert p.pop() == "deep-but-first"
+
+
+class TestCommon:
+    def test_empty_pop_returns_none(self):
+        assert Workpool().pop() is None
+
+    def test_len_and_bool(self):
+        p = Workpool()
+        assert not p and len(p) == 0
+        p.push("t", depth=0)
+        assert p and len(p) == 1
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            Workpool("random")

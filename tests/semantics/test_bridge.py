@@ -1,0 +1,93 @@
+"""Tests for running real applications through the formal machine."""
+
+import pytest
+
+from repro.core.searchtypes import Decision, Enumeration, Optimisation
+from repro.core.sequential import sequential_search
+from repro.semantics.bridge import machine_search, materialise_spec
+from repro.semantics.words import EPSILON
+
+
+@pytest.fixture
+def clique_spec():
+    from repro.apps.maxclique import maxclique_spec
+    from repro.instances.graphs import uniform_graph
+
+    return maxclique_spec(uniform_graph(12, 0.5, seed=3))
+
+
+@pytest.fixture
+def knapsack_spec_small():
+    from repro.apps.knapsack import knapsack_spec
+    from repro.instances.library import random_knapsack
+
+    return knapsack_spec(random_knapsack(8, 5, kind="strong", max_weight=20))
+
+
+class TestMaterialise:
+    def test_tree_matches_generator_unfold(self, clique_spec):
+        tree, node_of = materialise_spec(clique_spec)
+        assert node_of[EPSILON] is clique_spec.root
+        # every word's children in the tree correspond to generator output
+        for word in tree.preorder():
+            kids = list(clique_spec.children_of(node_of[word]))
+            assert len(tree.children(word)) == len(kids)
+
+    def test_size_guard(self, clique_spec):
+        with pytest.raises(ValueError):
+            materialise_spec(clique_spec, max_nodes=5)
+
+    def test_tree_size_equals_enumeration_count(self, clique_spec):
+        tree, _ = materialise_spec(clique_spec)
+        count = sequential_search(
+            clique_spec, Enumeration(objective=lambda n: 1)
+        ).value
+        assert len(tree) == count
+
+
+class TestMachineSearchAgreesWithSkeletons:
+    def test_enumeration(self, clique_spec):
+        model = machine_search(clique_spec, "enumeration", seed=4)
+        core = sequential_search(clique_spec, Enumeration()).value
+        assert model == core
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_optimisation_maxclique(self, clique_spec, seed):
+        witness = machine_search(clique_spec, "optimisation", seed=seed)
+        core = sequential_search(clique_spec, Optimisation())
+        assert witness.size == core.value
+        assert clique_spec.space.subgraph_is_clique(witness.clique)
+
+    def test_optimisation_knapsack(self, knapsack_spec_small):
+        witness = machine_search(knapsack_spec_small, "optimisation", seed=1)
+        core = sequential_search(knapsack_spec_small, Optimisation())
+        assert witness.profit == core.value
+
+    def test_optimisation_without_pruning(self, clique_spec):
+        witness = machine_search(
+            clique_spec, "optimisation", seed=2, use_pruning=False
+        )
+        core = sequential_search(clique_spec, Optimisation())
+        assert witness.size == core.value
+
+    def test_decision_sat(self, clique_spec):
+        core = sequential_search(clique_spec, Optimisation())
+        witness = machine_search(
+            clique_spec, "decision", target=core.value, seed=3
+        )
+        assert witness.size >= core.value
+
+    def test_decision_unsat(self, clique_spec):
+        core = sequential_search(clique_spec, Optimisation())
+        witness = machine_search(
+            clique_spec, "decision", target=core.value + 1, seed=3
+        )
+        assert witness.size < core.value + 1
+
+    def test_decision_requires_target(self, clique_spec):
+        with pytest.raises(ValueError):
+            machine_search(clique_spec, "decision")
+
+    def test_unknown_kind(self, clique_spec):
+        with pytest.raises(ValueError):
+            machine_search(clique_spec, "portfolio")

@@ -1,0 +1,172 @@
+"""Tests for the reduction-sequence checker.
+
+The headline property: every run the machine produces is certified
+legal by the independent checker — a mechanised cross-check between the
+rule *generator* and the rule *definitions*.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.checker import check_run, judge
+from repro.semantics.generators import tree_of_generator
+from repro.semantics.machine import (
+    DECISION,
+    ENUMERATION,
+    OPTIMISATION,
+    Configuration,
+    Machine,
+    SearchProblem,
+    ThreadState,
+)
+from repro.semantics.monoids import BoundedMaxMonoid, MaxMonoid, SumMonoid
+from repro.semantics.tree import OrderedTree
+from repro.semantics.words import EPSILON
+
+
+def binary_tree(depth=2):
+    return tree_of_generator(lambda w: "ab" if len(w) < depth else "")
+
+
+def close_under_prefix(words):
+    nodes = {EPSILON}
+    for w in words:
+        for i in range(len(w) + 1):
+            nodes.add(w[:i])
+    return nodes
+
+
+trees = st.lists(
+    st.lists(st.sampled_from("abc"), max_size=4).map(tuple), max_size=8
+).map(lambda ws: OrderedTree.from_nodes(close_under_prefix(ws)))
+
+policies = st.sampled_from([None, "any", "depth", "budget", "stack"])
+
+
+def record_run(machine, tree, n_threads):
+    cfg = Configuration.initial(machine.problem, tree, n_threads)
+    run = [cfg]
+    while (nxt := machine.step(cfg)) is not None:
+        run.append(nxt)
+        cfg = nxt
+    return run
+
+
+class TestMachineRunsAreLegal:
+    @settings(max_examples=40, deadline=None)
+    @given(trees, policies, st.integers(0, 2**32), st.integers(1, 3))
+    def test_enumeration_runs_certified(self, tree, policy, seed, n_threads):
+        problem = SearchProblem(ENUMERATION, SumMonoid(), lambda w: 1)
+        machine = Machine(problem, spawn_policy=policy, d_cutoff=1, k_budget=1, seed=seed)
+        run = record_run(machine, tree, n_threads)
+        judgements = check_run(problem, run)
+        assert len(judgements) == len(run) - 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(trees, policies, st.integers(0, 2**32), st.integers(1, 3))
+    def test_optimisation_runs_certified(self, tree, policy, seed, n_threads):
+        problem = SearchProblem(OPTIMISATION, MaxMonoid(), lambda w: len(w))
+        machine = Machine(problem, spawn_policy=policy, d_cutoff=1, k_budget=1, seed=seed)
+        run = record_run(machine, tree, n_threads)
+        check_run(problem, run)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trees, policies, st.integers(0, 2**32))
+    def test_decision_runs_certified(self, tree, policy, seed):
+        k = max(1, max(len(w) for w in tree.nodes))
+        problem = SearchProblem(
+            DECISION, BoundedMaxMonoid(k), lambda w: min(len(w), k)
+        )
+        machine = Machine(problem, spawn_policy=policy, d_cutoff=1, k_budget=1, seed=seed)
+        run = record_run(machine, tree, 2)
+        check_run(problem, run)
+
+    @settings(max_examples=20, deadline=None)
+    @given(trees, st.integers(0, 2**32))
+    def test_pruning_runs_certified(self, tree, seed):
+        h = {w: len(w) for w in tree.nodes}
+        bound = {}
+        for v in reversed(tree.preorder()):
+            bound[v] = max([h[v]] + [bound[c] for c in tree.children(v)])
+        problem = SearchProblem(
+            OPTIMISATION,
+            MaxMonoid(),
+            h.__getitem__,
+            prunes=lambda u, v: bound[v] <= h[u],
+        )
+        machine = Machine(problem, spawn_policy="any", seed=seed)
+        run = record_run(machine, tree, 2)
+        check_run(problem, run)
+
+
+class TestJudgeRejections:
+    """The checker must refuse manufactured illegal steps."""
+
+    def _initial(self, problem, tree=None, n=1):
+        return Configuration.initial(problem, tree or binary_tree(), n)
+
+    def test_rejects_no_change(self):
+        problem = count = SearchProblem(ENUMERATION, SumMonoid(), lambda w: 1)
+        cfg = self._initial(count)
+        verdict = judge(problem, cfg, cfg)
+        assert not verdict.legal
+
+    def test_rejects_wrong_accumulation(self):
+        problem = SearchProblem(ENUMERATION, SumMonoid(), lambda w: 1)
+        machine = Machine(problem, spawn_policy=None)
+        a = self._initial(problem)
+        b = machine.step(a)  # schedule+process root: knowledge 0 -> 1
+        forged = Configuration(99, b.tasks, b.threads)
+        assert not judge(problem, a, forged).legal
+
+    def test_rejects_teleporting_thread(self):
+        problem = SearchProblem(ENUMERATION, SumMonoid(), lambda w: 1)
+        machine = Machine(problem, spawn_policy=None)
+        a = machine.step(self._initial(problem))  # thread at root
+        th = a.threads[0]
+        # jump straight to a non-successor deep node
+        forged_thread = ThreadState(th.task, ("b", "a"), th.backtracks)
+        forged = Configuration(a.knowledge + 1, a.tasks, [forged_thread])
+        assert not judge(problem, a, forged).legal
+
+    def test_rejects_unjustified_prune(self):
+        problem = SearchProblem(
+            OPTIMISATION,
+            MaxMonoid(),
+            lambda w: len(w),
+            prunes=lambda u, v: False,  # nothing is ever justified
+        )
+        machine = Machine(problem, spawn_policy=None)
+        a = machine.step(self._initial(problem))
+        th = a.threads[0]
+        doomed = set(th.task.subtree(th.node).nodes) - {th.node}
+        forged_thread = ThreadState(th.task.remove(doomed), th.node, th.backtracks)
+        forged = Configuration(a.knowledge, a.tasks, [forged_thread])
+        verdict = judge(problem, a, forged)
+        assert not verdict.legal
+        assert "not justified" in verdict.reason
+
+    def test_rejects_spawn_of_explored_node(self):
+        problem = SearchProblem(ENUMERATION, SumMonoid(), lambda w: 1)
+        machine = Machine(problem, spawn_policy=None)
+        cfg = self._initial(problem)
+        cfg = machine.step(cfg)  # at root
+        cfg = machine.step(cfg)  # expand to ("a",)
+        th = cfg.threads[0]
+        # forge: spawn the *current* subtree including the explored node
+        sub = th.task.subtree(("a",))
+        from collections import deque
+
+        forged = Configuration(
+            cfg.knowledge,
+            deque(list(cfg.tasks) + [sub]),
+            [ThreadState(th.task.remove(sub.nodes), th.node, th.backtracks)],
+        )
+        assert not judge(problem, cfg, forged).legal
+
+    def test_check_run_raises_on_forged_sequence(self):
+        problem = SearchProblem(ENUMERATION, SumMonoid(), lambda w: 1)
+        cfg = self._initial(problem)
+        with pytest.raises(AssertionError):
+            check_run(problem, [cfg, cfg])

@@ -1,0 +1,44 @@
+"""Tests for ordered tree generators and T_g construction (paper §3.1)."""
+
+import pytest
+
+from repro.semantics.generators import tree_of_generator
+from repro.semantics.words import EPSILON
+
+
+class TestTreeOfGenerator:
+    def test_trivial_generator(self):
+        t = tree_of_generator(lambda w: "")
+        assert len(t) == 1
+
+    def test_binary_tree(self):
+        t = tree_of_generator(lambda w: "ab" if len(w) < 2 else "")
+        assert len(t) == 1 + 2 + 4
+
+    def test_sibling_order_from_generator_output(self):
+        t = tree_of_generator(lambda w: "ba" if w == EPSILON else "")
+        assert t.children(EPSILON) == (("b",), ("a",))
+        assert t.before(("b",), ("a",))
+
+    def test_irregular_generator(self):
+        def g(w):
+            if w == EPSILON:
+                return "ab"
+            if w == ("a",):
+                return "c"
+            return ""
+
+        t = tree_of_generator(g)
+        assert set(t.nodes) == {EPSILON, ("a",), ("b",), ("a", "c")}
+
+    def test_non_isogram_rejected(self):
+        with pytest.raises(ValueError):
+            tree_of_generator(lambda w: "aa" if w == EPSILON else "")
+
+    def test_runaway_generator_capped(self):
+        with pytest.raises(ValueError):
+            tree_of_generator(lambda w: "ab", max_nodes=100)
+
+    def test_depth_equals_word_length(self):
+        t = tree_of_generator(lambda w: "a" if len(w) < 5 else "")
+        assert max(len(w) for w in t.nodes) == 5

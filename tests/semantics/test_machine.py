@@ -1,0 +1,256 @@
+"""Unit tests for the abstract machine's reduction rules (paper §3.3–3.6)."""
+
+import pytest
+
+from repro.semantics.machine import (
+    DECISION,
+    ENUMERATION,
+    OPTIMISATION,
+    Configuration,
+    Machine,
+    SearchProblem,
+    ThreadState,
+)
+from repro.semantics.monoids import BoundedMaxMonoid, MaxMonoid, SumMonoid
+from repro.semantics.tree import OrderedTree
+from repro.semantics.words import EPSILON
+
+
+def binary_tree(depth=2):
+    def g(w):
+        return "ab" if len(w) < depth else ""
+
+    from repro.semantics.generators import tree_of_generator
+
+    return tree_of_generator(g)
+
+
+def count_problem():
+    return SearchProblem(ENUMERATION, SumMonoid(), lambda w: 1)
+
+
+def depth_problem():
+    return SearchProblem(OPTIMISATION, MaxMonoid(), lambda w: len(w))
+
+
+class TestSearchProblemValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SearchProblem("minimisation", SumMonoid(), lambda w: 1)
+
+    def test_enumeration_with_pruning_rejected(self):
+        with pytest.raises(ValueError):
+            SearchProblem(
+                ENUMERATION, SumMonoid(), lambda w: 1, prunes=lambda u, v: False
+            )
+
+    def test_decision_needs_bounded_monoid(self):
+        with pytest.raises(ValueError):
+            SearchProblem(DECISION, MaxMonoid(), lambda w: len(w))
+
+
+class TestConfiguration:
+    def test_initial_enumeration(self):
+        cfg = Configuration.initial(count_problem(), binary_tree(), 2)
+        assert cfg.knowledge == 0
+        assert len(cfg.tasks) == 1
+        assert cfg.threads == [None, None]
+
+    def test_initial_optimisation_incumbent_is_root(self):
+        cfg = Configuration.initial(depth_problem(), binary_tree(), 1)
+        assert cfg.knowledge == EPSILON
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            Configuration.initial(count_problem(), binary_tree(), 0)
+
+    def test_initial_not_final(self):
+        cfg = Configuration.initial(count_problem(), binary_tree(), 1)
+        assert not cfg.is_final()
+
+    def test_live_nodes_of_initial_is_tree_size(self):
+        tree = binary_tree()
+        cfg = Configuration.initial(count_problem(), tree, 1)
+        assert cfg.live_nodes() == len(tree)
+
+
+class TestIndividualRules:
+    def test_schedule_installs_task(self):
+        m = Machine(count_problem(), spawn_policy=None)
+        cfg = Configuration.initial(count_problem(), binary_tree(), 1)
+        nxt = m._schedule(cfg, 0)
+        assert nxt.threads[0].node == EPSILON
+        assert not nxt.tasks
+
+    def test_schedule_not_applicable_when_active(self):
+        m = Machine(count_problem(), spawn_policy=None)
+        cfg = Configuration.initial(count_problem(), binary_tree(), 1)
+        cfg = m._schedule(cfg, 0)
+        assert m._schedule(cfg, 0) is None
+
+    def test_expand_moves_to_first_child(self):
+        m = Machine(count_problem(), spawn_policy=None)
+        cfg = Configuration.initial(count_problem(), binary_tree(), 1)
+        cfg = m._schedule(cfg, 0)
+        cfg = m._traverse(cfg, 0)
+        assert cfg.threads[0].node == ("a",)
+        assert cfg.threads[0].backtracks == 0
+
+    def test_backtrack_increments_counter(self):
+        m = Machine(count_problem(), spawn_policy=None)
+        cfg = Configuration.initial(count_problem(), binary_tree(1), 1)
+        cfg = m._schedule(cfg, 0)
+        cfg = m._traverse(cfg, 0)  # expand to ("a",)
+        cfg = m._traverse(cfg, 0)  # backtrack to ("b",)
+        assert cfg.threads[0].node == ("b",)
+        assert cfg.threads[0].backtracks == 1
+
+    def test_terminate_idles_thread(self):
+        tree = OrderedTree.from_nodes([EPSILON])
+        m = Machine(count_problem(), spawn_policy=None)
+        cfg = Configuration.initial(count_problem(), tree, 1)
+        cfg = m._schedule(cfg, 0)
+        cfg = m._traverse(cfg, 0)
+        assert cfg.threads[0] is None
+
+    def test_accumulate(self):
+        m = Machine(count_problem(), spawn_policy=None)
+        cfg = Configuration.initial(count_problem(), binary_tree(), 1)
+        cfg = m._schedule(cfg, 0)
+        cfg = m._process(cfg, 0)
+        assert cfg.knowledge == 1
+
+    def test_strengthen(self):
+        m = Machine(depth_problem(), spawn_policy=None)
+        cfg = Configuration.initial(depth_problem(), binary_tree(), 1)
+        cfg = m._schedule(cfg, 0)
+        cfg = m._traverse(cfg, 0)  # at ("a",), depth 1 > depth 0
+        cfg = m._process(cfg, 0)
+        assert cfg.knowledge == ("a",)
+
+    def test_skip_keeps_incumbent(self):
+        prob = depth_problem()
+        m = Machine(prob, spawn_policy=None)
+        cfg = Configuration.initial(prob, binary_tree(), 1)
+        cfg = m._schedule(cfg, 0)
+        cfg = m._process(cfg, 0)  # root: depth 0, not better than root
+        assert cfg.knowledge == EPSILON
+
+    def test_shortcircuit_clears_everything(self):
+        prob = SearchProblem(DECISION, BoundedMaxMonoid(1), lambda w: min(len(w), 1))
+        m = Machine(prob, spawn_policy=None)
+        cfg = Configuration.initial(prob, binary_tree(), 2)
+        cfg = m._schedule(cfg, 0)
+        cfg = m._traverse(cfg, 0)
+        cfg = m._process(cfg, 0)  # incumbent at depth 1 == greatest
+        out = m._shortcircuit(cfg, 0)
+        assert out.is_final()
+
+    def test_prune_removes_subtree_keeps_node(self):
+        prob = SearchProblem(
+            OPTIMISATION,
+            MaxMonoid(),
+            lambda w: len(w),
+            prunes=lambda u, v: v == ("a",),
+        )
+        m = Machine(prob, spawn_policy=None)
+        cfg = Configuration.initial(prob, binary_tree(), 1)
+        cfg = m._schedule(cfg, 0)
+        cfg = m._traverse(cfg, 0)  # at ("a",)
+        pruned = m._prune(cfg, 0)
+        assert ("a",) in pruned.threads[0].task
+        assert ("a", "a") not in pruned.threads[0].task
+
+    def test_prune_without_doomed_nodes_not_applicable(self):
+        prob = SearchProblem(
+            OPTIMISATION,
+            MaxMonoid(),
+            lambda w: len(w),
+            prunes=lambda u, v: True,
+        )
+        m = Machine(prob, spawn_policy=None)
+        tree = OrderedTree.from_nodes([EPSILON])
+        cfg = Configuration.initial(prob, tree, 1)
+        cfg = m._schedule(cfg, 0)
+        assert m._prune(cfg, 0) is None
+
+
+class TestSpawnRules:
+    def _active(self, problem, tree, machine):
+        cfg = Configuration.initial(problem, tree, 1)
+        return machine._schedule(cfg, 0)
+
+    def test_spawn_any_moves_subtree_to_queue(self):
+        m = Machine(count_problem(), spawn_policy="any", seed=1)
+        cfg = self._active(count_problem(), binary_tree(), m)
+        nxt = m._spawn(cfg, 0)
+        assert len(nxt.tasks) == 1
+        spawned = nxt.tasks[0]
+        total = len(spawned) + len(nxt.threads[0].task)
+        assert total == len(binary_tree())
+
+    def test_spawn_depth_spawns_all_children(self):
+        m = Machine(count_problem(), spawn_policy="depth", d_cutoff=1)
+        cfg = self._active(count_problem(), binary_tree(), m)
+        nxt = m._spawn(cfg, 0)
+        assert len(nxt.tasks) == 2
+        assert [t.root for t in nxt.tasks] == [("a",), ("b",)]
+
+    def test_spawn_depth_respects_cutoff(self):
+        m = Machine(count_problem(), spawn_policy="depth", d_cutoff=0)
+        cfg = self._active(count_problem(), binary_tree(), m)
+        assert m._spawn(cfg, 0) is None
+
+    def test_spawn_budget_requires_backtracks(self):
+        m = Machine(count_problem(), spawn_policy="budget", k_budget=5)
+        cfg = self._active(count_problem(), binary_tree(), m)
+        assert m._spawn(cfg, 0) is None
+
+    def test_spawn_budget_spawns_lowest_and_resets(self):
+        m = Machine(count_problem(), spawn_policy="budget", k_budget=0)
+        cfg = self._active(count_problem(), binary_tree(), m)
+        nxt = m._spawn(cfg, 0)
+        assert [t.root for t in nxt.tasks] == [("a",), ("b",)]
+        assert nxt.threads[0].backtracks == 0
+
+    def test_spawn_stack_only_on_empty_queue(self):
+        m = Machine(count_problem(), spawn_policy="stack")
+        cfg = self._active(count_problem(), binary_tree(), m)
+        nxt = m._spawn(cfg, 0)
+        assert [t.root for t in nxt.tasks] == [("a",)]
+        # queue now non-empty: rule no longer fires
+        assert m._spawn(nxt, 0) is None
+
+    def test_spawned_tasks_preserve_traversal_order(self):
+        m = Machine(count_problem(), spawn_policy="depth", d_cutoff=1)
+        tree = OrderedTree({EPSILON: [("c",), ("a",)]})
+        cfg = self._active(count_problem(), tree, m)
+        nxt = m._spawn(cfg, 0)
+        assert [t.root for t in nxt.tasks] == [("c",), ("a",)]
+
+
+class TestRun:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(count_problem(), spawn_policy="wild")
+
+    def test_sequential_run_counts(self):
+        m = Machine(count_problem(), spawn_policy=None)
+        assert m.search(binary_tree(3)) == 15
+
+    def test_run_reaches_final_configuration(self):
+        m = Machine(count_problem(), spawn_policy="any", seed=3)
+        cfg = Configuration.initial(count_problem(), binary_tree(), 2)
+        final = m.run(cfg)
+        assert final.is_final()
+
+    def test_max_steps_guard(self):
+        m = Machine(count_problem(), spawn_policy=None)
+        cfg = Configuration.initial(count_problem(), binary_tree(3), 1)
+        with pytest.raises(RuntimeError):
+            m.run(cfg, max_steps=3)
+
+    def test_trace_records_steps(self):
+        m = Machine(count_problem(), spawn_policy=None)
+        m.search(binary_tree(1))
+        assert m.trace[0] == "traverse@0"

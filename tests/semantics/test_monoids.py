@@ -1,0 +1,80 @@
+"""Monoid laws for the search-knowledge monoids (paper §3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics.monoids import BoundedMaxMonoid, MaxMonoid, SumMonoid
+
+nats = st.integers(min_value=0, max_value=10_000)
+
+
+def monoid_laws(monoid, values):
+    """Check associativity, commutativity and identity on sample triples."""
+    a, b, c = values
+    assert monoid.plus(a, monoid.plus(b, c)) == monoid.plus(monoid.plus(a, b), c)
+    assert monoid.plus(a, b) == monoid.plus(b, a)
+    assert monoid.plus(a, monoid.zero()) == a
+
+
+class TestSumMonoid:
+    @given(nats, nats, nats)
+    def test_laws(self, a, b, c):
+        monoid_laws(SumMonoid(), (a, b, c))
+
+    def test_fold(self):
+        assert SumMonoid().fold([1, 2, 3]) == 6
+
+    def test_fold_empty(self):
+        assert SumMonoid().fold([]) == 0
+
+    def test_not_ordered(self):
+        with pytest.raises(NotImplementedError):
+            SumMonoid().leq(1, 2)
+
+    def test_unbounded(self):
+        assert SumMonoid().greatest() is None
+
+
+class TestMaxMonoid:
+    @given(nats, nats, nats)
+    def test_laws(self, a, b, c):
+        monoid_laws(MaxMonoid(), (a, b, c))
+
+    @given(nats, nats)
+    def test_plus_is_max_of_order(self, a, b):
+        m = MaxMonoid()
+        s = m.plus(a, b)
+        assert m.leq(a, s) and m.leq(b, s)
+        assert s in (a, b)
+
+    def test_zero_is_least(self):
+        m = MaxMonoid()
+        assert m.leq(m.zero(), 17)
+
+    def test_unbounded(self):
+        assert MaxMonoid().greatest() is None
+
+
+class TestBoundedMaxMonoid:
+    @given(st.integers(min_value=0, max_value=50), st.data())
+    def test_laws(self, k, data):
+        m = BoundedMaxMonoid(k)
+        vals = st.integers(min_value=0, max_value=k)
+        monoid_laws(m, (data.draw(vals), data.draw(vals), data.draw(vals)))
+
+    def test_greatest(self):
+        assert BoundedMaxMonoid(5).greatest() == 5
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedMaxMonoid(3).plus(1, 4)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedMaxMonoid(-1)
+
+    @given(st.integers(min_value=0, max_value=20))
+    def test_greatest_absorbs(self, k):
+        m = BoundedMaxMonoid(k)
+        assert m.plus(k, 0) == k

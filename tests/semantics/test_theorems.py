@@ -1,0 +1,177 @@
+"""Property-based checks of the correctness theorems (paper §3.7).
+
+Theorem 3.1: every enumeration run ends with sum h(v) over the tree.
+Theorem 3.2: every optimisation/decision run ends with an incumbent
+whose objective is the maximum of h over the tree — under any spawn
+policy, thread count, interleaving seed, and admissible pruning.
+Theorem 3.3: every run terminates (witnessed by run() returning within
+a generous step bound, and by the strictly-decreasing node measure).
+
+The pruning relation used here is the canonical branch-and-bound one:
+``bound(v) = max h over subtree(v)`` (the tightest admissible bound) and
+``u |> v  iff  bound(v) <= h(u)``; the admissibility conditions of §3.5
+are themselves property-checked.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.machine import (
+    DECISION,
+    ENUMERATION,
+    OPTIMISATION,
+    Configuration,
+    Machine,
+    SearchProblem,
+)
+from repro.semantics.monoids import BoundedMaxMonoid, MaxMonoid, SumMonoid
+from repro.semantics.tree import OrderedTree
+from repro.semantics.words import EPSILON, is_prefix
+
+
+def close_under_prefix(words):
+    nodes = {EPSILON}
+    for w in words:
+        for i in range(len(w) + 1):
+            nodes.add(w[:i])
+    return nodes
+
+
+trees = st.lists(
+    st.lists(st.sampled_from("abc"), max_size=4).map(tuple), max_size=10
+).map(lambda ws: OrderedTree.from_nodes(close_under_prefix(ws)))
+
+policies = st.sampled_from([None, "any", "depth", "budget", "stack"])
+seeds = st.integers(min_value=0, max_value=2**32)
+threads = st.integers(min_value=1, max_value=4)
+
+
+def value_assignment(tree, seed):
+    """A deterministic pseudo-random objective over the tree's nodes."""
+    return {w: (hash((w, seed)) % 7) for w in tree.nodes}
+
+
+def subtree_bound(tree, h):
+    """bound(v) = max h over subtree(v): the tightest admissible bound."""
+    bound = {}
+    for v in reversed(tree.preorder()):
+        best = h[v]
+        for c in tree.children(v):
+            best = max(best, bound[c])
+        bound[v] = best
+    return bound
+
+
+class TestTheorem31Enumeration:
+    @settings(max_examples=60, deadline=None)
+    @given(trees, policies, seeds, threads, seeds)
+    def test_sum_invariant(self, tree, policy, seed, n_threads, hseed):
+        h = value_assignment(tree, hseed)
+        prob = SearchProblem(ENUMERATION, SumMonoid(), h.__getitem__)
+        m = Machine(prob, spawn_policy=policy, d_cutoff=1, k_budget=1, seed=seed)
+        result = m.search(tree, n_threads=n_threads, max_steps=100_000)
+        assert result == sum(h.values())
+
+
+class TestTheorem32Optimisation:
+    @settings(max_examples=60, deadline=None)
+    @given(trees, policies, seeds, threads, seeds)
+    def test_incumbent_is_optimal_without_pruning(
+        self, tree, policy, seed, n_threads, hseed
+    ):
+        h = value_assignment(tree, hseed)
+        prob = SearchProblem(OPTIMISATION, MaxMonoid(), h.__getitem__)
+        m = Machine(prob, spawn_policy=policy, d_cutoff=1, k_budget=1, seed=seed)
+        best = m.search(tree, n_threads=n_threads, max_steps=100_000)
+        assert h[best] == max(h.values())
+
+    @settings(max_examples=60, deadline=None)
+    @given(trees, policies, seeds, threads, seeds)
+    def test_incumbent_is_optimal_with_admissible_pruning(
+        self, tree, policy, seed, n_threads, hseed
+    ):
+        h = value_assignment(tree, hseed)
+        bound = subtree_bound(tree, h)
+        prob = SearchProblem(
+            OPTIMISATION,
+            MaxMonoid(),
+            h.__getitem__,
+            prunes=lambda u, v: bound[v] <= h[u],
+        )
+        m = Machine(prob, spawn_policy=policy, d_cutoff=1, k_budget=1, seed=seed)
+        best = m.search(tree, n_threads=n_threads, max_steps=100_000)
+        assert h[best] == max(h.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(trees, policies, seeds, threads)
+    def test_decision_reaches_max_and_shortcircuits(
+        self, tree, policy, seed, n_threads
+    ):
+        depth = max(len(w) for w in tree.nodes)
+        k = max(depth, 1)
+        prob = SearchProblem(
+            DECISION, BoundedMaxMonoid(k), lambda w: min(len(w), k)
+        )
+        m = Machine(prob, spawn_policy=policy, d_cutoff=1, k_budget=1, seed=seed)
+        best = m.search(tree, n_threads=n_threads, max_steps=100_000)
+        assert min(len(best), k) == min(depth, k)
+
+
+class TestTheorem33Termination:
+    @settings(max_examples=60, deadline=None)
+    @given(trees, policies, seeds, threads)
+    def test_measure_strictly_decreases_to_zero(self, tree, policy, seed, n_threads):
+        prob = SearchProblem(ENUMERATION, SumMonoid(), lambda w: 1)
+        m = Machine(prob, spawn_policy=policy, d_cutoff=1, k_budget=1, seed=seed)
+        cfg = Configuration.initial(prob, tree, n_threads)
+        steps = 0
+        while True:
+            before = cfg.live_nodes()
+            nxt = m.step(cfg)
+            if nxt is None:
+                break
+            # The multiset measure of Thm 3.3 implies the *total* count
+            # never increases, and traversal steps strictly decrease it.
+            assert nxt.live_nodes() <= before
+            cfg = nxt
+            steps += 1
+            assert steps <= 50_000, "machine failed to terminate"
+        assert cfg.is_final()
+        assert cfg.live_nodes() == 0
+
+
+class TestPruningAdmissibility:
+    """The §3.5 conditions for the canonical bound-based |> relation."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(trees, seeds)
+    def test_condition_1_domination(self, tree, hseed):
+        h = value_assignment(tree, hseed)
+        bound = subtree_bound(tree, h)
+        for u in tree.nodes:
+            for v in tree.nodes:
+                if bound[v] <= h[u]:  # u |> v
+                    assert h[u] >= h[v]
+
+    @settings(max_examples=50, deadline=None)
+    @given(trees, seeds)
+    def test_condition_2_strengthening(self, tree, hseed):
+        h = value_assignment(tree, hseed)
+        bound = subtree_bound(tree, h)
+        nodes = list(tree.nodes)
+        for u in nodes:
+            for u2 in nodes:
+                if h[u2] >= h[u]:
+                    for v in nodes:
+                        if bound[v] <= h[u]:
+                            assert bound[v] <= h[u2]
+
+    @settings(max_examples=50, deadline=None)
+    @given(trees, seeds)
+    def test_condition_3_subtree_closure(self, tree, hseed):
+        h = value_assignment(tree, hseed)
+        bound = subtree_bound(tree, h)
+        for v in tree.nodes:
+            for v2 in tree.nodes:
+                if is_prefix(v, v2):
+                    assert bound[v2] <= bound[v]

@@ -1,0 +1,185 @@
+"""Tests for materialised ordered trees and subtrees (paper §3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics.tree import OrderedTree, Subtree
+from repro.semantics.words import EPSILON, is_prefix
+
+
+def close_under_prefix(words):
+    nodes = {EPSILON}
+    for w in words:
+        for i in range(len(w) + 1):
+            nodes.add(w[:i])
+    return nodes
+
+
+random_trees = st.lists(
+    st.lists(st.sampled_from("abc"), max_size=4).map(tuple), max_size=12
+).map(lambda ws: OrderedTree.from_nodes(close_under_prefix(ws)))
+
+
+@pytest.fixture
+def tree():
+    """The running example: root with children a (grandkids aa, ab) and b."""
+    return OrderedTree.from_nodes(
+        [EPSILON, ("a",), ("b",), ("a", "a"), ("a", "b")]
+    )
+
+
+class TestConstruction:
+    def test_nodes(self, tree):
+        assert len(tree) == 5
+        assert ("a", "b") in tree
+
+    def test_not_prefix_closed_rejected(self):
+        with pytest.raises(ValueError):
+            OrderedTree({("a",): [("a", "b")]})
+
+    def test_bad_child_extension_rejected(self):
+        with pytest.raises(ValueError):
+            OrderedTree({EPSILON: [("a", "b")]})
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(ValueError):
+            OrderedTree({EPSILON: [("a",), ("a",)]})
+
+    def test_singleton_tree(self):
+        t = OrderedTree({})
+        assert len(t) == 1
+        assert EPSILON in t
+
+    def test_children_in_sibling_order(self):
+        t = OrderedTree({EPSILON: [("b",), ("a",)]})
+        assert t.children(EPSILON) == (("b",), ("a",))
+
+    def test_children_of_unknown_node_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.children(("z",))
+
+
+class TestTraversalOrder:
+    def test_preorder(self, tree):
+        assert tree.preorder() == [
+            EPSILON,
+            ("a",),
+            ("a", "a"),
+            ("a", "b"),
+            ("b",),
+        ]
+
+    def test_before_prefix(self, tree):
+        assert tree.before(("a",), ("a", "b"))
+
+    def test_before_sibling(self, tree):
+        assert tree.before(("a", "b"), ("b",))
+
+    def test_before_irreflexive(self, tree):
+        assert not tree.before(("a",), ("a",))
+
+    def test_respects_custom_sibling_order(self):
+        t = OrderedTree({EPSILON: [("b",), ("a",)]})
+        assert t.before(("b",), ("a",))
+
+    @given(random_trees)
+    def test_preorder_is_total_strict_order(self, t):
+        order = t.preorder()
+        for i, u in enumerate(order):
+            for v in order[i + 1 :]:
+                assert t.before(u, v)
+                assert not t.before(v, u)
+
+    @given(random_trees)
+    def test_preorder_extends_prefix_order(self, t):
+        for u in t.nodes:
+            for v in t.nodes:
+                if u != v and is_prefix(u, v):
+                    assert t.before(u, v)
+
+
+class TestSubtreeOps:
+    def test_whole(self, tree):
+        s = tree.whole()
+        assert s.root == EPSILON
+        assert len(s) == 5
+
+    def test_next_follows_preorder(self, tree):
+        s = tree.whole()
+        order = tree.preorder()
+        for u, v in zip(order, order[1:]):
+            assert s.next(u) == v
+        assert s.next(order[-1]) is None
+
+    def test_children_filtered_to_subtree(self, tree):
+        s = tree.whole().remove([("a", "b")])
+        assert s.children(("a",)) == [("a", "a")]
+
+    def test_subtree_extraction(self, tree):
+        s = tree.whole().subtree(("a",))
+        assert s.root == ("a",)
+        assert set(s.nodes) == {("a",), ("a", "a"), ("a", "b")}
+
+    def test_subtree_of_missing_node_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.whole().subtree(("z",))
+
+    def test_succ(self, tree):
+        s = tree.whole()
+        assert set(s.succ(("a",))) == {("a", "a"), ("a", "b"), ("b",)}
+
+    def test_lowest(self, tree):
+        s = tree.whole()
+        assert s.lowest(("a",)) == [("b",)]
+
+    def test_lowest_among_deeper(self, tree):
+        s = tree.whole().remove([("b",)])
+        assert s.lowest(("a",)) == [("a", "a"), ("a", "b")]
+
+    def test_next_lowest(self, tree):
+        s = tree.whole()
+        assert s.next_lowest(EPSILON) == ("a",)
+
+    def test_next_lowest_none_at_end(self, tree):
+        s = tree.whole()
+        assert s.next_lowest(("b",)) is None
+
+    def test_remove_keeps_rooted(self, tree):
+        s = tree.whole()
+        sub = s.subtree(("a",))
+        remaining = s.remove(sub.nodes)
+        assert remaining.root == EPSILON
+        assert set(remaining.nodes) == {EPSILON, ("b",)}
+
+    def test_subtree_requires_root_membership(self, tree):
+        with pytest.raises(ValueError):
+            Subtree(tree, ("a",), [("b",)])
+
+    def test_subtree_requires_prefix_closure_above_root(self, tree):
+        with pytest.raises(ValueError):
+            Subtree(tree, EPSILON, [EPSILON, ("a", "a")])
+
+    def test_unexplored_after(self, tree):
+        s = tree.whole()
+        assert s.unexplored_after(EPSILON) == 4
+        assert s.unexplored_after(("b",)) == 0
+
+    @given(random_trees)
+    def test_next_chain_visits_every_node_once(self, t):
+        s = t.whole()
+        seen = [EPSILON]
+        while (nxt := s.next(seen[-1])) is not None:
+            seen.append(nxt)
+        assert seen == t.preorder()
+
+    @given(random_trees)
+    def test_lowest_nodes_share_min_depth(self, t):
+        s = t.whole()
+        for v in t.nodes:
+            low = s.lowest(v)
+            if low:
+                depths = {len(w) for w in low}
+                assert len(depths) == 1
+                succ_depths = [len(w) for w in s.succ(v)]
+                assert min(succ_depths) == depths.pop()

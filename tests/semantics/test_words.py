@@ -1,0 +1,88 @@
+"""Tests for words and the prefix order (paper §3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics.words import (
+    EPSILON,
+    is_isogram,
+    is_prefix,
+    is_proper_prefix,
+    parent,
+    strict_extensions,
+)
+
+words = st.tuples(*([st.sampled_from("abc")] * 3)).map(tuple) | st.just(EPSILON)
+any_word = st.lists(st.sampled_from("abcd"), max_size=6).map(tuple)
+
+
+class TestPrefixOrder:
+    def test_epsilon_prefix_of_everything(self):
+        assert is_prefix(EPSILON, ("a", "b"))
+
+    def test_reflexive(self):
+        assert is_prefix(("a",), ("a",))
+
+    def test_proper_is_irreflexive(self):
+        assert not is_proper_prefix(("a",), ("a",))
+
+    def test_simple_prefix(self):
+        assert is_proper_prefix(("a",), ("a", "b"))
+
+    def test_non_prefix(self):
+        assert not is_prefix(("b",), ("a", "b"))
+
+    def test_longer_never_prefix(self):
+        assert not is_prefix(("a", "b"), ("a",))
+
+    @given(any_word, any_word)
+    def test_prefix_means_slice_equal(self, u, v):
+        assert is_prefix(u, v) == (v[: len(u)] == u and len(u) <= len(v))
+
+    @given(any_word, any_word, any_word)
+    def test_transitive(self, u, v, w):
+        if is_prefix(u, v) and is_prefix(v, w):
+            assert is_prefix(u, w)
+
+    @given(any_word, any_word)
+    def test_antisymmetric(self, u, v):
+        if is_prefix(u, v) and is_prefix(v, u):
+            assert u == v
+
+
+class TestParent:
+    def test_parent_of_root_raises(self):
+        with pytest.raises(ValueError):
+            parent(EPSILON)
+
+    @given(any_word.filter(lambda w: len(w) > 0))
+    def test_parent_is_one_shorter_prefix(self, w):
+        p = parent(w)
+        assert len(p) == len(w) - 1
+        assert is_proper_prefix(p, w)
+
+
+class TestStrictExtensions:
+    def test_basic(self):
+        nodes = [EPSILON, ("a",), ("a", "b"), ("b",)]
+        assert strict_extensions(("a",), nodes) == [("a", "b")]
+
+    def test_root_extensions_are_all_nonroot(self):
+        nodes = [EPSILON, ("a",), ("b",)]
+        assert set(strict_extensions(EPSILON, nodes)) == {("a",), ("b",)}
+
+
+class TestIsogram:
+    def test_empty(self):
+        assert is_isogram("")
+
+    def test_distinct(self):
+        assert is_isogram("abc")
+
+    def test_repeat(self):
+        assert not is_isogram("aba")
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=10))
+    def test_matches_set_cardinality(self, letters):
+        assert is_isogram(letters) == (len(set(letters)) == len(letters))

@@ -1,0 +1,136 @@
+"""Tests for the YewPar-style command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestMaxClique:
+    def test_library_instance_sequential(self):
+        code, out = run_cli("maxclique", "--instance", "sanr90-1")
+        assert code == 0
+        assert "value: 11" in out
+        assert "search type: optimisation" in out
+
+    def test_decision_bound(self):
+        code, out = run_cli(
+            "maxclique", "--instance", "sanr90-1", "--decisionBound", "11"
+        )
+        assert code == 0
+        assert "found: True" in out
+
+    def test_decision_bound_unsat(self):
+        code, out = run_cli(
+            "maxclique", "--instance", "sanr90-1", "--decisionBound", "30"
+        )
+        assert "found: False" in out
+
+    def test_parallel_run_reports_virtual_time(self):
+        code, out = run_cli(
+            "maxclique", "--instance", "sanr90-1",
+            "--skeleton", "depthbounded", "-d", "2",
+            "--localities", "2", "--workers", "4",
+        )
+        assert code == 0
+        assert "virtual time:" in out
+        assert "workers: 8" in out
+
+    def test_dimacs_file(self, tmp_path):
+        from repro.instances.dimacs import write_dimacs
+        from repro.instances.graphs import planted_clique
+
+        path = tmp_path / "g.clq"
+        write_dimacs(planted_clique(30, 0.3, 8, seed=1), path)
+        code, out = run_cli("maxclique", "-f", str(path))
+        assert code == 0
+        assert "value: 8" in out
+
+    def test_wrong_app_instance_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("maxclique", "--instance", "tsp-rand-12")
+
+
+class TestOtherApps:
+    def test_knapsack(self):
+        code, out = run_cli("knapsack", "--instance", "knap-strong-28",
+                            "--skeleton", "stacksteal", "--workers", "4")
+        assert code == 0
+        assert "value: 8265" in out
+
+    def test_tsp(self):
+        code, out = run_cli("tsp", "--instance", "tsp-rand-11")
+        assert code == 0
+        assert "search type: optimisation" in out
+
+    def test_sip_decision(self):
+        code, out = run_cli("sip", "--instance", "sip-planted-18-65")
+        assert code == 0
+        assert "found: True" in out
+
+    def test_uts(self):
+        code, out = run_cli("uts", "--shape", "geometric", "--b0", "3",
+                            "--depth", "5", "--tree-seed", "2")
+        assert code == 0
+        assert "search type: enumeration" in out
+
+    def test_ns_count_genus(self):
+        code, out = run_cli("ns", "--genus", "8", "--count-genus")
+        assert code == 0
+        assert "value: 67" in out  # A007323(8)
+
+    def test_ns_whole_tree(self):
+        code, out = run_cli("ns", "--genus", "4")
+        assert "value: 15" in out  # 1+1+2+4+7
+
+
+class TestMisc:
+    def test_list(self):
+        code, out = run_cli("list")
+        assert code == 0
+        assert "maxclique:" in out
+        assert "sanr90-1" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+    def test_random_skeleton_accepted(self):
+        code, out = run_cli(
+            "maxclique", "--instance", "sanr90-1",
+            "--skeleton", "random", "--spawn-probability", "0.05",
+            "--workers", "4",
+        )
+        assert code == 0
+        assert "value: 11" in out
+
+
+class TestTraceFlag:
+    def test_trace_prints_gantt(self):
+        code, out = run_cli(
+            "maxclique", "--instance", "sanr90-1",
+            "--skeleton", "stacksteal", "--workers", "4", "--trace",
+        )
+        assert code == 0
+        assert "util|" in out
+
+    def test_trace_ignored_for_sequential(self):
+        code, out = run_cli("maxclique", "--instance", "sanr90-1", "--trace")
+        assert code == 0
+        assert "util|" not in out
+
+
+class TestTuneCommand:
+    def test_tune_prints_recommendation(self):
+        code, out = run_cli("tune", "--instance", "brock100-1",
+                            "--localities", "1", "--workers", "4")
+        assert code == 0
+        assert "recommendation:" in out
+        assert "stacksteal" in out

@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs end-to-end and prints sane
+output.  Examples are executed in-process (import + main()) so failures
+surface as ordinary assertions."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "maximum clique: {a, d, f, g} (size 4)" in out
+        assert "3-clique exists: True" in out
+
+    def test_custom_application(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["custom_application.py", "6"])
+        load_example("custom_application").main()
+        out = capsys.readouterr().out
+        assert "6-queens solutions: 4 (expected 4)" in out
+        assert "found a placement: True" in out
+
+    def test_maxclique_instances(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            sys, "argv", ["maxclique_instances.py", "sanr90-1", "stacksteal"]
+        )
+        load_example("maxclique_instances").main()
+        out = capsys.readouterr().out
+        assert "maximum clique size: 11" in out
+
+    def test_maxclique_instances_unknown_name(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["maxclique_instances.py", "no-such"])
+        with pytest.raises(SystemExit):
+            load_example("maxclique_instances").main()
+
+    @pytest.mark.slow
+    def test_parameter_sweep(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["parameter_sweep.py"])
+        load_example("parameter_sweep").main()
+        out = capsys.readouterr().out
+        assert "Depth-Bounded cutoff sweep:" in out
+        assert "Stack-Stealing" in out
+
+    @pytest.mark.slow
+    def test_distributed_scaling(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["distributed_scaling.py"])
+        load_example("distributed_scaling").main()
+        out = capsys.readouterr().out
+        assert "speedup relative to 1 locality" in out
+
+    def test_schedule_trace(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["schedule_trace.py"])
+        load_example("schedule_trace").main()
+        out = capsys.readouterr().out
+        assert "util|" in out
+        assert out.count("===") >= 6  # three sections
+
+    def test_formal_model_demo(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["formal_model_demo.py"])
+        load_example("formal_model_demo").main()
+        out = capsys.readouterr().out
+        assert "skeleton optimum: clique size 4" in out
+        assert "with admissible pruning" in out
+
+    def test_files_roundtrip(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setattr(sys, "argv", ["files_roundtrip.py", str(tmp_path)])
+        load_example("files_roundtrip").main()
+        out = capsys.readouterr().out
+        assert "maximum clique 11" in out
+        assert "optimal tour length" in out

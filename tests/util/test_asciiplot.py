@@ -1,0 +1,72 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.util.asciiplot import ascii_chart
+
+
+class TestAsciiChart:
+    @staticmethod
+    def grid_rows(art):
+        return [line for line in art.splitlines() if "|" in line]
+
+    def test_single_series_renders_markers(self):
+        art = ascii_chart({"runtime": [(1, 10.0), (2, 5.0), (4, 2.5)]}, width=20, height=8)
+        assert sum(row.count("o") for row in self.grid_rows(art)) == 3
+        assert "o runtime" in art
+
+    def test_multiple_series_distinct_markers(self):
+        art = ascii_chart(
+            {"a": [(1, 1.0), (2, 2.0)], "b": [(1, 3.0), (2, 4.0)]},
+            width=20,
+            height=8,
+        )
+        assert "o a" in art and "x b" in art
+        assert "o" in art and "x" in art
+
+    def test_title_and_labels(self):
+        art = ascii_chart(
+            {"s": [(0, 1.0), (1, 2.0)]},
+            title="scaling",
+            xlabel="localities",
+            ylabel="runtime",
+            width=20,
+            height=6,
+        )
+        assert art.splitlines()[0] == "scaling"
+        assert "x: localities" in art
+        assert "y: runtime" in art
+
+    def test_axis_extents_shown(self):
+        art = ascii_chart({"s": [(1, 100.0), (17, 900.0)]}, width=30, height=6)
+        assert "900" in art
+        assert "100" in art
+        assert "17" in art
+
+    def test_log_scale_spreads_magnitudes(self):
+        # On a log axis, 10 -> 100 -> 1000 are equally spaced rows.
+        art = ascii_chart(
+            {"s": [(0, 10.0), (1, 100.0), (2, 1000.0)]},
+            width=21,
+            height=9,
+            log_y=True,
+        )
+        rows = [
+            i for i, line in enumerate(self.grid_rows(art)) if "o" in line
+        ]
+        assert len(rows) == 3
+        assert rows[1] - rows[0] == rows[2] - rows[1]
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 0.0)]}, log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": []})
+
+    def test_flat_series_centres(self):
+        art = ascii_chart({"s": [(0, 5.0), (1, 5.0)]}, width=10, height=5)
+        assert sum(row.count("o") for row in self.grid_rows(art)) == 2

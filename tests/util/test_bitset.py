@@ -1,0 +1,128 @@
+"""Unit and property tests for int-backed bitsets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitset import (
+    bit_indices,
+    bitset_from_iterable,
+    count_bits,
+    first_bit,
+    highest_bit,
+    mask_below,
+    singleton,
+    without_bit,
+)
+
+small_sets = st.frozensets(st.integers(min_value=0, max_value=200), max_size=40)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert bitset_from_iterable([]) == 0
+
+    def test_single(self):
+        assert bitset_from_iterable([3]) == 0b1000
+
+    def test_multiple(self):
+        assert bitset_from_iterable([0, 2, 5]) == 0b100101
+
+    def test_duplicates_collapse(self):
+        assert bitset_from_iterable([1, 1, 1]) == 0b10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitset_from_iterable([-1])
+
+    def test_singleton(self):
+        assert singleton(0) == 1
+        assert singleton(7) == 128
+
+    def test_singleton_negative_rejected(self):
+        with pytest.raises(ValueError):
+            singleton(-2)
+
+    def test_mask_below(self):
+        assert mask_below(0) == 0
+        assert mask_below(1) == 1
+        assert mask_below(4) == 0b1111
+
+    def test_mask_below_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_below(-1)
+
+
+class TestQueries:
+    def test_count_empty(self):
+        assert count_bits(0) == 0
+
+    def test_count(self):
+        assert count_bits(0b101101) == 4
+
+    def test_first_bit_empty(self):
+        assert first_bit(0) == -1
+
+    def test_first_bit(self):
+        assert first_bit(0b101000) == 3
+
+    def test_highest_bit_empty(self):
+        assert highest_bit(0) == -1
+
+    def test_highest_bit(self):
+        assert highest_bit(0b101000) == 5
+
+    def test_without_bit(self):
+        assert without_bit(0b1110, 2) == 0b1010
+
+    def test_without_absent_bit_is_noop(self):
+        assert without_bit(0b1010, 0) == 0b1010
+
+    def test_bit_indices_order(self):
+        assert list(bit_indices(0b101101)) == [0, 2, 3, 5]
+
+    def test_bit_indices_empty(self):
+        assert list(bit_indices(0)) == []
+
+
+class TestProperties:
+    @given(small_sets)
+    def test_roundtrip(self, s):
+        assert set(bit_indices(bitset_from_iterable(s))) == set(s)
+
+    @given(small_sets)
+    def test_count_matches_cardinality(self, s):
+        assert count_bits(bitset_from_iterable(s)) == len(s)
+
+    @given(small_sets)
+    def test_first_and_highest_are_min_max(self, s):
+        bits = bitset_from_iterable(s)
+        if s:
+            assert first_bit(bits) == min(s)
+            assert highest_bit(bits) == max(s)
+        else:
+            assert first_bit(bits) == -1
+
+    @given(small_sets, small_sets)
+    def test_intersection_is_set_intersection(self, a, b):
+        bits = bitset_from_iterable(a) & bitset_from_iterable(b)
+        assert set(bit_indices(bits)) == a & b
+
+    @given(small_sets, small_sets)
+    def test_union_is_set_union(self, a, b):
+        bits = bitset_from_iterable(a) | bitset_from_iterable(b)
+        assert set(bit_indices(bits)) == a | b
+
+    @given(small_sets, st.integers(min_value=0, max_value=200))
+    def test_without_bit_removes(self, s, i):
+        bits = without_bit(bitset_from_iterable(s), i)
+        assert set(bit_indices(bits)) == s - {i}
+
+    @given(st.integers(min_value=0, max_value=300))
+    def test_mask_below_contains_exactly_prefix(self, n):
+        assert set(bit_indices(mask_below(n))) == set(range(n))
+
+    @given(small_sets)
+    def test_iteration_ascending(self, s):
+        out = list(bit_indices(bitset_from_iterable(s)))
+        assert out == sorted(out)

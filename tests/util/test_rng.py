@@ -1,0 +1,95 @@
+"""Tests for the splittable deterministic RNG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import SplitMix64, splittable_hash
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestSplittableHash:
+    @given(u64, st.integers(min_value=0, max_value=1000))
+    def test_deterministic(self, state, index):
+        assert splittable_hash(state, index) == splittable_hash(state, index)
+
+    @given(u64, st.integers(min_value=0, max_value=1000))
+    def test_output_is_64_bit(self, state, index):
+        assert 0 <= splittable_hash(state, index) < (1 << 64)
+
+    def test_children_distinct(self):
+        children = {splittable_hash(12345, i) for i in range(1000)}
+        assert len(children) == 1000
+
+    def test_states_distinct_across_parents(self):
+        a = {splittable_hash(1, i) for i in range(100)}
+        b = {splittable_hash(2, i) for i in range(100)}
+        assert not (a & b)
+
+    def test_avalanche_on_adjacent_indices(self):
+        # Consecutive indices should produce uncorrelated outputs: the
+        # XOR should have roughly half its bits set.
+        x = splittable_hash(99, 0) ^ splittable_hash(99, 1)
+        assert 16 <= x.bit_count() <= 48
+
+
+class TestSplitMix64:
+    def test_deterministic_stream(self):
+        a = SplitMix64(7)
+        b = SplitMix64(7)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = SplitMix64(1)
+        b = SplitMix64(2)
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    def test_randrange_bounds(self):
+        rng = SplitMix64(3)
+        for _ in range(2000):
+            assert 0 <= rng.randrange(7) < 7
+
+    def test_randrange_covers_all_values(self):
+        rng = SplitMix64(4)
+        seen = {rng.randrange(5) for _ in range(500)}
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_randrange_rejects_nonpositive(self):
+        rng = SplitMix64(5)
+        with pytest.raises(ValueError):
+            rng.randrange(0)
+
+    def test_random_in_unit_interval(self):
+        rng = SplitMix64(6)
+        for _ in range(1000):
+            x = rng.random()
+            assert 0.0 <= x < 1.0
+
+    def test_random_roughly_uniform(self):
+        rng = SplitMix64(8)
+        mean = sum(rng.random() for _ in range(5000)) / 5000
+        assert 0.45 < mean < 0.55
+
+    def test_choice(self):
+        rng = SplitMix64(9)
+        seq = ["a", "b", "c"]
+        assert {rng.choice(seq) for _ in range(100)} == set(seq)
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(IndexError):
+            SplitMix64(1).choice([])
+
+    @given(st.lists(st.integers(), max_size=30), st.integers(min_value=0, max_value=2**32))
+    def test_shuffle_is_permutation(self, items, seed):
+        rng = SplitMix64(seed)
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == sorted(items)
+
+    def test_shuffle_actually_shuffles(self):
+        rng = SplitMix64(10)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert shuffled != items

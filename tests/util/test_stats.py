@@ -1,0 +1,108 @@
+"""Tests for benchmark statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    SweepSummary,
+    geometric_mean,
+    relative_speedups,
+    summarize_overheads,
+)
+
+positive = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+
+
+class TestGeometricMean:
+    def test_single(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_pair(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(positive, min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(positive, min_size=1, max_size=20), positive)
+    def test_scaling_homogeneous(self, values, c):
+        lhs = geometric_mean([v * c for v in values])
+        rhs = geometric_mean(values) * c
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestRelativeSpeedups:
+    def test_basic(self):
+        out = relative_speedups({"a": 10.0, "b": 6.0}, {"a": 2.0, "b": 3.0})
+        assert out == {"a": 5.0, "b": 2.0}
+
+    def test_missing_keys_skipped(self):
+        out = relative_speedups({"a": 10.0, "b": 6.0}, {"a": 2.0})
+        assert out == {"a": 5.0}
+
+    def test_nonpositive_runtime_raises(self):
+        with pytest.raises(ValueError):
+            relative_speedups({"a": 1.0}, {"a": 0.0})
+
+
+class TestSummarizeOverheads:
+    def test_percentages(self):
+        out = summarize_overheads({"x": 100.0}, {"x": 108.8})
+        assert out["x"] == pytest.approx(8.8)
+
+    def test_speedup_is_negative_overhead(self):
+        out = summarize_overheads({"x": 100.0}, {"x": 95.0})
+        assert out["x"] == pytest.approx(-5.0)
+
+    def test_min_runtime_filter(self):
+        # Mirrors Table 1's 1.5s filter against skewed tiny instances.
+        out = summarize_overheads(
+            {"big": 10.0, "tiny": 0.1}, {"big": 11.0, "tiny": 0.3}, min_runtime=1.5
+        )
+        assert set(out) == {"big"}
+
+
+class TestSweepSummary:
+    def _summary(self):
+        s = SweepSummary(rng_seed=1)
+        s.add("inst1", 1, 2.0)
+        s.add("inst1", 2, 8.0)
+        s.add("inst2", 1, 4.0)
+        s.add("inst2", 2, 16.0)
+        return s
+
+    def test_worst(self):
+        assert self._summary().worst() == pytest.approx(math.sqrt(2.0 * 4.0))
+
+    def test_best(self):
+        assert self._summary().best() == pytest.approx(math.sqrt(8.0 * 16.0))
+
+    def test_random_between_worst_and_best(self):
+        s = self._summary()
+        assert s.worst() - 1e-9 <= s.random() <= s.best() + 1e-9
+
+    def test_random_is_deterministic_per_seed(self):
+        assert self._summary().random() == self._summary().random()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SweepSummary().worst()
+
+    def test_nonpositive_speedup_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSummary().add("i", 1, 0.0)
+
+    def test_instances_listing(self):
+        assert self._summary().instances == ["inst1", "inst2"]
