@@ -16,6 +16,13 @@ reproduces that interface over the Python skeletons::
     python -m repro.cli tune --instance sanr90-1 --workers 8   # pick a skeleton
     python -m repro.cli list            # show the instance library
 
+Beyond the artifact, the service layer (:mod:`repro.service`) is driven
+by two extra subcommands::
+
+    python -m repro.cli submit --jobfile jobs.jsonl --app maxclique \\
+        --instance sanr90-1 --priority 3 --timeout 10
+    python -m repro.cli serve --jobfile jobs.jsonl --pool 4 --results out.jsonl
+
 Exit status is 0 on success; decision searches exit 0 whether or not a
 witness exists (the answer is printed), matching the original binaries.
 """
@@ -220,6 +227,127 @@ def _cmd_tune(args, out) -> int:
     return 0
 
 
+def _parse_param(text: str):
+    """Parse one ``key=value`` override, coercing value to bool/int/float
+    when it looks like one (SkeletonParams validates the rest)."""
+    if "=" not in text:
+        raise SystemExit(f"--param expects key=value, got {text!r}")
+    key, raw = text.split("=", 1)
+    if raw.lower() in ("true", "false"):
+        return key, raw.lower() == "true"
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            continue
+    return key, raw
+
+
+def _cmd_submit(args, out) -> int:
+    import json
+
+    from repro.service.jobs import JobSpec
+
+    stype_kwargs = {}
+    if args.target is not None:
+        stype_kwargs["target"] = args.target
+    try:
+        spec = JobSpec(
+            app=args.app,
+            instance=args.instance,
+            skeleton=args.skeleton,
+            search_type=args.search_type,
+            params=dict(_parse_param(p) for p in args.param),
+            stype_kwargs=stype_kwargs,
+            priority=args.priority,
+            timeout=args.timeout,
+            submitter=args.submitter,
+        )
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"invalid job: {exc}") from None
+    line = json.dumps(spec.to_dict(), sort_keys=True)
+    if args.jobfile == "-":
+        print(line, file=out)
+    else:
+        with open(args.jobfile, "a") as fh:
+            fh.write(line + "\n")
+        print(f"queued {spec.app}/{spec.instance} key={spec.key[:12]} "
+              f"-> {args.jobfile}", file=out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    import json
+
+    from repro.service import (
+        JobQueue,
+        JobSpec,
+        JobState,
+        ProcessBackend,
+        ResultCache,
+        Scheduler,
+    )
+
+    queue = JobQueue(
+        max_depth=args.queue_depth, max_per_submitter=args.per_submitter
+    )
+    cache = ResultCache(capacity=args.cache_size, ttl=args.cache_ttl)
+    backend = ProcessBackend() if args.backend == "processes" else None
+    sched = Scheduler(
+        backend=backend, queue=queue, cache=cache, n_workers=args.pool
+    )
+
+    if args.jobfile == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            with open(args.jobfile) as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            raise SystemExit(f"cannot read jobfile: {exc}") from None
+    bad_lines = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            spec = JobSpec.from_dict(json.loads(line))
+            sched.submit(spec)
+        except (ValueError, KeyError, TypeError) as exc:
+            bad_lines += 1
+            print(f"line {lineno}: rejected ({exc})", file=out)
+    jobs = sched.run_until_idle()
+
+    for job in jobs:
+        print(job.describe(), file=out)
+    print(sched.metrics_snapshot().render(), file=out)
+
+    if args.results:
+        with open(args.results, "w") as fh:
+            for job in jobs:
+                fh.write(
+                    json.dumps(
+                        {
+                            "job": job.id,
+                            "key": job.key,
+                            "state": job.state.value,
+                            "spec": job.spec.to_dict(),
+                            "result": job.result.to_dict()
+                            if job.result is not None
+                            else None,
+                            "error": job.error,
+                            "from_cache": job.from_cache,
+                            "attempts": job.attempts,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        print(f"results written to {args.results}", file=out)
+    failed = sum(1 for j in jobs if j.state is JobState.FAILED)
+    return 1 if failed or bad_lines else 0
+
+
 def _cmd_list(args, out) -> int:
     from repro.instances.library import APPS, suite
 
@@ -282,6 +410,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("list", help="list the instance library")
     p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser(
+        "submit", help="append one job to a job file (see `serve`)"
+    )
+    p.add_argument("--jobfile", default="jobs.jsonl",
+                   help="job file to append to ('-' prints the JSON line)")
+    p.add_argument("--app", required=True, help="application family")
+    p.add_argument("--instance", required=True, help="library instance name")
+    p.add_argument("--skeleton", default="sequential",
+                   choices=sorted(COORDINATIONS), help="search coordination")
+    p.add_argument("--search-type", default=None,
+                   choices=["enumeration", "decision", "optimisation"],
+                   help="override the instance's registered search type")
+    p.add_argument("--target", type=int, default=None,
+                   help="decision target objective")
+    p.add_argument("--param", action="append", default=[], metavar="K=V",
+                   help="SkeletonParams override (repeatable), e.g. d_cutoff=3")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs earlier within your backlog")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job wall-clock timeout in seconds")
+    p.add_argument("--submitter", default="anon", help="fairness bucket")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "serve", help="run a scheduler over a job file (or stdin) to completion"
+    )
+    p.add_argument("--jobfile", default="jobs.jsonl",
+                   help="JSONL job file from `submit` ('-' reads stdin)")
+    p.add_argument("--backend", default="inproc",
+                   choices=["inproc", "processes"],
+                   help="worker backend: scheduler threads or OS processes")
+    p.add_argument("--pool", type=int, default=2, help="worker pool size")
+    p.add_argument("--queue-depth", type=int, default=256,
+                   help="admission bound on queued jobs")
+    p.add_argument("--per-submitter", type=int, default=None,
+                   help="per-submitter admission quota")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="result cache capacity (entries)")
+    p.add_argument("--cache-ttl", type=float, default=None,
+                   help="result cache TTL in seconds (default: no expiry)")
+    p.add_argument("--results", default=None, metavar="FILE",
+                   help="write per-job results as JSONL to FILE")
+    p.set_defaults(fn=_cmd_serve)
 
     return parser
 

@@ -17,7 +17,12 @@ from repro.core.nodegen import (
     NodeGenerator,
 )
 from repro.core.params import SkeletonParams
-from repro.core.results import SearchMetrics, SearchResult, validate_result
+from repro.core.results import (
+    SearchMetrics,
+    SearchResult,
+    result_from_dict,
+    validate_result,
+)
 from repro.core.searchtypes import (
     Decision,
     Enumeration,
@@ -39,6 +44,7 @@ __all__ = [
     "SkeletonParams",
     "SearchMetrics",
     "SearchResult",
+    "result_from_dict",
     "validate_result",
     "SearchType",
     "Enumeration",

@@ -9,10 +9,15 @@ utilisation from the simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Optional
 
-__all__ = ["SearchMetrics", "SearchResult", "validate_result"]
+__all__ = [
+    "SearchMetrics",
+    "SearchResult",
+    "validate_result",
+    "result_from_dict",
+]
 
 
 @dataclass
@@ -34,6 +39,17 @@ class SearchMetrics:
     failed_steals: int = 0
     broadcasts: int = 0
     max_depth: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready) of all counters."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchMetrics":
+        """Rebuild from :meth:`to_dict` output; unknown keys are ignored
+        so snapshots from newer versions still load."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     def merge(self, other: "SearchMetrics") -> None:
         """Fold another worker's counters into this one."""
@@ -86,6 +102,96 @@ class SearchResult:
         if self.virtual_time is None or not self.per_worker_busy or self.virtual_time == 0:
             return None
         return sum(self.per_worker_busy) / (len(self.per_worker_busy) * self.virtual_time)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict form of the result.
+
+        Witness nodes are encoded with :func:`_encode_node`: JSON-safe
+        structures round-trip exactly (tuples are tagged so they come
+        back as tuples), anything else degrades to a tagged ``repr``
+        string — still reportable, no longer executable.  The schedule
+        ``trace`` is deliberately dropped (it is a debugging artefact,
+        large, and not part of the result contract); ``per_worker_busy``
+        is kept.
+        """
+        return {
+            "kind": self.kind,
+            "value": _encode_node(self.value),
+            "node": _encode_node(self.node),
+            "found": self.found,
+            "metrics": self.metrics.to_dict(),
+            "virtual_time": self.virtual_time,
+            "wall_time": self.wall_time,
+            "workers": self.workers,
+            "per_worker_busy": list(self.per_worker_busy)
+            if self.per_worker_busy is not None
+            else None,
+        }
+
+
+def result_from_dict(data: dict) -> SearchResult:
+    """Rebuild a :class:`SearchResult` from :meth:`SearchResult.to_dict`.
+
+    Inverse of ``to_dict`` up to witness fidelity: tagged tuples are
+    restored as tuples, tagged ``repr`` fallbacks come back as their
+    repr strings (flagged by :func:`_encode_node` at encode time).
+    """
+    return SearchResult(
+        kind=data["kind"],
+        value=_decode_node(data.get("value")),
+        node=_decode_node(data.get("node")),
+        found=data.get("found"),
+        metrics=SearchMetrics.from_dict(data.get("metrics", {})),
+        virtual_time=data.get("virtual_time"),
+        wall_time=data.get("wall_time"),
+        workers=data.get("workers", 1),
+        per_worker_busy=data.get("per_worker_busy"),
+    )
+
+
+_TUPLE_TAG = "__tuple__"
+_REPR_TAG = "__repr__"
+
+
+def _encode_node(value: Any) -> Any:
+    """Encode an arbitrary witness/value into JSON-safe structure.
+
+    JSON primitives pass through; tuples/lists/dicts recurse (tuples
+    tagged to survive the round trip); sets/frozensets become sorted
+    tagged tuples; anything else falls back to ``{"__repr__": ...}``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode_node(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_node(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        try:
+            ordered = sorted(value)
+        except TypeError:
+            ordered = sorted(value, key=repr)
+        return {_TUPLE_TAG: [_encode_node(v) for v in ordered]}
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and not (
+            _TUPLE_TAG in value or _REPR_TAG in value
+        ):
+            return {k: _encode_node(v) for k, v in value.items()}
+        return {_REPR_TAG: repr(value)}
+    return {_REPR_TAG: repr(value)}
+
+
+def _decode_node(value: Any) -> Any:
+    """Inverse of :func:`_encode_node` (repr fallbacks stay strings)."""
+    if isinstance(value, list):
+        return [_decode_node(v) for v in value]
+    if isinstance(value, dict):
+        if _TUPLE_TAG in value and len(value) == 1:
+            return tuple(_decode_node(v) for v in value[_TUPLE_TAG])
+        if _REPR_TAG in value and len(value) == 1:
+            return value[_REPR_TAG]
+        return {k: _decode_node(v) for k, v in value.items()}
+    return value
 
 
 def validate_result(spec, result: SearchResult) -> bool:

@@ -26,15 +26,19 @@ studying coordination.
 from __future__ import annotations
 
 import time
-from multiprocessing import Pool, Value
-from typing import Any, Callable
+from multiprocessing import Pipe, Pool, Process, Value
+from typing import Any, Callable, Optional
 
 from repro.core.params import SkeletonParams
-from repro.core.results import SearchMetrics, SearchResult
+from repro.core.results import SearchMetrics, SearchResult, result_from_dict
 from repro.core.searchtypes import Incumbent, SearchType
 from repro.core.tasks import SEQ, SearchTask, SpawnedTask
 
-__all__ = ["multiprocessing_depthbounded_search"]
+__all__ = [
+    "multiprocessing_depthbounded_search",
+    "run_library_search",
+    "run_job_in_subprocess",
+]
 
 # Per-worker globals, initialised once by _init_worker.
 _worker_spec = None
@@ -86,6 +90,119 @@ def _run_task(payload: tuple[Any, int]) -> tuple[Any, int, int, int, int]:
             if seen > knowledge.value:
                 knowledge = Incumbent(seen, knowledge.node)
     return knowledge, nodes, prunes, backtracks, goal
+
+
+def run_library_search(
+    instance: str,
+    skeleton: str = "sequential",
+    search_type: Optional[str] = None,
+    stype_kwargs: Optional[dict] = None,
+    params: Optional[dict] = None,
+) -> SearchResult:
+    """Run one skeleton over a named library instance.
+
+    Top-level and driven entirely by plain data, so it is picklable and
+    can serve as a subprocess entry point: the service layer's process
+    backend ships ``(instance, skeleton, ...)`` across and the worker
+    rebuilds everything from the instance registry.
+
+    ``search_type`` defaults to the instance's registered type (whose
+    registered kwargs, e.g. a decision target, are merged under any
+    caller-supplied ``stype_kwargs``).
+    """
+    from repro.core.searchtypes import make_search_type
+    from repro.core.skeletons import make_skeleton
+    from repro.instances.library import spec_for
+
+    spec, default_type, default_kwargs = spec_for(instance)
+    stype_name = search_type if search_type is not None else default_type
+    kwargs = dict(default_kwargs) if stype_name == default_type else {}
+    if stype_kwargs:
+        kwargs.update(stype_kwargs)
+    skel = make_skeleton(skeleton, stype_name)
+    skel_params = SkeletonParams(**params) if params else SkeletonParams()
+    stype = make_search_type(stype_name, **kwargs)
+    return skel.search(spec, skel_params, stype=stype)
+
+
+def _job_process_main(conn, payload: dict) -> None:
+    """Subprocess entry: run the search, report through the pipe."""
+    try:
+        result = run_library_search(**payload)
+        try:
+            conn.send(("ok", result))
+        except Exception:
+            # Unpicklable witness: degrade to the JSON-safe dict form.
+            conn.send(("ok_dict", result.to_dict()))
+    except BaseException as exc:  # report crashes instead of dying silently
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def run_job_in_subprocess(
+    payload: dict,
+    *,
+    timeout: Optional[float] = None,
+    cancel=None,
+    poll_interval: float = 0.02,
+) -> tuple[str, Any]:
+    """Run :func:`run_library_search` in a dedicated, killable process.
+
+    Unlike in-process execution this gives the caller real preemption:
+    the child is terminated on timeout or when ``cancel`` (any object
+    with ``is_set()``) fires.  Returns one of::
+
+        ("ok", SearchResult)   completed
+        ("timeout", None)      deadline hit, child terminated
+        ("cancelled", None)    cancel event fired, child terminated
+        ("crash", message)     child raised or died (exit code in message)
+    """
+    parent_conn, child_conn = Pipe(duplex=False)
+    proc = Process(target=_job_process_main, args=(child_conn, payload), daemon=True)
+    proc.start()
+    child_conn.close()
+    deadline = None if timeout is None else time.monotonic() + timeout
+    status: str
+    value: Any = None
+    try:
+        while True:
+            if parent_conn.poll(poll_interval):
+                try:
+                    tag, body = parent_conn.recv()
+                except EOFError:
+                    status, value = "crash", "worker closed the pipe without a result"
+                    break
+                if tag == "ok":
+                    status, value = "ok", body
+                elif tag == "ok_dict":
+                    status, value = "ok", result_from_dict(body)
+                else:
+                    status, value = "crash", body
+                break
+            if cancel is not None and cancel.is_set():
+                proc.terminate()
+                status = "cancelled"
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                proc.terminate()
+                status = "timeout"
+                break
+            # Re-check the pipe after seeing the child dead: the result
+            # may have been sent in the gap before exit.
+            if not proc.is_alive() and not parent_conn.poll():
+                status, value = "crash", f"worker died with exit code {proc.exitcode}"
+                break
+    finally:
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+        parent_conn.close()
+    return status, value
 
 
 def multiprocessing_depthbounded_search(

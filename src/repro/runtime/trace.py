@@ -36,14 +36,33 @@ class Trace:
     intervals: list[TaskInterval] = field(default_factory=list)
     improvements: list[tuple[float, int]] = field(default_factory=list)  # (time, value)
     makespan: float = 0.0
+    # Per-worker view of `intervals`, maintained so repeated per-worker
+    # queries (the service metrics layer issues many) cost O(own
+    # intervals) instead of scanning every interval each call.
+    _by_worker: dict[int, list[TaskInterval]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _indexed: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("worker count must be >= 0")
 
     # -- recording (called by the executor) --------------------------------
 
     def record_interval(self, worker: int, start: float, end: float, nodes: int) -> None:
         """Record one task execution interval on ``worker``."""
+        if not 0 <= worker < self.workers:
+            raise ValueError(
+                f"worker {worker} outside trace range [0, {self.workers})"
+            )
         if end < start:
             raise ValueError("interval ends before it starts")
-        self.intervals.append(TaskInterval(worker, start, end, nodes))
+        self._index()  # keep the index current before extending it
+        interval = TaskInterval(worker, start, end, nodes)
+        self.intervals.append(interval)
+        self._by_worker.setdefault(worker, []).append(interval)
+        self._indexed += 1
 
     def record_improvement(self, time: float, value: int) -> None:
         """Record an incumbent strengthening at virtual ``time``."""
@@ -51,15 +70,31 @@ class Trace:
 
     # -- analysis -----------------------------------------------------------
 
+    def _index(self) -> None:
+        """Bring the per-worker index up to date with ``intervals``.
+
+        ``intervals`` is a public list; callers may append to it
+        directly, so the index is verified lazily (a length check) and
+        only the new tail is folded in.
+        """
+        if self._indexed == len(self.intervals):
+            return
+        if self._indexed > len(self.intervals):  # intervals were replaced/truncated
+            self._by_worker = {}
+            self._indexed = 0
+        for interval in self.intervals[self._indexed:]:
+            self._by_worker.setdefault(interval.worker, []).append(interval)
+        self._indexed = len(self.intervals)
+
     def busy_time(self, worker: int) -> float:
         """Total in-task time of ``worker`` across its intervals."""
-        return sum(i.end - i.start for i in self.intervals if i.worker == worker)
+        self._index()
+        return sum(i.end - i.start for i in self._by_worker.get(worker, ()))
 
     def tasks_of(self, worker: int) -> list[TaskInterval]:
         """The worker's intervals, ordered by start time."""
-        return sorted(
-            (i for i in self.intervals if i.worker == worker), key=lambda i: i.start
-        )
+        self._index()
+        return sorted(self._by_worker.get(worker, ()), key=lambda i: i.start)
 
     def ramp_up_time(self) -> Optional[float]:
         """Time until every worker has run at least one task (None if
@@ -83,7 +118,10 @@ def utilisation_timeline(trace: Trace, *, buckets: int = 20) -> list[float]:
     if buckets < 1:
         raise ValueError("need at least one bucket")
     span = trace.makespan
-    if span <= 0:
+    # A zero-worker trace has zero capacity: nothing can be utilised
+    # (and record_interval guarantees it holds no intervals), so the
+    # timeline is flat zero rather than a division by zero below.
+    if span <= 0 or trace.workers == 0:
         return [0.0] * buckets
     width = span / buckets
     busy = [0.0] * buckets
@@ -106,6 +144,10 @@ def render_gantt(trace: Trace, *, width: int = 72, max_workers: int = 32) -> str
     utilisation timeline ('0'-'9' deciles) and incumbent improvement
     marks ('*').
     """
+    if width < 1:
+        raise ValueError("need a chart at least one column wide")
+    if max_workers < 0:
+        raise ValueError("max_workers must be >= 0")
     span = trace.makespan
     lines = []
     if span <= 0:
@@ -129,5 +171,7 @@ def render_gantt(trace: Trace, *, width: int = 72, max_workers: int = 32) -> str
     for t, _ in trace.improvements:
         marks[min(int(t * scale), width - 1)] = "*"
     lines.append("inc |" + "".join(marks) + "|")
-    lines.append(f"      0 {'-' * (width - 12)} {span:.0f}")
+    # Footer ruler: clamp so narrow charts (width < 12) don't repeat the
+    # dash string a negative number of times and misalign the axis.
+    lines.append(f"      0 {'-' * max(0, width - 12)} {span:.0f}")
     return "\n".join(lines)

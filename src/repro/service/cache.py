@@ -1,0 +1,140 @@
+"""Content-addressed result cache with LRU eviction, TTL and coalescing.
+
+Searches are deterministic given a :class:`~repro.service.jobs.JobSpec`
+identity (the library instances are seeded), so results are cacheable
+by the spec's canonical hash.  Two mechanisms deduplicate work:
+
+- **The result cache** (:meth:`ResultCache.get`/:meth:`~ResultCache.put`):
+  completed results, LRU-evicted at ``capacity``, optionally expiring
+  ``ttl`` seconds after insertion (for deployments that want bounded
+  staleness, e.g. while instance generators evolve).
+- **The in-flight registry** (:meth:`~ResultCache.lead`/
+  :meth:`~ResultCache.join`/:meth:`~ResultCache.finish`): a duplicate
+  submitted *while its twin is still queued or running* is not queued
+  again; it joins the twin (the *leader*) as a follower and is resolved
+  with the leader's result the moment it lands — request coalescing, as
+  in any CDN or dogpile-protected cache.
+
+Hit/miss counters live here so the service metrics snapshot can report
+a hit rate; coalesced fan-outs count as hits (they were served without
+a search).  The cache itself is not thread-safe; the scheduler guards
+it with its own lock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.core.results import SearchResult
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """LRU + TTL result cache, keyed by canonical job hash."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None for no expiry)")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: OrderedDict[str, tuple[SearchResult, float]] = OrderedDict()
+        self._inflight: dict[str, tuple[str, list[str]]] = {}  # key -> (leader, followers)
+        self.hits = 0
+        self.misses = 0
+
+    # -- the result store ----------------------------------------------------
+
+    def get(self, key: str) -> Optional[SearchResult]:
+        """The cached result for ``key``, or None (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            result, stored_at = entry
+            if self.ttl is None or self._clock() - stored_at < self.ttl:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return result
+            del self._entries[key]  # expired
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: SearchResult) -> None:
+        """Store ``result``, evicting the least recently used on overflow."""
+        self._entries[key] = (result, self._clock())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        if self.ttl is not None and self._clock() - entry[1] >= self.ttl:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hit_rate(self) -> Optional[float]:
+        """hits / lookups, or None before the first lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else None
+
+    def record_coalesced_hit(self) -> None:
+        """Count a coalesced fan-out as a cache hit: the follower was
+        served a result without a search, which is the quantity the hit
+        rate is meant to measure."""
+        self.hits += 1
+
+    # -- the in-flight registry (coalescing) ---------------------------------
+
+    def lead(self, key: str, job_id: str) -> None:
+        """Register ``job_id`` as the leader now computing ``key``."""
+        if key in self._inflight:
+            raise ValueError(f"key {key[:12]}… already has a leader")
+        self._inflight[key] = (job_id, [])
+
+    def leader_of(self, key: str) -> Optional[str]:
+        """The job id currently computing ``key``, if any."""
+        entry = self._inflight.get(key)
+        return entry[0] if entry else None
+
+    def join(self, key: str, follower_id: str) -> str:
+        """Attach a duplicate submission to the in-flight leader.
+
+        Returns the leader's job id; the follower will be resolved by
+        :meth:`finish` when the leader lands.
+        """
+        leader, followers = self._inflight[key]
+        followers.append(follower_id)
+        return leader
+
+    def drop_follower(self, key: str, follower_id: str) -> bool:
+        """Detach a follower (it was cancelled while waiting)."""
+        entry = self._inflight.get(key)
+        if entry is None or follower_id not in entry[1]:
+            return False
+        entry[1].remove(follower_id)
+        return True
+
+    def finish(self, key: str) -> list[str]:
+        """Close the in-flight entry for ``key``; returns its followers.
+
+        The caller (scheduler) fans the leader's outcome out to the
+        returned follower job ids.  Idempotent: a key with no in-flight
+        entry returns an empty list.
+        """
+        entry = self._inflight.pop(key, None)
+        return entry[1] if entry else []

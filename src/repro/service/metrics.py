@@ -1,0 +1,164 @@
+"""Service-level metrics: what the search service is doing, summarised.
+
+The simulator's :mod:`repro.runtime.trace` answers "what did workers do
+during one search"; this module answers the operator's question — "how
+is the *service* doing across many searches": queue depth, cache hit
+rate, job latency percentiles, terminal-state counts.  Percentiles come
+from :func:`repro.util.stats.percentile`, the same helper the paper
+harnesses use, so one definition of p95 exists in the repo.
+
+:class:`ServiceMetrics` is the live, thread-safe accumulator the
+scheduler writes into; :meth:`ServiceMetrics.snapshot` freezes it into
+an immutable :class:`MetricsSnapshot` for reporting.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.jobs import Job
+from repro.util.stats import percentile
+
+__all__ = ["ServiceMetrics", "MetricsSnapshot"]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable point-in-time view of the service."""
+
+    queue_depth: int
+    running: int
+    submitted: int
+    rejected: int
+    coalesced: int
+    retries: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: Optional[float]
+    jobs_by_state: dict  # terminal state name -> count
+    completed: int  # jobs in any terminal state
+    latency_p50: Optional[float]
+    latency_p95: Optional[float]
+
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-ready) form of the snapshot."""
+        return {
+            "queue_depth": self.queue_depth,
+            "running": self.running,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "retries": self.retries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "jobs_by_state": dict(self.jobs_by_state),
+            "completed": self.completed,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+        }
+
+    def render(self) -> str:
+        """A terminal-readable block (the `repro serve` footer)."""
+        hit_rate = (
+            f"{self.cache_hit_rate:.0%}" if self.cache_hit_rate is not None else "n/a"
+        )
+        p50 = f"{self.latency_p50:.3f}s" if self.latency_p50 is not None else "n/a"
+        p95 = f"{self.latency_p95:.3f}s" if self.latency_p95 is not None else "n/a"
+        by_state = (
+            "  ".join(f"{k}={v}" for k, v in sorted(self.jobs_by_state.items()))
+            or "(none)"
+        )
+        return "\n".join(
+            [
+                "service metrics:",
+                f"  submitted: {self.submitted}  rejected: {self.rejected}  "
+                f"coalesced: {self.coalesced}  retries: {self.retries}",
+                f"  queue depth: {self.queue_depth}  running: {self.running}",
+                f"  cache: {self.cache_hits} hits / {self.cache_misses} misses "
+                f"(hit rate {hit_rate})",
+                f"  latency: p50 {p50}  p95 {p95}  over {self.completed} jobs",
+                f"  terminal states: {by_state}",
+            ]
+        )
+
+
+class ServiceMetrics:
+    """Thread-safe accumulator the scheduler reports into."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.coalesced = 0
+        self.retries = 0
+        self._by_state: dict[str, int] = {}
+        self._latencies: list[float] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def job_submitted(self) -> None:
+        """Count a submission that was accepted into the service."""
+        with self._lock:
+            self.submitted += 1
+
+    def job_rejected(self) -> None:
+        """Count a submission turned away by admission control."""
+        with self._lock:
+            self.rejected += 1
+
+    def job_coalesced(self) -> None:
+        """Count a duplicate submission attached to an in-flight twin."""
+        with self._lock:
+            self.coalesced += 1
+
+    def job_retried(self) -> None:
+        """Count a retry dispatched after a worker crash."""
+        with self._lock:
+            self.retries += 1
+
+    def job_finished(self, job: Job) -> None:
+        """Record a job reaching a terminal state (latency + state count)."""
+        with self._lock:
+            state = job.state.value
+            self._by_state[state] = self._by_state.get(state, 0) + 1
+            lat = job.latency()
+            if lat is not None:
+                self._latencies.append(lat)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(
+        self, *, queue_depth: int = 0, running: int = 0, cache=None
+    ) -> MetricsSnapshot:
+        """Freeze the current counters into a :class:`MetricsSnapshot`.
+
+        ``cache`` is a :class:`repro.service.cache.ResultCache` (or
+        anything with ``hits``/``misses``/``hit_rate()``); omitted, the
+        cache columns read zero.
+        """
+        with self._lock:
+            latencies = list(self._latencies)
+            by_state = dict(self._by_state)
+            submitted, rejected = self.submitted, self.rejected
+            coalesced, retries = self.coalesced, self.retries
+        hits = cache.hits if cache is not None else 0
+        misses = cache.misses if cache is not None else 0
+        hit_rate = cache.hit_rate() if cache is not None else None
+        return MetricsSnapshot(
+            queue_depth=queue_depth,
+            running=running,
+            submitted=submitted,
+            rejected=rejected,
+            coalesced=coalesced,
+            retries=retries,
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_rate=hit_rate,
+            jobs_by_state=by_state,
+            completed=sum(by_state.values()),
+            latency_p50=percentile(latencies, 50) if latencies else None,
+            latency_p95=percentile(latencies, 95) if latencies else None,
+        )

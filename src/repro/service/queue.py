@@ -1,0 +1,135 @@
+"""Bounded, submitter-fair priority queue with admission control.
+
+Ordering is two-level, mirroring what multi-tenant search services
+(mts-style master/worker frameworks) converge on:
+
+- **Across submitters**: strict round-robin.  Each ``pop`` serves the
+  next submitter with queued work, so a submitter flooding the queue
+  with 1000 jobs cannot starve one with a single job.
+- **Within a submitter**: highest :attr:`JobSpec.priority` first,
+  FIFO among equals (a monotone sequence number breaks ties, so heap
+  order is total and stable).
+
+Admission control is *reject-with-reason*: when the queue is full (or a
+submitter exceeds their share) :meth:`JobQueue.push` raises
+:class:`AdmissionError` carrying a human-readable reason — the service
+reports it back rather than blocking or silently dropping, which is the
+backpressure contract the scheduler builds on.
+
+Cancellation is lazy: the scheduler flips the job to ``CANCELLED`` and
+``pop`` discards non-``PENDING`` entries when it meets them, the classic
+heapq tombstone pattern.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+from repro.service.jobs import Job, JobState
+
+__all__ = ["AdmissionError", "JobQueue"]
+
+
+class AdmissionError(Exception):
+    """A submission was rejected at the door; ``reason`` says why."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class JobQueue:
+    """Priority queue over :class:`Job` with fairness and backpressure.
+
+    Args:
+        max_depth: total queued (live) jobs admitted before rejection.
+        max_per_submitter: per-submitter cap, defaulting to ``max_depth``
+            (i.e. no extra restriction).
+    """
+
+    def __init__(
+        self, *, max_depth: int = 256, max_per_submitter: Optional[int] = None
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if max_per_submitter is not None and max_per_submitter < 1:
+            raise ValueError("max_per_submitter must be >= 1")
+        self.max_depth = max_depth
+        self.max_per_submitter = max_per_submitter
+        self._heaps: dict[str, list[tuple[int, int, Job]]] = {}
+        self._round_robin: deque[str] = deque()
+        self._seq = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def depth(self) -> int:
+        """Live (still-PENDING) queued jobs, tombstones excluded."""
+        return sum(self.depth_of(s) for s in self._heaps)
+
+    def depth_of(self, submitter: str) -> int:
+        """Live queued jobs of one submitter."""
+        return sum(
+            1
+            for _, _, job in self._heaps.get(submitter, ())
+            if job.state is JobState.PENDING
+        )
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    def __bool__(self) -> bool:
+        return self.depth() > 0
+
+    # -- admission -----------------------------------------------------------
+
+    def push(self, job: Job) -> None:
+        """Admit ``job`` or raise :class:`AdmissionError` with a reason."""
+        depth = self.depth()
+        if depth >= self.max_depth:
+            raise AdmissionError(
+                f"queue full: {depth} jobs queued (max_depth={self.max_depth})"
+            )
+        submitter = job.spec.submitter
+        if self.max_per_submitter is not None:
+            own = self.depth_of(submitter)
+            if own >= self.max_per_submitter:
+                raise AdmissionError(
+                    f"submitter {submitter!r} quota exceeded: {own} jobs queued "
+                    f"(max_per_submitter={self.max_per_submitter})"
+                )
+        if submitter not in self._heaps:
+            self._heaps[submitter] = []
+            self._round_robin.append(submitter)
+        # Negated priority: heapq is a min-heap, we want high priority out
+        # first; seq keeps FIFO order among equal priorities.
+        heapq.heappush(self._heaps[submitter], (-job.spec.priority, self._seq, job))
+        self._seq += 1
+
+    # -- service -------------------------------------------------------------
+
+    def pop(self) -> Optional[Job]:
+        """The next job in fair order, or None when empty.
+
+        Rotates through submitters round-robin; entries whose job is no
+        longer ``PENDING`` (cancelled while queued) are discarded in
+        passing.
+        """
+        while self._round_robin:
+            submitter = self._round_robin.popleft()
+            heap = self._heaps[submitter]
+            job = None
+            while heap:
+                _, _, candidate = heapq.heappop(heap)
+                if candidate.state is JobState.PENDING:
+                    job = candidate
+                    break
+                # tombstone: cancelled while queued, drop and continue
+            if heap:
+                self._round_robin.append(submitter)
+            else:
+                del self._heaps[submitter]
+            if job is not None:
+                return job
+        return None

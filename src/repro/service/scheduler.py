@@ -1,0 +1,482 @@
+"""The scheduler: a worker pool draining the job queue.
+
+The flow of one submission::
+
+    submit ──► cache hit? ──────────────► DONE (served from cache)
+        └────► twin in flight? ─────────► wait as follower (coalesced)
+        └────► queue.push (admission) ──► PENDING ──► worker pops
+                                                    ──► backend.execute
+                                                    ──► DONE/FAILED/TIMEOUT
+
+Two execution backends implement :class:`Backend`:
+
+- :class:`InProcessBackend` — runs searches in the scheduler's own
+  worker threads.  This is the simulator-era backend: deterministic,
+  cheap, and the right tool when the "search" is itself a simulated
+  cluster run.  Timeouts are cooperative — the sequential skeleton is
+  driven through the resumable :class:`SearchTask` machine with a
+  periodic deadline/cancel check; simulated parallel skeletons run to
+  completion and are marked ``TIMEOUT`` after the fact if they blew
+  their deadline (documented best-effort, the thread cannot be killed).
+- :class:`ProcessBackend` — one real OS process per attempt via
+  :func:`repro.runtime.processes.run_job_in_subprocess`.  Preemptive:
+  timeout and cancellation terminate the child, so a runaway search
+  cannot poison the pool.
+
+Either way the scheduler enforces the same policy: per-job timeout,
+cancellation (queued jobs never start; running jobs are interrupted
+best-effort), and **one retry on worker crash** — a crash is an
+infrastructure failure, a second identical crash is treated as the
+job's own fault and reported ``FAILED``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Protocol
+
+from repro.core.results import SearchMetrics, SearchResult
+from repro.core.searchtypes import Incumbent
+from repro.core.tasks import SEQ, SearchTask
+from repro.service.cache import ResultCache
+from repro.service.jobs import Job, JobSpec, JobState
+from repro.service.metrics import MetricsSnapshot, ServiceMetrics
+from repro.service.queue import AdmissionError, JobQueue
+
+__all__ = [
+    "Backend",
+    "InProcessBackend",
+    "ProcessBackend",
+    "JobTimeout",
+    "JobCancelled",
+    "WorkerCrash",
+    "Scheduler",
+]
+
+
+class JobTimeout(Exception):
+    """The job exceeded its wall-clock timeout."""
+
+
+class JobCancelled(Exception):
+    """The job's cancel event fired while it was running."""
+
+
+class WorkerCrash(Exception):
+    """The worker executing the job died or raised; retryable once."""
+
+
+class Backend(Protocol):
+    """Executes one job attempt; raises the exceptions above on failure."""
+
+    def execute(
+        self,
+        job: Job,
+        *,
+        deadline: Optional[float],
+        cancel: Optional[threading.Event],
+    ) -> SearchResult:
+        """Run one attempt of ``job``; raise JobTimeout / JobCancelled /
+        WorkerCrash instead of returning on the corresponding outcome."""
+        ...
+
+
+# How many task steps the cooperative driver runs between deadline and
+# cancellation checks.  Small enough for sub-second responsiveness on
+# any real instance, large enough to keep the check off the hot path.
+_CHECK_EVERY = 256
+
+
+class InProcessBackend:
+    """Run searches inside the scheduler's worker threads."""
+
+    def execute(
+        self,
+        job: Job,
+        *,
+        deadline: Optional[float] = None,
+        cancel: Optional[threading.Event] = None,
+    ) -> SearchResult:
+        """Run the attempt in this thread.  Sequential jobs honour the
+        deadline/cancel cooperatively; simulated parallel runs cannot be
+        preempted and get a late TIMEOUT verdict instead."""
+        from repro.runtime.processes import run_library_search
+
+        spec = job.spec
+        try:
+            if spec.skeleton == "sequential" and (deadline or cancel):
+                return self._cooperative_sequential(spec, deadline, cancel)
+            result = run_library_search(**spec.run_payload())
+        except (JobTimeout, JobCancelled):
+            raise
+        except Exception as exc:
+            raise WorkerCrash(f"{type(exc).__name__}: {exc}") from exc
+        if deadline is not None and time.monotonic() > deadline:
+            # A simulated run cannot be preempted mid-flight; the late
+            # verdict is still TIMEOUT so the SLO is reported honestly.
+            raise JobTimeout
+        return result
+
+    @staticmethod
+    def _cooperative_sequential(
+        spec: JobSpec,
+        deadline: Optional[float],
+        cancel: Optional[threading.Event],
+    ) -> SearchResult:
+        """Sequential search via the stepped task machine, checking the
+        deadline and cancel event every ``_CHECK_EVERY`` steps."""
+        from repro.core.searchtypes import make_search_type
+        from repro.instances.library import spec_for
+
+        search_spec, default_type, default_kwargs = spec_for(spec.instance)
+        stype_name = spec.search_type or default_type
+        kwargs = dict(default_kwargs) if stype_name == default_type else {}
+        kwargs.update(spec.stype_kwargs)
+        stype = make_search_type(stype_name, **kwargs)
+
+        task = SearchTask(search_spec, stype, search_spec.root, policy=SEQ)
+        knowledge = stype.initial_knowledge(search_spec)
+        metrics = SearchMetrics()
+        started = time.perf_counter()
+        steps = 0
+        goal = False
+        while not task.finished:
+            knowledge, out = task.step(knowledge)
+            steps += 1
+            if out.processed:
+                metrics.nodes += 1
+                metrics.weighted_nodes += out.weight
+            if out.pruned:
+                metrics.prunes += 1
+            if out.backtracked:
+                metrics.backtracks += 1
+            if len(task.stack) > metrics.max_depth:
+                metrics.max_depth = len(task.stack)
+            if out.goal:
+                goal = True
+                break
+            if steps % _CHECK_EVERY == 0:
+                if cancel is not None and cancel.is_set():
+                    raise JobCancelled
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise JobTimeout
+        elapsed = time.perf_counter() - started
+        if isinstance(knowledge, Incumbent):
+            return SearchResult(
+                kind=stype.kind,
+                value=knowledge.value,
+                node=knowledge.node,
+                found=goal if stype.kind == "decision" else None,
+                metrics=metrics,
+                wall_time=elapsed,
+                workers=1,
+            )
+        return SearchResult(
+            kind=stype.kind,
+            value=knowledge,
+            metrics=metrics,
+            wall_time=elapsed,
+            workers=1,
+        )
+
+
+class ProcessBackend:
+    """One OS process per attempt — preemptive timeout and cancel."""
+
+    def __init__(self, *, poll_interval: float = 0.02) -> None:
+        self.poll_interval = poll_interval
+
+    def execute(
+        self,
+        job: Job,
+        *,
+        deadline: Optional[float] = None,
+        cancel: Optional[threading.Event] = None,
+    ) -> SearchResult:
+        """Run the attempt in a dedicated child process, terminating it
+        on deadline or cancellation."""
+        from repro.runtime.processes import run_job_in_subprocess
+
+        timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
+        status, value = run_job_in_subprocess(
+            job.spec.run_payload(),
+            timeout=timeout,
+            cancel=cancel,
+            poll_interval=self.poll_interval,
+        )
+        if status == "ok":
+            return value
+        if status == "timeout":
+            raise JobTimeout
+        if status == "cancelled":
+            raise JobCancelled
+        raise WorkerCrash(str(value))
+
+
+class Scheduler:
+    """Submission front door + worker pool over a :class:`JobQueue`.
+
+    Args:
+        backend: execution backend (default :class:`InProcessBackend`).
+        queue: admission-controlled queue (default: depth 256).
+        cache: result cache (default: 256 entries, no TTL).
+        n_workers: worker pool size for :meth:`run_until_idle`.
+        metrics: a :class:`ServiceMetrics` to report into.
+        clock: time source for latencies/timeouts (injectable in tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: Optional[Backend] = None,
+        queue: Optional[JobQueue] = None,
+        cache: Optional[ResultCache] = None,
+        n_workers: int = 2,
+        metrics: Optional[ServiceMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.backend: Backend = backend if backend is not None else InProcessBackend()
+        self.queue = queue if queue is not None else JobQueue()
+        self.cache = cache if cache is not None else ResultCache()
+        self.n_workers = n_workers
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._running = 0
+        self._seq = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job; returns its (possibly already terminal) record.
+
+        Raises ValueError for malformed specs (unknown instance, app
+        mismatch) — caller errors.  Backpressure does *not* raise: a
+        rejected job comes back ``FAILED`` with the admission reason in
+        ``job.error`` and is counted in the ``rejected`` metric, so a
+        batch submitter can keep going and report per-job outcomes.
+        """
+        self._validate(spec)
+        with self._lock:
+            self._seq += 1
+            job = Job(spec, id=f"j{self._seq:04d}", submitted_at=self._clock())
+            self._jobs[job.id] = job
+            self.metrics.job_submitted()
+
+            cached = self.cache.get(spec.key)
+            if cached is not None:
+                job.from_cache = True
+                job.result = cached
+                self._finish(job, JobState.DONE)
+                return job
+
+            leader = self.cache.leader_of(spec.key)
+            if leader is not None:
+                job.coalesced_into = self.cache.join(spec.key, job.id)
+                self.metrics.job_coalesced()
+                return job  # stays PENDING until the leader lands
+
+            try:
+                self.queue.push(job)
+            except AdmissionError as exc:
+                job.error = f"rejected: {exc.reason}"
+                self.metrics.job_rejected()
+                self._finish(job, JobState.FAILED)
+                return job
+            self.cache.lead(spec.key, job.id)
+            return job
+
+    @staticmethod
+    def _validate(spec: JobSpec) -> None:
+        from repro.instances.library import _entry
+
+        try:
+            entry = _entry(spec.instance)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from None
+        if entry.app != spec.app:
+            raise ValueError(
+                f"instance {spec.instance!r} belongs to application "
+                f"{entry.app!r}, not {spec.app!r}"
+            )
+
+    def job(self, job_id: str) -> Job:
+        """Look up a job record by id."""
+        return self._jobs[job_id]
+
+    def jobs(self) -> list[Job]:
+        """All job records, in submission order."""
+        return [self._jobs[k] for k in sorted(self._jobs, key=lambda k: int(k[1:]))]
+
+    # -- cancellation --------------------------------------------------------
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job.  Queued jobs never run; running jobs are
+        interrupted best-effort (preemptively under the process
+        backend).  Returns True if cancellation took or was initiated."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.terminal:
+                return False
+            if job.state is JobState.PENDING:
+                if job.coalesced_into is not None:
+                    self.cache.drop_follower(job.key, job.id)
+                    self._finish(job, JobState.CANCELLED)
+                    return True
+                # Queued leader: tombstone it (queue.pop skips it) and
+                # promote its first follower, if any, into the queue so
+                # the coalesced work still happens.
+                self._finish(job, JobState.CANCELLED)
+                followers = self.cache.finish(job.key)
+                self._promote(followers)
+                return True
+            # RUNNING: signal the backend.
+            if job.cancel_event is not None:
+                job.cancel_event.set()
+                return True
+            return False
+
+    def _promote(self, follower_ids: list[str]) -> None:
+        """Re-queue the first live follower as the new leader for its
+        key; later followers re-join it (lock held by caller)."""
+        live = [
+            self._jobs[fid]
+            for fid in follower_ids
+            if not self._jobs[fid].terminal
+        ]
+        if not live:
+            return
+        new_leader, rest = live[0], live[1:]
+        new_leader.coalesced_into = None
+        try:
+            self.queue.push(new_leader)
+        except AdmissionError as exc:
+            new_leader.error = f"rejected: {exc.reason}"
+            self.metrics.job_rejected()
+            self._finish(new_leader, JobState.FAILED)
+            self._promote([j.id for j in rest])
+            return
+        self.cache.lead(new_leader.key, new_leader.id)
+        for job in rest:
+            job.coalesced_into = self.cache.join(job.key, job.id)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_until_idle(self) -> list[Job]:
+        """Drain the queue with ``n_workers`` worker threads; returns all
+        job records once every submitted job is terminal."""
+        workers = [
+            threading.Thread(target=self._worker_loop, name=f"svc-worker-{i}")
+            for i in range(self.n_workers)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        return self.jobs()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                job = self.queue.pop()
+            if job is None:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        with self._lock:
+            if job.state is not JobState.PENDING:  # cancelled in the gap
+                return
+            job.cancel_event = threading.Event()
+            job.transition(JobState.RUNNING, now=self._clock())
+            self._running += 1
+        spec = job.spec
+        deadline = (
+            None if spec.timeout is None else time.monotonic() + spec.timeout
+        )
+        result: Optional[SearchResult] = None
+        outcome = JobState.DONE
+        for attempt in (1, 2):
+            job.attempts = attempt
+            try:
+                result = self.backend.execute(
+                    job, deadline=deadline, cancel=job.cancel_event
+                )
+                outcome = JobState.DONE
+                break
+            except JobTimeout:
+                outcome = JobState.TIMEOUT
+                job.error = (
+                    f"timeout: exceeded {spec.timeout:.3f}s"
+                    if spec.timeout is not None
+                    else "timeout"
+                )
+                break
+            except JobCancelled:
+                outcome = JobState.CANCELLED
+                job.error = "cancelled while running"
+                break
+            except WorkerCrash as exc:
+                job.error = f"worker crash: {exc}"
+                if attempt == 1:
+                    self.metrics.job_retried()
+                    continue  # the one retry
+                outcome = JobState.FAILED
+        with self._lock:
+            self._running -= 1
+            if outcome is JobState.DONE and result is not None:
+                job.result = result
+                job.error = None
+                self.cache.put(job.key, result)
+            self._finish(job, outcome)
+            followers = self.cache.finish(job.key)
+            self._resolve_followers(job, followers)
+
+    def _resolve_followers(self, leader: Job, follower_ids: list[str]) -> None:
+        """Fan the leader's outcome out to coalesced followers (lock held).
+
+        A DONE leader serves its followers from the cache (each counts
+        as a cache hit — that is the point of coalescing).  A leader
+        that failed, timed out or was cancelled takes its followers with
+        it: they asked for the identical computation, so re-running it
+        would fail identically (retries already happened on the leader).
+        """
+        for fid in follower_ids:
+            follower = self._jobs[fid]
+            if follower.terminal:
+                continue
+            if leader.state is JobState.DONE:
+                follower.result = leader.result
+                follower.from_cache = True
+                self.cache.record_coalesced_hit()
+                self._finish(follower, JobState.DONE)
+            else:
+                follower.error = (
+                    f"coalesced with {leader.id}, which ended "
+                    f"{leader.state.value}: {leader.error or ''}".rstrip(": ")
+                )
+                terminal = (
+                    leader.state
+                    if leader.state in (JobState.CANCELLED,)
+                    else JobState.FAILED
+                )
+                self._finish(follower, terminal)
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        job.transition(state, now=self._clock())
+        self.metrics.job_finished(job)
+
+    # -- reporting -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The service-level metrics snapshot (queue, cache, latencies)."""
+        with self._lock:
+            return self.metrics.snapshot(
+                queue_depth=self.queue.depth(),
+                running=self._running,
+                cache=self.cache,
+            )

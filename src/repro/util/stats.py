@@ -11,7 +11,37 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Mapping, Sequence
 
-__all__ = ["geometric_mean", "relative_speedups", "summarize_overheads", "SweepSummary"]
+__all__ = [
+    "geometric_mean",
+    "percentile",
+    "relative_speedups",
+    "summarize_overheads",
+    "SweepSummary",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    ``q`` is in [0, 100].  Used by the service metrics layer for
+    p50/p95 job latencies; raises on empty input (an empty latency set
+    is a caller decision, not a statistic).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty sequence")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(data[lo])
+    frac = rank - lo
+    # Clamp: the two-product form can overshoot data[hi] by one ulp.
+    return float(min(max(data[lo] * (1.0 - frac) + data[hi] * frac, data[lo]), data[hi]))
 
 
 def geometric_mean(values: Iterable[float]) -> float:

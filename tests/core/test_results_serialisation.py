@@ -1,0 +1,84 @@
+"""Tests for SearchResult/SearchMetrics JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.core.results import SearchMetrics, SearchResult, result_from_dict
+from repro.core.sequential import sequential_search
+from repro.core.searchtypes import Enumeration, Optimisation
+
+
+def round_trip(result):
+    return result_from_dict(json.loads(json.dumps(result.to_dict())))
+
+
+class TestMetricsRoundTrip:
+    def test_all_counters_survive(self):
+        m = SearchMetrics(nodes=10, weighted_nodes=12, backtracks=3, prunes=2,
+                          spawns=4, steals=1, failed_steals=1, broadcasts=5,
+                          max_depth=7)
+        assert SearchMetrics.from_dict(m.to_dict()) == m
+
+    def test_unknown_keys_ignored(self):
+        m = SearchMetrics.from_dict({"nodes": 3, "future_counter": 99})
+        assert m.nodes == 3
+
+
+class TestResultRoundTrip:
+    def test_real_optimisation_result(self, toy_spec):
+        res = sequential_search(toy_spec, Optimisation())
+        back = round_trip(res)
+        assert back.kind == res.kind
+        assert back.value == res.value
+        assert back.node == res.node
+        assert back.metrics == res.metrics
+        assert back.wall_time == res.wall_time
+        assert back.workers == res.workers
+
+    def test_real_enumeration_result(self, toy_spec):
+        res = sequential_search(toy_spec, Enumeration())
+        back = round_trip(res)
+        assert back.value == res.value
+        assert back.node is None
+
+    def test_tuple_witness_survives_as_tuple(self):
+        res = SearchResult(kind="optimisation", value=3,
+                           node=(1, 2, ("nested", 3)))
+        back = round_trip(res)
+        assert back.node == (1, 2, ("nested", 3))
+        assert isinstance(back.node, tuple)
+        assert isinstance(back.node[2], tuple)
+
+    def test_frozenset_witness_becomes_sorted_tuple(self):
+        res = SearchResult(kind="optimisation", value=3,
+                           node=frozenset({3, 1, 2}))
+        back = round_trip(res)
+        assert back.node == (1, 2, 3)
+
+    def test_arbitrary_witness_degrades_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird witness>"
+
+        res = SearchResult(kind="optimisation", value=1, node=Weird())
+        back = round_trip(res)
+        assert back.node == "<weird witness>"
+
+    def test_decision_found_flag_survives(self):
+        res = SearchResult(kind="decision", value=5, node=("w",), found=True)
+        assert round_trip(res).found is True
+
+    def test_per_worker_busy_kept_trace_dropped(self):
+        res = SearchResult(kind="enumeration", value=7, virtual_time=4.2,
+                           per_worker_busy=[1.0, 2.0], workers=2,
+                           trace=object())
+        back = round_trip(res)
+        assert back.per_worker_busy == [1.0, 2.0]
+        assert back.virtual_time == pytest.approx(4.2)
+        assert back.trace is None
+
+    def test_efficiency_preserved_through_round_trip(self):
+        res = SearchResult(kind="enumeration", value=7, virtual_time=4.0,
+                           per_worker_busy=[2.0, 2.0], workers=2)
+        assert round_trip(res).efficiency() == res.efficiency()

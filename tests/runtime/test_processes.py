@@ -4,11 +4,17 @@ Factories must be top-level (picklable) — that constraint is part of
 the backend's contract and these tests exercise it for real.
 """
 
+import threading
+
 import pytest
 
 from repro.core.searchtypes import Decision, Enumeration, Optimisation
 from repro.core.sequential import sequential_search
-from repro.runtime.processes import multiprocessing_depthbounded_search
+from repro.runtime.processes import (
+    multiprocessing_depthbounded_search,
+    run_job_in_subprocess,
+    run_library_search,
+)
 
 
 # -- top-level picklable factories -----------------------------------------
@@ -105,3 +111,143 @@ class TestCorrectness:
         )
         assert res.workers == 3
         assert res.wall_time is not None
+
+
+def singleton_spec_factory():
+    """A one-node tree: the depth-d frontier is empty."""
+    from tests.conftest import make_toy_spec
+
+    return make_toy_spec({}, {"root": 5})
+
+
+def toy_spec_factory():
+    """A small fixed tree (picklable rebuild of the conftest toy)."""
+    from tests.conftest import make_toy_spec
+
+    children = {"root": ["a", "b", "c"], "a": ["aa", "ab"], "c": ["ca"],
+                "ca": ["caa"]}
+    values = {"root": 0, "a": 1, "b": 5, "c": 2, "aa": 3, "ab": 2, "ca": 7,
+              "caa": 4}
+    return make_toy_spec(children, values)
+
+
+def exploding_spec_factory():
+    """A spec whose node generator raises below the spawn frontier, so
+    the failure happens inside a worker process, not the parent."""
+    from repro.core.nodegen import ListNodeGenerator
+    from repro.core.space import SearchSpec
+
+    children = {"root": ["a", "b"], "a": ["aa"], "b": ["bb"]}
+    values = {"root": 0, "a": 1, "b": 2, "aa": 3, "bb": 4}
+
+    def generator(space, node):
+        if node in ("aa", "bb"):
+            raise RuntimeError(f"generator exploded at {node}")
+        return ListNodeGenerator(list(children.get(node, [])))
+
+    return SearchSpec(
+        name="exploding",
+        space=None,
+        root="root",
+        generator=generator,
+        objective=lambda node: values[node],
+        upper_bound=None,
+    )
+
+
+class TestEdgeCases:
+    def test_trivial_root_no_frontier(self):
+        # A single-node tree spawns no tasks: the search completes in the
+        # parent and the pool is never started.
+        seq = sequential_search(singleton_spec_factory(), Optimisation())
+        res = multiprocessing_depthbounded_search(
+            singleton_spec_factory, (), optimisation_factory,
+            n_processes=2, d_cutoff=2,
+        )
+        assert res.value == seq.value == 5
+        assert res.node == seq.node
+        assert res.metrics.nodes == seq.metrics.nodes == 1
+
+    def test_cutoff_deeper_than_tree(self):
+        # Every leaf is inside the parent's expansion: frontier tasks are
+        # leaves or nothing; the result must still match sequential.
+        seq = sequential_search(toy_spec_factory(), Optimisation())
+        res = multiprocessing_depthbounded_search(
+            toy_spec_factory, (), optimisation_factory,
+            n_processes=2, d_cutoff=10,
+        )
+        assert res.value == seq.value
+
+    def test_enumeration_parity_on_toy_tree(self):
+        seq = sequential_search(toy_spec_factory(), Enumeration())
+        res = multiprocessing_depthbounded_search(
+            toy_spec_factory, (), enumeration_factory,
+            n_processes=2, d_cutoff=1,
+        )
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes
+
+    def test_worker_exception_propagates(self):
+        # A raising generator inside a worker must surface to the caller,
+        # not hang the pool or be swallowed.
+        with pytest.raises(RuntimeError, match="generator exploded"):
+            multiprocessing_depthbounded_search(
+                exploding_spec_factory, (), optimisation_factory,
+                n_processes=2, d_cutoff=1,
+            )
+
+
+class TestRunLibrarySearch:
+    def test_matches_sequential_skeleton(self):
+        res = run_library_search("brock90-1")
+        from repro.instances.library import spec_for
+
+        spec, _, _ = spec_for("brock90-1")
+        seq = sequential_search(spec, Optimisation())
+        assert res.value == seq.value
+
+    def test_search_type_override_drops_default_kwargs(self):
+        # kclique instances register decision targets; overriding to
+        # optimisation must not leak the target kwarg.
+        res = run_library_search("kclique-planted-80",
+                                 search_type="optimisation")
+        assert res.kind == "optimisation"
+        assert res.value >= 18
+
+    def test_params_dict_applied(self):
+        res = run_library_search(
+            "brock90-1", skeleton="depthbounded",
+            params={"workers_per_locality": 4, "d_cutoff": 2},
+        )
+        assert res.workers == 4
+
+    def test_unknown_instance_raises(self):
+        with pytest.raises(KeyError):
+            run_library_search("no-such-instance")
+
+
+class TestRunJobInSubprocess:
+    def test_ok(self):
+        status, result = run_job_in_subprocess({"instance": "brock90-1"})
+        assert status == "ok"
+        assert result.value == 14
+
+    def test_timeout_terminates_child(self):
+        status, result = run_job_in_subprocess(
+            {"instance": "ns-genus-16"}, timeout=0.1,
+        )
+        assert status == "timeout"
+        assert result is None
+
+    def test_crash_reports_message(self):
+        status, message = run_job_in_subprocess({"instance": "no-such"})
+        assert status == "crash"
+        assert "no-such" in message
+
+    def test_cancel_event(self):
+        cancel = threading.Event()
+        cancel.set()
+        status, _ = run_job_in_subprocess(
+            {"instance": "ns-genus-16"}, cancel=cancel,
+        )
+        assert status == "cancelled"

@@ -100,6 +100,55 @@ class TestTraceValidation:
         with pytest.raises(ValueError):
             t.record_interval(0, 5.0, 4.0, nodes=1)
 
+    def test_negative_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(workers=-1)
+
+    def test_out_of_range_worker_rejected(self):
+        t = Trace(workers=2)
+        with pytest.raises(ValueError):
+            t.record_interval(2, 0.0, 1.0, nodes=1)
+        with pytest.raises(ValueError):
+            t.record_interval(-1, 0.0, 1.0, nodes=1)
+
+    def test_zero_worker_trace_records_nothing(self):
+        t = Trace(workers=0)
+        with pytest.raises(ValueError):
+            t.record_interval(0, 0.0, 1.0, nodes=1)
+
+
+class TestPerWorkerIndex:
+    def test_busy_time_and_tasks_of_agree_with_scan(self):
+        t = Trace(workers=3)
+        t.record_interval(0, 0.0, 1.0, nodes=2)
+        t.record_interval(1, 0.5, 2.5, nodes=3)
+        t.record_interval(0, 2.0, 3.5, nodes=1)
+        assert t.busy_time(0) == pytest.approx(2.5)
+        assert t.busy_time(1) == pytest.approx(2.0)
+        assert t.busy_time(2) == 0.0
+        assert [i.start for i in t.tasks_of(0)] == [0.0, 2.0]
+        assert t.tasks_of(2) == []
+
+    def test_index_follows_direct_interval_appends(self):
+        # `intervals` is public; appending to it directly must still be
+        # visible through the per-worker queries.
+        from repro.runtime.trace import TaskInterval
+
+        t = Trace(workers=2)
+        t.record_interval(0, 0.0, 1.0, nodes=1)
+        assert t.busy_time(0) == pytest.approx(1.0)  # index built
+        t.intervals.append(TaskInterval(1, 1.0, 4.0, nodes=5))
+        assert t.busy_time(1) == pytest.approx(3.0)
+        t.intervals.clear()
+        assert t.busy_time(0) == 0.0
+        assert t.tasks_of(1) == []
+
+    def test_tasks_of_sorted_even_when_recorded_out_of_order(self):
+        t = Trace(workers=1)
+        t.record_interval(0, 5.0, 6.0, nodes=1)
+        t.record_interval(0, 1.0, 2.0, nodes=1)
+        assert [i.start for i in t.tasks_of(0)] == [1.0, 5.0]
+
 
 class TestRenderings:
     def test_utilisation_timeline_bounds(self):
@@ -116,6 +165,27 @@ class TestRenderings:
     def test_utilisation_bad_buckets(self):
         with pytest.raises(ValueError):
             utilisation_timeline(Trace(workers=1), buckets=0)
+
+    def test_utilisation_zero_workers_no_division_error(self):
+        # Regression: a zero-worker trace with a positive makespan used
+        # to divide by zero computing capacity.
+        t = Trace(workers=0, makespan=10.0)
+        assert utilisation_timeline(t, buckets=4) == [0.0] * 4
+
+    def test_gantt_narrow_width_footer(self):
+        # Regression: width < 12 repeated the ruler dash a negative
+        # number of times, misaligning the footer.
+        t = Trace(workers=1, makespan=4.0)
+        t.record_interval(0, 0.0, 4.0, nodes=2)
+        art = render_gantt(t, width=8)
+        footer = art.splitlines()[-1]
+        assert footer.strip().startswith("0")
+        assert "--" not in footer  # no ruler dashes at this width
+        assert "4" in footer
+
+    def test_gantt_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            render_gantt(Trace(workers=1, makespan=1.0), width=0)
 
     def test_gantt_renders_rows(self):
         res = traced_run()

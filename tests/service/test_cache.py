@@ -1,0 +1,112 @@
+"""Tests for the content-addressed result cache and coalescing registry."""
+
+import pytest
+
+from repro.core.results import SearchResult
+from repro.service.cache import ResultCache
+
+
+def result(value):
+    return SearchResult(kind="optimisation", value=value, node=("n",))
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestLRU:
+    def test_get_put_round_trip(self):
+        c = ResultCache(capacity=4)
+        c.put("k1", result(7))
+        assert c.get("k1").value == 7
+        assert c.hits == 1 and c.misses == 0
+
+    def test_miss_counted(self):
+        c = ResultCache()
+        assert c.get("nope") is None
+        assert c.misses == 1
+        assert c.hit_rate() == 0.0
+
+    def test_eviction_order_is_least_recently_used(self):
+        c = ResultCache(capacity=2)
+        c.put("a", result(1))
+        c.put("b", result(2))
+        c.get("a")  # refresh a; b is now LRU
+        c.put("c", result(3))
+        assert "a" in c and "c" in c
+        assert "b" not in c
+
+    def test_hit_rate_none_before_lookups(self):
+        assert ResultCache().hit_rate() is None
+
+    def test_bad_capacity_and_ttl(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0)
+
+
+class TestTTL:
+    def test_entries_expire(self):
+        clock = FakeClock()
+        c = ResultCache(ttl=10.0, clock=clock)
+        c.put("k", result(1))
+        clock.now = 9.9
+        assert c.get("k") is not None
+        clock.now = 10.0
+        assert c.get("k") is None  # expired: counted as a miss
+        assert c.hits == 1 and c.misses == 1
+
+    def test_contains_respects_ttl(self):
+        clock = FakeClock()
+        c = ResultCache(ttl=5.0, clock=clock)
+        c.put("k", result(1))
+        assert "k" in c
+        clock.now = 6.0
+        assert "k" not in c
+
+    def test_no_ttl_means_no_expiry(self):
+        clock = FakeClock()
+        c = ResultCache(clock=clock)
+        c.put("k", result(1))
+        clock.now = 1e9
+        assert c.get("k") is not None
+
+
+class TestCoalescing:
+    def test_lead_join_finish(self):
+        c = ResultCache()
+        c.lead("k", "j1")
+        assert c.leader_of("k") == "j1"
+        assert c.join("k", "j2") == "j1"
+        assert c.join("k", "j3") == "j1"
+        assert c.finish("k") == ["j2", "j3"]
+        assert c.leader_of("k") is None
+
+    def test_double_lead_rejected(self):
+        c = ResultCache()
+        c.lead("k", "j1")
+        with pytest.raises(ValueError):
+            c.lead("k", "j2")
+
+    def test_finish_is_idempotent(self):
+        c = ResultCache()
+        assert c.finish("unknown") == []
+
+    def test_drop_follower(self):
+        c = ResultCache()
+        c.lead("k", "j1")
+        c.join("k", "j2")
+        assert c.drop_follower("k", "j2") is True
+        assert c.drop_follower("k", "j2") is False
+        assert c.finish("k") == []
+
+    def test_coalesced_hit_counts_toward_hit_rate(self):
+        c = ResultCache()
+        c.get("k")  # miss
+        c.record_coalesced_hit()
+        assert c.hit_rate() == pytest.approx(0.5)

@@ -1,0 +1,112 @@
+"""Tests for the bounded, submitter-fair priority queue."""
+
+import pytest
+
+from repro.service.jobs import Job, JobSpec, JobState
+from repro.service.queue import AdmissionError, JobQueue
+
+
+def make_job(jid, *, submitter="anon", priority=0):
+    spec = JobSpec(
+        app="maxclique", instance="brock90-1",
+        priority=priority, submitter=submitter,
+    )
+    return Job(spec, id=jid)
+
+
+class TestOrdering:
+    def test_priority_order_within_submitter(self):
+        q = JobQueue()
+        q.push(make_job("low", priority=1))
+        q.push(make_job("high", priority=9))
+        q.push(make_job("mid", priority=5))
+        assert [q.pop().id for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_fifo_among_equal_priorities(self):
+        q = JobQueue()
+        for jid in ("first", "second", "third"):
+            q.push(make_job(jid, priority=3))
+        assert [q.pop().id for _ in range(3)] == ["first", "second", "third"]
+
+    def test_pop_empty_returns_none(self):
+        assert JobQueue().pop() is None
+
+
+class TestFairness:
+    def test_round_robin_across_submitters(self):
+        # Alice floods; Bob submits one job.  Bob is served second, not
+        # eleventh.
+        q = JobQueue()
+        for i in range(10):
+            q.push(make_job(f"a{i}", submitter="alice"))
+        q.push(make_job("b0", submitter="bob"))
+        order = [q.pop().id for _ in range(11)]
+        assert "b0" in order[:2]
+
+    def test_interleaving_is_strict(self):
+        q = JobQueue()
+        for i in range(3):
+            q.push(make_job(f"a{i}", submitter="alice"))
+            q.push(make_job(f"b{i}", submitter="bob"))
+        order = [q.pop().id for _ in range(6)]
+        submitters = [jid[0] for jid in order]
+        assert submitters in (["a", "b"] * 3, ["b", "a"] * 3)
+
+
+class TestAdmission:
+    def test_depth_bound(self):
+        q = JobQueue(max_depth=2)
+        q.push(make_job("j1"))
+        q.push(make_job("j2"))
+        with pytest.raises(AdmissionError, match="queue full"):
+            q.push(make_job("j3"))
+
+    def test_rejection_carries_reason(self):
+        q = JobQueue(max_depth=1)
+        q.push(make_job("j1"))
+        try:
+            q.push(make_job("j2"))
+        except AdmissionError as exc:
+            assert "max_depth=1" in exc.reason
+        else:
+            pytest.fail("expected AdmissionError")
+
+    def test_per_submitter_quota(self):
+        q = JobQueue(max_depth=10, max_per_submitter=2)
+        q.push(make_job("a1", submitter="alice"))
+        q.push(make_job("a2", submitter="alice"))
+        with pytest.raises(AdmissionError, match="quota"):
+            q.push(make_job("a3", submitter="alice"))
+        q.push(make_job("b1", submitter="bob"))  # other submitters unaffected
+
+    def test_pop_frees_capacity(self):
+        q = JobQueue(max_depth=1)
+        q.push(make_job("j1"))
+        q.pop()
+        q.push(make_job("j2"))  # no raise
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=5, max_per_submitter=0)
+
+
+class TestCancellationTombstones:
+    def test_cancelled_jobs_are_skipped(self):
+        q = JobQueue()
+        doomed = make_job("doomed", priority=9)
+        q.push(doomed)
+        q.push(make_job("survivor"))
+        doomed.transition(JobState.CANCELLED)
+        assert q.pop().id == "survivor"
+        assert q.pop() is None
+
+    def test_cancelled_jobs_do_not_count_toward_depth(self):
+        q = JobQueue(max_depth=2)
+        doomed = make_job("doomed")
+        q.push(doomed)
+        q.push(make_job("j2"))
+        doomed.transition(JobState.CANCELLED)
+        q.push(make_job("j3"))  # tombstone freed a slot
+        assert len(q) == 2

@@ -1,0 +1,225 @@
+"""Scheduler policy tests over a scripted (instant) backend.
+
+Real search execution is covered by the end-to-end test; here a fake
+backend makes the policy paths — dedup, coalescing, rejection, retry,
+timeout, cancellation, follower fan-out — fast and deterministic.
+"""
+
+import pytest
+
+from repro.core.results import SearchResult
+from repro.service import (
+    JobQueue,
+    JobSpec,
+    JobState,
+    JobTimeout,
+    Scheduler,
+    WorkerCrash,
+)
+
+
+def spec(instance="brock90-1", app="maxclique", **kw):
+    return JobSpec(app=app, instance=instance, **kw)
+
+
+class ScriptedBackend:
+    """Returns/raises per-instance scripted outcomes; counts attempts."""
+
+    def __init__(self, script=None):
+        self.script = script or {}
+        self.executed = []
+
+    def execute(self, job, *, deadline=None, cancel=None):
+        self.executed.append(job.id)
+        action = self.script.get(job.spec.instance)
+        if action is None:
+            return SearchResult(kind="optimisation", value=42, node=("w",))
+        if isinstance(action, list):
+            step = action.pop(0)
+        else:
+            step = action
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+
+def make_sched(backend=None, **kw):
+    kw.setdefault("n_workers", 1)
+    return Scheduler(backend=backend or ScriptedBackend(), **kw)
+
+
+class TestSubmission:
+    def test_submit_and_run(self):
+        s = make_sched()
+        job = s.submit(spec())
+        assert job.state is JobState.PENDING
+        s.run_until_idle()
+        assert job.state is JobState.DONE
+        assert job.result.value == 42
+
+    def test_unknown_instance_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown instance"):
+            make_sched().submit(spec(instance="atlantis-9"))
+
+    def test_app_mismatch_raises(self):
+        with pytest.raises(ValueError, match="belongs to application"):
+            make_sched().submit(spec(app="tsp"))
+
+    def test_cache_hit_serves_without_execution(self):
+        backend = ScriptedBackend()
+        s = make_sched(backend)
+        s.submit(spec())
+        s.run_until_idle()
+        dup = s.submit(spec(priority=9, submitter="other"))
+        assert dup.state is JobState.DONE
+        assert dup.from_cache
+        assert backend.executed == ["j0001"]  # the duplicate never ran
+
+    def test_rejection_reports_reason_and_terminal_state(self):
+        s = make_sched(queue=JobQueue(max_depth=1))
+        s.submit(spec())
+        rejected = s.submit(spec(instance="brock90-2"))
+        assert rejected.state is JobState.FAILED
+        assert "rejected: queue full" in rejected.error
+        snap = s.metrics_snapshot()
+        assert snap.rejected == 1
+
+
+class TestCoalescing:
+    def test_duplicate_while_queued_is_coalesced(self):
+        backend = ScriptedBackend()
+        s = make_sched(backend)
+        leader = s.submit(spec())
+        follower = s.submit(spec(submitter="other"))
+        assert follower.coalesced_into == leader.id
+        s.run_until_idle()
+        assert backend.executed == [leader.id]  # one execution for two jobs
+        assert follower.state is JobState.DONE
+        assert follower.from_cache
+        assert follower.result.value == 42
+        assert s.metrics_snapshot().coalesced == 1
+
+    def test_failed_leader_takes_followers_with_it(self):
+        backend = ScriptedBackend(
+            {"brock90-1": [WorkerCrash("boom"), WorkerCrash("boom")]}
+        )
+        s = make_sched(backend)
+        leader = s.submit(spec())
+        follower = s.submit(spec(submitter="other"))
+        s.run_until_idle()
+        assert leader.state is JobState.FAILED
+        assert follower.state is JobState.FAILED
+        assert leader.id in follower.error
+
+
+class TestRetry:
+    def test_one_retry_on_crash_then_success(self):
+        ok = SearchResult(kind="optimisation", value=7, node=("w",))
+        backend = ScriptedBackend({"brock90-1": [WorkerCrash("flaky"), ok]})
+        s = make_sched(backend)
+        job = s.submit(spec())
+        s.run_until_idle()
+        assert job.state is JobState.DONE
+        assert job.attempts == 2
+        assert s.metrics_snapshot().retries == 1
+
+    def test_second_crash_is_failure(self):
+        backend = ScriptedBackend(
+            {"brock90-1": [WorkerCrash("bad"), WorkerCrash("worse")]}
+        )
+        s = make_sched(backend)
+        job = s.submit(spec())
+        s.run_until_idle()
+        assert job.state is JobState.FAILED
+        assert job.attempts == 2
+        assert "worse" in job.error
+
+
+class TestTimeoutAndCancel:
+    def test_timeout_outcome(self):
+        backend = ScriptedBackend({"brock90-1": JobTimeout()})
+        s = make_sched(backend)
+        job = s.submit(spec(timeout=0.5))
+        s.run_until_idle()
+        assert job.state is JobState.TIMEOUT
+        assert "0.500" in job.error
+        assert s.metrics_snapshot().jobs_by_state["TIMEOUT"] == 1
+
+    def test_timeout_does_not_cache_anything(self):
+        backend = ScriptedBackend({"brock90-1": JobTimeout()})
+        s = make_sched(backend)
+        s.submit(spec(timeout=0.5))
+        s.run_until_idle()
+        assert len(s.cache) == 0
+
+    def test_cancel_queued_job_prevents_execution(self):
+        backend = ScriptedBackend()
+        s = make_sched(backend)
+        job = s.submit(spec())
+        assert s.cancel(job.id) is True
+        s.run_until_idle()
+        assert job.state is JobState.CANCELLED
+        assert backend.executed == []
+
+    def test_cancel_terminal_job_returns_false(self):
+        s = make_sched()
+        job = s.submit(spec())
+        s.run_until_idle()
+        assert s.cancel(job.id) is False
+
+    def test_cancelling_leader_promotes_follower(self):
+        backend = ScriptedBackend()
+        s = make_sched(backend)
+        leader = s.submit(spec())
+        follower = s.submit(spec(submitter="other"))
+        s.cancel(leader.id)
+        s.run_until_idle()
+        assert leader.state is JobState.CANCELLED
+        assert follower.state is JobState.DONE
+        assert backend.executed == [follower.id]  # follower ran as new leader
+
+    def test_cancelling_follower_leaves_leader_alone(self):
+        backend = ScriptedBackend()
+        s = make_sched(backend)
+        leader = s.submit(spec())
+        follower = s.submit(spec(submitter="other"))
+        s.cancel(follower.id)
+        s.run_until_idle()
+        assert follower.state is JobState.CANCELLED
+        assert leader.state is JobState.DONE
+        assert backend.executed == [leader.id]
+
+
+class TestMetricsSnapshot:
+    def test_snapshot_counts(self):
+        s = make_sched()
+        for name in ("brock90-1", "brock90-2", "brock90-1"):
+            s.submit(spec(instance=name))
+        s.run_until_idle()
+        snap = s.metrics_snapshot()
+        assert snap.submitted == 3
+        assert snap.completed == 3
+        assert snap.jobs_by_state == {"DONE": 3}
+        assert snap.coalesced == 1
+        assert snap.cache_hit_rate is not None and snap.cache_hit_rate > 0
+        assert snap.latency_p50 is not None
+        assert snap.latency_p95 >= snap.latency_p50
+        assert snap.queue_depth == 0 and snap.running == 0
+
+    def test_render_mentions_key_figures(self):
+        s = make_sched()
+        s.submit(spec())
+        s.run_until_idle()
+        text = s.metrics_snapshot().render()
+        assert "hit rate" in text
+        assert "p95" in text
+        assert "DONE=1" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        s = make_sched()
+        s.submit(spec())
+        s.run_until_idle()
+        blob = json.dumps(s.metrics_snapshot().to_dict())
+        assert json.loads(blob)["submitted"] == 1

@@ -134,3 +134,89 @@ class TestTuneCommand:
         assert code == 0
         assert "recommendation:" in out
         assert "stacksteal" in out
+
+
+class TestServiceCommands:
+    def submit(self, jobfile, *extra):
+        return run_cli(
+            "submit", "--jobfile", str(jobfile),
+            "--app", "maxclique", "--instance", "brock90-1", *extra,
+        )
+
+    def test_submit_appends_json_lines(self, tmp_path):
+        import json
+
+        jobfile = tmp_path / "jobs.jsonl"
+        code, out = self.submit(jobfile, "--priority", "3")
+        assert code == 0
+        assert "key=" in out
+        code, _ = self.submit(jobfile, "--submitter", "alice")
+        assert code == 0
+        lines = jobfile.read_text().splitlines()
+        assert len(lines) == 2
+        spec = json.loads(lines[0])
+        assert spec["instance"] == "brock90-1"
+        assert spec["priority"] == 3
+
+    def test_submit_rejects_bad_param(self, tmp_path):
+        with pytest.raises(SystemExit):
+            self.submit(tmp_path / "jobs.jsonl", "--param", "notkeyvalue")
+
+    def test_serve_runs_jobs_and_reports_metrics(self, tmp_path):
+        jobfile = tmp_path / "jobs.jsonl"
+        self.submit(jobfile)
+        self.submit(jobfile, "--submitter", "bob")  # duplicate → coalesced
+        run_cli("submit", "--jobfile", str(jobfile),
+                "--app", "kclique", "--instance", "kclique-planted-80")
+        code, out = run_cli("serve", "--jobfile", str(jobfile), "--pool", "2")
+        assert code == 0
+        assert "DONE" in out
+        assert "(cache)" in out
+        assert "service metrics:" in out
+        assert "hit rate" in out
+
+    def test_serve_writes_results_jsonl(self, tmp_path):
+        import json
+
+        from repro.core.results import result_from_dict
+
+        jobfile = tmp_path / "jobs.jsonl"
+        results = tmp_path / "out.jsonl"
+        self.submit(jobfile)
+        code, _ = run_cli("serve", "--jobfile", str(jobfile),
+                          "--results", str(results))
+        assert code == 0
+        records = [json.loads(l) for l in results.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["state"] == "DONE"
+        back = result_from_dict(records[0]["result"])
+        assert back.value == 14
+
+    def test_serve_reports_bad_lines_and_fails(self, tmp_path):
+        jobfile = tmp_path / "jobs.jsonl"
+        self.submit(jobfile)
+        with open(jobfile, "a") as fh:
+            fh.write('{"app": "maxclique", "instance": "no-such-instance"}\n')
+            fh.write("not json at all\n")
+        code, out = run_cli("serve", "--jobfile", str(jobfile))
+        assert code == 1
+        assert "rejected" in out
+        assert "DONE" in out  # the good job still ran
+
+    def test_serve_respects_timeout(self, tmp_path):
+        jobfile = tmp_path / "jobs.jsonl"
+        run_cli("submit", "--jobfile", str(jobfile),
+                "--app", "ns", "--instance", "ns-genus-16",
+                "--timeout", "0.15")
+        code, out = run_cli("serve", "--jobfile", str(jobfile))
+        assert code == 0  # TIMEOUT is a reported outcome, not a CLI failure
+        assert "TIMEOUT" in out
+
+    def test_serve_comment_and_blank_lines_ignored(self, tmp_path):
+        jobfile = tmp_path / "jobs.jsonl"
+        with open(jobfile, "w") as fh:
+            fh.write("# a comment\n\n")
+        self.submit(jobfile)
+        code, out = run_cli("serve", "--jobfile", str(jobfile))
+        assert code == 0
+        assert "DONE" in out

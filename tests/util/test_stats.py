@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.util.stats import (
     SweepSummary,
     geometric_mean,
+    percentile,
     relative_speedups,
     summarize_overheads,
 )
@@ -106,3 +107,41 @@ class TestSweepSummary:
 
     def test_instances_listing(self):
         assert self._summary().instances == ["inst1", "inst2"]
+
+
+class TestPercentile:
+    def test_median_of_odd_sequence(self):
+        assert percentile([3, 1, 2], 50) == 2.0
+
+    def test_median_interpolates_even_sequence(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_p95_interpolation(self):
+        data = list(range(1, 101))  # 1..100
+        assert percentile(data, 95) == pytest.approx(95.05)
+
+    def test_single_value(self):
+        assert percentile([7.5], 95) == 7.5
+
+    def test_input_order_irrelevant(self):
+        assert percentile([9, 1, 5], 75) == percentile([1, 5, 9], 75)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1),
+           st.floats(min_value=0, max_value=100))
+    def test_result_within_data_range(self, data, q):
+        assert min(data) <= percentile(data, q) <= max(data)
