@@ -1,0 +1,174 @@
+"""Head-to-head: static depth-bounded vs dynamic budget process backends.
+
+Not a paper table: this measures the repository's own multiprocessing
+backends in real wall time.  The question is the one that motivated the
+dynamic backend — on *imbalanced* trees, does runtime work sharing beat
+a frontier fixed up front at depth d?  Three instances cover the
+spectrum:
+
+- ``uts-bin-med``   binomial UTS: one root with 500 children of wildly
+  different sizes — the load-balancing stress case;
+- ``sip-planted-18-65``   subgraph-isomorphism decision: pruning makes
+  subtree sizes unpredictable;
+- ``brock100-1``    dense MaxClique: comparatively regular, the case
+  static splitting is supposed to be good at.
+
+Every run is checked against the Sequential skeleton's answer before
+its time is reported.  Results go to ``results/parallel_backends.txt``
+(human table) and ``results/parallel_backends.json`` (machine-readable,
+cited by docs/parallel.md).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_parallel_backends.py``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+from _harness import RESULTS_DIR, SCALE, fmt_row, write_result
+
+from repro.core.searchtypes import make_search_type
+from repro.core.sequential import sequential_search
+from repro.instances.library import library_spec_factory, spec_for
+from repro.runtime.processes import (
+    make_stype,
+    multiprocessing_budget_search,
+    multiprocessing_depthbounded_search,
+)
+
+N_PROCESSES = 4
+REPEATS = max(1, round(3 * SCALE))
+
+# (instance, d_cutoff for static, budget for dynamic).  Cutoffs/budgets
+# are each backend's reasonable-effort setting for the instance size,
+# not adversarially tuned for either side.
+CASES = [
+    ("uts-bin-med", 1, 2000),
+    ("sip-planted-18-65", 2, 2000),
+    ("brock100-1", 1, 2000),
+]
+
+
+def _stype_args(name: str) -> tuple[str, dict]:
+    _, stype_name, kwargs = spec_for(name)
+    return stype_name, kwargs
+
+
+def _answers_match(name: str, result, reference) -> bool:
+    if result.kind == "enumeration":
+        return result.value == reference.value
+    if result.kind == "decision":
+        return result.found == reference.found
+    return result.value == reference.value
+
+
+def _timed(fn, name: str, reference) -> dict:
+    """Best-of-REPEATS wall time; every repetition's answer is checked."""
+    best = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if not _answers_match(name, result, reference):
+            raise AssertionError(
+                f"{name}: backend answer {result.value!r} diverges from "
+                f"sequential {reference.value!r}"
+            )
+        if best is None or elapsed < best["wall_time"]:
+            best = {
+                "wall_time": elapsed,
+                "value": result.value,
+                "nodes": result.metrics.nodes,
+                "splits": result.metrics.spawns,
+            }
+    return best
+
+
+def run_case(name: str, d_cutoff: int, budget: int) -> dict:
+    spec, stype_name, kwargs = spec_for(name)
+    stype = make_search_type(stype_name, **kwargs)
+
+    seq = _timed(
+        lambda: sequential_search(spec, stype), name,
+        sequential_search(spec, stype),
+    )
+    reference = sequential_search(spec, stype)
+
+    static = _timed(
+        lambda: multiprocessing_depthbounded_search(
+            library_spec_factory, (name,), make_stype, (stype_name, kwargs),
+            n_processes=N_PROCESSES, d_cutoff=d_cutoff,
+        ),
+        name, reference,
+    )
+    dynamic = _timed(
+        lambda: multiprocessing_budget_search(
+            library_spec_factory, (name,), make_stype, (stype_name, kwargs),
+            n_processes=N_PROCESSES, budget=budget,
+        ),
+        name, reference,
+    )
+    return {
+        "instance": name,
+        "search_type": stype_name,
+        "n_processes": N_PROCESSES,
+        "d_cutoff": d_cutoff,
+        "budget": budget,
+        "sequential": seq,
+        "static_depthbounded": static,
+        "dynamic_budget": dynamic,
+        "dynamic_vs_static_speedup": static["wall_time"] / dynamic["wall_time"],
+    }
+
+
+def main() -> None:
+    rows = [run_case(*case) for case in CASES]
+
+    widths = [20, 12, 10, 10, 10, 8, 8]
+    lines = [
+        f"Parallel process backends, wall time (best of {REPEATS}), "
+        f"{N_PROCESSES} processes",
+        "static = depth-bounded frontier (Pool, stepped tasks); "
+        "dynamic = budget work sharing (queue, fast-path loop)",
+        "",
+        fmt_row(
+            ["instance", "type", "seq (s)", "static", "dynamic", "dyn/st", "splits"],
+            widths,
+        ),
+    ]
+    for r in rows:
+        lines.append(
+            fmt_row(
+                [
+                    r["instance"],
+                    r["search_type"],
+                    f"{r['sequential']['wall_time']:.3f}",
+                    f"{r['static_depthbounded']['wall_time']:.3f}",
+                    f"{r['dynamic_budget']['wall_time']:.3f}",
+                    f"{r['dynamic_vs_static_speedup']:.2f}x",
+                    r["dynamic_budget"]["splits"],
+                ],
+                widths,
+            )
+        )
+    write_result("parallel_backends", lines)
+
+    payload = {
+        "benchmark": "parallel_backends",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "n_processes": N_PROCESSES,
+        "repeats": REPEATS,
+        "cases": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "parallel_backends.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nJSON written to {out}")
+
+
+if __name__ == "__main__":
+    main()

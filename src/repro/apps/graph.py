@@ -19,13 +19,14 @@ __all__ = ["Graph"]
 class Graph:
     """An undirected graph on vertices ``0 .. n-1`` with bitset adjacency."""
 
-    __slots__ = ("n", "adj")
+    __slots__ = ("n", "adj", "_inv_adj")
 
     def __init__(self, n: int, adj: list[int] | None = None) -> None:
         if n < 0:
             raise ValueError("vertex count must be non-negative")
         self.n = n
         self.adj: list[int] = list(adj) if adj is not None else [0] * n
+        self._inv_adj: list[int] | None = None
         if len(self.adj) != n:
             raise ValueError(f"adjacency vector has {len(self.adj)} entries for {n} vertices")
         universe = mask_below(n)
@@ -50,6 +51,19 @@ class Graph:
             raise ValueError(f"edge ({u},{v}) out of range for n={self.n}")
         self.adj[u] |= 1 << v
         self.adj[v] |= 1 << u
+        self._inv_adj = None
+
+    def inverted_adj(self) -> list[int]:
+        """Cached ``~adj[v]`` masks (invalidated by :meth:`add_edge`).
+
+        The greedy-colouring inner loop removes a vertex's neighbours
+        from the candidate set on every iteration; precomputing the
+        complements turns that into a single ``&`` per iteration.
+        """
+        inv = self._inv_adj
+        if inv is None:
+            inv = self._inv_adj = [~bits for bits in self.adj]
+        return inv
 
     def has_edge(self, u: int, v: int) -> bool:
         """True if u and v are adjacent."""

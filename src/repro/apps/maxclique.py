@@ -56,18 +56,26 @@ def greedy_colour(graph: Graph, candidates: int) -> tuple[list[int], list[int]]:
     """
     p_vertex: list[int] = []
     p_colour: list[int] = []
+    # Hot helper: called once per tree node.  The loop works on the
+    # lowest set bit directly (no repeated ``1 << v`` shifts — clearing
+    # is an xor with the isolated bit) and removes same-colour-class
+    # neighbours with the graph's precomputed ``~adj`` masks.
+    inv_adj = graph.inverted_adj()
+    vertex_append = p_vertex.append
+    colour_append = p_colour.append
     uncoloured = candidates
     colour = 0
     while uncoloured:
         colour += 1
         available = uncoloured
         while available:
-            v = (available & -available).bit_length() - 1  # lowest vertex
-            p_vertex.append(v)
-            p_colour.append(colour)
-            uncoloured &= ~(1 << v)
-            available &= ~(1 << v)
-            available &= ~graph.adj[v]  # same colour class must be independent
+            low = available & -available  # isolated lowest bit
+            v = low.bit_length() - 1
+            vertex_append(v)
+            colour_append(colour)
+            uncoloured ^= low
+            # same colour class must be independent
+            available = (available ^ low) & inv_adj[v]
     return p_vertex, p_colour
 
 

@@ -27,7 +27,7 @@ from repro.core.nodegen import IterNodeGenerator, NodeGenerator
 from repro.core.space import SearchSpec
 from repro.util.rng import splittable_hash
 
-__all__ = ["UTSInstance", "UTSNode", "UTSGen", "uts_spec"]
+__all__ = ["UTSInstance", "UTSNode", "UTSGen", "uts_spec", "uts_spec_from_params"]
 
 _GEOMETRIC = "geometric"
 _BINOMIAL = "binomial"
@@ -103,6 +103,23 @@ class UTSGen(NodeGenerator[UTSInstance, UTSNode]):
 
     def next(self) -> UTSNode:
         return self._inner.next()
+
+
+def uts_spec_from_params(
+    shape: str,
+    b0: float,
+    max_depth: int,
+    m: int,
+    q: float,
+    seed: int,
+    name: str = "uts",
+) -> SearchSpec:
+    """Top-level picklable spec factory for the multiprocessing backends:
+    rebuilds :func:`uts_spec` from the instance's plain parameters."""
+    return uts_spec(
+        UTSInstance(shape=shape, b0=b0, max_depth=max_depth, m=m, q=q, seed=seed),
+        name=name,
+    )
 
 
 def uts_spec(inst: UTSInstance, *, name: str = "uts") -> SearchSpec:

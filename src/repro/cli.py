@@ -9,6 +9,8 @@ reproduces that interface over the Python skeletons::
     python -m repro.cli maxclique -f mygraph.clq --skeleton budget -b 100 \\
         --decisionBound 27 --localities 2 --workers 8
     python -m repro.cli uts --shape geometric --b0 4 --depth 8 --skeleton stacksteal
+    python -m repro.cli maxclique --instance brock100-1 --skeleton budget \\
+        --backend processes --processes 4 -b 2000   # real OS processes
     python -m repro.cli ns --genus 14 --skeleton budget -b 50
     python -m repro.cli knapsack --instance knap-sim-30 --skeleton stacksteal
     python -m repro.cli tsp --instance tsp-rand-12 --skeleton depthbounded -d 3
@@ -73,6 +75,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="simulator seed")
     parser.add_argument(
+        "--backend", default="sim", choices=["sim", "processes"],
+        help="run parallel skeletons on the simulator (default) or on "
+        "real OS processes (depthbounded/budget only)",
+    )
+    parser.add_argument(
+        "--processes", type=int, default=2, metavar="N",
+        help="worker processes for --backend processes (default 2)",
+    )
+    parser.add_argument(
+        "--share-poll", type=int, default=64, metavar="N",
+        help="processes backend: nodes between shared-incumbent reads",
+    )
+    parser.add_argument(
         "--decisionBound", type=int, default=None, metavar="K",
         help="run as a decision search with this target objective",
     )
@@ -91,6 +106,9 @@ def _params(args: argparse.Namespace) -> SkeletonParams:
         localities=args.localities,
         workers_per_locality=args.workers,
         seed=args.seed,
+        backend=args.backend,
+        n_processes=args.processes,
+        share_poll=args.share_poll,
     )
 
 
@@ -129,10 +147,23 @@ def _library_instance(name: str, expect_app: Optional[str] = None):
     return spec_for(name)
 
 
-def _run(spec, search_type: str, args: argparse.Namespace, out, **type_kwargs):
+def _run(spec, search_type: str, args: argparse.Namespace, out,
+         spec_factory=None, factory_args=(), **type_kwargs):
     skeleton = make_skeleton(args.skeleton, search_type)
     stype = make_search_type(search_type, **type_kwargs)
     cluster = None
+    if args.backend == "processes" and args.skeleton != "sequential":
+        if args.trace:
+            raise SystemExit(
+                "--trace records the simulated schedule; it is not "
+                "available with --backend processes"
+            )
+        if spec_factory is None:
+            raise SystemExit(
+                "--backend processes must rebuild the search in worker "
+                "processes, which only works for library instances and "
+                "parameterised generators (not ad-hoc inputs like -f files)"
+            )
     if args.trace and args.skeleton != "sequential":
         from repro.runtime.executor import SimulatedCluster
         from repro.runtime.topology import Topology
@@ -140,7 +171,10 @@ def _run(spec, search_type: str, args: argparse.Namespace, out, **type_kwargs):
         cluster = SimulatedCluster(
             Topology(args.localities, args.workers), trace=True
         )
-    res = skeleton.search(spec, _params(args), stype=stype, cluster=cluster)
+    res = skeleton.search(
+        spec, _params(args), stype=stype, cluster=cluster,
+        spec_factory=spec_factory, factory_args=factory_args,
+    )
     _report(res, out)
     if res.trace is not None:
         from repro.runtime.trace import render_gantt
@@ -159,33 +193,45 @@ def _cmd_maxclique(args, out) -> int:
     if args.file:
         graph = parse_dimacs(args.file)
         spec = maxclique_spec(graph, name=args.file)
+        factory, fargs = None, ()
     else:
+        from repro.instances.library import library_spec_factory
+
         spec, _, _ = _library_instance(args.instance, "maxclique")
+        factory, fargs = library_spec_factory, (args.instance,)
     if args.decisionBound is not None:
-        _run(spec, "decision", args, out, target=args.decisionBound)
+        _run(spec, "decision", args, out, spec_factory=factory,
+             factory_args=fargs, target=args.decisionBound)
     else:
-        _run(spec, "optimisation", args, out)
+        _run(spec, "optimisation", args, out, spec_factory=factory,
+             factory_args=fargs)
     return 0
 
 
 def _cmd_generic_library(app: str):
     def cmd(args, out) -> int:
+        from repro.instances.library import library_spec_factory
+
         spec, stype_name, kwargs = _library_instance(args.instance, app)
+        factory, fargs = library_spec_factory, (args.instance,)
         if args.decisionBound is not None:
             if stype_name == "decision":
                 kwargs = {"target": args.decisionBound}
-                _run(spec, "decision", args, out, **kwargs)
+                _run(spec, "decision", args, out, spec_factory=factory,
+                     factory_args=fargs, **kwargs)
             else:
-                _run(spec, "decision", args, out, target=args.decisionBound)
+                _run(spec, "decision", args, out, spec_factory=factory,
+                     factory_args=fargs, target=args.decisionBound)
         else:
-            _run(spec, stype_name, args, out, **kwargs)
+            _run(spec, stype_name, args, out, spec_factory=factory,
+                 factory_args=fargs, **kwargs)
         return 0
 
     return cmd
 
 
 def _cmd_uts(args, out) -> int:
-    from repro.apps.uts import UTSInstance, uts_spec
+    from repro.apps.uts import UTSInstance, uts_spec, uts_spec_from_params
 
     inst = UTSInstance(
         shape=args.shape,
@@ -196,7 +242,12 @@ def _cmd_uts(args, out) -> int:
         seed=args.tree_seed,
     )
     spec = uts_spec(inst, name=f"uts-{args.shape}")
-    _run(spec, "enumeration", args, out)
+    _run(
+        spec, "enumeration", args, out,
+        spec_factory=uts_spec_from_params,
+        factory_args=(args.shape, args.b0, args.depth, args.m, args.q,
+                      args.tree_seed, f"uts-{args.shape}"),
+    )
     return 0
 
 

@@ -31,6 +31,15 @@ class SkeletonParams:
         workers_per_locality: search workers per locality (the paper uses
             15 of 16 cores, reserving one for HPX).
         seed: simulator seed (victim selection and tie-breaking).
+        backend: execution backend — ``"sim"`` runs parallel skeletons
+            on the discrete-event simulator; ``"processes"`` runs them
+            on real OS processes (:mod:`repro.runtime.processes`; only
+            the depthbounded and budget coordinations have process
+            implementations).
+        n_processes: worker processes for the ``"processes"`` backend.
+        share_poll: processes backend — nodes searched between lock-free
+            reads of the shared incumbent (smaller = tighter pruning,
+            more shared-memory traffic).
     """
 
     d_cutoff: int = 2
@@ -40,6 +49,9 @@ class SkeletonParams:
     localities: int = 1
     workers_per_locality: int = 15
     seed: int = 0
+    backend: str = "sim"
+    n_processes: int = 2
+    share_poll: int = 64
 
     @property
     def workers(self) -> int:
@@ -58,3 +70,11 @@ class SkeletonParams:
             raise ValueError("spawn_probability must be in [0, 1]")
         if self.localities < 1 or self.workers_per_locality < 1:
             raise ValueError("topology must have >= 1 locality and worker")
+        if self.backend not in ("sim", "processes"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected 'sim' or 'processes'"
+            )
+        if self.n_processes < 1:
+            raise ValueError("n_processes must be >= 1")
+        if self.share_poll < 1:
+            raise ValueError("share_poll must be >= 1")

@@ -92,6 +92,10 @@ class Enumeration(SearchType):
         self._plus = plus if plus is not None else (lambda a, b: a + b)
         self._zero = zero
         self._objective = objective
+        # The stock sum-the-objective monoid can be rebuilt by name in a
+        # worker process; custom monoids capture behaviour that cannot,
+        # which the multiprocessing backends check before shipping.
+        self.is_default = plus is None and objective is None and zero == 0
 
     def initial_knowledge(self, spec: SearchSpec) -> Any:
         """The monoid zero (accumulators start empty)."""

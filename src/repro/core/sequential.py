@@ -88,17 +88,21 @@ def sequential_search(
         stack = [generator(space, spec.root)]
         steps = 0
         nodes = 1
-        weighted = metrics.weighted_nodes
+        # Most specs have no node_size; weighted accounting is hoisted
+        # out of the loop entirely for them (weighted == nodes then).
+        weighted = metrics.weighted_nodes if node_size is not None else 0
         prunes = 0
         backtracks = 0
         max_depth = 1
+        weigh = node_size is not None
         while stack:
             gen = stack[-1]
             if gen.has_next():
                 child = gen.next()
                 knowledge, _ = process(spec, child, knowledge)
                 nodes += 1
-                weighted += node_size(child) if node_size is not None else 1
+                if weigh:
+                    weighted += node_size(child)
                 if is_goal(knowledge):
                     goal = True
                     break
@@ -117,7 +121,7 @@ def sequential_search(
                     f"sequential search of {spec.name!r} exceeded {max_steps} steps"
                 )
         metrics.nodes = nodes
-        metrics.weighted_nodes = weighted
+        metrics.weighted_nodes = weighted if weigh else nodes
         metrics.prunes = prunes
         metrics.backtracks = backtracks
         metrics.max_depth = max_depth

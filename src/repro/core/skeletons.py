@@ -86,6 +86,8 @@ class Skeleton:
         *,
         stype: Optional[SearchType] = None,
         cluster: Optional[Any] = None,
+        spec_factory: Optional[Any] = None,
+        factory_args: tuple = (),
         **type_kwargs: Any,
     ) -> SearchResult:
         """Run this skeleton on ``spec``.
@@ -94,6 +96,13 @@ class Skeleton:
         ``target=27`` for decision searches).  ``cluster`` optionally
         supplies a pre-configured :class:`SimulatedCluster` (for custom
         cost models); otherwise one is built from ``params``.
+
+        With ``params.backend == "processes"`` the parallel
+        coordinations run on real OS processes instead of the simulator,
+        which needs the spec in rebuildable form: ``spec_factory`` must
+        be a top-level picklable callable with picklable
+        ``factory_args`` such that ``spec_factory(*factory_args)``
+        reproduces ``spec`` in a worker process.
         """
         if stype is None:
             stype = make_search_type(self.search_type, **type_kwargs)
@@ -107,6 +116,18 @@ class Skeleton:
         policy = COORDINATIONS[self.coordination]
         if policy == SEQ:
             return sequential_search(spec, stype)
+        if params.backend == "processes":
+            if spec_factory is None:
+                raise ValueError(
+                    "backend='processes' rebuilds the spec in each worker "
+                    "and therefore needs spec_factory (a top-level picklable "
+                    "callable) and factory_args"
+                )
+            from repro.runtime.processes import run_with_processes
+
+            return run_with_processes(
+                self.coordination, spec_factory, factory_args, stype, params
+            )
         if cluster is None:
             # Imported here so the core package has no hard dependency
             # direction issue with runtime (runtime imports core).

@@ -37,6 +37,7 @@ __all__ = [
     "StepOutcome",
     "SearchTask",
     "SpawnedTask",
+    "split_lowest_inlined",
     "SEQ",
     "DEPTH",
     "BUDGET",
@@ -108,6 +109,34 @@ class StepOutcome:
         self.finished = False  # this task is complete
         self.spawned: Any = _NO_SPAWNS  # fresh list only when spawning
         self.weight = 1  # cost weight of the processed node (spec.node_size)
+
+
+def split_lowest_inlined(gens: list) -> tuple[list, int]:
+    """(spawn-budget) for the *inlined* fast-path driver.
+
+    Fast worker loops (``sequential_search`` and the dynamic
+    multiprocessing backend) keep a plain list of node generators rather
+    than a :class:`~repro.core.genstack.GeneratorStack`; this helper
+    applies the same bottom-up splitting rule (Listing 4, lines 8-14) to
+    that representation: take *all* remaining children of the first
+    non-exhausted generator nearest the root — the heuristically largest
+    unexplored subtrees.
+
+    Returns ``(nodes, frame_index)`` where ``frame_index`` is the
+    position of the drained generator in ``gens`` (the spawned nodes
+    live at task-relative depth ``frame_index + 1``), or ``([], -1)``
+    when every generator is exhausted.  Splitting only consumes
+    generator output, so it cannot change which nodes the search visits
+    — only *where* they are visited (Theorem 3.1's interleaving
+    argument).
+    """
+    for index, gen in enumerate(gens):
+        if gen.has_next():
+            nodes = [gen.next()]
+            while gen.has_next():
+                nodes.append(gen.next())
+            return nodes, index
+    return [], -1
 
 
 class SearchTask:

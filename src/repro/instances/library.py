@@ -37,7 +37,15 @@ from repro.instances.graphs import (
 )
 from repro.util.rng import SplitMix64
 
-__all__ = ["Entry", "load_instance", "spec_for", "instance_names", "suite", "APPS"]
+__all__ = [
+    "Entry",
+    "load_instance",
+    "spec_for",
+    "library_spec_factory",
+    "instance_names",
+    "suite",
+    "APPS",
+]
 
 APPS = ("maxclique", "kclique", "tsp", "knapsack", "sip", "uts", "ns")
 
@@ -332,6 +340,17 @@ def spec_for(name: str) -> tuple[SearchSpec, str, dict]:
     """Spec + (search_type, stype_kwargs) for a registry instance."""
     entry = _entry(name)
     return entry.make_spec(load_instance(name)), entry.search_type, dict(entry.stype_kwargs)
+
+
+def library_spec_factory(name: str) -> SearchSpec:
+    """Top-level picklable spec factory for the multiprocessing backends.
+
+    Worker processes rebuild specs from ``(factory, args)`` pairs; for
+    registry instances the pair is simply ``(library_spec_factory,
+    (name,))`` — the registry is deterministic, so every process builds
+    the identical instance.
+    """
+    return spec_for(name)[0]
 
 
 def _entry(name: str) -> Entry:

@@ -1,41 +1,60 @@
 """Real multi-core execution with worker processes.
 
-Where :mod:`repro.runtime.threads` is GIL-bound, this backend achieves
-*actual* CPython parallel speedup: Depth-Bounded tasks are distributed
-over ``multiprocessing`` workers, each searching its subtree in its own
-interpreter.
+Where :mod:`repro.runtime.threads` is GIL-bound, these backends achieve
+*actual* CPython parallel speedup by distributing subtree tasks over
+``multiprocessing`` workers, each searching in its own interpreter.
 
-Because ``SearchSpec`` objects contain closures (not picklable), the
-backend takes a *spec factory* — a top-level callable plus picklable
-arguments — and rebuilds the spec once per worker process.  Incumbent
-knowledge is shared through a lock-protected shared integer holding the
-best objective value: workers seed their pruning from it before each
-task and publish improvements after, the multi-process analogue of the
-simulator's delayed bound broadcast (stale reads only cost pruning,
-§4.3).
+Two coordinations have process implementations:
 
-Limitations, stated plainly: task distribution is static (the depth-d
-frontier, like the OpenMP baseline of Table 1, not a work-stealing
-runtime), witness nodes travel back by pickling, and per-task process
-overhead means small searches are faster sequentially.  The backend
-exists to demonstrate genuine parallel wall-clock gains on CPython for
-coarse-grained searches; the simulator remains the instrument for
-studying coordination.
+- :func:`multiprocessing_depthbounded_search` — **static** splitting:
+  the parent expands the depth-``d`` frontier sequentially and hands
+  the frontier subtrees to a process pool (the OpenMP-style baseline of
+  Table 1).  Workers drive the resumable :class:`SearchTask` machine.
+- :func:`multiprocessing_budget_search` — **dynamic** work sharing in
+  the style of the paper's Budget coordination: workers pull tasks from
+  a shared queue and run them through an inlined fast-path loop (the
+  :func:`~repro.core.sequential.sequential_search` hot loop, not the
+  stepped state machine); whenever a task exceeds its node budget the
+  worker splits the lowest unexplored subtrees off its generator stack
+  (:func:`~repro.core.tasks.split_lowest_inlined`) and pushes them back
+  to the queue, so load balances at runtime instead of being fixed by
+  the initial frontier.
+
+Because ``SearchSpec`` objects contain closures (not picklable), both
+backends take a *spec factory* — a top-level callable plus picklable
+arguments — and rebuild the spec once per worker process.  Incumbent
+knowledge is shared through a shared 64-bit integer holding the best
+objective value: workers seed their pruning from it, read it lock-free
+on a fixed node cadence, and take the lock only to publish improvements
+— the multi-process analogue of the simulator's delayed bound broadcast
+(stale reads only cost pruning, §4.3).  Sharing an objective through a
+signed integer seeded at 0 requires objectives to be non-negative ints;
+both backends validate that at launch (see
+:func:`_checked_incumbent_seed`).
+
+Remaining limitations, stated plainly: witness nodes travel back by
+pickling, and per-task process overhead means small searches are faster
+sequentially.  The simulator remains the instrument for studying
+coordination at scale.
 """
 
 from __future__ import annotations
 
 import time
-from multiprocessing import Pipe, Pool, Process, Value
+from multiprocessing import Pipe, Pool, Process, Queue, Value
+from queue import Empty
 from typing import Any, Callable, Optional
 
 from repro.core.params import SkeletonParams
 from repro.core.results import SearchMetrics, SearchResult, result_from_dict
 from repro.core.searchtypes import Incumbent, SearchType
-from repro.core.tasks import SEQ, SearchTask, SpawnedTask
+from repro.core.tasks import SEQ, SearchTask, SpawnedTask, split_lowest_inlined
 
 __all__ = [
     "multiprocessing_depthbounded_search",
+    "multiprocessing_budget_search",
+    "run_with_processes",
+    "make_stype",
     "run_library_search",
     "run_job_in_subprocess",
 ]
@@ -112,7 +131,7 @@ def run_library_search(
     """
     from repro.core.searchtypes import make_search_type
     from repro.core.skeletons import make_skeleton
-    from repro.instances.library import spec_for
+    from repro.instances.library import library_spec_factory, spec_for
 
     spec, default_type, default_kwargs = spec_for(instance)
     stype_name = search_type if search_type is not None else default_type
@@ -122,7 +141,16 @@ def run_library_search(
     skel = make_skeleton(skeleton, stype_name)
     skel_params = SkeletonParams(**params) if params else SkeletonParams()
     stype = make_search_type(stype_name, **kwargs)
-    return skel.search(spec, skel_params, stype=stype)
+    # The registry is deterministic, so the instance name doubles as a
+    # picklable spec factory argument — used only when the params select
+    # the processes backend.
+    return skel.search(
+        spec,
+        skel_params,
+        stype=stype,
+        spec_factory=library_spec_factory,
+        factory_args=(instance,),
+    )
 
 
 def _job_process_main(conn, payload: dict) -> None:
@@ -222,6 +250,11 @@ def multiprocessing_depthbounded_search(
     :class:`SearchResult` whose ``value`` matches the sequential run;
     for optimisation/decision the witness is the best node seen by any
     single task (exact because tasks run their subtrees completely).
+
+    Optimisation/decision objectives must be non-negative ints (raises
+    ValueError otherwise): the incumbent travels between workers as a
+    signed shared integer whose idle value is 0, so a negative objective
+    would let a stale-zero read *tighten* pruning and corrupt results.
     """
     if n_processes < 1:
         raise ValueError("need at least one process")
@@ -248,7 +281,10 @@ def multiprocessing_depthbounded_search(
             goal = True
             break
 
-    best_seed = 0 if stype.kind == "enumeration" else knowledge.value
+    if stype.kind == "enumeration":
+        best_seed = 0  # unused: enumeration accumulators stay local
+    else:
+        best_seed = _checked_incumbent_seed(knowledge.value)
     best = Value("q", best_seed)
 
     results: list[Any] = []
@@ -292,4 +328,435 @@ def multiprocessing_depthbounded_search(
         metrics=metrics,
         wall_time=elapsed,
         workers=n_processes,
+    )
+
+
+# -- dynamic work-sharing (Budget) backend ----------------------------------
+
+
+def _checked_incumbent_seed(value: Any) -> int:
+    """Validate an incumbent seed for the shared-integer bound channel.
+
+    The shared incumbent is a signed 64-bit ``Value("q")`` whose idle
+    value is 0 and whose merge operation is ``max``.  That protocol is
+    only sound for non-negative integer objectives: a negative objective
+    would make a stale-zero read *tighten* pruning (bound 0 > true
+    incumbent), silently corrupting results rather than merely delaying
+    them.  Raise loudly instead.
+    """
+    if not isinstance(value, int) or value < 0:
+        raise ValueError(
+            "multiprocessing backends share the incumbent as a signed 64-bit "
+            "integer seeded at 0 and merged with max; they require objectives "
+            f"that are non-negative ints, but the root objective is {value!r}. "
+            "Shift the objective into the non-negative range or use the "
+            "simulator backend."
+        )
+    if value >= 2**63:
+        raise ValueError(
+            f"objective {value!r} overflows the shared 64-bit incumbent"
+        )
+    return value
+
+
+def make_stype(kind: str, kwargs: dict) -> SearchType:
+    """Top-level (picklable) search-type factory used by the backends."""
+    from repro.core.searchtypes import make_search_type
+
+    return make_search_type(kind, **kwargs)
+
+
+def _stype_payload(stype: SearchType) -> tuple[str, dict]:
+    """Reduce a standard search type to ``(kind, kwargs)`` for shipping
+    to worker processes, where :func:`make_stype` rebuilds it.
+
+    Only the three stock types survive this round trip; subclasses and
+    Enumeration instances with custom monoids carry behaviour that
+    cannot be reconstructed by name, so they are rejected with advice.
+    """
+    from repro.core.searchtypes import Decision, Enumeration, Optimisation
+
+    if type(stype) is Decision:
+        return "decision", {"target": stype.target}
+    if type(stype) is Optimisation:
+        return "optimisation", {}
+    if type(stype) is Enumeration and stype.is_default:
+        return "enumeration", {}
+    raise ValueError(
+        f"the processes backend cannot ship search type {stype!r} to workers "
+        "by name; pass an explicit stype_factory to the multiprocessing_* "
+        "functions instead"
+    )
+
+
+def _budget_worker_main(
+    spec_factory,
+    factory_args,
+    stype_factory,
+    stype_args,
+    task_q,
+    result_q,
+    outstanding,
+    best,
+    goal_flag,
+    done_flag,
+    budget,
+    share_poll,
+    queue_poll,
+):
+    """Worker process: pull tasks, search them fast, split on budget.
+
+    The per-node path is the :func:`sequential_search` hot loop (bound
+    locals, plain generator list, no ``StepOutcome`` allocation);
+    splittable state is only materialised every ``share_poll`` nodes,
+    when the worker also refreshes its pruning bound from the shared
+    incumbent without taking the lock.  The lock is taken only to
+    publish an improvement.
+    """
+    try:
+        # Never block process exit on unflushed task-queue buffers: on
+        # the normal path everything pushed has been consumed (the
+        # outstanding counter cannot reach zero otherwise), and on the
+        # goal path pending tasks are garbage anyway.
+        task_q.cancel_join_thread()
+        spec = spec_factory(*factory_args)
+        stype = stype_factory(*stype_args)
+        enum = stype.kind == "enumeration"
+        process = stype.process
+        is_goal = stype.is_goal
+        should_prune = stype.should_prune if (not enum and spec.can_prune) else None
+        generator = spec.generator
+        space = spec.space
+        best_raw = best.get_obj()  # lock-free reads (aligned 8-byte load)
+        best_lock = best.get_lock()
+        out_raw = outstanding.get_obj()
+        out_lock = outstanding.get_lock()
+
+        knowledge = stype.initial_knowledge(spec)
+        if enum:
+            prune_know = None
+            bound_val = 0
+        else:
+            # Seed pruning from the shared best (another worker may have
+            # published before we started).
+            bound_val = max(knowledge.value, best_raw.value)
+            prune_know = knowledge if bound_val == knowledge.value else Incumbent(
+                bound_val, None
+            )
+
+        nodes = prunes = backtracks = max_depth = 0
+        splits = tasks_run = 0
+        goal_hit = False
+        aborted = False
+
+        while True:
+            if done_flag.value or goal_flag.value:
+                break
+            try:
+                root, root_depth = task_q.get(timeout=queue_poll)
+            except Empty:
+                continue
+            tasks_run += 1
+            task_nodes = 0  # counted in share_poll quanta, drives splitting
+            since_check = 0
+
+            # -- process the task root (the (schedule) rule) --
+            nodes += 1
+            expand = True
+            if enum:
+                knowledge, _ = process(spec, root, knowledge)
+            else:
+                k2, improved = process(spec, root, prune_know)
+                if improved:
+                    knowledge = prune_know = k2
+                    bound_val = k2.value
+                    with best_lock:
+                        if bound_val > best_raw.value:
+                            best_raw.value = bound_val
+                    if is_goal(k2):
+                        goal_hit = True
+                        goal_flag.value = 1
+                        break
+                if should_prune is not None and should_prune(spec, root, prune_know):
+                    prunes += 1
+                    expand = False
+
+            if expand:
+                stack = [generator(space, root)]
+                if root_depth + 1 > max_depth:
+                    max_depth = root_depth + 1
+                # -- the inlined hot loop --
+                while stack:
+                    gen = stack[-1]
+                    if gen.has_next():
+                        child = gen.next()
+                        nodes += 1
+                        since_check += 1
+                        if enum:
+                            knowledge, _ = process(spec, child, knowledge)
+                            stack.append(generator(space, child))
+                            if root_depth + len(stack) > max_depth:
+                                max_depth = root_depth + len(stack)
+                        else:
+                            k2, improved = process(spec, child, prune_know)
+                            if improved:
+                                knowledge = prune_know = k2
+                                bound_val = k2.value
+                                with best_lock:
+                                    if bound_val > best_raw.value:
+                                        best_raw.value = bound_val
+                                if is_goal(k2):
+                                    goal_hit = True
+                                    goal_flag.value = 1
+                                    break
+                            if should_prune is not None and should_prune(
+                                spec, child, prune_know
+                            ):
+                                prunes += 1
+                            else:
+                                stack.append(generator(space, child))
+                                if root_depth + len(stack) > max_depth:
+                                    max_depth = root_depth + len(stack)
+                    else:
+                        stack.pop()
+                        backtracks += 1
+                    if since_check >= share_poll:
+                        # Periodic duties, off the per-node path: goal
+                        # check, lock-free bound refresh, budget split.
+                        task_nodes += since_check
+                        since_check = 0
+                        if goal_flag.value:
+                            aborted = True
+                            break
+                        if not enum:
+                            seen = best_raw.value
+                            if seen > bound_val:
+                                bound_val = seen
+                                prune_know = Incumbent(seen, None)
+                        if task_nodes >= budget:
+                            offcuts, frame_index = split_lowest_inlined(stack)
+                            if offcuts:
+                                with out_lock:
+                                    out_raw.value += len(offcuts)
+                                depth = root_depth + frame_index + 1
+                                for off in offcuts:
+                                    task_q.put((off, depth))
+                                splits += len(offcuts)
+                            task_nodes = 0
+
+            if goal_hit or aborted:
+                break
+            with out_lock:
+                out_raw.value -= 1
+                if out_raw.value == 0:
+                    done_flag.value = 1
+
+        payload = {
+            "knowledge": knowledge if enum else (knowledge.value, knowledge.node),
+            "nodes": nodes,
+            "prunes": prunes,
+            "backtracks": backtracks,
+            "max_depth": max_depth,
+            "goal": goal_hit,
+            "splits": splits,
+            "tasks": tasks_run,
+        }
+        try:
+            result_q.put(("ok", payload))
+        except Exception:
+            # Unpicklable witness: degrade to the value alone.
+            if not enum:
+                payload["knowledge"] = (knowledge.value, None)
+                result_q.put(("ok", payload))
+            else:
+                raise
+    except BaseException as exc:  # report crashes instead of dying silently
+        try:
+            result_q.put(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+
+
+def multiprocessing_budget_search(
+    spec_factory: Callable[..., Any],
+    factory_args: tuple,
+    stype_factory: Callable[..., SearchType],
+    stype_args: tuple = (),
+    *,
+    n_processes: int = 2,
+    budget: int = 1000,
+    share_poll: int = 64,
+    queue_poll: float = 0.02,
+) -> SearchResult:
+    """Budget-style dynamic work-sharing search over worker processes.
+
+    The whole tree starts as one task on a shared queue.  Workers pull
+    tasks and search them with an inlined fast-path loop; any task that
+    runs past ``budget`` nodes splits the unexplored subtrees nearest
+    its root back onto the queue (the paper's Budget coordination,
+    Listing 4, with nodes as the budget unit), so load balances at
+    runtime instead of being fixed by a depth-``d`` frontier.
+
+    ``spec_factory(*factory_args)`` / ``stype_factory(*stype_args)``
+    must be top-level picklable callables, as for
+    :func:`multiprocessing_depthbounded_search`; the same non-negative
+    integer objective requirement applies (ValueError otherwise).
+
+    ``share_poll`` sets the node cadence of the periodic duties (shared
+    incumbent refresh, goal check, budget check), so the effective split
+    granularity is ``max(budget, share_poll)`` nodes.  A worker process
+    dying mid-search raises RuntimeError in the parent: its local
+    accumulator is unrecoverable, so completing would silently undercount.
+    """
+    if n_processes < 1:
+        raise ValueError("need at least one process")
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    if share_poll < 1:
+        raise ValueError("share_poll must be >= 1")
+    spec = spec_factory(*factory_args)
+    stype = stype_factory(*stype_args)
+    started = time.perf_counter()
+
+    knowledge = stype.initial_knowledge(spec)
+    if stype.kind == "enumeration":
+        best_seed = 0  # unused: enumeration accumulators stay local
+    else:
+        best_seed = _checked_incumbent_seed(knowledge.value)
+    best = Value("q", best_seed)
+    goal_flag = Value("b", 0, lock=False)
+    done_flag = Value("b", 0, lock=False)
+    outstanding = Value("q", 1)  # tasks queued or being searched
+    task_q: Queue = Queue()
+    result_q: Queue = Queue()
+    task_q.put((spec.root, 0))
+
+    procs = [
+        Process(
+            target=_budget_worker_main,
+            args=(
+                spec_factory, factory_args, stype_factory, stype_args,
+                task_q, result_q, outstanding, best, goal_flag, done_flag,
+                budget, share_poll, queue_poll,
+            ),
+            daemon=True,
+        )
+        for _ in range(n_processes)
+    ]
+    for p in procs:
+        p.start()
+
+    payloads: list[dict] = []
+    error: Optional[str] = None
+    while len(payloads) < n_processes:
+        try:
+            tag, body = result_q.get(timeout=0.1)
+        except Empty:
+            crashed = [
+                p.exitcode for p in procs if p.exitcode not in (None, 0)
+            ]
+            if crashed:
+                error = (
+                    f"worker died with exit code {crashed[0]} before "
+                    "reporting results"
+                )
+                break
+            if all(p.exitcode is not None for p in procs) and not result_q._reader.poll():
+                error = "all workers exited without reporting results"
+                break
+            continue
+        if tag == "error":
+            error = body
+            break
+        payloads.append(body)
+
+    if error is not None:
+        done_flag.value = 1  # ask survivors to wind down
+        for p in procs:
+            p.terminate()
+    # Drain leftover tasks (goal/error paths) so worker feeder threads
+    # never block, then reap the processes.
+    while True:
+        try:
+            task_q.get_nowait()
+        except (Empty, OSError, EOFError):
+            break
+    for p in procs:
+        p.join(timeout=5.0)
+        if p.is_alive():
+            p.kill()
+            p.join(timeout=5.0)
+    task_q.close()
+    result_q.close()
+    if error is not None:
+        raise RuntimeError(f"budget backend worker failed: {error}")
+
+    metrics = SearchMetrics()
+    goal = False
+    for body in payloads:
+        metrics.nodes += body["nodes"]
+        metrics.prunes += body["prunes"]
+        metrics.backtracks += body["backtracks"]
+        metrics.spawns += body["splits"]
+        metrics.max_depth = max(metrics.max_depth, body["max_depth"])
+        goal = goal or body["goal"]
+        if stype.kind == "enumeration":
+            knowledge = stype.combine(knowledge, body["knowledge"])
+        else:
+            value, node = body["knowledge"]
+            if node is not None:
+                knowledge = stype.combine(knowledge, Incumbent(value, node))
+    metrics.weighted_nodes = metrics.nodes
+    elapsed = time.perf_counter() - started
+
+    if isinstance(knowledge, Incumbent):
+        return SearchResult(
+            kind=stype.kind,
+            value=knowledge.value,
+            node=knowledge.node,
+            found=(goal or stype.is_goal(knowledge))
+            if stype.kind == "decision"
+            else None,
+            metrics=metrics,
+            wall_time=elapsed,
+            workers=n_processes,
+        )
+    return SearchResult(
+        kind=stype.kind,
+        value=knowledge,
+        metrics=metrics,
+        wall_time=elapsed,
+        workers=n_processes,
+    )
+
+
+def run_with_processes(
+    coordination: str,
+    spec_factory: Callable[..., Any],
+    factory_args: tuple,
+    stype: SearchType,
+    params: SkeletonParams,
+) -> SearchResult:
+    """Dispatch a skeleton run onto the real-process backends.
+
+    Entry point for ``SkeletonParams(backend="processes")``: maps the
+    coordination name onto the matching ``multiprocessing_*`` function,
+    shipping the search type by ``(kind, kwargs)`` payload (standard
+    types only — see :func:`_stype_payload`).
+    """
+    kind, kwargs = _stype_payload(stype)
+    if coordination == "depthbounded":
+        return multiprocessing_depthbounded_search(
+            spec_factory, factory_args, make_stype, (kind, kwargs),
+            n_processes=params.n_processes, d_cutoff=params.d_cutoff,
+        )
+    if coordination == "budget":
+        return multiprocessing_budget_search(
+            spec_factory, factory_args, make_stype, (kind, kwargs),
+            n_processes=params.n_processes, budget=params.budget,
+            share_poll=params.share_poll,
+        )
+    raise ValueError(
+        f"the processes backend implements the 'depthbounded' and 'budget' "
+        f"coordinations, not {coordination!r}; use backend='sim' for the rest"
     )

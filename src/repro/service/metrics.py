@@ -41,6 +41,14 @@ class MetricsSnapshot:
     completed: int  # jobs in any terminal state
     latency_p50: Optional[float]
     latency_p95: Optional[float]
+    # Dynamic-scheduling visibility (jobs that actually executed a
+    # search, i.e. not served from cache): how many ran on >1 worker,
+    # the mean worker count, and the total subtree splits/spawns their
+    # coordinations performed.  Defaulted so older call sites and
+    # serialised snapshots stay valid.
+    parallel_jobs: int = 0
+    avg_workers: Optional[float] = None
+    total_splits: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict (JSON-ready) form of the snapshot."""
@@ -58,6 +66,9 @@ class MetricsSnapshot:
             "completed": self.completed,
             "latency_p50": self.latency_p50,
             "latency_p95": self.latency_p95,
+            "parallel_jobs": self.parallel_jobs,
+            "avg_workers": self.avg_workers,
+            "total_splits": self.total_splits,
         }
 
     def render(self) -> str:
@@ -71,6 +82,9 @@ class MetricsSnapshot:
             "  ".join(f"{k}={v}" for k, v in sorted(self.jobs_by_state.items()))
             or "(none)"
         )
+        avg_workers = (
+            f"{self.avg_workers:.1f}" if self.avg_workers is not None else "n/a"
+        )
         return "\n".join(
             [
                 "service metrics:",
@@ -80,6 +94,8 @@ class MetricsSnapshot:
                 f"  cache: {self.cache_hits} hits / {self.cache_misses} misses "
                 f"(hit rate {hit_rate})",
                 f"  latency: p50 {p50}  p95 {p95}  over {self.completed} jobs",
+                f"  parallelism: {self.parallel_jobs} multi-worker jobs  "
+                f"avg workers {avg_workers}  splits {self.total_splits}",
                 f"  terminal states: {by_state}",
             ]
         )
@@ -96,6 +112,8 @@ class ServiceMetrics:
         self.retries = 0
         self._by_state: dict[str, int] = {}
         self._latencies: list[float] = []
+        self._worker_counts: list[int] = []
+        self._total_splits = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -120,13 +138,25 @@ class ServiceMetrics:
             self.retries += 1
 
     def job_finished(self, job: Job) -> None:
-        """Record a job reaching a terminal state (latency + state count)."""
+        """Record a job reaching a terminal state (latency + state count).
+
+        Jobs that actually executed a search (result present, not served
+        from cache) additionally contribute their worker count and their
+        coordination's subtree-split count — the operator-level view of
+        how much dynamic scheduling the service is doing.
+        """
         with self._lock:
             state = job.state.value
             self._by_state[state] = self._by_state.get(state, 0) + 1
             lat = job.latency()
             if lat is not None:
                 self._latencies.append(lat)
+            result = job.result
+            if result is not None and not job.from_cache:
+                if result.workers is not None:
+                    self._worker_counts.append(result.workers)
+                if result.metrics is not None:
+                    self._total_splits += result.metrics.spawns
 
     # -- reporting -----------------------------------------------------------
 
@@ -144,6 +174,8 @@ class ServiceMetrics:
             by_state = dict(self._by_state)
             submitted, rejected = self.submitted, self.rejected
             coalesced, retries = self.coalesced, self.retries
+            worker_counts = list(self._worker_counts)
+            total_splits = self._total_splits
         hits = cache.hits if cache is not None else 0
         misses = cache.misses if cache is not None else 0
         hit_rate = cache.hit_rate() if cache is not None else None
@@ -161,4 +193,9 @@ class ServiceMetrics:
             completed=sum(by_state.values()),
             latency_p50=percentile(latencies, 50) if latencies else None,
             latency_p95=percentile(latencies, 95) if latencies else None,
+            parallel_jobs=sum(1 for w in worker_counts if w > 1),
+            avg_workers=(
+                sum(worker_counts) / len(worker_counts) if worker_counts else None
+            ),
+            total_splits=total_splits,
         )

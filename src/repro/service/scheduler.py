@@ -23,6 +23,12 @@ Two execution backends implement :class:`Backend`:
   timeout and cancellation terminate the child, so a runaway search
   cannot poison the pool.
 
+Jobs whose params select ``backend="processes"`` additionally fan the
+*search itself* out over worker processes inside the attempt — static
+depth-bounded task farming, or the dynamic budget-splitting backend
+(:func:`repro.runtime.processes.multiprocessing_budget_search`), whose
+worker/split counts surface in the service metrics footer.
+
 Either way the scheduler enforces the same policy: per-job timeout,
 cancellation (queued jobs never start; running jobs are interrupted
 best-effort), and **one retry on worker crash** — a crash is an

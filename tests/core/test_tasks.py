@@ -268,3 +268,67 @@ class TestCurrentDepth:
         task.step(k)  # start: push root frame
         task.step(k)  # expand first child (aa at global depth 2)
         assert task.current_depth() == 2
+
+
+class TestSplitLowestInlined:
+    """The (spawn-budget) rule on the fast-path driver's plain generator
+    list, mirroring GeneratorStack.split_lowest semantics."""
+
+    @staticmethod
+    def _gens(*lists):
+        from repro.core.nodegen import ListNodeGenerator
+
+        return [ListNodeGenerator(list(items)) for items in lists]
+
+    def test_drains_first_non_exhausted_frame(self):
+        from repro.core.tasks import split_lowest_inlined
+
+        gens = self._gens(["a", "b"], ["x"], ["y", "z"])
+        nodes, index = split_lowest_inlined(gens)
+        assert nodes == ["a", "b"]
+        assert index == 0
+        # The drained frame yields nothing afterwards; deeper frames are
+        # untouched.
+        assert not gens[0].has_next()
+        assert gens[1].has_next()
+
+    def test_skips_exhausted_frames(self):
+        from repro.core.tasks import split_lowest_inlined
+
+        gens = self._gens([], [], ["p", "q"], ["r"])
+        nodes, index = split_lowest_inlined(gens)
+        assert nodes == ["p", "q"]
+        assert index == 2
+
+    def test_all_exhausted(self):
+        from repro.core.tasks import split_lowest_inlined
+
+        nodes, index = split_lowest_inlined(self._gens([], []))
+        assert nodes == []
+        assert index == -1
+
+    def test_empty_stack(self):
+        from repro.core.tasks import split_lowest_inlined
+
+        assert split_lowest_inlined([]) == ([], -1)
+
+    def test_matches_generator_stack_split(self, toy_spec):
+        # Same tree state driven through GeneratorStack.split_lowest and
+        # through the inlined list must give away the same nodes.
+        from repro.core.genstack import GeneratorStack
+        from repro.core.tasks import split_lowest_inlined
+
+        stack = GeneratorStack()
+        stack.push("root", toy_spec.children_of("root"))
+        first = stack.next_from_top()[0]
+        stack.push(first, toy_spec.children_of(first))
+
+        gens = [toy_spec.generator(toy_spec.space, "root")]
+        inlined_first = gens[0].next()
+        gens.append(toy_spec.generator(toy_spec.space, inlined_first))
+        assert inlined_first == first
+
+        expected, _, _ = stack.split_lowest()
+        nodes, index = split_lowest_inlined(gens)
+        assert nodes == expected
+        assert index == 0

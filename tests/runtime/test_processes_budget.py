@@ -1,0 +1,212 @@
+"""Tests for the dynamic work-sharing (Budget) multiprocessing backend.
+
+The backend's contract is equivalence with the Sequential skeleton —
+same optimum (with a valid witness), same decision answer, same
+enumeration count — under any process count, any budget, and any
+interleaving of the shared task queue.  Factories are top-level
+(picklable) by the same contract as the static backend's tests.
+"""
+
+import os
+
+import pytest
+
+from repro.core.searchtypes import Decision, Enumeration, Optimisation
+from repro.core.sequential import sequential_search
+from repro.runtime.processes import multiprocessing_budget_search
+
+from tests.runtime.test_processes import (
+    CLIQUE_ARGS,
+    clique_spec_factory,
+    decision_factory,
+    enumeration_factory,
+    exploding_spec_factory,
+    optimisation_factory,
+    singleton_spec_factory,
+    toy_spec_factory,
+    uts_spec_factory,
+)
+
+
+def knapsack_spec_factory(n, seed):
+    """Rebuild a Knapsack spec from instance parameters."""
+    from repro.apps.knapsack import knapsack_spec
+    from repro.instances.library import random_knapsack
+
+    return knapsack_spec(random_knapsack(n, seed, kind="strong"))
+
+
+def negative_objective_factory():
+    """A toy spec whose root objective is negative (guard test)."""
+    from tests.conftest import make_toy_spec
+
+    return make_toy_spec({"root": ["a"]}, {"root": -3, "a": -1})
+
+
+def crashing_spec_factory():
+    """A spec whose generator hard-kills the worker process mid-task.
+
+    ``os._exit`` bypasses Python teardown entirely — no exception, no
+    result message — simulating an OOM-killed or segfaulted worker.
+    """
+    from repro.core.nodegen import ListNodeGenerator
+    from repro.core.space import SearchSpec
+
+    children = {"root": ["a", "b"], "a": ["aa"], "b": ["bb"]}
+    values = {"root": 0, "a": 1, "b": 2, "aa": 3, "bb": 4}
+
+    def generator(space, node):
+        if node == "aa":
+            os._exit(17)
+        return ListNodeGenerator(list(children.get(node, [])))
+
+    return SearchSpec(
+        name="crashing",
+        space=None,
+        root="root",
+        generator=generator,
+        objective=lambda node: values[node],
+        upper_bound=None,
+    )
+
+
+UTS_ARGS = (3.0, 6, 11)
+KNAP_ARGS = (16, 31)
+
+
+class TestEquivalence:
+    """Dynamic backend pinned to the Sequential skeleton."""
+
+    def test_maxclique_optimum_and_witness(self):
+        spec = clique_spec_factory(*CLIQUE_ARGS)
+        seq = sequential_search(spec, Optimisation())
+        res = multiprocessing_budget_search(
+            clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+            n_processes=2, budget=100,
+        )
+        assert res.value == seq.value
+        assert spec.witness_check(spec.space, res.node)
+        assert spec.objective(res.node) == res.value
+
+    def test_knapsack_optimum(self):
+        seq = sequential_search(knapsack_spec_factory(*KNAP_ARGS), Optimisation())
+        res = multiprocessing_budget_search(
+            knapsack_spec_factory, KNAP_ARGS, optimisation_factory,
+            n_processes=2, budget=100,
+        )
+        assert res.value == seq.value
+
+    def test_uts_enumeration_count(self):
+        seq = sequential_search(uts_spec_factory(*UTS_ARGS), Enumeration())
+        res = multiprocessing_budget_search(
+            uts_spec_factory, UTS_ARGS, enumeration_factory,
+            n_processes=3, budget=50,
+        )
+        assert res.value == seq.value
+        # Enumeration has no pruning, so splitting cannot change the set
+        # of visited nodes — counts match exactly, not just the total.
+        assert res.metrics.nodes == seq.metrics.nodes
+
+    def test_decision_found(self):
+        seq = sequential_search(clique_spec_factory(*CLIQUE_ARGS), Optimisation())
+        res = multiprocessing_budget_search(
+            clique_spec_factory, CLIQUE_ARGS, decision_factory, (seq.value,),
+            n_processes=2, budget=100,
+        )
+        assert res.found is True
+        assert res.value == seq.value
+
+    def test_decision_refuted(self):
+        seq = sequential_search(clique_spec_factory(*CLIQUE_ARGS), Optimisation())
+        res = multiprocessing_budget_search(
+            clique_spec_factory, CLIQUE_ARGS, decision_factory, (seq.value + 1,),
+            n_processes=2, budget=100,
+        )
+        assert res.found is False
+
+    def test_single_process(self):
+        seq = sequential_search(clique_spec_factory(*CLIQUE_ARGS), Optimisation())
+        res = multiprocessing_budget_search(
+            clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+            n_processes=1, budget=100,
+        )
+        assert res.value == seq.value
+
+    def test_tiny_budget_forces_many_splits(self):
+        # budget=1 with share_poll=1 trips the split check at every
+        # node: the search is shredded into hundreds of queue tasks and
+        # must still return the sequential optimum.
+        seq = sequential_search(clique_spec_factory(*CLIQUE_ARGS), Optimisation())
+        res = multiprocessing_budget_search(
+            clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+            n_processes=2, budget=1, share_poll=1,
+        )
+        assert res.value == seq.value
+        assert res.metrics.spawns > 10
+
+    def test_splits_are_counted(self):
+        res = multiprocessing_budget_search(
+            uts_spec_factory, UTS_ARGS, enumeration_factory,
+            n_processes=2, budget=20, share_poll=4,
+        )
+        assert res.metrics.spawns > 0
+        assert res.workers == 2
+
+
+class TestEdgeCases:
+    def test_singleton_tree(self):
+        res = multiprocessing_budget_search(
+            singleton_spec_factory, (), optimisation_factory,
+            n_processes=2, budget=10,
+        )
+        assert res.value == 5
+        assert res.metrics.nodes == 1
+
+    def test_toy_tree_parity(self):
+        seq = sequential_search(toy_spec_factory(), Optimisation())
+        res = multiprocessing_budget_search(
+            toy_spec_factory, (), optimisation_factory,
+            n_processes=2, budget=2, share_poll=1,
+        )
+        assert res.value == seq.value
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            multiprocessing_budget_search(
+                toy_spec_factory, (), optimisation_factory, n_processes=0
+            )
+        with pytest.raises(ValueError):
+            multiprocessing_budget_search(
+                toy_spec_factory, (), optimisation_factory, budget=0
+            )
+        with pytest.raises(ValueError):
+            multiprocessing_budget_search(
+                toy_spec_factory, (), optimisation_factory, share_poll=0
+            )
+
+    def test_negative_objective_rejected(self):
+        # The shared incumbent idles at 0; a negative objective would
+        # let a stale-zero read *tighten* pruning.  Reject at launch.
+        with pytest.raises(ValueError, match="non-negative"):
+            multiprocessing_budget_search(
+                negative_objective_factory, (), optimisation_factory,
+                n_processes=1,
+            )
+
+
+class TestCrashResilience:
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="generator exploded"):
+            multiprocessing_budget_search(
+                exploding_spec_factory, (), optimisation_factory,
+                n_processes=2, budget=10,
+            )
+
+    def test_worker_killed_mid_task_fails_loudly(self):
+        # A worker dying without a word (os._exit) must not hang the
+        # parent or silently return a partial answer.
+        with pytest.raises(RuntimeError, match="exit code|without reporting"):
+            multiprocessing_budget_search(
+                crashing_spec_factory, (), optimisation_factory,
+                n_processes=2, budget=10,
+            )
