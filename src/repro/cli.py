@@ -25,6 +25,14 @@ by two extra subcommands::
         --instance sanr90-1 --priority 3 --timeout 10
     python -m repro.cli serve --jobfile jobs.jsonl --pool 4 --results out.jsonl
 
+and the distributed runtime (:mod:`repro.cluster`) by three more::
+
+    python -m repro.cli cluster-worker --connect 127.0.0.1:7031
+    python -m repro.cli cluster-coordinator --listen 127.0.0.1:7031 \\
+        --jobfile jobs.jsonl --min-workers 2
+    python -m repro.cli maxclique --instance brock100-1 --skeleton budget \\
+        --backend cluster --cluster-workers 4   # self-contained localhost run
+
 Exit status is 0 on success; decision searches exit 0 whether or not a
 witness exists (the answer is printed), matching the original binaries.
 """
@@ -75,9 +83,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="simulator seed")
     parser.add_argument(
-        "--backend", default="sim", choices=["sim", "processes"],
-        help="run parallel skeletons on the simulator (default) or on "
-        "real OS processes (depthbounded/budget only)",
+        "--backend", default="sim", choices=["sim", "processes", "cluster"],
+        help="run parallel skeletons on the simulator (default), on real "
+        "OS processes (depthbounded/budget), or on a localhost TCP "
+        "cluster (budget only)",
     )
     parser.add_argument(
         "--processes", type=int, default=2, metavar="N",
@@ -86,6 +95,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--share-poll", type=int, default=64, metavar="N",
         help="processes backend: nodes between shared-incumbent reads",
+    )
+    parser.add_argument(
+        "--cluster-workers", type=int, default=2, metavar="N",
+        help="worker nodes for --backend cluster (default 2)",
     )
     parser.add_argument(
         "--decisionBound", type=int, default=None, metavar="K",
@@ -109,6 +122,7 @@ def _params(args: argparse.Namespace) -> SkeletonParams:
         backend=args.backend,
         n_processes=args.processes,
         share_poll=args.share_poll,
+        cluster_workers=args.cluster_workers,
     )
 
 
@@ -152,16 +166,16 @@ def _run(spec, search_type: str, args: argparse.Namespace, out,
     skeleton = make_skeleton(args.skeleton, search_type)
     stype = make_search_type(search_type, **type_kwargs)
     cluster = None
-    if args.backend == "processes" and args.skeleton != "sequential":
+    if args.backend in ("processes", "cluster") and args.skeleton != "sequential":
         if args.trace:
             raise SystemExit(
                 "--trace records the simulated schedule; it is not "
-                "available with --backend processes"
+                f"available with --backend {args.backend}"
             )
         if spec_factory is None:
             raise SystemExit(
-                "--backend processes must rebuild the search in worker "
-                "processes, which only works for library instances and "
+                f"--backend {args.backend} must rebuild the search on each "
+                "worker, which only works for library instances and "
                 "parameterised generators (not ad-hoc inputs like -f files)"
             )
     if args.trace and args.skeleton != "sequential":
@@ -327,6 +341,100 @@ def _cmd_submit(args, out) -> int:
     return 0
 
 
+def _parse_addr(text: str) -> tuple[str, int]:
+    """Parse a ``host:port`` address argument."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"expected host:port, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"bad port in {text!r}") from None
+
+
+def _cmd_cluster_coordinator(args, out) -> int:
+    """Run a coordinator over a job file: wait for workers, run each job
+    across them, report like the single-shot commands."""
+    import json
+
+    from repro.cluster.backend import ClusterBackend
+    from repro.cluster.coordinator import ClusterError, ClusterHandle
+    from repro.service.jobs import JobSpec
+
+    host, port = _parse_addr(args.listen)
+    if args.jobfile == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            with open(args.jobfile) as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            raise SystemExit(f"cannot read jobfile: {exc}") from None
+    specs = []
+    failed = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            specs.append(JobSpec.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as exc:
+            failed += 1
+            print(f"line {lineno}: rejected ({exc})", file=out)
+
+    handle = ClusterHandle(
+        host=host, port=port, heartbeat_timeout=args.heartbeat_timeout
+    )
+    try:
+        bound_host, bound_port = handle.start()
+    except OSError as exc:
+        raise SystemExit(f"cannot listen on {host}:{port}: {exc}") from None
+    try:
+        print(f"coordinator listening on {bound_host}:{bound_port}", file=out)
+        try:
+            handle.wait_for_workers(args.min_workers, timeout=args.worker_wait)
+        except ClusterError as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"workers connected: {handle.n_workers()}", file=out)
+        for spec in specs:
+            label = f"{spec.app}/{spec.instance}"
+            try:
+                payload = ClusterBackend._payload_for(spec)
+                res = handle.run_job(payload, timeout=spec.timeout)
+            except (ClusterError, ValueError) as exc:
+                failed += 1
+                print(f"== {label}: FAILED ({exc})", file=out)
+                continue
+            print(f"== {label} (workers: {res.workers}, "
+                  f"reassigned: {res.metrics.reassigned})", file=out)
+            _report(res, out)
+    finally:
+        handle.shutdown(drain_workers=True)
+    return 1 if failed else 0
+
+
+def _cmd_cluster_worker(args, out) -> int:
+    """Run worker capacity against a coordinator until drained."""
+    from repro.cluster.worker import run_worker
+
+    host, port = _parse_addr(args.connect)
+    print(f"worker ({args.processes} process(es)) -> {host}:{port}", file=out)
+    try:
+        run_worker(
+            host, port,
+            processes=args.processes,
+            name=args.name,
+            give_up_after=args.give_up_after,
+        )
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionError as exc:
+        print(str(exc), file=out)
+        return 1
+    print("drained; exiting", file=out)
+    return 0
+
+
 def _cmd_serve(args, out) -> int:
     import json
 
@@ -343,7 +451,14 @@ def _cmd_serve(args, out) -> int:
         max_depth=args.queue_depth, max_per_submitter=args.per_submitter
     )
     cache = ResultCache(capacity=args.cache_size, ttl=args.cache_ttl)
-    backend = ProcessBackend() if args.backend == "processes" else None
+    if args.backend == "processes":
+        backend = ProcessBackend()
+    elif args.backend == "cluster":
+        from repro.cluster.backend import ClusterBackend
+
+        backend = ClusterBackend(local_workers=args.cluster_workers)
+    else:
+        backend = None
     sched = Scheduler(
         backend=backend, queue=queue, cache=cache, n_workers=args.pool
     )
@@ -367,7 +482,11 @@ def _cmd_serve(args, out) -> int:
         except (ValueError, KeyError, TypeError) as exc:
             bad_lines += 1
             print(f"line {lineno}: rejected ({exc})", file=out)
-    jobs = sched.run_until_idle()
+    try:
+        jobs = sched.run_until_idle()
+    finally:
+        if hasattr(backend, "close"):
+            backend.close()
 
     for job in jobs:
         print(job.describe(), file=out)
@@ -491,8 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobfile", default="jobs.jsonl",
                    help="JSONL job file from `submit` ('-' reads stdin)")
     p.add_argument("--backend", default="inproc",
-                   choices=["inproc", "processes"],
-                   help="worker backend: scheduler threads or OS processes")
+                   choices=["inproc", "processes", "cluster"],
+                   help="worker backend: scheduler threads, OS processes, "
+                   "or a TCP cluster coordinator")
+    p.add_argument("--cluster-workers", type=int, default=2, metavar="N",
+                   help="local worker nodes for --backend cluster")
     p.add_argument("--pool", type=int, default=2, help="worker pool size")
     p.add_argument("--queue-depth", type=int, default=256,
                    help="admission bound on queued jobs")
@@ -505,6 +627,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--results", default=None, metavar="FILE",
                    help="write per-job results as JSONL to FILE")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "cluster-coordinator",
+        help="run a cluster coordinator over a job file (see `submit`)",
+    )
+    p.add_argument("--listen", default="127.0.0.1:7031", metavar="HOST:PORT",
+                   help="listen address (port 0 picks a free port)")
+    p.add_argument("--jobfile", default="jobs.jsonl",
+                   help="JSONL job file from `submit` ('-' reads stdin)")
+    p.add_argument("--min-workers", type=int, default=1, metavar="N",
+                   help="wait for this many workers before starting")
+    p.add_argument("--worker-wait", type=float, default=60.0, metavar="S",
+                   help="seconds to wait for --min-workers")
+    p.add_argument("--heartbeat-timeout", type=float, default=5.0, metavar="S",
+                   help="silence before a worker is declared dead")
+    p.set_defaults(fn=_cmd_cluster_coordinator)
+
+    p = sub.add_parser(
+        "cluster-worker", help="run a worker node against a coordinator"
+    )
+    p.add_argument("--connect", default="127.0.0.1:7031", metavar="HOST:PORT",
+                   help="coordinator address")
+    p.add_argument("--processes", type=int, default=1, metavar="N",
+                   help="fan out to N local worker processes")
+    p.add_argument("--name", default=None, help="worker name (diagnostics)")
+    p.add_argument("--give-up-after", type=float, default=None, metavar="S",
+                   help="exit if no coordinator is reachable for S seconds "
+                   "(default: retry forever)")
+    p.set_defaults(fn=_cmd_cluster_worker)
 
     return parser
 

@@ -1,0 +1,64 @@
+"""Real distributed search over TCP (coordinator/worker runtime).
+
+The paper's headline evaluation is distributed-memory scaling — k-clique
+refutations across 17 localities (Fig. 4) on HPX.  This package is the
+repository's real-network counterpart to that substrate: a socket-based
+multi-node runtime executing the Budget coordination, where work and
+knowledge move over a wire instead of a simulated network or shared
+memory.
+
+- :mod:`repro.cluster.protocol` — the length-prefixed JSON wire
+  protocol (HELLO/TASK/OFFCUT/INCUMBENT/RESULT/HEARTBEAT/SHUTDOWN …)
+  and the node/spec transport codecs.
+- :mod:`repro.cluster.coordinator` — the coordinator: an asyncio accept
+  loop owning the global task queue and incumbent, outstanding-task
+  accounting for distributed termination detection, heartbeat-timeout
+  fault tolerance with task re-lease (epochs prevent double counting),
+  and best-first incumbent merge that rebroadcasts only strict
+  improvements.
+- :mod:`repro.cluster.worker` — worker nodes: the PR-2 fast-path search
+  loop wrapped in a TCP client with reconnect-with-backoff and graceful
+  drain on SHUTDOWN; ``run_worker`` optionally fans out to several
+  local worker processes.
+- :mod:`repro.cluster.local` — ``cluster_budget_search``: spin up an
+  embedded coordinator plus N localhost worker processes for one
+  search (the ``backend="cluster"`` skeleton route and the benchmark
+  driver).
+- :mod:`repro.cluster.backend` — :class:`ClusterBackend`, the service
+  :class:`~repro.service.scheduler.Backend` that dispatches scheduler
+  jobs cluster-wide (``repro serve --backend cluster``).
+
+Staleness stays correctness-safe exactly as in the simulator and the
+multiprocessing backend (§4.3): a worker holding an out-of-date
+incumbent only prunes less, never wrongly, because bounds are monotone
+and the final answer is max-merged from per-task results.
+
+Quick start (three shells)::
+
+    repro cluster-worker --connect 127.0.0.1:7031          # twice
+    repro cluster-coordinator --listen 127.0.0.1:7031 \\
+        --jobfile jobs.jsonl --min-workers 2
+
+or self-contained in one process tree::
+
+    repro maxclique --instance brock100-1 --skeleton budget \\
+        --backend cluster --cluster-workers 4
+
+See docs/cluster.md for the protocol, termination detection and the
+failure model.
+"""
+
+from repro.cluster.backend import ClusterBackend
+from repro.cluster.coordinator import ClusterHandle, Coordinator
+from repro.cluster.local import cluster_budget_search, run_with_cluster
+from repro.cluster.worker import ClusterWorker, run_worker
+
+__all__ = [
+    "Coordinator",
+    "ClusterHandle",
+    "ClusterWorker",
+    "run_worker",
+    "cluster_budget_search",
+    "run_with_cluster",
+    "ClusterBackend",
+]

@@ -1,0 +1,174 @@
+"""ClusterBackend: scheduler jobs dispatched cluster-wide.
+
+Implements the service layer's :class:`~repro.service.scheduler.Backend`
+protocol on top of a :class:`~repro.cluster.coordinator.ClusterHandle`,
+so ``repro serve --backend cluster`` runs every queued search across
+whatever workers are connected — local fan-out processes, other
+machines, or both.
+
+Failure translation keeps the scheduler's policy intact end to end:
+
+- coordinator job timeout  -> :class:`JobTimeout`
+- scheduler cancel event   -> coordinator cancel -> :class:`JobCancelled`
+- cluster failure (enumeration worker death, no workers, bad payload)
+  -> :class:`WorkerCrash`, which the scheduler retries exactly once —
+  so a search that died because one worker crashed mid-enumeration gets
+  its second chance on the surviving workers, and the retry resolves
+  any coalesced followers just like the process backend's crash path.
+
+One coordinator runs one job at a time, so concurrent scheduler workers
+serialise on an internal lock; queueing above that is the scheduler's
+job, not this backend's.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from multiprocessing import Process
+from typing import Optional
+
+from repro.cluster.coordinator import (
+    ClusterError,
+    ClusterHandle,
+    ClusterJobCancelled,
+    ClusterJobTimeout,
+)
+from repro.cluster.local import job_payload
+from repro.cluster.worker import _worker_process_main
+from repro.core.params import SkeletonParams
+from repro.core.results import SearchResult
+from repro.runtime.processes import graceful_stop
+
+__all__ = ["ClusterBackend"]
+
+
+class ClusterBackend:
+    """Execute scheduler jobs on a cluster coordinator.
+
+    Args:
+        handle: an already-started :class:`ClusterHandle` to attach to;
+            None starts an embedded one (owned, shut down by
+            :meth:`close`).
+        local_workers: fan out this many localhost worker processes
+            (0 means external workers are expected to connect).
+        min_workers: block each job until at least this many workers are
+            connected (default: ``local_workers`` or 1).
+        poll_interval: cancellation poll cadence while a job runs.
+    """
+
+    def __init__(
+        self,
+        handle: Optional[ClusterHandle] = None,
+        *,
+        local_workers: int = 0,
+        min_workers: Optional[int] = None,
+        worker_wait: float = 20.0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self._owns_handle = handle is None
+        self.handle = handle if handle is not None else ClusterHandle()
+        if self._owns_handle:
+            self.handle.start()
+        self.min_workers = (
+            min_workers if min_workers is not None else max(1, local_workers)
+        )
+        self.worker_wait = worker_wait
+        self.poll_interval = poll_interval
+        self._lock = threading.Lock()
+        self._procs: list[Process] = []
+        host, port = self.handle.address
+        for i in range(local_workers):
+            p = Process(
+                target=_worker_process_main,
+                args=(host, port, f"svc-{i}", None),
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+
+    def execute(
+        self,
+        job,
+        *,
+        deadline: Optional[float] = None,
+        cancel: Optional[threading.Event] = None,
+    ) -> SearchResult:
+        """Run one attempt of ``job`` across the cluster."""
+        from repro.service.scheduler import JobCancelled, JobTimeout, WorkerCrash
+
+        try:
+            payload = self._payload_for(job.spec)
+        except ValueError as exc:
+            raise WorkerCrash(f"job not clusterable: {exc}") from exc
+        with self._lock:
+            timeout = (
+                None if deadline is None
+                else max(0.01, deadline - time.monotonic())
+            )
+            try:
+                self.handle.wait_for_workers(
+                    self.min_workers, timeout=self.worker_wait
+                )
+            except ClusterError as exc:
+                raise WorkerCrash(str(exc)) from exc
+            future = self.handle.run_job_future(payload, timeout=timeout)
+            while True:
+                try:
+                    return future.result(timeout=self.poll_interval)
+                except concurrent.futures.TimeoutError:
+                    if cancel is not None and cancel.is_set():
+                        self.handle.cancel_job("cancelled by scheduler")
+                        try:
+                            future.result(timeout=5.0)
+                        except Exception:
+                            pass
+                        raise JobCancelled
+                except ClusterJobTimeout as exc:
+                    raise JobTimeout from exc
+                except ClusterJobCancelled as exc:
+                    raise JobCancelled from exc
+                except Exception as exc:
+                    raise WorkerCrash(f"{type(exc).__name__}: {exc}") from exc
+
+    @staticmethod
+    def _payload_for(spec) -> dict:
+        """Reduce a service :class:`JobSpec` to a wire job definition.
+
+        The instance name doubles as the spec-factory argument (the
+        registry is deterministic on every node), the search type is
+        resolved exactly as :func:`run_library_search` resolves it, and
+        only the Budget skeleton is accepted — it is the one whose work
+        movement the cluster implements.
+        """
+        from repro.core.searchtypes import make_search_type
+        from repro.instances.library import library_spec_factory, spec_for
+
+        if spec.skeleton != "budget":
+            raise ValueError(
+                f"the cluster backend runs the 'budget' skeleton, not "
+                f"{spec.skeleton!r}"
+            )
+        _, default_type, default_kwargs = spec_for(spec.instance)
+        stype_name = spec.search_type or default_type
+        kwargs = dict(default_kwargs) if stype_name == default_type else {}
+        kwargs.update(spec.stype_kwargs)
+        stype = make_search_type(stype_name, **kwargs)
+        params = SkeletonParams(**dict(spec.params)) if spec.params else SkeletonParams()
+        return job_payload(
+            library_spec_factory,
+            (spec.instance,),
+            stype,
+            budget=params.budget,
+            share_poll=params.share_poll,
+        )
+
+    def close(self) -> None:
+        """Drain local workers and (if owned) stop the coordinator."""
+        if self._owns_handle:
+            self.handle.shutdown(drain_workers=True)
+        for p in self._procs:
+            p.join(timeout=3.0)
+            graceful_stop(p, grace=1.0)
+        self._procs.clear()

@@ -1,0 +1,736 @@
+"""The cluster coordinator: global task queue, incumbent, termination.
+
+One coordinator owns the authoritative state of a distributed Budget
+search:
+
+- the **task table** — every subtree that exists as a unit of work,
+  with its lease (which worker, which epoch) and lifecycle
+  (queued → leased → done, or cancelled);
+- the **outstanding counter** — distributed termination detection: the
+  root task starts it at 1, every OFFCUT child increments it, every
+  accepted RESULT decrements it; zero means the whole tree has been
+  searched (the same invariant the multiprocessing backend keeps in a
+  shared integer, here maintained by the single writer that sees every
+  message);
+- the **incumbent** — best-first merge of every INCUMBENT/RESULT
+  arrival; only *strict* improvements are rebroadcast to the other
+  workers, so bound traffic is proportional to how often the answer
+  actually improves (the real-network realisation of the simulator's
+  delayed PGAS broadcast: a worker holding a stale bound prunes less,
+  never wrongly, §4.3).
+
+Fault model (see docs/cluster.md for the full argument):
+
+- A worker that disconnects or misses heartbeats is declared dead; its
+  leased tasks are re-queued with a **bumped epoch** and re-leased.
+  RESULT/OFFCUT frames carrying a stale epoch are dropped, so a worker
+  that was merely slow cannot double-count a reassigned task or corrupt
+  the outstanding counter.
+- Re-running a subtree is idempotent for optimisation and decision
+  searches (knowledge is max-merged), so the cluster *degrades* under
+  crashes instead of undercounting; node counts may overcount
+  re-searched work, and ``metrics.reassigned`` records every re-lease.
+- An enumeration task's partial accumulator dies with its worker and
+  cannot be reconstructed, so a worker lost mid-enumeration fails the
+  job loudly — identical policy to the multiprocessing backend.
+
+The coordinator runs one job at a time (callers serialise; the service
+:class:`~repro.cluster.backend.ClusterBackend` holds a lock).  Workers
+may join at any time, including mid-job — they are sent the active JOB
+and leased tasks immediately, which is also how a restarted worker
+resumes contributing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cluster import protocol as P
+from repro.core.results import SearchMetrics, SearchResult
+from repro.core.searchtypes import Incumbent
+from repro.runtime.processes import make_stype
+
+__all__ = [
+    "ClusterError",
+    "ClusterJobFailed",
+    "ClusterJobTimeout",
+    "ClusterJobCancelled",
+    "Coordinator",
+    "ClusterHandle",
+]
+
+
+class ClusterError(RuntimeError):
+    """Base class for cluster runtime failures."""
+
+
+class ClusterJobFailed(ClusterError):
+    """The job cannot complete correctly (e.g. enumeration worker died)."""
+
+
+class ClusterJobTimeout(ClusterError):
+    """The job exceeded its wall-clock timeout and was abandoned."""
+
+
+class ClusterJobCancelled(ClusterError):
+    """The job was cancelled by the submitter."""
+
+
+QUEUED = "queued"
+LEASED = "leased"
+DONE = "done"
+CANCELLED = "cancelled"
+
+
+@dataclass
+class TaskRecord:
+    """One unit of work: a subtree, its lease and its epoch."""
+
+    id: int
+    node: Any  # wire-encoded form (stored encoded so re-leases are cheap)
+    depth: int
+    parent: Optional[int] = None
+    epoch: int = 0
+    state: str = QUEUED
+    worker: Optional[int] = None
+
+
+@dataclass
+class WorkerConn:
+    """Coordinator-side record of one connected worker."""
+
+    id: int
+    name: str
+    writer: Any
+    slots: int = 1
+    tasks: set = field(default_factory=set)  # leased task ids
+    last_seen: float = 0.0
+    alive: bool = True
+    said_bye: bool = False
+
+
+class _Job:
+    """Coordinator-side state of the active search job."""
+
+    def __init__(self, job_id: int, payload: dict, loop) -> None:
+        self.id = job_id
+        self.payload = payload
+        factory = P.resolve_factory(payload["factory"])
+        args = tuple(P.decode_node(payload.get("factory_args") or []))
+        self.spec = factory(*args)
+        self.stype = make_stype(
+            payload["stype_kind"], dict(payload.get("stype_kwargs") or {})
+        )
+        self.enum = self.stype.kind == "enumeration"
+        self.knowledge = self.stype.initial_knowledge(self.spec)
+        self.best_value: Optional[int] = (
+            None if self.enum else self.knowledge.value
+        )
+        self.metrics = SearchMetrics()
+        self.tasks: dict[int, TaskRecord] = {}
+        self.queue: deque[int] = deque()
+        self.outstanding = 0
+        self.contributors: set[int] = set()
+        self.goal = False
+        self.stale_dropped = 0
+        self.state = "running"
+        self.started = time.perf_counter()
+        self.done: asyncio.Future = loop.create_future()
+        self._next_task = 0
+        root = TaskRecord(
+            id=self._new_task_id(), node=P.encode_node(self.spec.root), depth=0
+        )
+        self.tasks[root.id] = root
+        self.queue.append(root.id)
+        self.outstanding = 1
+
+    def _new_task_id(self) -> int:
+        self._next_task += 1
+        return self._next_task
+
+    def add_offcuts(self, parent: TaskRecord, depth: int, nodes: list) -> int:
+        """Register budget-split subtrees as fresh queued tasks."""
+        for node in nodes:
+            rec = TaskRecord(
+                id=self._new_task_id(), node=node, depth=depth, parent=parent.id
+            )
+            self.tasks[rec.id] = rec
+            self.queue.append(rec.id)
+        self.outstanding += len(nodes)
+        self.metrics.spawns += len(nodes)
+        return len(nodes)
+
+    def job_message(self) -> dict:
+        """The JOB frame for a (possibly late-joining) worker."""
+        return {
+            "type": P.JOB,
+            "job": self.id,
+            "factory": self.payload["factory"],
+            "factory_args": self.payload.get("factory_args") or [],
+            "stype_kind": self.payload["stype_kind"],
+            "stype_kwargs": dict(self.payload.get("stype_kwargs") or {}),
+            "budget": int(self.payload.get("budget", 1000)),
+            "share_poll": int(self.payload.get("share_poll", 64)),
+            "best": self.best_value,
+        }
+
+    def result(self, workers_seen: int) -> SearchResult:
+        """Assemble the final :class:`SearchResult` (mirrors the
+        multiprocessing backend's construction)."""
+        self.metrics.weighted_nodes = self.metrics.nodes
+        elapsed = time.perf_counter() - self.started
+        workers = max(1, workers_seen)
+        if isinstance(self.knowledge, Incumbent):
+            return SearchResult(
+                kind=self.stype.kind,
+                value=self.knowledge.value,
+                node=self.knowledge.node,
+                found=(self.goal or self.stype.is_goal(self.knowledge))
+                if self.stype.kind == "decision"
+                else None,
+                metrics=self.metrics,
+                wall_time=elapsed,
+                workers=workers,
+            )
+        return SearchResult(
+            kind=self.stype.kind,
+            value=self.knowledge,
+            metrics=self.metrics,
+            wall_time=elapsed,
+            workers=workers,
+        )
+
+
+class Coordinator:
+    """Asyncio coordinator server.  See the module docstring.
+
+    Args:
+        host/port: listen address (port 0 picks a free port; the bound
+            port is in :attr:`port` after :meth:`start`).
+        heartbeat_interval: the cadence workers are told to beat at.
+        heartbeat_timeout: silence longer than this declares a worker
+            dead and re-leases its tasks.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.workers: dict[int, WorkerConn] = {}
+        self._next_worker = 0
+        self._next_job = 0
+        self._job: Optional[_Job] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._worker_event: Optional[asyncio.Event] = None
+        self._loop = None
+        self.shutting_down = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listen socket and start the accept loop + watchdog."""
+        self._loop = asyncio.get_running_loop()
+        self._worker_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._watchdog_task = asyncio.create_task(self._watchdog())
+
+    async def stop(self, *, drain_workers: bool = True) -> None:
+        """Stop serving.  With ``drain_workers`` a SHUTDOWN is broadcast
+        first so workers finish their current task and exit cleanly."""
+        self.shutting_down = True
+        if drain_workers:
+            for worker in list(self.workers.values()):
+                self._post(worker, {"type": P.SHUTDOWN})
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._job is not None:
+            self._fail_job(self._job, ClusterJobCancelled("coordinator stopped"))
+        for worker in list(self.workers.values()):
+            self._drop_worker(worker)
+
+    async def wait_for_workers(self, n: int, timeout: Optional[float] = None) -> None:
+        """Block until at least ``n`` workers are connected."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(self.workers) < n:
+            self._worker_event.clear()
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise ClusterError(
+                    f"only {len(self.workers)} of {n} workers joined "
+                    f"within {timeout:.1f}s"
+                )
+            try:
+                await asyncio.wait_for(self._worker_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                continue
+
+    # -- job execution ------------------------------------------------------
+
+    async def run_job(
+        self, payload: dict, *, timeout: Optional[float] = None
+    ) -> SearchResult:
+        """Run one search to completion across the connected workers.
+
+        ``payload`` is the wire job definition: ``factory`` (dotted
+        path), ``factory_args``, ``stype_kind``, ``stype_kwargs``,
+        ``budget``, ``share_poll``.  Raises :class:`ClusterJobFailed`,
+        :class:`ClusterJobTimeout` or :class:`ClusterJobCancelled`.
+        """
+        if self._job is not None:
+            raise ClusterError("a cluster job is already running")
+        self._next_job += 1
+        try:
+            job = _Job(self._next_job, payload, asyncio.get_running_loop())
+        except (P.ProtocolError, TypeError, ValueError) as exc:
+            raise ClusterJobFailed(f"bad job payload: {exc}") from exc
+        self._job = job
+        msg = job.job_message()
+        for worker in list(self.workers.values()):
+            self._post(worker, msg)
+        self._pump()
+        try:
+            return await asyncio.wait_for(asyncio.shield(job.done), timeout)
+        except asyncio.TimeoutError:
+            self._fail_job(job, ClusterJobTimeout(
+                f"cluster job exceeded {timeout:.3f}s"
+            ))
+            raise job.done.exception() from None
+
+    def cancel_active_job(self, reason: str = "cancelled") -> bool:
+        """Cancel the running job (thread-unsafe; see ClusterHandle)."""
+        job = self._job
+        if job is None or job.state != "running":
+            return False
+        self._fail_job(job, ClusterJobCancelled(reason))
+        return True
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            import socket as _socket
+
+            sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+        worker: Optional[WorkerConn] = None
+        try:
+            hello = await self._read_frame(reader)
+            if (
+                hello is None
+                or hello.get("type") != P.HELLO
+                or hello.get("version") != P.PROTOCOL_VERSION
+            ):
+                writer.write(P.frame_bytes({
+                    "type": P.ERROR,
+                    "reason": "expected HELLO with matching protocol version",
+                }))
+                return
+            self._next_worker += 1
+            worker = WorkerConn(
+                id=self._next_worker,
+                name=str(hello.get("name") or f"worker-{self._next_worker}"),
+                writer=writer,
+                slots=max(1, int(hello.get("slots", 1))),
+                last_seen=time.monotonic(),
+            )
+            self.workers[worker.id] = worker
+            self._post(worker, {
+                "type": P.WELCOME,
+                "worker": worker.id,
+                "heartbeat": self.heartbeat_interval,
+            })
+            if self.shutting_down:
+                self._post(worker, {"type": P.SHUTDOWN})
+            elif self._job is not None and self._job.state == "running":
+                self._post(worker, self._job.job_message())
+            self._worker_event.set()
+            self._pump()
+            while worker.alive:
+                msg = await self._read_frame(reader)
+                if msg is None:
+                    break
+                worker.last_seen = time.monotonic()
+                if msg["type"] == P.BYE:
+                    worker.said_bye = True
+                    break
+                self._dispatch(worker, msg)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        except P.ProtocolError:
+            if worker is not None:
+                self._post(worker, {
+                    "type": P.ERROR, "reason": "protocol violation",
+                })
+        finally:
+            if worker is not None:
+                self._drop_worker(worker)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _read_frame(reader) -> Optional[dict]:
+        import json
+
+        try:
+            header = await reader.readexactly(4)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF on a frame boundary
+            raise ConnectionError("connection closed mid-frame") from None
+        length = int.from_bytes(header, "big")
+        if length > P.MAX_FRAME:
+            raise P.ProtocolError(f"peer announced a {length}-byte frame")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ConnectionError("connection closed mid-frame") from None
+        try:
+            msg = json.loads(body.decode("utf-8"))
+        except ValueError as exc:
+            raise P.ProtocolError(f"undecodable frame: {exc}") from None
+        if not isinstance(msg, dict) or "type" not in msg:
+            raise P.ProtocolError("frame is not a message object with a 'type'")
+        return msg
+
+    def _post(self, worker: WorkerConn, msg: dict) -> None:
+        """Queue one frame to a worker (single-writer event loop, so a
+        plain buffered write is race-free; errors mark the worker dead
+        and the heartbeat watchdog finishes the cleanup)."""
+        if not worker.alive:
+            return
+        try:
+            worker.writer.write(P.frame_bytes(msg))
+        except Exception:
+            self._drop_worker(worker)
+
+    # -- message dispatch ---------------------------------------------------
+
+    def _dispatch(self, worker: WorkerConn, msg: dict) -> None:
+        mtype = msg["type"]
+        if mtype == P.HEARTBEAT:
+            return  # last_seen already refreshed
+        job = self._job
+        if job is None or job.state != "running" or msg.get("job") != job.id:
+            return  # stale traffic for a finished job: drop silently
+        if mtype == P.INCUMBENT:
+            self._on_incumbent(worker, job, msg)
+        elif mtype == P.OFFCUT:
+            self._on_offcut(worker, job, msg)
+        elif mtype == P.RESULT:
+            self._on_result(worker, job, msg)
+
+    def _valid_lease(self, worker: WorkerConn, job: _Job, msg: dict):
+        """The task record iff this frame matches a live lease held by
+        its sender at the current epoch; None drops the frame."""
+        rec = job.tasks.get(msg.get("task"))
+        if (
+            rec is None
+            or rec.state != LEASED
+            or rec.worker != worker.id
+            or rec.epoch != msg.get("epoch")
+        ):
+            job.stale_dropped += 1
+            return None
+        return rec
+
+    def _on_incumbent(self, worker: WorkerConn, job: _Job, msg: dict) -> None:
+        if job.enum:
+            return
+        value = msg.get("value")
+        if not isinstance(value, int):
+            return
+        node = P.decode_node(msg.get("node"))
+        if node is not None:
+            merged = job.stype.combine(job.knowledge, Incumbent(value, node))
+            if merged is not job.knowledge:
+                job.knowledge = merged
+        if value > job.best_value:
+            # Strict improvement: remember and rebroadcast to everyone
+            # else.  Non-improvements (ties, stale publishes) stop here.
+            job.best_value = value
+            job.metrics.broadcasts += 1
+            out = {"type": P.INCUMBENT, "job": job.id, "value": value}
+            for other in list(self.workers.values()):
+                if other.id != worker.id:
+                    self._post(other, out)
+        if job.stype.is_goal(job.knowledge):
+            job.goal = True
+            self._complete_job(job)
+
+    def _on_offcut(self, worker: WorkerConn, job: _Job, msg: dict) -> None:
+        rec = self._valid_lease(worker, job, msg)
+        if rec is None:
+            return
+        nodes = msg.get("nodes") or []
+        depth = int(msg.get("depth", rec.depth + 1))
+        if nodes:
+            job.add_offcuts(rec, depth, nodes)
+            self._pump()
+
+    def _on_result(self, worker: WorkerConn, job: _Job, msg: dict) -> None:
+        rec = self._valid_lease(worker, job, msg)
+        if rec is None:
+            return
+        rec.state = DONE
+        rec.worker = None
+        worker.tasks.discard(rec.id)
+        job.contributors.add(worker.id)
+        m = job.metrics
+        m.nodes += int(msg.get("nodes", 0))
+        m.prunes += int(msg.get("prunes", 0))
+        m.backtracks += int(msg.get("backtracks", 0))
+        m.max_depth = max(m.max_depth, int(msg.get("max_depth", 0)))
+        if job.enum:
+            job.knowledge = job.stype.combine(job.knowledge, msg.get("knowledge"))
+        else:
+            value = msg.get("value")
+            node = P.decode_node(msg.get("node"))
+            if node is not None and isinstance(value, int):
+                job.knowledge = job.stype.combine(
+                    job.knowledge, Incumbent(value, node)
+                )
+                if value > job.best_value:
+                    job.best_value = value
+        job.outstanding -= 1
+        if msg.get("goal") or (
+            not job.enum and job.stype.is_goal(job.knowledge)
+        ):
+            job.goal = True
+            self._complete_job(job)
+            return
+        if job.outstanding == 0:
+            # Distributed termination: every task ever created has been
+            # accepted exactly once (epochs make reassignment idempotent
+            # for this counter), so the whole tree is searched.
+            self._complete_job(job)
+            return
+        self._pump()
+
+    # -- scheduling / fault handling ----------------------------------------
+
+    def _pump(self) -> None:
+        """Lease queued tasks to every worker with a free slot."""
+        job = self._job
+        if job is None or job.state != "running":
+            return
+        for worker in list(self.workers.values()):
+            if not worker.alive:
+                continue
+            while job.queue and len(worker.tasks) < worker.slots:
+                rec = job.tasks[job.queue.popleft()]
+                if rec.state != QUEUED:
+                    continue
+                rec.state = LEASED
+                rec.worker = worker.id
+                worker.tasks.add(rec.id)
+                self._post(worker, {
+                    "type": P.TASK,
+                    "job": job.id,
+                    "task": rec.id,
+                    "epoch": rec.epoch,
+                    "node": rec.node,
+                    "depth": rec.depth,
+                })
+
+    def _drop_worker(self, worker: WorkerConn) -> None:
+        """Remove a worker; re-lease its tasks (or fail an enumeration
+        job, whose partial accumulator died with the worker)."""
+        if not worker.alive:
+            return
+        worker.alive = False
+        self.workers.pop(worker.id, None)
+        try:
+            worker.writer.close()
+        except Exception:
+            pass
+        job = self._job
+        leased = [t for t in worker.tasks]
+        worker.tasks.clear()
+        if job is None or job.state != "running" or not leased:
+            return
+        if worker.said_bye:
+            # An orderly BYE never abandons leases (drain completes
+            # tasks first); if one slips through treat it as a crash.
+            pass
+        if job.enum:
+            self._fail_job(job, ClusterJobFailed(
+                f"worker {worker.name!r} was lost holding "
+                f"{len(leased)} enumeration task(s); a partial "
+                "accumulator cannot be reconstructed, so completing "
+                "would silently miscount"
+            ))
+            return
+        for tid in leased:
+            rec = job.tasks.get(tid)
+            if rec is None or rec.state != LEASED:
+                continue
+            # Bump the epoch *before* re-queueing: anything the dead (or
+            # merely slow) worker still says about this task is stale.
+            rec.epoch += 1
+            rec.state = QUEUED
+            rec.worker = None
+            job.queue.appendleft(rec.id)
+            job.metrics.reassigned += 1
+        self._pump()
+
+    async def _watchdog(self) -> None:
+        """Declare workers dead after ``heartbeat_timeout`` of silence."""
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            now = time.monotonic()
+            for worker in list(self.workers.values()):
+                if now - worker.last_seen > self.heartbeat_timeout:
+                    self._drop_worker(worker)
+
+    # -- completion ---------------------------------------------------------
+
+    def _complete_job(self, job: _Job) -> None:
+        if job.state != "running":
+            return
+        job.state = "finished"
+        result = job.result(len(job.contributors))
+        if not job.done.done():
+            job.done.set_result(result)
+        self._end_job(job)
+
+    def _fail_job(self, job: _Job, exc: ClusterError) -> None:
+        if job.state != "running":
+            return
+        job.state = "failed"
+        if not job.done.done():
+            job.done.set_exception(exc)
+        self._end_job(job)
+
+    def _end_job(self, job: _Job) -> None:
+        msg = {"type": P.JOB_DONE, "job": job.id}
+        for worker in list(self.workers.values()):
+            worker.tasks.clear()
+            self._post(worker, msg)
+        if self._job is job:
+            self._job = None
+
+
+class ClusterHandle:
+    """A coordinator running on a dedicated thread, for sync callers.
+
+    The CLI, the service backend, tests and benchmarks all live in
+    synchronous code; this wrapper owns the event loop thread and
+    exposes the coordinator's operations as blocking calls.  All
+    coordinator state is touched only on the loop thread, so the sync
+    facade needs no locks of its own.
+    """
+
+    def __init__(self, **coordinator_kwargs: Any) -> None:
+        self._kwargs = coordinator_kwargs
+        self.coordinator: Optional[Coordinator] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Start the loop thread and the coordinator; returns (host, port)."""
+        if self._thread is not None:
+            raise RuntimeError("handle already started")
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def _run() -> None:
+            asyncio.set_event_loop(self._loop)
+            started.set()
+            self._loop.run_forever()
+            # Drain cancelled tasks so the loop closes without warnings.
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self._loop.close()
+
+        self._thread = threading.Thread(target=_run, name="cluster-coordinator")
+        self._thread.daemon = True
+        self._thread.start()
+        started.wait()
+        self.coordinator = Coordinator(**self._kwargs)
+        self._call(self.coordinator.start(), timeout=10.0)
+        return self.coordinator.host, self.coordinator.port
+
+    def shutdown(self, *, drain_workers: bool = True, timeout: float = 10.0) -> None:
+        """Stop the coordinator (optionally draining workers) and the
+        loop thread.  Idempotent."""
+        if self._loop is None:
+            return
+        if self.coordinator is not None:
+            try:
+                self._call(
+                    self.coordinator.stop(drain_workers=drain_workers),
+                    timeout=timeout,
+                )
+            except Exception:
+                pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+        self._loop = None
+        self._thread = None
+
+    # -- operations ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.coordinator.host, self.coordinator.port
+
+    def n_workers(self) -> int:
+        """How many workers are currently connected."""
+        return len(self.coordinator.workers)
+
+    def wait_for_workers(self, n: int, timeout: Optional[float] = None) -> None:
+        """Block until ``n`` workers are connected (ClusterError on timeout)."""
+        self._call(
+            self.coordinator.wait_for_workers(n, timeout),
+            timeout=None if timeout is None else timeout + 1.0,
+        )
+
+    def run_job(
+        self, payload: dict, *, timeout: Optional[float] = None
+    ) -> SearchResult:
+        """Run one job to completion (blocking)."""
+        return self.run_job_future(payload, timeout=timeout).result()
+
+    def run_job_future(self, payload: dict, *, timeout: Optional[float] = None):
+        """Submit a job; returns a ``concurrent.futures.Future``."""
+        return asyncio.run_coroutine_threadsafe(
+            self.coordinator.run_job(payload, timeout=timeout), self._loop
+        )
+
+    def cancel_job(self, reason: str = "cancelled") -> None:
+        """Cancel the active job (thread-safe)."""
+        self._loop.call_soon_threadsafe(
+            self.coordinator.cancel_active_job, reason
+        )
+
+    def _call(self, coro, *, timeout: Optional[float]):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)

@@ -1,0 +1,141 @@
+"""Self-contained localhost clusters: one call, N worker processes.
+
+``cluster_budget_search`` is the cluster counterpart of
+:func:`repro.runtime.processes.multiprocessing_budget_search`: same
+arguments, same result contract, but the work sharing happens over real
+TCP sockets through an embedded coordinator instead of through
+``multiprocessing`` queues.  It exists so the ``backend="cluster"``
+skeleton route, the tests and the scaling benchmark can exercise the
+genuine wire path without shell choreography.
+
+The topology it builds::
+
+    this process ── ClusterHandle (coordinator on a loop thread)
+         │                 ▲ TCP (127.0.0.1, ephemeral port)
+         └─ fork ──► worker process 1..N (ClusterWorker each)
+
+Workers are stopped with a SHUTDOWN drain first and the
+SIGTERM -> SIGKILL escalation as the backstop.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import Process
+from typing import Any, Callable, Optional
+
+from repro.cluster import protocol as P
+from repro.cluster.coordinator import ClusterHandle
+from repro.cluster.worker import _worker_process_main
+from repro.core.params import SkeletonParams
+from repro.core.results import SearchResult
+from repro.core.searchtypes import SearchType
+from repro.runtime.processes import _stype_payload, graceful_stop
+
+__all__ = ["job_payload", "cluster_budget_search", "run_with_cluster"]
+
+
+def job_payload(
+    spec_factory: Callable[..., Any],
+    factory_args: tuple,
+    stype: SearchType,
+    *,
+    budget: int = 1000,
+    share_poll: int = 64,
+) -> dict:
+    """Build the wire job definition for a search.
+
+    The spec travels as an importable factory path plus plain arguments
+    (pickling-free; every node rebuilds the spec locally), the search
+    type as its ``(kind, kwargs)`` reduction — so the same stock-type
+    restriction as the multiprocessing backend applies, with the same
+    loud ValueError for custom types.
+    """
+    kind, kwargs = _stype_payload(stype)
+    return {
+        "factory": P.factory_path(spec_factory),
+        "factory_args": P.encode_node(list(factory_args)),
+        "stype_kind": kind,
+        "stype_kwargs": kwargs,
+        "budget": int(budget),
+        "share_poll": int(share_poll),
+    }
+
+
+def cluster_budget_search(
+    spec_factory: Callable[..., Any],
+    factory_args: tuple,
+    stype: SearchType,
+    *,
+    n_workers: int = 2,
+    budget: int = 1000,
+    share_poll: int = 64,
+    timeout: Optional[float] = None,
+    heartbeat_timeout: float = 5.0,
+    worker_join_timeout: float = 20.0,
+) -> SearchResult:
+    """Budget search over an embedded coordinator + N local workers.
+
+    Spins the topology up, runs one job, drains it down.  Raises the
+    coordinator's :class:`~repro.cluster.coordinator.ClusterError`
+    family on timeout/failure; returns the same :class:`SearchResult`
+    shape as every other backend (``metrics.reassigned`` > 0 means the
+    run survived a worker failure).
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one cluster worker")
+    payload = job_payload(
+        spec_factory, factory_args, stype,
+        budget=budget, share_poll=share_poll,
+    )
+    handle = ClusterHandle(heartbeat_timeout=heartbeat_timeout)
+    procs: list[Process] = []
+    try:
+        host, port = handle.start()
+        procs = [
+            Process(
+                target=_worker_process_main,
+                # give_up_after bounds orphan spin if this process dies
+                # before the drain: workers stop retrying on their own.
+                args=(host, port, f"local-{i}", 15.0),
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        for p in procs:
+            p.start()
+        handle.wait_for_workers(n_workers, timeout=worker_join_timeout)
+        return handle.run_job(payload, timeout=timeout)
+    finally:
+        handle.shutdown(drain_workers=True)
+        for p in procs:
+            p.join(timeout=3.0)
+            graceful_stop(p, grace=1.0)
+
+
+def run_with_cluster(
+    coordination: str,
+    spec_factory: Callable[..., Any],
+    factory_args: tuple,
+    stype: SearchType,
+    params: SkeletonParams,
+) -> SearchResult:
+    """Dispatch a skeleton run onto a localhost cluster.
+
+    Entry point for ``SkeletonParams(backend="cluster")``: only the
+    Budget coordination moves work dynamically enough to be worth a
+    wire, so everything else is rejected with advice (mirroring
+    :func:`repro.runtime.processes.run_with_processes`).
+    """
+    if coordination != "budget":
+        raise ValueError(
+            f"the cluster backend implements the 'budget' coordination, not "
+            f"{coordination!r}; use backend='processes' or backend='sim'"
+        )
+    return cluster_budget_search(
+        spec_factory,
+        factory_args,
+        stype,
+        n_workers=params.cluster_workers,
+        budget=params.budget,
+        share_poll=params.share_poll,
+    )

@@ -1,0 +1,250 @@
+"""The cluster wire protocol: framing, messages, and payload codecs.
+
+Every message is one *frame*: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON encoding one object with a
+``"type"`` field.  Length-prefixed JSON keeps the protocol debuggable
+(``tcpdump`` shows readable traffic) while making message boundaries
+explicit — no sentinel scanning, no partial-line ambiguity.
+
+Message types
+-------------
+
+========== =========== ====================================================
+type       direction   meaning
+========== =========== ====================================================
+HELLO      w -> c      join the cluster (protocol version, worker name)
+WELCOME    c -> w      assigned worker id + heartbeat interval
+JOB        c -> w      search definition: spec factory, search type, knobs
+TASK       c -> w      lease one subtree (task id, epoch, node, depth)
+OFFCUT     w -> c      budget-trip split: subtrees pushed back for re-lease
+INCUMBENT  both        a strictly better bound value (broadcast downstream)
+RESULT     w -> c      a leased task finished: counters + local best
+HEARTBEAT  w -> c      liveness (any frame also refreshes the deadline)
+JOB_DONE   c -> w      job over (result known / cancelled): drop its state
+SHUTDOWN   c -> w      drain: finish the current task, say BYE, exit
+BYE        w -> c      orderly goodbye; the connection closes after it
+ERROR      c -> w      protocol violation report before disconnect
+========== =========== ====================================================
+
+Node transport
+--------------
+
+Search-tree nodes are application-defined Python objects (slotted
+dataclasses, plain ``__slots__`` classes …), so pure JSON cannot carry
+them.  :func:`encode_node` keeps JSON-native values readable on the
+wire (ints, strings, lists; tuples and sets via the same tags the
+result serialiser uses) and falls back to a tagged base64 pickle for
+anything richer.  Cluster peers are *trusted by construction* — they
+run the same code base on machines you control, exactly like the
+multiprocessing backend's queue (which pickles everything); do not
+expose a coordinator port to untrusted networks.
+
+Spec transport stays pickling-free: a spec travels as the dotted path
+of a top-level factory plus plain arguments (the same factories the
+multiprocessing backend uses), and each worker rebuilds the spec
+locally — instances are deterministic, so every node constructs the
+identical search space.
+"""
+
+from __future__ import annotations
+
+import base64
+import importlib
+import pickle
+import socket
+import struct
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+    "ProtocolError",
+    "frame_bytes",
+    "read_frame",
+    "recv_exact",
+    "encode_node",
+    "decode_node",
+    "factory_path",
+    "resolve_factory",
+    "HELLO",
+    "WELCOME",
+    "JOB",
+    "TASK",
+    "OFFCUT",
+    "INCUMBENT",
+    "RESULT",
+    "HEARTBEAT",
+    "JOB_DONE",
+    "SHUTDOWN",
+    "BYE",
+    "ERROR",
+]
+
+PROTOCOL_VERSION = 1
+
+# One frame must hold a message-sized payload (a task node, an offcut
+# batch), never a bulk transfer; anything bigger than this is a protocol
+# violation, not data.
+MAX_FRAME = 64 * 1024 * 1024
+
+HELLO = "HELLO"
+WELCOME = "WELCOME"
+JOB = "JOB"
+TASK = "TASK"
+OFFCUT = "OFFCUT"
+INCUMBENT = "INCUMBENT"
+RESULT = "RESULT"
+HEARTBEAT = "HEARTBEAT"
+JOB_DONE = "JOB_DONE"
+SHUTDOWN = "SHUTDOWN"
+BYE = "BYE"
+ERROR = "ERROR"
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized frame / message."""
+
+
+# -- framing -----------------------------------------------------------------
+
+_LEN = struct.Struct(">I")
+
+
+def frame_bytes(msg: dict) -> bytes:
+    """Serialise one message dict into a length-prefixed frame."""
+    import json
+
+    body = json.dumps(msg, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return _LEN.pack(len(body)) + body
+
+
+def recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes from a blocking socket.
+
+    Returns None on a clean EOF *before any byte*; raises
+    ``ConnectionError`` on EOF mid-message (a torn frame is a failure,
+    an empty read between frames is a normal close).
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one framed message from a blocking socket (None on clean EOF)."""
+    import json
+
+    header = recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"peer announced a {length}-byte frame")
+    body = recv_exact(sock, length)
+    if body is None:
+        raise ConnectionError("connection closed mid-frame")
+    try:
+        msg = json.loads(body.decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(msg, dict) or "type" not in msg:
+        raise ProtocolError("frame is not a message object with a 'type'")
+    return msg
+
+
+# -- node payload codec ------------------------------------------------------
+
+_TUPLE_TAG = "__tuple__"
+_SET_TAG = "__set__"
+_FROZENSET_TAG = "__frozenset__"
+_PICKLE_TAG = "__pickle__"
+_TAGS = (_TUPLE_TAG, _SET_TAG, _FROZENSET_TAG, _PICKLE_TAG)
+
+
+def encode_node(value: Any) -> Any:
+    """Encode an arbitrary search node into a JSON-safe structure.
+
+    JSON primitives, lists and string-keyed dicts pass through
+    structurally; tuples/sets/frozensets are tagged so they round-trip
+    *exactly* (unlike the lossy result serialiser, task transport must
+    reconstruct the identical object).  Anything else — application
+    node classes — becomes a tagged base64 pickle (trusted peers only;
+    see the module docstring).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [encode_node(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_node(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        tag = _FROZENSET_TAG if isinstance(value, frozenset) else _SET_TAG
+        try:
+            ordered = sorted(value)
+        except TypeError:
+            ordered = sorted(value, key=repr)
+        return {tag: [encode_node(v) for v in ordered]}
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and not any(
+            t in value for t in _TAGS
+        ):
+            return {k: encode_node(v) for k, v in value.items()}
+    return {_PICKLE_TAG: base64.b64encode(pickle.dumps(value)).decode("ascii")}
+
+
+def decode_node(value: Any) -> Any:
+    """Inverse of :func:`encode_node` (exact round trip)."""
+    if isinstance(value, list):
+        return [decode_node(v) for v in value]
+    if isinstance(value, dict):
+        if len(value) == 1:
+            if _TUPLE_TAG in value:
+                return tuple(decode_node(v) for v in value[_TUPLE_TAG])
+            if _SET_TAG in value:
+                return set(decode_node(v) for v in value[_SET_TAG])
+            if _FROZENSET_TAG in value:
+                return frozenset(decode_node(v) for v in value[_FROZENSET_TAG])
+            if _PICKLE_TAG in value:
+                return pickle.loads(base64.b64decode(value[_PICKLE_TAG]))
+        return {k: decode_node(v) for k, v in value.items()}
+    return value
+
+
+# -- spec transport ----------------------------------------------------------
+
+
+def factory_path(fn: Callable) -> str:
+    """``module:qualname`` form of a top-level factory, for the wire."""
+    name = getattr(fn, "__qualname__", getattr(fn, "__name__", None))
+    module = getattr(fn, "__module__", None)
+    if not name or not module or "." in name or "<" in name:
+        raise ValueError(
+            f"spec factory {fn!r} must be a top-level named function so "
+            "worker nodes can import it by dotted path"
+        )
+    return f"{module}:{name}"
+
+
+def resolve_factory(path: str) -> Callable:
+    """Import a factory from its ``module:qualname`` wire form."""
+    if ":" not in path:
+        raise ProtocolError(f"malformed factory path {path!r}")
+    module_name, attr = path.split(":", 1)
+    try:
+        module = importlib.import_module(module_name)
+        fn = getattr(module, attr)
+    except (ImportError, AttributeError) as exc:
+        raise ProtocolError(f"cannot resolve factory {path!r}: {exc}") from None
+    if not callable(fn):
+        raise ProtocolError(f"factory {path!r} is not callable")
+    return fn

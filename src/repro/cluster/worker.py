@@ -1,0 +1,531 @@
+"""Cluster worker nodes: the fast-path search loop behind a TCP client.
+
+A :class:`ClusterWorker` connects to a coordinator, pulls subtree TASK
+leases, and searches each one with the same inlined hot loop the
+multiprocessing budget backend uses (bound locals, plain generator
+stack, periodic duties every ``share_poll`` nodes) — only the *edges*
+of the loop changed: the shared queue became OFFCUT frames, the shared
+incumbent integer became INCUMBENT frames, and the outstanding counter
+lives on the coordinator.
+
+Threading model (per connection):
+
+- the **receiver** thread reads frames and updates cheap shared state:
+  the current job context, the local task queue, the pruning bound (a
+  plain int — atomic to read under the GIL), and the drain/done flags;
+- the **heartbeat** thread sends HEARTBEAT at the interval the
+  coordinator announced in WELCOME;
+- the **main** thread runs the search loop, so incumbent updates and
+  JOB_DONE aborts land mid-task without the search ever polling the
+  socket itself.
+
+Fault behaviour: if the connection dies mid-task the task is simply
+abandoned — the coordinator's heartbeat watchdog re-leases it under a
+new epoch, and anything this worker still sends about it is dropped as
+stale.  The worker then reconnects with exponential backoff (it may
+rejoin the same search under a fresh worker id).  SHUTDOWN triggers a
+graceful drain: finish the leased work, send the RESULTs, say BYE.
+
+``run_worker`` is the process-level entry: one in-process worker, or a
+fan-out of several local worker processes (each a full ClusterWorker)
+that are stopped with the SIGTERM -> SIGKILL escalation of
+:func:`repro.runtime.processes.graceful_stop` — the SIGTERM handler
+installed here turns the first rung into an orderly abandon-and-BYE.
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import socket
+import sys
+import threading
+import time
+from multiprocessing import Process
+from typing import Optional
+
+from repro.cluster import protocol as P
+from repro.core.searchtypes import Incumbent
+from repro.core.tasks import split_lowest_inlined
+from repro.runtime.processes import graceful_stop, make_stype
+
+__all__ = ["ClusterWorker", "run_worker"]
+
+
+class _JobContext:
+    """Worker-side state of one job: rebuilt spec/search type + knobs.
+
+    ``bound`` is the incumbent value as last heard (written by the
+    receiver thread, read lock-free by the search loop — the same
+    stale-tolerant discipline as the shared integer in the
+    multiprocessing backend); ``done`` flips when JOB_DONE arrives and
+    is checked on the share_poll cadence to abort mid-task.
+    """
+
+    def __init__(self, msg: dict) -> None:
+        self.id = msg["job"]
+        factory = P.resolve_factory(msg["factory"])
+        args = tuple(P.decode_node(msg.get("factory_args") or []))
+        self.spec = factory(*args)
+        self.stype = make_stype(
+            msg["stype_kind"], dict(msg.get("stype_kwargs") or {})
+        )
+        self.enum = self.stype.kind == "enumeration"
+        self.budget = max(1, int(msg.get("budget", 1000)))
+        self.share_poll = max(1, int(msg.get("share_poll", 64)))
+        best = msg.get("best")
+        self.bound = best if isinstance(best, int) else 0
+        self.done = False
+
+
+class ClusterWorker:
+    """One worker node.  ``run()`` blocks until drained or stopped.
+
+    Args:
+        host/port: the coordinator's address.
+        name: reported in HELLO (diagnostics on the coordinator side).
+        stop_event: optional ``threading.Event``; when set the worker
+            abandons its current task and exits at the next poll (the
+            SIGTERM hook for process fan-out).
+        give_up_after: stop retrying (and raise) after this many seconds
+            without reaching a coordinator; None retries forever.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: Optional[str] = None,
+        stop_event: Optional[threading.Event] = None,
+        reconnect_initial: float = 0.1,
+        reconnect_max: float = 2.0,
+        give_up_after: Optional[float] = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name or f"worker-{socket.gethostname()}"
+        self.stop_event = stop_event
+        self.reconnect_initial = reconnect_initial
+        self.reconnect_max = reconnect_max
+        self.give_up_after = give_up_after
+        self.connect_timeout = connect_timeout
+        self.worker_id: Optional[int] = None
+        self.tasks_run = 0
+        self.nodes_searched = 0
+        self.sessions = 0
+        self._finished = False
+        # Per-session state (reset in _session):
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._session_dead = threading.Event()
+        self._local_q: queue.Queue = queue.Queue()
+        self._ctx: Optional[_JobContext] = None
+        self._drain = False
+
+    def _stopped(self) -> bool:
+        return self.stop_event is not None and self.stop_event.is_set()
+
+    # -- connection management ----------------------------------------------
+
+    def run(self) -> None:
+        """Connect (and reconnect with exponential backoff) until a
+        graceful drain completes or the stop event fires."""
+        backoff = self.reconnect_initial
+        last_contact = time.monotonic()
+        while not self._finished and not self._stopped():
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+            except OSError:
+                if (
+                    self.give_up_after is not None
+                    and time.monotonic() - last_contact > self.give_up_after
+                ):
+                    raise ConnectionError(
+                        f"no coordinator at {self.host}:{self.port} for "
+                        f"{self.give_up_after:.1f}s; giving up"
+                    ) from None
+                if self.stop_event is not None:
+                    self.stop_event.wait(backoff)
+                else:
+                    time.sleep(backoff)
+                backoff = min(backoff * 2, self.reconnect_max)
+                continue
+            backoff = self.reconnect_initial
+            try:
+                self._session(sock)
+            except (ConnectionError, OSError, P.ProtocolError):
+                pass  # session died: reconnect (leases reassigned by epoch)
+            last_contact = time.monotonic()
+
+    def _session(self, sock: socket.socket) -> None:
+        """One connection lifetime: handshake, then search until EOF,
+        drain, or stop."""
+        self.sessions += 1
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._session_dead = threading.Event()
+        self._local_q = queue.Queue()
+        self._ctx = None
+        self._drain = False
+
+        sock.settimeout(self.connect_timeout)
+        self._send({
+            "type": P.HELLO,
+            "version": P.PROTOCOL_VERSION,
+            "name": self.name,
+            "slots": 1,
+        })
+        welcome = P.read_frame(sock)
+        if welcome is None or welcome.get("type") != P.WELCOME:
+            raise P.ProtocolError(f"expected WELCOME, got {welcome!r}")
+        self.worker_id = welcome.get("worker")
+        interval = float(welcome.get("heartbeat", 0.5))
+        sock.settimeout(None)
+
+        recv = threading.Thread(target=self._recv_loop, daemon=True)
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(interval,), daemon=True
+        )
+        recv.start()
+        beat.start()
+        try:
+            self._search_loop()
+        finally:
+            self._session_dead.set()
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+            recv.join(timeout=2.0)
+            beat.join(timeout=2.0)
+
+    def _send(self, msg: dict) -> None:
+        data = P.frame_bytes(msg)
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._session_dead.wait(interval):
+            try:
+                self._send({"type": P.HEARTBEAT})
+            except OSError:
+                self._session_dead.set()
+                return
+
+    # -- receiving ----------------------------------------------------------
+
+    def _recv_loop(self) -> None:
+        try:
+            while not self._session_dead.is_set():
+                msg = P.read_frame(self._sock)
+                if msg is None:
+                    break
+                self._on_message(msg)
+        except (ConnectionError, OSError, P.ProtocolError):
+            pass
+        finally:
+            self._session_dead.set()
+
+    def _on_message(self, msg: dict) -> None:
+        mtype = msg.get("type")
+        if mtype == P.JOB:
+            try:
+                self._ctx = _JobContext(msg)
+            except Exception as exc:
+                # Environment mismatch (factory missing here): stay
+                # idle; the coordinator's job timeout is the backstop.
+                print(
+                    f"[{self.name}] cannot build job "
+                    f"{msg.get('job')}: {exc}",
+                    file=sys.stderr,
+                )
+                self._ctx = None
+        elif mtype == P.TASK:
+            ctx = self._ctx
+            if ctx is not None and msg.get("job") == ctx.id and not ctx.done:
+                self._local_q.put((
+                    ctx,
+                    msg["task"],
+                    msg["epoch"],
+                    P.decode_node(msg.get("node")),
+                    int(msg.get("depth", 0)),
+                ))
+        elif mtype == P.INCUMBENT:
+            ctx = self._ctx
+            value = msg.get("value")
+            if (
+                ctx is not None
+                and msg.get("job") == ctx.id
+                and isinstance(value, int)
+                and value > ctx.bound
+            ):
+                ctx.bound = value
+        elif mtype == P.JOB_DONE:
+            ctx = self._ctx
+            if ctx is not None and msg.get("job") == ctx.id:
+                ctx.done = True
+        elif mtype == P.SHUTDOWN:
+            self._drain = True
+        # HEARTBEAT/ERROR and unknown types: nothing to do.
+
+    # -- searching ----------------------------------------------------------
+
+    def _search_loop(self) -> None:
+        """Pull leased tasks and run them; exit on session death, stop,
+        or a completed drain (BYE sent)."""
+        while True:
+            if self._session_dead.is_set():
+                return
+            if self._stopped():
+                self._say_bye()
+                return
+            try:
+                item = self._local_q.get(timeout=0.05)
+            except queue.Empty:
+                if self._drain:
+                    # Drain complete: no leases left to finish.
+                    self._say_bye()
+                    self._finished = True
+                    return
+                continue
+            ctx, task_id, epoch, node, depth = item
+            if ctx.done or ctx is not self._ctx:
+                continue
+            try:
+                self._run_task(ctx, task_id, epoch, node, depth)
+            except (ConnectionError, OSError):
+                self._session_dead.set()
+                return
+
+    def _say_bye(self) -> None:
+        try:
+            self._send({"type": P.BYE})
+        except OSError:
+            pass
+
+    def _run_task(self, ctx, task_id, epoch, root, root_depth) -> None:
+        """Search one leased subtree with the inlined fast-path loop.
+
+        Sends OFFCUT on budget trips, INCUMBENT (value + witness) on
+        strict improvements, and RESULT on completion; sends nothing if
+        the task is aborted (job done / stop / session death), leaving
+        the coordinator's lease accounting to handle it.
+        """
+        spec, stype, enum = ctx.spec, ctx.stype, ctx.enum
+        budget, share_poll = ctx.budget, ctx.share_poll
+        process = stype.process
+        is_goal = stype.is_goal
+        should_prune = (
+            stype.should_prune if (not enum and spec.can_prune) else None
+        )
+        generator = spec.generator
+        space = spec.space
+
+        if enum:
+            knowledge = stype.initial_knowledge(spec)  # the monoid zero
+            prune_know = None
+        else:
+            knowledge = None
+            # Seed pruning from the last-heard cluster-wide bound; the
+            # witness is unknown here, but pruning only compares values.
+            bound_val = max(stype.initial_knowledge(spec).value, ctx.bound)
+            prune_know = Incumbent(bound_val, None)
+
+        nodes = prunes = backtracks = max_depth = 0
+        task_nodes = 0  # counted in share_poll quanta, drives splitting
+        since_check = 0
+        goal_hit = False
+
+        def publish(inc: Incumbent) -> None:
+            # A strict local improvement: raise the local bound, ship
+            # value + witness upstream (the witness travels with the
+            # publish so a later crash of this worker cannot orphan it).
+            if inc.value > ctx.bound:
+                ctx.bound = inc.value
+            self._send({
+                "type": P.INCUMBENT,
+                "job": ctx.id,
+                "value": inc.value,
+                "node": P.encode_node(inc.node),
+            })
+
+        # -- process the task root (the (schedule) rule) --
+        nodes += 1
+        expand = True
+        if enum:
+            knowledge, _ = process(spec, root, knowledge)
+        else:
+            k2, improved = process(spec, root, prune_know)
+            if improved:
+                prune_know = k2
+                publish(k2)
+                if is_goal(k2):
+                    goal_hit = True
+            if not goal_hit and should_prune is not None and should_prune(
+                spec, root, prune_know
+            ):
+                prunes += 1
+                expand = False
+
+        if expand and not goal_hit:
+            stack = [generator(space, root)]
+            if root_depth + 1 > max_depth:
+                max_depth = root_depth + 1
+            # -- the inlined hot loop --
+            while stack:
+                gen = stack[-1]
+                if gen.has_next():
+                    child = gen.next()
+                    nodes += 1
+                    since_check += 1
+                    if enum:
+                        knowledge, _ = process(spec, child, knowledge)
+                        stack.append(generator(space, child))
+                        if root_depth + len(stack) > max_depth:
+                            max_depth = root_depth + len(stack)
+                    else:
+                        k2, improved = process(spec, child, prune_know)
+                        if improved:
+                            prune_know = k2
+                            publish(k2)
+                            if is_goal(k2):
+                                goal_hit = True
+                                break
+                        if should_prune is not None and should_prune(
+                            spec, child, prune_know
+                        ):
+                            prunes += 1
+                        else:
+                            stack.append(generator(space, child))
+                            if root_depth + len(stack) > max_depth:
+                                max_depth = root_depth + len(stack)
+                else:
+                    stack.pop()
+                    backtracks += 1
+                if since_check >= share_poll:
+                    # Periodic duties, off the per-node path: abort
+                    # check, bound refresh, budget split.
+                    task_nodes += since_check
+                    since_check = 0
+                    if (
+                        ctx.done
+                        or self._session_dead.is_set()
+                        or self._stopped()
+                    ):
+                        return  # abandon: lease accounting covers us
+                    if not enum:
+                        seen = ctx.bound
+                        if seen > prune_know.value:
+                            prune_know = Incumbent(seen, None)
+                    if task_nodes >= budget:
+                        offcuts, frame_index = split_lowest_inlined(stack)
+                        if offcuts:
+                            self._send({
+                                "type": P.OFFCUT,
+                                "job": ctx.id,
+                                "task": task_id,
+                                "epoch": epoch,
+                                "depth": root_depth + frame_index + 1,
+                                "nodes": [P.encode_node(o) for o in offcuts],
+                            })
+                        task_nodes = 0
+
+        self.tasks_run += 1
+        self.nodes_searched += nodes
+        result = {
+            "type": P.RESULT,
+            "job": ctx.id,
+            "task": task_id,
+            "epoch": epoch,
+            "nodes": nodes,
+            "prunes": prunes,
+            "backtracks": backtracks,
+            "max_depth": max_depth,
+            "goal": goal_hit,
+        }
+        if enum:
+            result["knowledge"] = knowledge
+        elif prune_know.node is not None:
+            # Belt and braces: improvements were already published with
+            # their witnesses, but repeat the task-local best anyway.
+            result["value"] = prune_know.value
+            result["node"] = P.encode_node(prune_know.node)
+        self._send(result)
+
+
+# -- process fan-out ---------------------------------------------------------
+
+
+def _worker_process_main(host, port, name, give_up_after) -> None:
+    """Entry point of one fanned-out worker process.
+
+    SIGTERM — the first rung of :func:`graceful_stop` — sets the stop
+    event, so the worker abandons its current task (the coordinator
+    re-leases it) and exits at the next poll instead of dying mid-write.
+    """
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    worker = ClusterWorker(
+        host, port, name=name, stop_event=stop, give_up_after=give_up_after
+    )
+    try:
+        worker.run()
+    except ConnectionError:
+        raise SystemExit(1)
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    processes: int = 1,
+    name: Optional[str] = None,
+    stop_event: Optional[threading.Event] = None,
+    give_up_after: Optional[float] = None,
+) -> None:
+    """Run worker capacity against a coordinator (blocking).
+
+    With ``processes == 1`` the worker runs in this process.  With more,
+    each becomes its own OS process (its own interpreter, so searches
+    run truly in parallel) and this call supervises them: it returns
+    when all children exit (drain) and stops them with the
+    SIGTERM -> SIGKILL escalation on interrupt.
+    """
+    if processes < 1:
+        raise ValueError("need at least one worker process")
+    if processes == 1:
+        ClusterWorker(
+            host,
+            port,
+            name=name,
+            stop_event=stop_event,
+            give_up_after=give_up_after,
+        ).run()
+        return
+    base = name or f"worker-{socket.gethostname()}"
+    procs = [
+        Process(
+            target=_worker_process_main,
+            args=(host, port, f"{base}-{i}", give_up_after),
+            daemon=True,
+        )
+        for i in range(processes)
+    ]
+    for p in procs:
+        p.start()
+    try:
+        while any(p.is_alive() for p in procs):
+            if stop_event is not None and stop_event.is_set():
+                break
+            for p in procs:
+                p.join(timeout=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for p in procs:
+            graceful_stop(p, grace=2.0)

@@ -35,11 +35,16 @@ class SkeletonParams:
             on the discrete-event simulator; ``"processes"`` runs them
             on real OS processes (:mod:`repro.runtime.processes`; only
             the depthbounded and budget coordinations have process
-            implementations).
+            implementations); ``"cluster"`` runs the budget coordination
+            on a real localhost TCP cluster (:mod:`repro.cluster`) —
+            an embedded coordinator plus ``cluster_workers`` worker
+            processes talking the wire protocol.
         n_processes: worker processes for the ``"processes"`` backend.
-        share_poll: processes backend — nodes searched between lock-free
+        share_poll: processes/cluster backends — nodes searched between
             reads of the shared incumbent (smaller = tighter pruning,
-            more shared-memory traffic).
+            more sharing traffic).
+        cluster_workers: worker node processes for the ``"cluster"``
+            backend.
     """
 
     d_cutoff: int = 2
@@ -52,6 +57,7 @@ class SkeletonParams:
     backend: str = "sim"
     n_processes: int = 2
     share_poll: int = 64
+    cluster_workers: int = 2
 
     @property
     def workers(self) -> int:
@@ -64,17 +70,21 @@ class SkeletonParams:
     def __post_init__(self) -> None:
         if self.d_cutoff < 0:
             raise ValueError("d_cutoff must be >= 0")
-        if self.budget < 1:
-            raise ValueError("budget must be >= 1")
         if not 0.0 <= self.spawn_probability <= 1.0:
             raise ValueError("spawn_probability must be in [0, 1]")
         if self.localities < 1 or self.workers_per_locality < 1:
             raise ValueError("topology must have >= 1 locality and worker")
-        if self.backend not in ("sim", "processes"):
+        if self.backend not in ("sim", "processes", "cluster"):
             raise ValueError(
-                f"unknown backend {self.backend!r}; expected 'sim' or 'processes'"
+                f"unknown backend {self.backend!r}; "
+                "expected 'sim', 'processes' or 'cluster'"
             )
-        if self.n_processes < 1:
-            raise ValueError("n_processes must be >= 1")
-        if self.share_poll < 1:
-            raise ValueError("share_poll must be >= 1")
+        # Worker/granularity counts share one validator so a bad CLI or
+        # job-file value fails here with the knob's name, not later as
+        # an opaque multiprocessing or socket error.
+        for knob in ("budget", "n_processes", "share_poll", "cluster_workers"):
+            value = getattr(self, knob)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(
+                    f"{knob} must be an integer >= 1, got {value!r}"
+                )

@@ -27,7 +27,9 @@ class SearchMetrics:
     ``nodes`` counts processed (visited) nodes; ``prunes`` counts
     subtrees discarded by the bound; ``spawns`` counts tasks created;
     ``steals``/``failed_steals`` count work-stealing traffic;
-    ``backtracks`` counts generator-stack pops.
+    ``backtracks`` counts generator-stack pops; ``reassigned`` counts
+    tasks re-leased after their worker died (cluster backend fault
+    tolerance — nonzero means the run survived at least one failure).
     """
 
     nodes: int = 0
@@ -39,6 +41,7 @@ class SearchMetrics:
     failed_steals: int = 0
     broadcasts: int = 0
     max_depth: int = 0
+    reassigned: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-ready) of all counters."""
@@ -62,6 +65,7 @@ class SearchMetrics:
         self.failed_steals += other.failed_steals
         self.broadcasts += other.broadcasts
         self.max_depth = max(self.max_depth, other.max_depth)
+        self.reassigned += other.reassigned
 
 
 @dataclass

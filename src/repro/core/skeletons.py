@@ -128,6 +128,18 @@ class Skeleton:
             return run_with_processes(
                 self.coordination, spec_factory, factory_args, stype, params
             )
+        if params.backend == "cluster":
+            if spec_factory is None:
+                raise ValueError(
+                    "backend='cluster' rebuilds the spec on each worker node "
+                    "and therefore needs spec_factory (a top-level importable "
+                    "callable) and factory_args"
+                )
+            from repro.cluster.local import run_with_cluster
+
+            return run_with_cluster(
+                self.coordination, spec_factory, factory_args, stype, params
+            )
         if cluster is None:
             # Imported here so the core package has no hard dependency
             # direction issue with runtime (runtime imports core).

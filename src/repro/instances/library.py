@@ -162,6 +162,69 @@ def random_sip(
     return SIPInstance.build(pattern, target)
 
 
+def decoy_sip(
+    pattern_n: int, filler_n: int, hub_n: int, pattern_p: float,
+    filler_p: float, seed: int,
+) -> SIPInstance:
+    """A SIP instance built to exhibit an *acceleration anomaly* (§2.1).
+
+    The target has three regions: a planted exact copy of the pattern
+    (so the answer is SAT), ``hub_n`` decoy hubs adjacent to everything
+    in a ``filler_n``-vertex random region, and the filler itself.  The
+    pattern's vertex 0 is adjacent to all other pattern vertices, so it
+    is matched first (fail-first order), and its only degree-compatible
+    images are the decoy hubs followed by its planted image — filler
+    degrees are capped strictly below by construction.  A sequential
+    (or any strictly depth-first) search therefore grinds through the
+    hubs' barren-but-deep subtrees before touching the planted copy,
+    while a search that runs several root branches concurrently finds
+    the witness almost immediately.  Degree of difficulty is set by
+    ``filler_n``/``filler_p``; the skew does not depend on timing, so
+    the anomaly is reproducible.
+    """
+    from repro.apps.graph import Graph
+
+    pat = uniform_graph(pattern_n, pattern_p, seed ^ 0xAAA)
+    pattern = Graph(pattern_n, list(pat.adj))
+    for v in range(1, pattern_n):
+        if not pattern.has_edge(0, v):
+            pattern.add_edge(0, v)
+    dp0 = pattern_n - 1
+    total_n = pattern_n + hub_n + filler_n
+    target = Graph(total_n)
+    for u in range(pattern_n):
+        for v in range(u + 1, pattern_n):
+            if pattern.has_edge(u, v):
+                target.add_edge(u, v)
+    hubs = list(range(pattern_n, pattern_n + hub_n))
+    filler = list(range(pattern_n + hub_n, total_n))
+    for i, h in enumerate(hubs):
+        for h2 in hubs[i + 1 :]:
+            target.add_edge(h, h2)
+        for f in filler:
+            target.add_edge(h, f)
+    # Random filler edges with every filler vertex's total degree capped
+    # below dp0, so no filler vertex can host pattern vertex 0.
+    cap = dp0 - 1 - hub_n
+    rng = SplitMix64(seed ^ 0xBBB)
+    deg = [0] * filler_n
+    want_edges = int(filler_p * filler_n * (filler_n - 1) / 2)
+    added = tries = 0
+    while added < want_edges and tries < 20 * want_edges:
+        tries += 1
+        u = rng.randrange(filler_n)
+        v = rng.randrange(filler_n)
+        if u == v or deg[u] >= cap or deg[v] >= cap:
+            continue
+        if target.has_edge(filler[u], filler[v]):
+            continue
+        target.add_edge(filler[u], filler[v])
+        deg[u] += 1
+        deg[v] += 1
+        added += 1
+    return SIPInstance.build(pattern, target)
+
+
 # -- the registry -------------------------------------------------------------
 
 _REGISTRY: dict[str, Entry] = {}
@@ -289,6 +352,21 @@ def _populate() -> None:
                 stype_kwargs={"target": pn},
             )
         )
+
+    # Acceleration-anomaly demonstrator (see decoy_sip): SAT, but the
+    # witness hides behind three barren decoy subtrees in fail-first
+    # order.  Searches that explore root branches concurrently find it
+    # orders of magnitude sooner than strict depth-first.
+    _register(
+        Entry(
+            name="sip-decoy-24-200",
+            app="sip",
+            build=lambda: decoy_sip(24, 200, 3, 0.40, 0.10, 1),
+            make_spec=lambda inst: sip_spec(inst, name="sip-decoy-24-200"),
+            search_type="decision",
+            stype_kwargs={"target": 24},
+        )
+    )
 
     # ---- UTS.
     for name, inst in (

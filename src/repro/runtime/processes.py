@@ -40,6 +40,7 @@ coordination at scale.
 
 from __future__ import annotations
 
+import signal
 import time
 from multiprocessing import Pipe, Pool, Process, Queue, Value
 from queue import Empty
@@ -57,7 +58,26 @@ __all__ = [
     "make_stype",
     "run_library_search",
     "run_job_in_subprocess",
+    "graceful_stop",
 ]
+
+
+def graceful_stop(proc, *, grace: float = 5.0) -> None:
+    """Stop a child process: SIGTERM, wait up to ``grace``, then SIGKILL.
+
+    The graduated escalation gives a cooperating child (one whose main
+    thread handles SIGTERM — see :func:`_job_process_main` and the
+    cluster worker) a window to flush its final message and close its
+    pipes cleanly, while still guaranteeing death for a child that is
+    wedged or blocking the signal.  Used by the job-subprocess
+    cancellation path and by cluster worker fan-out shutdown.
+    """
+    if proc.is_alive():
+        proc.terminate()  # SIGTERM on POSIX
+        proc.join(timeout=grace)
+    if proc.is_alive():
+        proc.kill()  # SIGKILL: non-negotiable
+        proc.join(timeout=grace)
 
 # Per-worker globals, initialised once by _init_worker.
 _worker_spec = None
@@ -154,7 +174,20 @@ def run_library_search(
 
 
 def _job_process_main(conn, payload: dict) -> None:
-    """Subprocess entry: run the search, report through the pipe."""
+    """Subprocess entry: run the search, report through the pipe.
+
+    SIGTERM (the first rung of :func:`graceful_stop`) is converted into
+    ``SystemExit`` so the ``finally`` below runs: the pipe is closed
+    cleanly instead of the parent seeing a torn write, and a stopped
+    notice is flushed so the parent can tell "asked to stop" from
+    "died".  A child wedged in C code never reaches the handler — the
+    caller's SIGKILL escalation covers that.
+    """
+
+    def _on_sigterm(signum, frame):
+        raise SystemExit(143)  # 128 + SIGTERM, the conventional code
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         result = run_library_search(**payload)
         try:
@@ -162,6 +195,12 @@ def _job_process_main(conn, payload: dict) -> None:
         except Exception:
             # Unpicklable witness: degrade to the JSON-safe dict form.
             conn.send(("ok_dict", result.to_dict()))
+    except SystemExit:
+        try:
+            conn.send(("stopped", "terminated by SIGTERM"))
+        except Exception:
+            pass
+        raise
     except BaseException as exc:  # report crashes instead of dying silently
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -177,12 +216,15 @@ def run_job_in_subprocess(
     timeout: Optional[float] = None,
     cancel=None,
     poll_interval: float = 0.02,
+    term_grace: float = 0.5,
 ) -> tuple[str, Any]:
     """Run :func:`run_library_search` in a dedicated, killable process.
 
     Unlike in-process execution this gives the caller real preemption:
-    the child is terminated on timeout or when ``cancel`` (any object
-    with ``is_set()``) fires.  Returns one of::
+    the child is stopped on timeout or when ``cancel`` (any object with
+    ``is_set()``) fires — via :func:`graceful_stop`, so a cooperating
+    child gets ``term_grace`` seconds to flush and close its pipe before
+    SIGKILL.  Returns one of::
 
         ("ok", SearchResult)   completed
         ("timeout", None)      deadline hit, child terminated
@@ -212,11 +254,11 @@ def run_job_in_subprocess(
                     status, value = "crash", body
                 break
             if cancel is not None and cancel.is_set():
-                proc.terminate()
+                graceful_stop(proc, grace=term_grace)
                 status = "cancelled"
                 break
             if deadline is not None and time.monotonic() >= deadline:
-                proc.terminate()
+                graceful_stop(proc, grace=term_grace)
                 status = "timeout"
                 break
             # Re-check the pipe after seeing the child dead: the result

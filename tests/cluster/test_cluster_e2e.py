@@ -1,0 +1,230 @@
+"""End-to-end cluster tests: real sockets, real worker processes.
+
+The acceptance bar for the distributed runtime is bit-identical results
+against :func:`sequential_search` where the maths demands it:
+
+- enumeration counts every node exactly once, whatever the work split,
+  so both the value *and* the node count must match;
+- a *refuted* decision search prunes on ``bound < target or bound <=
+  incumbent`` with the incumbent pinned below target, so its explored
+  set is incumbent-independent: node counts must match exactly too;
+- optimisation node counts legitimately vary with incumbent timing
+  (search-order anomalies), so only the optimum and a valid witness are
+  required.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.coordinator import ClusterHandle
+from repro.cluster.local import cluster_budget_search, job_payload
+from repro.cluster.worker import ClusterWorker, _worker_process_main
+from repro.core.params import SkeletonParams
+from repro.core.results import validate_result
+from repro.core.searchtypes import make_search_type
+from repro.core.sequential import sequential_search
+from repro.instances.library import library_spec_factory, spec_for
+
+
+def _stype_for(instance):
+    spec, tname, kwargs = spec_for(instance)
+    return spec, make_search_type(tname, **kwargs)
+
+
+class TestMatchesSequential:
+    def test_enumeration_bit_identical(self):
+        spec, stype = _stype_for("uts-geo-med")
+        res = cluster_budget_search(
+            library_spec_factory, ("uts-geo-med",), stype,
+            n_workers=2, budget=500, share_poll=32, timeout=60,
+        )
+        seq = sequential_search(spec, stype)
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes
+        assert res.workers == 2
+        assert res.metrics.spawns > 0  # real offcut traffic happened
+
+    def test_refuted_decision_bit_identical(self):
+        spec, stype = _stype_for("kclique-fig4")  # k=14 does not exist
+        res = cluster_budget_search(
+            library_spec_factory, ("kclique-fig4",), stype,
+            n_workers=2, budget=300, share_poll=32, timeout=120,
+        )
+        seq = sequential_search(spec, stype)
+        assert res.found is False
+        assert seq.found is False
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes
+
+    def test_optimisation_value_and_witness(self):
+        spec, stype = _stype_for("brock90-1")
+        res = cluster_budget_search(
+            library_spec_factory, ("brock90-1",), stype,
+            n_workers=2, budget=500, share_poll=32, timeout=60,
+        )
+        seq = sequential_search(spec, stype)
+        assert res.value == seq.value
+        assert validate_result(spec, res)
+
+    def test_single_worker(self):
+        spec, stype = _stype_for("uts-geo-med")
+        res = cluster_budget_search(
+            library_spec_factory, ("uts-geo-med",), stype,
+            n_workers=1, budget=500, timeout=60,
+        )
+        seq = sequential_search(spec, stype)
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes
+        assert res.workers == 1
+
+
+class TestSkeletonRoute:
+    def test_backend_cluster_param(self):
+        from repro.core.skeletons import make_skeleton
+
+        spec, stype = _stype_for("brock90-1")
+        skel = make_skeleton("budget", "optimisation")
+        res = skel.search(
+            spec,
+            SkeletonParams(backend="cluster", cluster_workers=2, budget=500),
+            stype=stype,
+            spec_factory=library_spec_factory,
+            factory_args=("brock90-1",),
+        )
+        assert res.value == sequential_search(spec, stype).value
+
+    def test_backend_cluster_requires_factory(self):
+        from repro.core.skeletons import make_skeleton
+
+        spec, stype = _stype_for("brock90-1")
+        skel = make_skeleton("budget", "optimisation")
+        with pytest.raises(ValueError, match="spec_factory"):
+            skel.search(
+                spec,
+                SkeletonParams(backend="cluster"),
+                stype=stype,
+            )
+
+    def test_non_budget_coordination_rejected(self):
+        from repro.cluster.local import run_with_cluster
+
+        spec, stype = _stype_for("brock90-1")
+        with pytest.raises(ValueError, match="budget"):
+            run_with_cluster(
+                "depthbounded", library_spec_factory, ("brock90-1",),
+                stype, SkeletonParams(backend="cluster"),
+            )
+
+
+class TestFaultTolerance:
+    def test_worker_killed_mid_search_result_still_exact(self):
+        # SIGKILL one of two workers mid-refutation: the heartbeat
+        # watchdog must re-lease its tasks and the final answer must
+        # still match sequential exactly (partial work is never
+        # reported, so even the node count stays exact).
+        from multiprocessing import Process
+
+        from repro.runtime.processes import graceful_stop
+
+        spec, stype = _stype_for("kclique-fig4")
+        payload = job_payload(
+            library_spec_factory, ("kclique-fig4",), stype,
+            budget=300, share_poll=32,
+        )
+        handle = ClusterHandle(heartbeat_interval=0.2, heartbeat_timeout=1.0)
+        host, port = handle.start()
+        procs = [
+            Process(
+                target=_worker_process_main,
+                args=(host, port, f"w{i}", 10.0),
+                daemon=True,
+            )
+            for i in range(2)
+        ]
+        try:
+            for p in procs:
+                p.start()
+            handle.wait_for_workers(2, timeout=15)
+            fut = handle.run_job_future(payload, timeout=90)
+            time.sleep(0.5)  # let the search spread over both workers
+            procs[0].kill()  # SIGKILL: no BYE, no drain, no flush
+            res = fut.result(timeout=120)
+        finally:
+            handle.shutdown(drain_workers=True)
+            for p in procs:
+                graceful_stop(p, grace=1.0)
+        seq = sequential_search(spec, stype)
+        assert res.found is False
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes
+        assert res.metrics.reassigned > 0  # the failure was survived, visibly
+
+
+class TestWorkerLifecycle:
+    def test_reconnect_with_backoff_then_drain(self):
+        # Start the worker before any coordinator exists: it must retry
+        # with backoff, join once the coordinator appears, do real work,
+        # and exit cleanly when drained.
+        import socket as _socket
+
+        probe = _socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        worker = ClusterWorker(
+            "127.0.0.1", port, name="early-bird", give_up_after=30.0
+        )
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        time.sleep(0.4)  # several refused connects happen here
+
+        handle = ClusterHandle(host="127.0.0.1", port=port)
+        handle.start()
+        try:
+            handle.wait_for_workers(1, timeout=10)
+            spec, stype = _stype_for("uts-geo-med")
+            payload = job_payload(
+                library_spec_factory, ("uts-geo-med",), stype, budget=500
+            )
+            res = handle.run_job(payload, timeout=60)
+            assert res.value == sequential_search(spec, stype).value
+        finally:
+            handle.shutdown(drain_workers=True)
+        thread.join(timeout=10)
+        assert not thread.is_alive()  # SHUTDOWN drained the worker out
+        assert worker.tasks_run > 0
+
+    def test_stop_event_aborts_promptly(self):
+        stop = threading.Event()
+        stop.set()
+        worker = ClusterWorker("127.0.0.1", 1, stop_event=stop)
+        worker.run()  # must return immediately despite the dead address
+
+
+class TestServiceBackend:
+    def test_scheduler_runs_jobs_on_cluster(self):
+        from repro.cluster.backend import ClusterBackend
+        from repro.service import JobSpec, JobState, Scheduler
+
+        backend = ClusterBackend(local_workers=2)
+        try:
+            sched = Scheduler(backend=backend, n_workers=1)
+            ok = sched.submit(JobSpec(
+                app="maxclique", instance="brock90-1",
+                skeleton="budget", params={"budget": 500},
+            ))
+            bad = sched.submit(JobSpec(
+                app="maxclique", instance="brock90-2",
+                skeleton="depthbounded",  # cluster runs budget only
+            ))
+            sched.run_until_idle()
+        finally:
+            backend.close()
+        assert ok.state is JobState.DONE
+        assert ok.result.value == 14
+        assert ok.result.workers == 2
+        assert bad.state is JobState.FAILED
+        assert "budget" in bad.error

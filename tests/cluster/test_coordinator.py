@@ -1,0 +1,348 @@
+"""Coordinator protocol-level tests, driven by scripted fake workers.
+
+A :class:`FakeWorker` speaks the raw wire protocol over a real TCP
+connection, so every lease/epoch/rebroadcast decision the coordinator
+makes is observable deterministically — no real search involved.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import protocol as P
+from repro.cluster.coordinator import (
+    ClusterHandle,
+    ClusterJobFailed,
+    ClusterJobTimeout,
+)
+
+ENUM_PAYLOAD = {
+    "factory": "repro.instances.library:library_spec_factory",
+    "factory_args": ["uts-geo-med"],
+    "stype_kind": "enumeration",
+    "stype_kwargs": {},
+    "budget": 1000,
+    "share_poll": 64,
+}
+
+OPT_PAYLOAD = {
+    "factory": "repro.instances.library:library_spec_factory",
+    "factory_args": ["brock90-1"],
+    "stype_kind": "optimisation",
+    "stype_kwargs": {},
+    "budget": 1000,
+    "share_poll": 64,
+}
+
+
+class FakeWorker:
+    """A hand-driven protocol peer: HELLOs, heartbeats, scripted frames."""
+
+    def __init__(self, host, port, name="fake"):
+        self.sock = socket.create_connection((host, port), timeout=5.0)
+        self.sock.settimeout(5.0)
+        self._lock = threading.Lock()
+        self._beating = threading.Event()
+        self._beating.set()
+        self._closed = threading.Event()
+        self.send({"type": P.HELLO, "version": P.PROTOCOL_VERSION, "name": name})
+        welcome = P.read_frame(self.sock)
+        assert welcome["type"] == P.WELCOME
+        self.id = welcome["worker"]
+        self._hb = threading.Thread(target=self._beat, daemon=True)
+        self._hb.start()
+
+    def _beat(self):
+        while not self._closed.wait(0.1):
+            if not self._beating.is_set():
+                continue
+            try:
+                self.send({"type": P.HEARTBEAT})
+            except OSError:
+                return
+
+    def send(self, msg):
+        with self._lock:
+            self.sock.sendall(P.frame_bytes(msg))
+
+    def recv(self, want_type, timeout=5.0):
+        """Next frame of ``want_type`` (other types are skipped)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise AssertionError(f"no {want_type} frame within {timeout}s")
+            self.sock.settimeout(remaining)
+            msg = P.read_frame(self.sock)
+            if msg is None:
+                raise AssertionError(f"EOF while waiting for {want_type}")
+            if msg["type"] == want_type:
+                return msg
+
+    def assert_no_frame(self, want_type, within=0.4):
+        """Fail if a ``want_type`` frame arrives within the window."""
+        deadline = time.monotonic() + within
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            self.sock.settimeout(remaining)
+            try:
+                msg = P.read_frame(self.sock)
+            except (TimeoutError, socket.timeout):
+                return
+            if msg is not None and msg["type"] == want_type:
+                raise AssertionError(f"unexpected {want_type}: {msg}")
+
+    def stop_heartbeat(self):
+        self._beating.clear()
+
+    def close(self):
+        self._closed.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def handle():
+    h = ClusterHandle(heartbeat_interval=0.1, heartbeat_timeout=0.6)
+    h.start()
+    yield h
+    h.shutdown(drain_workers=False)
+
+
+def result_frame(task_msg, *, knowledge=None, value=None, node=None, **extra):
+    """A minimal RESULT frame answering a TASK lease."""
+    msg = {
+        "type": P.RESULT,
+        "job": task_msg["job"],
+        "task": task_msg["task"],
+        "epoch": task_msg["epoch"],
+        "nodes": 5,
+        "prunes": 0,
+        "backtracks": 4,
+        "max_depth": 2,
+        "goal": False,
+    }
+    if knowledge is not None:
+        msg["knowledge"] = knowledge
+    if value is not None:
+        msg["value"] = value
+        msg["node"] = P.encode_node(node)
+    msg.update(extra)
+    return msg
+
+
+class TestLeasing:
+    def test_job_and_root_task_reach_worker(self, handle):
+        w = FakeWorker(*handle.address)
+        try:
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            job = w.recv(P.JOB)
+            assert job["factory"] == ENUM_PAYLOAD["factory"]
+            task = w.recv(P.TASK)
+            assert task["epoch"] == 0
+            assert task["depth"] == 0
+            w.send(result_frame(task, knowledge=17))
+            res = fut.result(timeout=10)
+            assert res.value == 17
+            assert res.metrics.nodes == 5
+            assert res.workers == 1
+        finally:
+            w.close()
+
+    def test_late_joiner_receives_active_job(self, handle):
+        w1 = FakeWorker(*handle.address, name="first")
+        try:
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            task = w1.recv(P.TASK)
+            # A worker joining mid-job is sent the JOB immediately.
+            w2 = FakeWorker(*handle.address, name="late")
+            try:
+                assert w2.recv(P.JOB)["job"] == task["job"]
+            finally:
+                w2.close()
+            w1.send(result_frame(task, knowledge=1))
+            fut.result(timeout=10)
+        finally:
+            w1.close()
+
+    def test_offcut_fans_out_to_other_workers(self, handle):
+        w1 = FakeWorker(*handle.address, name="w1")
+        w2 = FakeWorker(*handle.address, name="w2")
+        try:
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            task = w1.recv(P.TASK)
+            w1.send({
+                "type": P.OFFCUT,
+                "job": task["job"],
+                "task": task["task"],
+                "epoch": task["epoch"],
+                "depth": 3,
+                "nodes": [P.encode_node((1, 2)), P.encode_node((3, 4))],
+            })
+            # One offcut should be leased to the idle w2 (w1 still holds
+            # its root lease; slots=1).
+            t2 = w2.recv(P.TASK)
+            assert t2["depth"] == 3
+            assert P.decode_node(t2["node"]) in ((1, 2), (3, 4))
+            w1.send(result_frame(task, knowledge=1))
+            # After w1's RESULT frees its slot, the second offcut lands.
+            t3 = w1.recv(P.TASK)
+            w1.send(result_frame(t3, knowledge=10))
+            w2.send(result_frame(t2, knowledge=100))
+            res = fut.result(timeout=10)
+            assert res.value == 111  # all three accumulators combined
+            assert res.metrics.spawns == 2
+            assert res.workers == 2
+        finally:
+            w1.close()
+            w2.close()
+
+
+class TestEpochs:
+    def test_stale_frames_are_dropped(self, handle):
+        w = FakeWorker(*handle.address)
+        try:
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            task = w.recv(P.TASK)
+            # Stale OFFCUT: wrong epoch.  If accepted it would bump the
+            # outstanding counter and the job below could never finish.
+            w.send({
+                "type": P.OFFCUT,
+                "job": task["job"],
+                "task": task["task"],
+                "epoch": task["epoch"] + 7,
+                "depth": 1,
+                "nodes": [P.encode_node((9,))],
+            })
+            # Stale RESULT: wrong epoch.  If accepted the job would
+            # complete with the wrong accumulator.
+            w.send(result_frame(task, knowledge=999, epoch=task["epoch"] + 7))
+            assert not fut.done()
+            # The correctly-epoched RESULT completes the job; its being
+            # the completion proves both stale frames were dropped.
+            w.send(result_frame(task, knowledge=5))
+            res = fut.result(timeout=10)
+            assert res.value == 5
+        finally:
+            w.close()
+
+    def test_dead_worker_task_reassigned_with_bumped_epoch(self, handle):
+        # Optimisation payload: re-running a dead worker's subtree is
+        # idempotent under max-merge (enumeration instead fails loudly,
+        # tested below).
+        w1 = FakeWorker(*handle.address, name="doomed")
+        w2 = FakeWorker(*handle.address, name="survivor")
+        try:
+            fut = handle.run_job_future(OPT_PAYLOAD, timeout=15)
+            task1 = w1.recv(P.TASK)
+            assert task1["epoch"] == 0
+            w1.stop_heartbeat()  # silence -> watchdog declares w1 dead
+            task2 = w2.recv(P.TASK, timeout=5.0)
+            assert task2["task"] == task1["task"]
+            assert task2["epoch"] == 1  # re-lease under a fresh epoch
+            w2.send(result_frame(task2, value=9, node=("n9",)))
+            res = fut.result(timeout=10)
+            assert res.value == 9
+            assert res.node == ("n9",)
+            assert res.metrics.reassigned == 1
+            assert res.workers == 1  # only the survivor contributed
+        finally:
+            w1.close()
+            w2.close()
+
+    def test_enumeration_job_fails_loudly_on_worker_death(self, handle):
+        # An enumeration task's partial accumulator dies with its
+        # worker; completing anyway would silently miscount.
+        w = FakeWorker(*handle.address)
+        try:
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=15)
+            w.recv(P.TASK)
+            w.stop_heartbeat()
+            with pytest.raises(ClusterJobFailed, match="enumeration"):
+                fut.result(timeout=10)
+        finally:
+            w.close()
+
+
+class TestIncumbent:
+    def test_only_strict_improvements_rebroadcast(self, handle):
+        w1 = FakeWorker(*handle.address, name="finder")
+        w2 = FakeWorker(*handle.address, name="listener")
+        try:
+            fut = handle.run_job_future(OPT_PAYLOAD, timeout=15)
+            task = w1.recv(P.TASK)
+            job_id = task["job"]
+
+            def publish(value):
+                w1.send({
+                    "type": P.INCUMBENT,
+                    "job": job_id,
+                    "value": value,
+                    "node": P.encode_node((value,)),
+                })
+
+            publish(5)
+            assert w2.recv(P.INCUMBENT)["value"] == 5
+            publish(5)  # tie: no rebroadcast
+            publish(4)  # regression: no rebroadcast
+            w2.assert_no_frame(P.INCUMBENT, within=0.4)
+            publish(6)  # strict improvement again
+            assert w2.recv(P.INCUMBENT)["value"] == 6
+            w1.send(result_frame(task, value=6, node=(6,)))
+            res = fut.result(timeout=10)
+            assert res.value == 6
+            assert res.node == (6,)
+            assert res.metrics.broadcasts == 2
+        finally:
+            w1.close()
+            w2.close()
+
+    def test_witness_survives_publisher_death(self, handle):
+        # The witness travels with the INCUMBENT publish, so the best
+        # value keeps its witness even if the finder dies before its
+        # RESULT and the re-run prunes the witness subtree away.
+        w1 = FakeWorker(*handle.address, name="finder")
+        w2 = FakeWorker(*handle.address, name="survivor")
+        try:
+            fut = handle.run_job_future(OPT_PAYLOAD, timeout=15)
+            task1 = w1.recv(P.TASK)
+            w1.send({
+                "type": P.INCUMBENT,
+                "job": task1["job"],
+                "value": 50,
+                "node": P.encode_node(("witness-50",)),
+            })
+            w2.recv(P.INCUMBENT)  # broadcast seen cluster-wide
+            w1.stop_heartbeat()  # finder dies before sending RESULT
+            task2 = w2.recv(P.TASK, timeout=5.0)
+            assert task2["epoch"] == 1
+            # The re-run prunes everything (stale bound 50): its RESULT
+            # carries no witness at all.
+            w2.send(result_frame(task2))
+            res = fut.result(timeout=10)
+            assert res.value == 50
+            assert res.node == ("witness-50",)
+            assert res.metrics.reassigned == 1
+        finally:
+            w1.close()
+            w2.close()
+
+
+class TestTimeout:
+    def test_job_timeout_raises_and_notifies_workers(self, handle):
+        w = FakeWorker(*handle.address)
+        try:
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=0.5)
+            task = w.recv(P.TASK)
+            with pytest.raises(ClusterJobTimeout):
+                fut.result(timeout=10)
+            done = w.recv(P.JOB_DONE)
+            assert done["job"] == task["job"]
+        finally:
+            w.close()

@@ -1,0 +1,184 @@
+"""Unit tests for the cluster wire protocol: framing and codecs."""
+
+import socket
+
+import pytest
+
+from repro.cluster import protocol as P
+
+
+def _pipe():
+    """A connected socket pair (both ends blocking)."""
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = _pipe()
+        try:
+            a.sendall(P.frame_bytes({"type": P.HELLO, "version": 1, "name": "w"}))
+            msg = P.read_frame(b)
+            assert msg == {"type": P.HELLO, "version": 1, "name": "w"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_keep_boundaries(self):
+        a, b = _pipe()
+        try:
+            a.sendall(
+                P.frame_bytes({"type": P.HEARTBEAT})
+                + P.frame_bytes({"type": P.BYE, "n": 2})
+            )
+            assert P.read_frame(b)["type"] == P.HEARTBEAT
+            assert P.read_frame(b) == {"type": P.BYE, "n": 2}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = _pipe()
+        a.close()
+        try:
+            assert P.read_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = _pipe()
+        try:
+            frame = P.frame_bytes({"type": P.HEARTBEAT})
+            a.sendall(frame[: len(frame) - 2])  # torn write
+            a.close()
+            with pytest.raises(ConnectionError):
+                P.read_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_announcement_rejected(self):
+        a, b = _pipe()
+        try:
+            a.sendall((P.MAX_FRAME + 1).to_bytes(4, "big"))
+            with pytest.raises(P.ProtocolError):
+                P.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_frame_rejected(self):
+        a, b = _pipe()
+        try:
+            import json
+
+            body = json.dumps([1, 2, 3]).encode()
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(P.ProtocolError):
+                P.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_undecodable_body_rejected(self):
+        a, b = _pipe()
+        try:
+            body = b"\xff\xfenot json"
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(P.ProtocolError):
+                P.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class _SlottedNode:
+    """An application-style node class (not JSON-representable)."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+    def __eq__(self, other):
+        return (self.a, self.b) == (other.a, other.b)
+
+
+class TestNodeCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            42,
+            3.5,
+            "text",
+            [1, 2, [3]],
+            (1, 2, (3, "x")),
+            {1, 2, 3},
+            frozenset({4, 5}),
+            {"k": [1, (2,)], "j": {"nested": {6}}},
+            (frozenset({1}), [{"a": (None,)}]),
+        ],
+    )
+    def test_exact_round_trip(self, value):
+        encoded = P.encode_node(value)
+        decoded = P.decode_node(encoded)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_json_safe_values_stay_readable(self):
+        # Plain structures travel structurally, not as opaque pickles.
+        import json
+
+        encoded = P.encode_node({"depth": 3, "path": [1, 2]})
+        assert json.loads(json.dumps(encoded)) == encoded
+        assert "__pickle__" not in json.dumps(encoded)
+
+    def test_app_node_class_round_trips_via_pickle_tag(self):
+        node = _SlottedNode(7, (1, 2))
+        encoded = P.encode_node(node)
+        assert set(encoded) == {"__pickle__"}
+        assert P.decode_node(encoded) == node
+
+    def test_tag_collision_in_dict_degrades_to_pickle(self):
+        # A user dict that happens to use a tag key must not be
+        # misparsed as a tagged value on the way back.
+        tricky = {"__tuple__": [1, 2]}
+        assert P.decode_node(P.encode_node(tricky)) == tricky
+
+
+def _top_level_factory():
+    """A factory the wire can name."""
+    return 42
+
+
+class TestSpecTransport:
+    def test_factory_path_round_trip(self):
+        path = P.factory_path(_top_level_factory)
+        assert path == "tests.cluster.test_protocol:_top_level_factory"
+        assert P.resolve_factory(path) is _top_level_factory
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ValueError, match="top-level"):
+            P.factory_path(lambda: None)
+
+    def test_nested_function_rejected(self):
+        def nested():
+            return None
+
+        with pytest.raises(ValueError, match="top-level"):
+            P.factory_path(nested)
+
+    def test_unresolvable_path_raises_protocol_error(self):
+        with pytest.raises(P.ProtocolError):
+            P.resolve_factory("no.such.module:fn")
+        with pytest.raises(P.ProtocolError):
+            P.resolve_factory("repro.cluster.protocol:no_such_attr")
+        with pytest.raises(P.ProtocolError):
+            P.resolve_factory("not-a-path")
+
+    def test_library_factory_is_wireable(self):
+        from repro.instances.library import library_spec_factory
+
+        path = P.factory_path(library_spec_factory)
+        assert P.resolve_factory(path) is library_spec_factory

@@ -39,6 +39,29 @@ class TestSkeletonParams:
         with pytest.raises(Exception):
             SkeletonParams().d_cutoff = 3  # type: ignore[misc]
 
+    @pytest.mark.parametrize(
+        "knob", ["budget", "n_processes", "share_poll", "cluster_workers"]
+    )
+    def test_worker_knobs_reject_bad_values(self, knob):
+        # Each knob names itself in the error so a bad CLI/job-file value
+        # fails at construction, not as an opaque runtime error.
+        for bad in (0, -3, True, 2.0, "4"):
+            with pytest.raises(ValueError, match=knob):
+                SkeletonParams(**{knob: bad})
+
+    @pytest.mark.parametrize(
+        "knob", ["budget", "n_processes", "share_poll", "cluster_workers"]
+    )
+    def test_worker_knobs_accept_one(self, knob):
+        assert getattr(SkeletonParams(**{knob: 1}), knob) == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SkeletonParams(backend="gpu")
+
+    def test_cluster_backend_accepted(self):
+        assert SkeletonParams(backend="cluster").cluster_workers == 2
+
 
 class TestSearchSpec:
     def test_children_of(self, toy_spec):

@@ -61,3 +61,25 @@ class TestSpecFor:
         for name in suite("uts") + suite("ns"):
             _, stype, _ = spec_for(name)
             assert stype == "enumeration"
+
+
+class TestDecoySip:
+    def test_anomaly_structure(self):
+        # The decoy instance's whole point (bench_cluster_scaling): the
+        # only candidates for the first pattern vertex are the three
+        # decoy hubs, then the planted image — in that fail-first order.
+        inst = load_instance("sip-decoy-24-200")
+        p0 = inst.order[0]
+        dp0 = inst.pattern.degree(p0)
+        assert p0 == 0 and dp0 == inst.pattern.n - 1
+        cands = [w for w in inst.target_by_degree
+                 if inst.target.degree(w) >= dp0]
+        pn = inst.pattern.n
+        assert cands == [pn, pn + 1, pn + 2, 0]
+
+    def test_planted_block_is_exact_copy(self):
+        inst = load_instance("sip-decoy-24-200")
+        pn = inst.pattern.n
+        for u in range(pn):
+            for v in range(u + 1, pn):
+                assert inst.pattern.has_edge(u, v) == inst.target.has_edge(u, v)

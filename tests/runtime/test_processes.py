@@ -251,3 +251,75 @@ class TestRunJobInSubprocess:
             {"instance": "ns-genus-16"}, cancel=cancel,
         )
         assert status == "cancelled"
+
+
+# -- SIGTERM -> SIGKILL escalation ------------------------------------------
+
+
+def _cooperative_child(ready):
+    """Sleep forever, but exit promptly (and cleanly) on SIGTERM."""
+    import signal
+    import time
+
+    def _on_term(signum, frame):
+        raise SystemExit(143)
+
+    signal.signal(signal.SIGTERM, _on_term)
+    ready.set()
+    while True:
+        time.sleep(0.05)
+
+
+def _stubborn_child(ready):
+    """Ignore SIGTERM entirely; only SIGKILL can end this."""
+    import signal
+    import time
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    ready.set()
+    while True:
+        time.sleep(0.05)
+
+
+class TestGracefulStop:
+    def test_cooperative_child_dies_on_sigterm(self):
+        from multiprocessing import Event, Process
+
+        from repro.runtime.processes import graceful_stop
+
+        ready = Event()
+        proc = Process(target=_cooperative_child, args=(ready,), daemon=True)
+        proc.start()
+        assert ready.wait(timeout=10.0)  # handler installed before TERM
+        graceful_stop(proc, grace=5.0)
+        assert not proc.is_alive()
+        # SIGTERM rung sufficed: the handler's SystemExit code survives.
+        assert proc.exitcode == 143
+
+    def test_stubborn_child_escalates_to_sigkill(self):
+        from multiprocessing import Event, Process
+
+        from repro.runtime.processes import graceful_stop
+
+        ready = Event()
+        proc = Process(target=_stubborn_child, args=(ready,), daemon=True)
+        proc.start()
+        assert ready.wait(timeout=10.0)
+        graceful_stop(proc, grace=0.3)
+        assert not proc.is_alive()
+        assert proc.exitcode == -9  # killed, not terminated
+
+    def test_dead_child_is_a_noop(self):
+        from multiprocessing import Process
+
+        from repro.runtime.processes import graceful_stop
+
+        proc = Process(target=_noop_child, daemon=True)
+        proc.start()
+        proc.join(timeout=10.0)
+        graceful_stop(proc)  # must not raise on an already-dead process
+        assert proc.exitcode == 0
+
+
+def _noop_child():
+    """Exit immediately."""

@@ -99,6 +99,28 @@ class TestCoalescing:
         assert follower.result.value == 42
         assert s.metrics_snapshot().coalesced == 1
 
+    def test_crashed_leader_retry_resolves_followers(self):
+        # Crash-retry x coalescing: the leader's first attempt crashes,
+        # the retry succeeds, and the coalesced follower must be served
+        # from the *retried* result — one extra execution total, never a
+        # separate run for the follower.
+        ok = SearchResult(kind="optimisation", value=11, node=("w",))
+        backend = ScriptedBackend({"brock90-1": [WorkerCrash("flaky"), ok]})
+        s = make_sched(backend)
+        leader = s.submit(spec())
+        follower = s.submit(spec(submitter="other"))
+        assert follower.coalesced_into == leader.id
+        s.run_until_idle()
+        assert leader.state is JobState.DONE
+        assert leader.attempts == 2
+        assert follower.state is JobState.DONE
+        assert follower.from_cache
+        assert follower.result.value == 11
+        assert backend.executed == [leader.id, leader.id]
+        snap = s.metrics_snapshot()
+        assert snap.retries == 1
+        assert snap.coalesced == 1
+
     def test_failed_leader_takes_followers_with_it(self):
         backend = ScriptedBackend(
             {"brock90-1": [WorkerCrash("boom"), WorkerCrash("boom")]}
