@@ -33,6 +33,13 @@ and the distributed runtime (:mod:`repro.cluster`) by three more::
     python -m repro.cli maxclique --instance brock100-1 --skeleton budget \\
         --backend cluster --cluster-workers 4   # self-contained localhost run
 
+The differential conformance harness (:mod:`repro.verify`, see
+docs/verify.md) runs as::
+
+    python -m repro.cli verify --backend all --seed 0 --rounds 20
+    python -m repro.cli verify --backend cluster --chaos --seed 7 \\
+        --rounds 10 --artifacts verify-artifacts
+
 Exit status is 0 on success; decision searches exit 0 whether or not a
 witness exists (the answer is printed), matching the original binaries.
 """
@@ -518,6 +525,24 @@ def _cmd_serve(args, out) -> int:
     return 1 if failed or bad_lines else 0
 
 
+def _cmd_verify(args, out) -> int:
+    """Run the differential conformance harness (see docs/verify.md)."""
+    from repro.verify.differential import run_verify
+
+    try:
+        return run_verify(
+            backend=args.backend,
+            seed=args.seed,
+            rounds=args.rounds,
+            chaos=args.chaos,
+            artifact_dir=args.artifacts,
+            log=lambda line: print(line, file=out),
+            cluster_timeout=args.cluster_timeout,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def _cmd_list(args, out) -> int:
     from repro.instances.library import APPS, suite
 
@@ -580,6 +605,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("list", help="list the instance library")
     p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential conformance harness: seeded random instances, "
+        "dual oracles, per-backend knob sweeps, optional cluster chaos",
+    )
+    p.add_argument("--backend", default="all",
+                   choices=["all", "sequential", "sim", "processes", "cluster"],
+                   help="which backend(s) to check (default: all)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="harness seed; fixes instances, knobs and fault plans")
+    p.add_argument("--rounds", type=int, default=20,
+                   help="instances to generate (default 20)")
+    p.add_argument("--chaos", action="store_true", default=False,
+                   help="cluster backend: inject a seeded FaultPlan per round")
+    p.add_argument("--artifacts", default="verify-artifacts", metavar="DIR",
+                   help="directory for shrunk-repro JSON artifacts on failure")
+    p.add_argument("--cluster-timeout", type=float, default=60.0, metavar="S",
+                   help="per-run wall-clock limit for cluster cells")
+    p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser(
         "submit", help="append one job to a job file (see `serve`)"

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.cluster import protocol as P
+from repro.cluster.faults import CoordinatorFaults
 from repro.core.results import SearchMetrics, SearchResult
 from repro.core.searchtypes import Incumbent
 from repro.runtime.processes import make_stype
@@ -215,6 +216,9 @@ class Coordinator:
         heartbeat_interval: the cadence workers are told to beat at.
         heartbeat_timeout: silence longer than this declares a worker
             dead and re-leases its tasks.
+        faults: optional coordinator-side fault injection (partition
+            windows dropping inbound frames from named workers) — see
+            :mod:`repro.cluster.faults`.
     """
 
     def __init__(
@@ -224,11 +228,13 @@ class Coordinator:
         *,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 5.0,
+        faults: Optional[CoordinatorFaults] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self._faults = faults if faults is not None and faults else None
         self.workers: dict[int, WorkerConn] = {}
         self._next_worker = 0
         self._next_job = 0
@@ -369,6 +375,13 @@ class Coordinator:
                 msg = await self._read_frame(reader)
                 if msg is None:
                     break
+                # Fault injection: a partitioned worker's frames vanish
+                # before they can refresh liveness, so the watchdog
+                # re-leases exactly as it would for a severed link.
+                if self._faults is not None and self._faults.drop_inbound(
+                    worker.name, msg["type"]
+                ):
+                    continue
                 worker.last_seen = time.monotonic()
                 if msg["type"] == P.BYE:
                     worker.said_bye = True
@@ -476,8 +489,14 @@ class Coordinator:
                 if other.id != worker.id:
                     self._post(other, out)
         if job.stype.is_goal(job.knowledge):
+            # Goal reached — but complete on the RESULT frame, not here.
+            # The publishing worker broke out of its search loop on this
+            # same improvement and is guaranteed to follow with a RESULT
+            # (goal=True) carrying its node counts; completing on the
+            # INCUMBENT would race ahead of it and report a search that
+            # visited zero nodes.  If the worker dies in between, its
+            # lease is re-run and the goal is rediscovered.
             job.goal = True
-            self._complete_job(job)
 
     def _on_offcut(self, worker: WorkerConn, job: _Job, msg: dict) -> None:
         rec = self._valid_lease(worker, job, msg)

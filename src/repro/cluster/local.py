@@ -25,6 +25,7 @@ from typing import Any, Callable, Optional
 
 from repro.cluster import protocol as P
 from repro.cluster.coordinator import ClusterHandle
+from repro.cluster.faults import CoordinatorFaults
 from repro.cluster.worker import _worker_process_main
 from repro.core.params import SkeletonParams
 from repro.core.results import SearchResult
@@ -70,8 +71,10 @@ def cluster_budget_search(
     budget: int = 1000,
     share_poll: int = 64,
     timeout: Optional[float] = None,
+    heartbeat_interval: float = 0.5,
     heartbeat_timeout: float = 5.0,
     worker_join_timeout: float = 20.0,
+    fault_plan: Optional[dict] = None,
 ) -> SearchResult:
     """Budget search over an embedded coordinator + N local workers.
 
@@ -80,6 +83,13 @@ def cluster_budget_search(
     family on timeout/failure; returns the same :class:`SearchResult`
     shape as every other backend (``metrics.reassigned`` > 0 means the
     run survived a worker failure).
+
+    ``fault_plan`` is an optional chaos schedule — a dict with an
+    ``events`` list (see :mod:`repro.cluster.faults`): partition events
+    arm the coordinator, the rest ride into the matching worker process
+    (workers are named ``local-0 .. local-{N-1}``).  Chaos runs should
+    also tighten ``heartbeat_interval``/``heartbeat_timeout`` so
+    re-leases happen within test budgets.
     """
     if n_workers < 1:
         raise ValueError("need at least one cluster worker")
@@ -87,7 +97,12 @@ def cluster_budget_search(
         spec_factory, factory_args, stype,
         budget=budget, share_poll=share_poll,
     )
-    handle = ClusterHandle(heartbeat_timeout=heartbeat_timeout)
+    events = list((fault_plan or {}).get("events", []))
+    handle = ClusterHandle(
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        faults=CoordinatorFaults(events) if events else None,
+    )
     procs: list[Process] = []
     try:
         host, port = handle.start()
@@ -96,7 +111,7 @@ def cluster_budget_search(
                 target=_worker_process_main,
                 # give_up_after bounds orphan spin if this process dies
                 # before the drain: workers stop retrying on their own.
-                args=(host, port, f"local-{i}", 15.0),
+                args=(host, port, f"local-{i}", 15.0, events or None),
                 daemon=True,
             )
             for i in range(n_workers)

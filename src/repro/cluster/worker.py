@@ -45,6 +45,7 @@ from multiprocessing import Process
 from typing import Optional
 
 from repro.cluster import protocol as P
+from repro.cluster.faults import WorkerFaults
 from repro.core.searchtypes import Incumbent
 from repro.core.tasks import split_lowest_inlined
 from repro.runtime.processes import graceful_stop, make_stype
@@ -89,6 +90,10 @@ class ClusterWorker:
             SIGTERM hook for process fan-out).
         give_up_after: stop retrying (and raise) after this many seconds
             without reaching a coordinator; None retries forever.
+        faults: optional :class:`~repro.cluster.faults.WorkerFaults`
+            injection hooks (conformance chaos testing); defaults to
+            whatever the ``REPRO_CHAOS`` environment variable names for
+            this worker, i.e. nothing in normal operation.
     """
 
     def __init__(
@@ -102,10 +107,12 @@ class ClusterWorker:
         reconnect_max: float = 2.0,
         give_up_after: Optional[float] = None,
         connect_timeout: float = 5.0,
+        faults: Optional[WorkerFaults] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.name = name or f"worker-{socket.gethostname()}"
+        self._faults = faults if faults is not None else WorkerFaults.from_env(self.name)
         self.stop_event = stop_event
         self.reconnect_initial = reconnect_initial
         self.reconnect_max = reconnect_max
@@ -205,12 +212,18 @@ class ClusterWorker:
             beat.join(timeout=2.0)
 
     def _send(self, msg: dict) -> None:
+        if self._faults is not None and self._faults.drop_outbound(msg["type"]):
+            return  # chaos: the frame is lost on the (simulated) wire
         data = P.frame_bytes(msg)
         with self._send_lock:
             self._sock.sendall(data)
 
     def _heartbeat_loop(self, interval: float) -> None:
         while not self._session_dead.wait(interval):
+            if self._faults is not None:
+                pause = self._faults.next_beat_delay()
+                if pause > 0:
+                    time.sleep(pause)  # chaos: a beat arrives late
             try:
                 self._send({"type": P.HEARTBEAT})
             except OSError:
@@ -316,6 +329,10 @@ class ClusterWorker:
         the task is aborted (job done / stop / session death), leaving
         the coordinator's lease accounting to handle it.
         """
+        if self._faults is not None:
+            # Chaos: may hard-exit here, dying with this lease live so
+            # the coordinator's epoch/re-lease path has to recover it.
+            self._faults.on_task_start(self.tasks_run + 1)
         spec, stype, enum = ctx.spec, ctx.stype, ctx.enum
         budget, share_poll = ctx.budget, ctx.share_poll
         process = stype.process
@@ -461,17 +478,22 @@ class ClusterWorker:
 # -- process fan-out ---------------------------------------------------------
 
 
-def _worker_process_main(host, port, name, give_up_after) -> None:
+def _worker_process_main(host, port, name, give_up_after, chaos_events=None) -> None:
     """Entry point of one fanned-out worker process.
 
     SIGTERM — the first rung of :func:`graceful_stop` — sets the stop
     event, so the worker abandons its current task (the coordinator
     re-leases it) and exits at the next poll instead of dying mid-write.
+
+    ``chaos_events`` optionally carries a FaultPlan's event list (see
+    :mod:`repro.cluster.faults`); events addressed to ``name`` become
+    this worker's injection hooks.
     """
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
     worker = ClusterWorker(
-        host, port, name=name, stop_event=stop, give_up_after=give_up_after
+        host, port, name=name, stop_event=stop, give_up_after=give_up_after,
+        faults=WorkerFaults.from_events(chaos_events, name),
     )
     try:
         worker.run()

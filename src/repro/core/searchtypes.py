@@ -19,6 +19,7 @@ Knowledge representation:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any
 
@@ -32,6 +33,19 @@ __all__ = [
     "Decision",
     "make_search_type",
 ]
+
+# Deliberate-bug switch for the conformance harness's mutation test
+# (docs/verify.md).  When the environment names a mutation, the matching
+# code path below misbehaves on purpose so the harness can prove it
+# would catch that class of bug.  ``combine`` is only called on the
+# parallel merge paths (simulator knowledge store, process/cluster
+# result merges) — never by ``sequential_search`` — so the sequential
+# oracle stays sound while every parallel backend is corrupted.
+_MUTATION_ENV = "REPRO_VERIFY_MUTATION"
+
+
+def _active_mutation() -> str:
+    return os.environ.get(_MUTATION_ENV, "")
 
 
 @dataclass(frozen=True)
@@ -127,6 +141,11 @@ class Optimisation(SearchType):
         return knowledge, False  # (skip)
 
     def combine(self, a: Incumbent, b: Incumbent) -> Incumbent:
+        if _active_mutation() == "incumbent-ordering":
+            # Deliberate bug (mutation test): last-write-wins instead of
+            # best-wins — the classic incumbent-ordering race where a
+            # later, weaker publish clobbers a stronger incumbent.
+            return b
         return a if a.value >= b.value else b
 
     def should_prune(self, spec: SearchSpec, node: Any, knowledge: Incumbent) -> bool:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.core.genstack import GeneratorStack
+from repro.core.nodegen import ListNodeGenerator
 from repro.core.params import SkeletonParams
 from repro.core.searchtypes import SearchType
 from repro.core.space import SearchSpec
@@ -129,12 +130,29 @@ def split_lowest_inlined(gens: list) -> tuple[list, int]:
     generator output, so it cannot change which nodes the search visits
     — only *where* they are visited (Theorem 3.1's interleaving
     argument).
+
+    Degenerate splits are refused: when the only splittable work is a
+    *single* remaining child and no deeper generator has anything left,
+    draining it would hand the entire remaining subtree to a new task
+    and leave the donor empty.  On chain-like trees that ping-pongs the
+    whole search through the work queue every budget trip (task count ~
+    nodes/budget) with zero balancing benefit — and on the cluster
+    backend every bounce is a full OFFCUT/TASK round trip.  Generators
+    cannot be rewound, so the already-drawn child is restored by
+    swapping the exhausted donor for a one-element
+    :class:`~repro.core.nodegen.ListNodeGenerator`, and ``([], -1)`` is
+    returned: keep the subtree local.
     """
     for index, gen in enumerate(gens):
         if gen.has_next():
             nodes = [gen.next()]
             while gen.has_next():
                 nodes.append(gen.next())
+            if len(nodes) == 1 and not any(
+                deeper.has_next() for deeper in gens[index + 1 :]
+            ):
+                gens[index] = ListNodeGenerator(nodes)
+                return [], -1
             return nodes, index
     return [], -1
 

@@ -1,0 +1,35 @@
+"""repro.verify — the differential conformance harness.
+
+The paper's correctness claim (Thm 3.1-3.3) is that every skeleton
+computes the same fold as the sequential semantics; this package is the
+machinery that checks the claim continuously instead of on a handful of
+hand-picked library instances:
+
+- :mod:`repro.verify.generators` — seeded random instances for every
+  application family, with greedy shrinking to a minimal failure;
+- :mod:`repro.verify.oracle` — the sequential driver and the semantics
+  machine as dual oracles, plus the per-search-type invariants a
+  backend result must satisfy;
+- :mod:`repro.verify.differential` — drives each backend over the same
+  instances under seeded knob sweeps and diffs the results;
+- :mod:`repro.verify.chaos` — seeded :class:`FaultPlan` schedules that
+  exercise the cluster's epoch/re-lease fault tolerance reproducibly.
+
+Entry point: ``repro verify`` (see :mod:`repro.cli`) or
+:func:`repro.verify.differential.run_verify`.
+"""
+
+from repro.verify.chaos import FaultPlan
+from repro.verify.differential import run_verify
+from repro.verify.generators import Instance, instance_spec
+from repro.verify.oracle import OracleReport, build_report, check_result
+
+__all__ = [
+    "FaultPlan",
+    "Instance",
+    "OracleReport",
+    "build_report",
+    "check_result",
+    "instance_spec",
+    "run_verify",
+]

@@ -1,0 +1,330 @@
+"""Differential execution: every backend over the same instances.
+
+One verify *round* draws a seeded instance, builds the oracle report
+once, then runs each backend under a seeded knob sweep and checks the
+result against the report's invariants.  A failing round is shrunk to
+a minimal instance that still fails under the *same* backend
+configuration, and the whole repro (instance, config, issues, shrunk
+instance) is written as a JSON artifact.
+
+Everything is a pure function of ``seed``: the instance stream, the
+knob draws, and any chaos plans — so ``repro verify --seed N`` is a
+complete bug report id.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.params import SkeletonParams
+from repro.core.results import SearchResult
+from repro.core.searchtypes import make_search_type
+from repro.core.sequential import sequential_search
+from repro.core.skeletons import Skeleton
+from repro.util.rng import SplitMix64
+from repro.verify.chaos import FaultPlan, make_plan
+from repro.verify.generators import (
+    FAMILIES,
+    Instance,
+    instance_spec,
+    sample_instance,
+    search_setup,
+    shrink_instance,
+)
+from repro.verify.oracle import build_report, check_result, oracle_self_check
+
+__all__ = [
+    "BACKENDS",
+    "BackendConfig",
+    "sample_config",
+    "run_config",
+    "check_config",
+    "run_verify",
+]
+
+# Differential targets; "sequential" is also the oracle, so running it
+# as a backend only re-checks determinism — kept cheap and first.
+BACKENDS = ("sequential", "sim", "processes", "cluster")
+
+_SIM_COORDINATIONS = ("depthbounded", "stacksteal", "budget", "random", "ordered")
+_PROC_COORDINATIONS = ("depthbounded", "budget")
+
+# Families whose search type tolerates losing a worker (enumeration is
+# defined to fail loudly instead — exercised by a dedicated test).
+_CHAOS_FAMILIES = tuple(f for f in FAMILIES if f != "uts")
+
+
+@dataclass
+class BackendConfig:
+    """One point in a backend's knob space."""
+
+    backend: str
+    coordination: str = "budget"
+    knobs: dict = field(default_factory=dict)
+    fault_plan: Optional[FaultPlan] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the repro artifact."""
+        return {
+            "backend": self.backend,
+            "coordination": self.coordination,
+            "knobs": dict(self.knobs),
+            "fault_plan": self.fault_plan.to_dict() if self.fault_plan else None,
+        }
+
+    def describe(self) -> str:
+        """One-line cell label: backend, coordination, knobs, chaos."""
+        bits = [self.backend]
+        if self.backend != "sequential":
+            bits.append(self.coordination)
+        bits += [f"{k}={v}" for k, v in sorted(self.knobs.items())]
+        if self.fault_plan is not None:
+            bits.append(f"chaos[{self.fault_plan.describe()}]")
+        return " ".join(bits)
+
+
+def _choice(rng: SplitMix64, seq):
+    return seq[rng.randrange(len(seq))]
+
+
+def sample_config(
+    backend: str, rng: SplitMix64, *, chaos: bool = False
+) -> BackendConfig:
+    """Draw one seeded knob setting for ``backend``.
+
+    The sweeps deliberately include degenerate values (budget=1,
+    single-worker topologies): those are where split/merge edge cases
+    live, not in the comfortable defaults.
+    """
+    if backend == "sequential":
+        return BackendConfig("sequential", "sequential")
+    if backend == "sim":
+        coordination = _choice(rng, _SIM_COORDINATIONS)
+        return BackendConfig(
+            "sim",
+            coordination,
+            {
+                "seed": rng.randrange(1 << 16),
+                "d_cutoff": 1 + rng.randrange(3),
+                "budget": _choice(rng, (1, 2, 5, 20)),
+                # >1 locality matters: remote broadcast latency is what
+                # opens the stale-incumbent window (§4.3).
+                "localities": 1 + rng.randrange(2),
+                "workers_per_locality": 2 + rng.randrange(3),
+                "spawn_probability": 0.1,
+            },
+        )
+    if backend == "processes":
+        coordination = _choice(rng, _PROC_COORDINATIONS)
+        return BackendConfig(
+            "processes",
+            coordination,
+            {
+                "n_processes": 1 + rng.randrange(3),
+                "d_cutoff": 1 + rng.randrange(3),
+                "budget": _choice(rng, (1, 2, 5, 20)),
+                "share_poll": _choice(rng, (4, 16, 64)),
+            },
+        )
+    if backend == "cluster":
+        # A kill plan needs a surviving worker, so chaos draws >= 2.
+        workers = 2 + rng.randrange(2) if chaos else 1 + rng.randrange(3)
+        plan = (
+            make_plan(rng.next_u64() & 0x7FFFFFFF, workers, allow_kill=True)
+            if chaos
+            else None
+        )
+        return BackendConfig(
+            "cluster",
+            "budget",
+            {
+                "cluster_workers": workers,
+                "budget": _choice(rng, (1, 2, 5, 20)),
+                "share_poll": _choice(rng, (4, 16, 64)),
+            },
+            fault_plan=plan,
+        )
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def run_config(
+    inst: Instance, cfg: BackendConfig, *, cluster_timeout: float = 60.0
+) -> SearchResult:
+    """Execute one (instance, backend-config) cell."""
+    spec, kind, stype_kwargs = search_setup(inst)
+    stype = make_search_type(kind, **stype_kwargs)
+    if cfg.backend == "sequential":
+        return sequential_search(spec, stype)
+    if cfg.backend == "sim":
+        params = SkeletonParams(
+            backend="sim",
+            localities=cfg.knobs.get("localities", 1),
+            workers_per_locality=cfg.knobs.get("workers_per_locality", 2),
+            seed=cfg.knobs.get("seed", 0),
+            d_cutoff=cfg.knobs.get("d_cutoff", 2),
+            budget=cfg.knobs.get("budget", 5),
+            spawn_probability=cfg.knobs.get("spawn_probability", 0.1),
+        )
+        return Skeleton(cfg.coordination, kind).search(spec, params, stype=stype)
+    if cfg.backend == "processes":
+        params = SkeletonParams(
+            backend="processes",
+            n_processes=cfg.knobs.get("n_processes", 2),
+            d_cutoff=cfg.knobs.get("d_cutoff", 2),
+            budget=cfg.knobs.get("budget", 5),
+            share_poll=cfg.knobs.get("share_poll", 16),
+        )
+        return Skeleton(cfg.coordination, kind).search(
+            spec,
+            params,
+            stype=stype,
+            spec_factory=instance_spec,
+            factory_args=(inst.family, inst.args),
+        )
+    if cfg.backend == "cluster":
+        from repro.cluster.local import cluster_budget_search
+
+        chaotic = cfg.fault_plan is not None and bool(cfg.fault_plan.events)
+        return cluster_budget_search(
+            instance_spec,
+            (inst.family, inst.args),
+            stype,
+            n_workers=cfg.knobs.get("cluster_workers", 2),
+            budget=cfg.knobs.get("budget", 5),
+            share_poll=cfg.knobs.get("share_poll", 16),
+            timeout=cluster_timeout,
+            # Chaos leans on the watchdog: beat fast, declare death
+            # fast, so injected partitions resolve within the timeout.
+            heartbeat_interval=0.1 if chaotic else 0.5,
+            heartbeat_timeout=1.0 if chaotic else 5.0,
+            fault_plan=cfg.fault_plan.to_dict() if chaotic else None,
+        )
+    raise ValueError(f"unknown backend {cfg.backend!r}")
+
+
+def check_config(
+    inst: Instance,
+    cfg: BackendConfig,
+    report=None,
+    *,
+    cluster_timeout: float = 60.0,
+) -> list[str]:
+    """Run one cell and return its invariant violations (run errors
+    included as violations — a backend that crashes does not conform)."""
+    if report is None:
+        report = build_report(inst)
+    label = cfg.describe()
+    try:
+        result = run_config(inst, cfg, cluster_timeout=cluster_timeout)
+    except Exception as exc:  # noqa: BLE001 — any crash is a finding
+        return [f"{label}: raised {type(exc).__name__}: {exc}"]
+    return check_result(report, result, label=label)
+
+
+def run_verify(
+    *,
+    backend: str = "all",
+    seed: int = 0,
+    rounds: int = 20,
+    chaos: bool = False,
+    artifact_dir: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+    cluster_timeout: float = 60.0,
+    shrink_attempts: int = 25,
+) -> int:
+    """The ``repro verify`` driver.  Returns a process exit code.
+
+    Rounds cycle through the instance families; every backend named by
+    ``backend`` (or all of them) runs each round under a fresh seeded
+    knob draw.  On a violation the instance is greedily shrunk under
+    the same configuration and a JSON repro artifact is written to
+    ``artifact_dir``.
+    """
+    emit = log if log is not None else (lambda line: None)
+    if backend == "all":
+        backends = list(BACKENDS)
+    elif backend in BACKENDS:
+        backends = [backend]
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{BACKENDS + ('all',)}"
+        )
+    if chaos and "cluster" not in backends:
+        raise ValueError("--chaos only applies to the cluster backend")
+
+    families = _CHAOS_FAMILIES if chaos else FAMILIES
+    rng = SplitMix64((seed << 4) ^ 0x5EED5EED)
+    failures = 0
+    for round_no in range(rounds):
+        inst = sample_instance(families[round_no % len(families)], rng)
+        report = build_report(inst)
+        self_issues = oracle_self_check(report)
+        if self_issues:
+            failures += 1
+            emit(f"round {round_no}: {inst.describe()}: ORACLE DISAGREEMENT")
+            for issue in self_issues:
+                emit(f"  {issue}")
+            _write_artifact(
+                artifact_dir, round_no, "oracle", inst, None, self_issues, None
+            )
+            continue
+        for name in backends:
+            cfg = sample_config(name, rng, chaos=chaos and name == "cluster")
+            issues = check_config(
+                inst, cfg, report, cluster_timeout=cluster_timeout
+            )
+            if not issues:
+                emit(f"round {round_no}: {inst.describe()} | {cfg.describe()}: ok")
+                continue
+            failures += 1
+            emit(f"round {round_no}: {inst.describe()} | {cfg.describe()}: FAIL")
+            for issue in issues:
+                emit(f"  {issue}")
+            shrunk = shrink_instance(
+                inst,
+                lambda cand: bool(
+                    check_config(cand, cfg, cluster_timeout=cluster_timeout)
+                ),
+                max_attempts=shrink_attempts,
+            )
+            if shrunk != inst:
+                emit(f"  shrunk to {shrunk.describe()}")
+            _write_artifact(
+                artifact_dir, round_no, name, inst, cfg, issues, shrunk
+            )
+    if failures:
+        emit(f"verify: {failures} failing cell(s) over {rounds} round(s)")
+        return 1
+    emit(f"verify: all {rounds} round(s) conform")
+    return 0
+
+
+def _write_artifact(
+    artifact_dir: Optional[str],
+    round_no: int,
+    backend: str,
+    inst: Instance,
+    cfg: Optional[BackendConfig],
+    issues: list,
+    shrunk: Optional[Instance],
+) -> None:
+    if not artifact_dir:
+        return
+    os.makedirs(artifact_dir, exist_ok=True)
+    path = os.path.join(artifact_dir, f"fail-r{round_no}-{backend}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "round": round_no,
+                "instance": inst.to_dict(),
+                "config": cfg.to_dict() if cfg is not None else None,
+                "issues": list(issues),
+                "shrunk": shrunk.to_dict() if shrunk is not None else None,
+            },
+            fh,
+            indent=2,
+        )

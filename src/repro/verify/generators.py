@@ -1,0 +1,246 @@
+"""Seeded random instance generation and shrinking for the harness.
+
+An :class:`Instance` is a ``(family, args)`` pair of plain values — the
+whole instance is reproducible from those two fields, which is what
+makes failures reportable: the shrunk repro artifact is just the pair,
+and :func:`instance_spec` (a top-level importable factory) rebuilds the
+spec anywhere, including inside multiprocessing/cluster workers.
+
+Sizes are deliberately small (sequential trees of tens to a few
+thousand nodes): the harness's power comes from many seeded instances
+times many knob settings, not from big instances — and small trees keep
+the semantics-machine oracle (which materialises the full tree)
+applicable.
+
+Shrinking is greedy per-dimension: each family orders its candidate
+reductions from coarse (halve the size) to fine (decrement), and
+:func:`shrink_instance` repeatedly commits the first candidate that
+still fails, until none does.  Seeds are never shrunk — the failing
+tree itself is the witness, and changing the seed changes the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.apps.kclique import kclique_spec
+from repro.apps.knapsack import knapsack_spec
+from repro.apps.maxclique import maxclique_spec
+from repro.apps.sip import sip_spec
+from repro.apps.uts import uts_spec_from_params
+from repro.core.space import SearchSpec
+from repro.instances.graphs import uniform_graph
+from repro.instances.library import random_knapsack, random_sip
+from repro.util.rng import SplitMix64
+
+__all__ = [
+    "FAMILIES",
+    "Instance",
+    "instance_spec",
+    "search_setup",
+    "sample_instance",
+    "shrink_instance",
+]
+
+# family -> search type it exercises (see search_setup for targets).
+FAMILIES = ("uts", "maxclique", "kclique", "knapsack", "sip")
+_KINDS = {
+    "uts": "enumeration",
+    "maxclique": "optimisation",
+    "knapsack": "optimisation",
+    "kclique": "decision",
+    "sip": "decision",
+}
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One generated problem instance, fully determined by plain args.
+
+    ``args`` layouts (all ints, so they survive JSON exactly):
+
+    - uts:       (b0, max_depth, seed) — geometric shape
+    - maxclique: (n, p_pct, seed) — G(n, p_pct/100)
+    - kclique:   (n, p_pct, k, seed) — decision target k
+    - knapsack:  (n, seed) — strongly-correlated items
+    - sip:       (pattern_n, target_n, p_pct, planted, seed)
+    """
+
+    family: str
+    args: tuple
+
+    @property
+    def kind(self) -> str:
+        return _KINDS[self.family]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for the repro artifact."""
+        return {"family": self.family, "args": list(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Instance":
+        return cls(str(data["family"]), tuple(data["args"]))
+
+    def describe(self) -> str:
+        """Short label for log lines, e.g. ``knapsack(6, 755665326)``."""
+        return f"{self.family}{self.args!r}"
+
+
+def instance_spec(family: str, args) -> SearchSpec:
+    """Top-level spec factory: rebuild a generated instance's spec.
+
+    This is the ``(factory, factory_args)`` pair shipped to process and
+    cluster workers — it must stay importable as
+    ``repro.verify.generators:instance_spec`` and accept ``args`` as
+    any sequence (wire transport may deliver a list).
+    """
+    args = tuple(args)
+    name = f"verify-{family}-{'-'.join(str(a) for a in args)}"
+    if family == "uts":
+        b0, max_depth, seed = args
+        return uts_spec_from_params(
+            "geometric", float(b0), int(max_depth), 2, 0.1, int(seed), name=name
+        )
+    if family == "maxclique":
+        n, p_pct, seed = args
+        return maxclique_spec(
+            uniform_graph(int(n), p_pct / 100.0, int(seed)), name=name
+        )
+    if family == "kclique":
+        n, p_pct, _k, seed = args
+        return kclique_spec(
+            uniform_graph(int(n), p_pct / 100.0, int(seed)), name=name
+        )
+    if family == "knapsack":
+        n, seed = args
+        return knapsack_spec(random_knapsack(int(n), int(seed)), name=name)
+    if family == "sip":
+        pattern_n, target_n, p_pct, planted, seed = args
+        return sip_spec(
+            random_sip(
+                int(pattern_n),
+                int(target_n),
+                p_pct / 100.0,
+                int(seed),
+                planted=bool(planted),
+            ),
+            name=name,
+        )
+    raise ValueError(f"unknown instance family {family!r}")
+
+
+def search_setup(inst: Instance) -> tuple[SearchSpec, str, dict]:
+    """``(spec, search_kind, stype_kwargs)`` for one instance."""
+    spec = instance_spec(inst.family, inst.args)
+    kwargs: dict = {}
+    if inst.family == "kclique":
+        kwargs = {"target": int(inst.args[2])}
+    elif inst.family == "sip":
+        kwargs = {"target": int(inst.args[0])}
+    return spec, inst.kind, kwargs
+
+
+def sample_instance(family: str, rng: SplitMix64) -> Instance:
+    """Draw one seeded random instance of ``family``."""
+    seed = rng.next_u64() & 0x7FFFFFFF
+    if family == "uts":
+        return Instance(family, (2 + rng.randrange(2), 3 + rng.randrange(2), seed))
+    if family == "maxclique":
+        return Instance(
+            family, (8 + rng.randrange(7), 30 + rng.randrange(41), seed)
+        )
+    if family == "kclique":
+        return Instance(
+            family,
+            (8 + rng.randrange(7), 30 + rng.randrange(41), 3 + rng.randrange(3), seed),
+        )
+    if family == "knapsack":
+        return Instance(family, (6 + rng.randrange(5), seed))
+    if family == "sip":
+        return Instance(
+            family,
+            (
+                3 + rng.randrange(2),
+                6 + rng.randrange(4),
+                30 + rng.randrange(31),
+                rng.randrange(2),
+                seed,
+            ),
+        )
+    raise ValueError(f"unknown instance family {family!r}")
+
+
+# -- shrinking ----------------------------------------------------------------
+
+
+def _steps_down(value: int, floor: int) -> Iterator[int]:
+    """Candidate reductions of one dimension, coarse first."""
+    if value <= floor:
+        return
+    half = max(floor, value // 2)
+    if half < value:
+        yield half
+    if value - 1 != half and value - 1 >= floor:
+        yield value - 1
+
+
+def _candidates(inst: Instance) -> Iterator[Instance]:
+    """One-step-smaller variants of ``inst`` (seed left untouched)."""
+    a = inst.args
+    if inst.family == "uts":
+        for md in _steps_down(a[1], 1):
+            yield Instance(inst.family, (a[0], md, a[2]))
+        for b0 in _steps_down(a[0], 1):
+            yield Instance(inst.family, (b0, a[1], a[2]))
+    elif inst.family == "maxclique":
+        for n in _steps_down(a[0], 2):
+            yield Instance(inst.family, (n, a[1], a[2]))
+    elif inst.family == "kclique":
+        for n in _steps_down(a[0], 2):
+            yield Instance(inst.family, (n, a[1], a[2], a[3]))
+        for k in _steps_down(a[2], 1):
+            yield Instance(inst.family, (a[0], a[1], k, a[3]))
+    elif inst.family == "knapsack":
+        for n in _steps_down(a[0], 1):
+            yield Instance(inst.family, (n, a[1]))
+    elif inst.family == "sip":
+        for tn in _steps_down(a[1], a[0]):
+            yield Instance(inst.family, (a[0], tn, a[2], a[3], a[4]))
+        for pn in _steps_down(a[0], 2):
+            if pn <= a[1]:
+                yield Instance(inst.family, (pn, a[1], a[2], a[3], a[4]))
+
+
+def shrink_instance(
+    inst: Instance,
+    still_fails: Callable[[Instance], bool],
+    *,
+    max_attempts: int = 60,
+) -> Instance:
+    """Greedily reduce ``inst`` while ``still_fails`` holds.
+
+    ``still_fails`` must be a pure re-check of the original failure
+    (same backend, same knobs) and should swallow its own run errors —
+    a candidate that *crashes* the check is treated as not-failing and
+    skipped, so shrinking can only ever return an instance that
+    reproduces the original class of failure.
+    """
+    current = inst
+    attempts = 0
+    progressed = True
+    while progressed and attempts < max_attempts:
+        progressed = False
+        for candidate in _candidates(current):
+            attempts += 1
+            try:
+                failing = bool(still_fails(candidate))
+            except Exception:
+                failing = False
+            if failing:
+                current = candidate
+                progressed = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current

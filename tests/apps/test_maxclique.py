@@ -86,6 +86,63 @@ class TestGreedyColour:
         assert p_colour[-1] >= brute_force_max_clique(g)
 
 
+def naive_greedy_colour(g: Graph, candidates: set):
+    """Set-based reference for the bit-twiddled ``greedy_colour``: fill
+    colour classes greedily, lowest vertex first, each class an
+    independent set — the definition, executed literally."""
+    p_vertex, p_colour = [], []
+    uncoloured = set(candidates)
+    colour = 0
+    while uncoloured:
+        colour += 1
+        available = set(uncoloured)
+        while available:
+            v = min(available)
+            p_vertex.append(v)
+            p_colour.append(colour)
+            uncoloured.discard(v)
+            available = {u for u in available if u != v and not g.has_edge(u, v)}
+    return p_vertex, p_colour
+
+
+class TestGreedyColourAgainstReference:
+    """Fixed-seed corpus: the production colouring must equal the naive
+    set-based reference exactly — same vertex order, same colours."""
+
+    CASES = [(n, p, seed) for seed, (n, p) in enumerate(
+        [(1, 0.5), (5, 0.0), (5, 1.0), (8, 0.3), (10, 0.5),
+         (12, 0.7), (14, 0.4), (16, 0.6), (20, 0.5), (24, 0.35)]
+    )]
+
+    @pytest.mark.parametrize("n,p,seed", CASES)
+    def test_full_vertex_set_matches_reference(self, n, p, seed):
+        g = uniform_graph(n, p, seed)
+        assert greedy_colour(g, mask_below(n)) == naive_greedy_colour(
+            g, set(range(n))
+        )
+
+    def test_random_candidate_subsets_match_reference(self):
+        from repro.util.bitset import bitset_from_iterable
+        from repro.util.rng import SplitMix64
+
+        rng = SplitMix64(0xC0105)
+        for _ in range(30):
+            n = 6 + rng.randrange(12)
+            g = uniform_graph(n, 0.3 + 0.05 * rng.randrange(9), rng.randrange(1000))
+            cands = {v for v in range(n) if rng.randrange(2)}
+            assert greedy_colour(g, bitset_from_iterable(cands)) == (
+                naive_greedy_colour(g, cands)
+            )
+
+    @pytest.mark.parametrize("n,p,seed", CASES)
+    def test_every_candidate_coloured_exactly_once(self, n, p, seed):
+        g = uniform_graph(n, p, seed)
+        p_vertex, p_colour = greedy_colour(g, mask_below(n))
+        assert sorted(p_vertex) == list(range(n))
+        assert len(p_vertex) == len(p_colour)
+        assert p_colour == sorted(p_colour)  # classes filled in order
+
+
 class TestCliqueGen:
     def test_children_extend_clique_by_one(self):
         g = uniform_graph(8, 0.7, 5)

@@ -147,6 +147,79 @@ class TestNodeCodec:
         assert P.decode_node(P.encode_node(tricky)) == tricky
 
 
+class TestEveryFrameTypeAdversarial:
+    """One realistic message per protocol frame type, loaded with the
+    payload shapes that break naive codecs: empty sets, nested tuples,
+    non-ASCII text, tag-colliding dicts — each must survive a real
+    socket round trip byte-exactly."""
+
+    NASTY_NODE = (
+        frozenset(),  # empty frozenset
+        set(),  # empty set
+        ((1, (2, (3,))), ()),  # nested and empty tuples
+        {"ключ": ["väärtus", "値", "\N{SNOWMAN}"]},  # non-ASCII both sides
+        {"__tuple__": [1]},  # tag collision
+        [None, True, -0.0, 2**63],  # JSON edge numerics
+    )
+
+    MESSAGES = [
+        {"type": P.HELLO, "version": P.PROTOCOL_VERSION, "name": "wörker-0"},
+        {"type": P.WELCOME, "worker_id": 3, "heartbeat_interval": 0.5},
+        {"type": P.JOB, "job_id": "j-δ", "factory": "m:f",
+         "factory_args": None, "stype_kind": "optimisation",
+         "stype_kwargs": {}, "budget": 1, "share_poll": 64},
+        {"type": P.TASK, "task_id": 9, "epoch": 2, "depth": 4},
+        {"type": P.OFFCUT, "task_id": 9, "epoch": 2, "depth": 5},
+        {"type": P.INCUMBENT, "job_id": "j", "value": -1},
+        {"type": P.RESULT, "task_id": 9, "epoch": 2, "nodes": 0,
+         "goal": False},
+        {"type": P.HEARTBEAT},
+        {"type": P.JOB_DONE, "job_id": "j"},
+        {"type": P.SHUTDOWN},
+        {"type": P.BYE},
+        {"type": P.ERROR, "reason": "нет — 不行 — ❌"},
+    ]
+
+    @pytest.mark.parametrize(
+        "msg", MESSAGES, ids=lambda m: m["type"].lower()
+    )
+    def test_frame_round_trips_with_nasty_payload(self, msg):
+        loaded = dict(msg, payload=P.encode_node(self.NASTY_NODE))
+        a, b = _pipe()
+        try:
+            a.sendall(P.frame_bytes(loaded))
+            got = P.read_frame(b)
+        finally:
+            a.close()
+            b.close()
+        decoded = P.decode_node(got.pop("payload"))
+        assert decoded == self.NASTY_NODE
+        assert [type(x) for x in decoded] == [type(x) for x in self.NASTY_NODE]
+        assert got == msg
+
+    def test_oversized_body_rejected_at_send_time(self):
+        # The sender refuses to emit a frame the receiver would reject:
+        # a loud ProtocolError, never a silent truncation.
+        blob = "x" * (P.MAX_FRAME + 1)
+        with pytest.raises(P.ProtocolError, match="exceeds MAX_FRAME"):
+            P.frame_bytes({"type": P.OFFCUT, "payload": blob})
+
+    def test_empty_collections_keep_their_types(self):
+        for value in (set(), frozenset(), (), {}):
+            decoded = P.decode_node(P.encode_node(value))
+            assert decoded == value and type(decoded) is type(value)
+
+    def test_non_ascii_survives_utf8_framing(self):
+        msg = {"type": P.INCUMBENT, "witness": "π≈3.14159 — ﷽ — 🧩"}
+        a, b = _pipe()
+        try:
+            a.sendall(P.frame_bytes(msg))
+            assert P.read_frame(b) == msg
+        finally:
+            a.close()
+            b.close()
+
+
 def _top_level_factory():
     """A factory the wire can name."""
     return 42

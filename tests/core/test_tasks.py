@@ -259,6 +259,79 @@ class TestStackStealSplit:
         assert task.try_split(chunked=True) == []
 
 
+class TestChainTreeBudgetRegression:
+    """Chain-shaped trees through the fast-path budget loop.
+
+    Before the degenerate-split fix, every budget trip on a chain
+    drained the single remaining child into an offcut: the whole search
+    ping-ponged through the work queue one node at a time (task count ~
+    nodes/budget, a full OFFCUT/TASK round trip each on the cluster
+    backend).  The fix keeps a lone no-deeper-work child local, so a
+    chain runs as ONE task — with node counts identical to sequential.
+    """
+
+    @staticmethod
+    def _drive_budget_fastpath(spec, budget):
+        """Replica of the drivers' inlined budget loop (enumeration,
+        no pruning): returns (processed_nodes, tasks_run)."""
+        from repro.core.tasks import split_lowest_inlined
+
+        pending = [spec.root]
+        nodes = 0
+        tasks = 0
+        while pending:
+            root = pending.pop(0)
+            tasks += 1
+            nodes += 1  # the task root itself
+            stack = [spec.generator(spec.space, root)]
+            task_nodes = 0
+            while stack:
+                gen = stack[-1]
+                if gen.has_next():
+                    child = gen.next()
+                    nodes += 1
+                    task_nodes += 1
+                    stack.append(spec.generator(spec.space, child))
+                else:
+                    stack.pop()
+                if task_nodes >= budget:
+                    offcuts, _ = split_lowest_inlined(stack)
+                    pending.extend(offcuts)
+                    task_nodes = 0
+        return nodes, tasks
+
+    def _chain_spec(self, length):
+        names = ["root"] + [f"c{i}" for i in range(1, length)]
+        children = {a: [b] for a, b in zip(names, names[1:])}
+        return make_toy_spec(children, {n: 1 for n in names}, with_bound=False)
+
+    def test_chain_runs_as_one_task(self):
+        from repro.core.searchtypes import Enumeration
+        from repro.core.sequential import sequential_search
+
+        spec = self._chain_spec(8)
+        nodes, tasks = self._drive_budget_fastpath(spec, budget=1)
+        assert tasks == 1  # was ~chain length before the fix
+        seq = sequential_search(spec, Enumeration())
+        assert nodes == seq.metrics.nodes == 8
+
+    def test_branching_tree_still_splits(self):
+        from repro.core.searchtypes import Enumeration
+        from repro.core.sequential import sequential_search
+
+        children = {
+            "root": ["a", "b"],
+            "a": ["aa", "ab"],
+            "b": ["ba", "bb"],
+        }
+        names = ["root", "a", "b", "aa", "ab", "ba", "bb"]
+        spec = make_toy_spec(children, {n: 1 for n in names}, with_bound=False)
+        nodes, tasks = self._drive_budget_fastpath(spec, budget=1)
+        assert tasks > 1  # real balance is still shared
+        seq = sequential_search(spec, Enumeration())
+        assert nodes == seq.metrics.nodes == 7
+
+
 class TestCurrentDepth:
     def test_tracks_global_depth(self, toy_spec):
         stype = Enumeration()
@@ -311,6 +384,47 @@ class TestSplitLowestInlined:
         from repro.core.tasks import split_lowest_inlined
 
         assert split_lowest_inlined([]) == ([], -1)
+
+    def test_single_remaining_child_is_kept_local(self):
+        # Degenerate offcut: one child left and nothing deeper.  Handing
+        # it away would empty the donor for zero balancing benefit, so
+        # the split is refused and the child must still be drawable.
+        from repro.core.tasks import split_lowest_inlined
+
+        gens = self._gens(["only"])
+        assert split_lowest_inlined(gens) == ([], -1)
+        assert gens[0].has_next()
+        assert gens[0].next() == "only"
+        assert not gens[0].has_next()
+
+    def test_single_child_restored_behind_exhausted_frames(self):
+        from repro.core.tasks import split_lowest_inlined
+
+        gens = self._gens([], [], ["tail"])
+        assert split_lowest_inlined(gens) == ([], -1)
+        assert gens[2].next() == "tail"
+
+    def test_single_child_with_deeper_work_still_splits(self):
+        # The refusal is only for the no-deeper-work case: with deeper
+        # frames still holding nodes the donor keeps local work, so a
+        # one-node offcut is a legitimate split.
+        from repro.core.tasks import split_lowest_inlined
+
+        gens = self._gens(["only"], ["deep1", "deep2"])
+        nodes, index = split_lowest_inlined(gens)
+        assert nodes == ["only"]
+        assert index == 0
+        assert gens[1].has_next()
+
+    def test_refusal_is_repeatable(self):
+        # Budget loops call the split on every trip; each refusal must
+        # restore the child for the next attempt, not lose it.
+        from repro.core.tasks import split_lowest_inlined
+
+        gens = self._gens(["only"])
+        for _ in range(3):
+            assert split_lowest_inlined(gens) == ([], -1)
+        assert gens[0].next() == "only"
 
     def test_matches_generator_stack_split(self, toy_spec):
         # Same tree state driven through GeneratorStack.split_lowest and

@@ -110,3 +110,64 @@ class TestCoalescing:
         c.get("k")  # miss
         c.record_coalesced_hit()
         assert c.hit_rate() == pytest.approx(0.5)
+
+
+class TestTTLRacingInFlight:
+    """TTL expiry interleaved with coalescing: the two registries are
+    independent by design, and these pin the edges of that contract."""
+
+    def test_expiry_then_recompute_race(self):
+        # t=0: result cached.  t=20: it has expired; the next submitter
+        # misses, becomes leader, and a duplicate joins mid-flight.  The
+        # stale entry must not resurrect anywhere in the window.
+        clock = FakeClock()
+        c = ResultCache(ttl=10.0, clock=clock)
+        c.put("k", result(1))
+        clock.now = 20.0
+        assert c.get("k") is None
+        c.lead("k", "j-new")
+        assert c.join("k", "j-dup") == "j-new"
+        assert c.get("k") is None  # still in flight: stays a miss
+        assert c.finish("k") == ["j-dup"]
+        c.put("k", result(2))
+        assert c.get("k").value == 2
+
+    def test_entry_expires_while_leader_in_flight(self):
+        # A still-valid entry can coexist with an in-flight leader (the
+        # leader started during an expired window, then a put landed).
+        # Expiry of the entry mid-flight must not eat the followers.
+        clock = FakeClock()
+        c = ResultCache(ttl=10.0, clock=clock)
+        c.lead("k", "j1")
+        c.join("k", "j2")
+        c.put("k", result(1))  # e.g. warmed by an admin preload
+        clock.now = 11.0  # entry expires while j1 still runs
+        assert c.get("k") is None
+        assert c.finish("k") == ["j2"]  # coalescing unaffected by TTL
+
+    def test_leader_slot_reusable_after_finish_despite_expiry(self):
+        clock = FakeClock()
+        c = ResultCache(ttl=5.0, clock=clock)
+        c.lead("k", "j1")
+        c.finish("k")
+        clock.now = 100.0
+        c.lead("k", "j2")  # no stale in-flight state survives
+        assert c.leader_of("k") == "j2"
+
+    def test_follower_dropped_mid_race_not_fanned_out(self):
+        clock = FakeClock()
+        c = ResultCache(ttl=10.0, clock=clock)
+        c.lead("k", "j1")
+        c.join("k", "j2")
+        c.join("k", "j3")
+        clock.now = 15.0  # expiry happens while followers wait
+        assert c.drop_follower("k", "j2") is True
+        assert c.finish("k") == ["j3"]
+
+    def test_lru_eviction_does_not_touch_inflight(self):
+        c = ResultCache(capacity=1)
+        c.lead("k1", "j1")
+        c.put("k1", result(1))
+        c.put("k2", result(2))  # evicts k1's entry
+        assert c.get("k1") is None
+        assert c.leader_of("k1") == "j1"  # the flight is not an entry

@@ -52,6 +52,61 @@ class TestFairness:
         submitters = [jid[0] for jid in order]
         assert submitters in (["a", "b"] * 3, ["b", "a"] * 3)
 
+    def test_three_interleaved_submitters_rotate_deterministically(self):
+        # Submissions interleaved a,b,c,a,b,c..: every rotation serves
+        # each submitter exactly once, and the rotation order is fixed
+        # by first-submission order (the deterministic tie-break).
+        q = JobQueue()
+        for i in range(3):
+            for s in ("alice", "bob", "carol"):
+                q.push(make_job(f"{s[0]}{i}", submitter=s))
+        order = [q.pop().id for _ in range(9)]
+        assert [jid[0] for jid in order] == ["a", "b", "c"] * 3
+        assert order == ["a0", "b0", "c0", "a1", "b1", "c1", "a2", "b2", "c2"]
+
+    def test_priorities_resolved_within_not_across_submitters(self):
+        # Bob's low-priority job cannot be starved by Alice's high ones:
+        # priority orders *within* a submitter, rotation across them.
+        q = JobQueue()
+        for i in range(3):
+            q.push(make_job(f"a{i}", submitter="alice", priority=9))
+        q.push(make_job("b0", submitter="bob", priority=0))
+        order = [q.pop().id for _ in range(4)]
+        assert order.index("b0") == 1
+
+    def test_late_joiner_served_within_one_rotation(self):
+        q = JobQueue()
+        for i in range(4):
+            q.push(make_job(f"a{i}", submitter="alice"))
+        assert q.pop().id == "a0"
+        q.push(make_job("b0", submitter="bob"))  # joins mid-drain
+        order = [q.pop().id for _ in range(4)]
+        assert order.index("b0") <= 1
+
+    def test_cancelled_head_does_not_cost_the_turn(self):
+        # Tombstone at the head of a submitter's heap: the pop that
+        # meets it must still return that submitter's next live job,
+        # not skip their turn.
+        q = JobQueue()
+        doomed = make_job("a-doomed", submitter="alice", priority=9)
+        q.push(doomed)
+        q.push(make_job("a-live", submitter="alice", priority=1))
+        q.push(make_job("b0", submitter="bob"))
+        doomed.transition(JobState.CANCELLED)
+        assert q.pop().id == "a-live"
+        assert q.pop().id == "b0"
+
+    def test_fully_cancelled_submitter_drops_out_of_rotation(self):
+        q = JobQueue()
+        doomed = make_job("a0", submitter="alice")
+        q.push(doomed)
+        q.push(make_job("b0", submitter="bob"))
+        q.push(make_job("b1", submitter="bob"))
+        doomed.transition(JobState.CANCELLED)
+        assert [q.pop().id for _ in range(2)] == ["b0", "b1"]
+        assert q.pop() is None
+        assert q.depth_of("alice") == 0
+
 
 class TestAdmission:
     def test_depth_bound(self):

@@ -220,3 +220,28 @@ class TestServiceCommands:
         code, out = run_cli("serve", "--jobfile", str(jobfile))
         assert code == 0
         assert "DONE" in out
+
+
+class TestVerifyCommand:
+    def test_verify_sequential_conforms(self):
+        code, out = run_cli(
+            "verify", "--backend", "sequential", "--seed", "11", "--rounds", "2"
+        )
+        assert code == 0
+        assert "all 2 round(s) conform" in out
+
+    def test_verify_failure_writes_artifacts_and_exits_1(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_VERIFY_MUTATION", "incumbent-ordering")
+        code, out = run_cli(
+            "verify", "--backend", "sim", "--seed", "3", "--rounds", "4",
+            "--artifacts", str(tmp_path / "arts"),
+        )
+        assert code == 1
+        assert "FAIL" in out
+        assert list((tmp_path / "arts").glob("fail-*.json"))
+
+    def test_verify_rejects_chaos_without_cluster(self):
+        with pytest.raises(SystemExit):
+            run_cli("verify", "--backend", "sim", "--chaos", "--rounds", "1")

@@ -126,3 +126,56 @@ class TestProperties:
     def test_iteration_ascending(self, s):
         out = list(bit_indices(bitset_from_iterable(s)))
         assert out == sorted(out)
+
+
+class TestAgainstSetReference:
+    """Fixed-seed random masks checked against Python's ``set`` as the
+    naive reference model — every helper, every operator, same answers.
+
+    Complements the hypothesis properties above with a deterministic
+    corpus: no example database, identical inputs on every run.
+    """
+
+    @staticmethod
+    def _random_sets(seed, count, universe=130, density=3):
+        from repro.util.rng import SplitMix64
+
+        rng = SplitMix64(seed)
+        out = []
+        for _ in range(count):
+            size = rng.randrange(universe // density)
+            out.append({rng.randrange(universe) for _ in range(size)})
+        return out
+
+    def test_helpers_match_set_model(self):
+        for s in self._random_sets(0xB175E7, 50):
+            bits = bitset_from_iterable(s)
+            assert set(bit_indices(bits)) == s
+            assert count_bits(bits) == len(s)
+            assert first_bit(bits) == (min(s) if s else -1)
+            assert highest_bit(bits) == (max(s) if s else -1)
+            assert list(bit_indices(bits)) == sorted(s)
+
+    def test_operators_match_set_algebra(self):
+        pairs = zip(
+            self._random_sets(1, 40), self._random_sets(2, 40)
+        )
+        for a, b in pairs:
+            ba, bb = bitset_from_iterable(a), bitset_from_iterable(b)
+            assert set(bit_indices(ba & bb)) == (a & b)
+            assert set(bit_indices(ba | bb)) == (a | b)
+            assert set(bit_indices(ba ^ bb)) == (a ^ b)
+            assert set(bit_indices(ba & ~bb)) == (a - b)
+
+    def test_removal_and_singletons_match(self):
+        from repro.util.rng import SplitMix64
+
+        rng = SplitMix64(99)
+        for s in self._random_sets(3, 40):
+            i = rng.randrange(130)
+            bits = bitset_from_iterable(s)
+            assert set(bit_indices(without_bit(bits, i))) == s - {i}
+            assert set(bit_indices(bits | singleton(i))) == s | {i}
+            assert (bits & mask_below(i)) == bitset_from_iterable(
+                {v for v in s if v < i}
+            )

@@ -1,0 +1,130 @@
+"""Tests for fault plans and the injection hooks (no cluster needed)."""
+
+import pytest
+
+from repro.cluster.faults import (
+    SAFE_DROP_TYPES,
+    CoordinatorFaults,
+    WorkerFaults,
+)
+from repro.verify.chaos import FaultPlan, make_plan
+
+
+class TestMakePlan:
+    def test_deterministic(self):
+        assert make_plan(5, 3).to_dict() == make_plan(5, 3).to_dict()
+
+    def test_plans_are_survivable(self):
+        # Across many seeds: never kill every worker, never drop an
+        # unsafe frame type, one partition window per worker.
+        for seed in range(200):
+            for n_workers in (1, 2, 3):
+                plan = make_plan(seed, n_workers)
+                kills = [e for e in plan.events if e["kind"] == "kill_worker"]
+                assert len(kills) < n_workers
+                assert len({e["worker"] for e in kills}) == len(kills)
+                parts = [e for e in plan.events if e["kind"] == "partition"]
+                assert len({e["worker"] for e in parts}) == len(parts)
+                for ev in plan.events:
+                    if ev["kind"] == "drop_frame":
+                        assert ev["frame_type"] in SAFE_DROP_TYPES
+
+    def test_allow_kill_false_is_pure_perturbation(self):
+        for seed in range(100):
+            plan = make_plan(seed, 2, allow_kill=False)
+            kinds = {e["kind"] for e in plan.events}
+            assert kinds <= {"drop_frame", "delay_heartbeat"}
+
+    def test_dict_round_trip(self):
+        plan = make_plan(11, 3)
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again.seed == plan.seed and again.events == plan.events
+
+    def test_describe_names_every_event(self):
+        plan = make_plan(11, 3)
+        text = plan.describe()
+        for ev in plan.events:
+            assert ev["kind"] in text
+        assert FaultPlan(0, []).describe() == "no faults"
+
+
+class TestWorkerFaults:
+    def test_drop_window_is_exact(self):
+        faults = WorkerFaults(
+            [{"kind": "drop_frame", "worker": "w", "frame_type": "HEARTBEAT",
+              "after": 1, "count": 2}]
+        )
+        # Frame 1 passes, frames 2-3 are dropped, frame 4 passes again.
+        outcomes = [faults.drop_outbound("HEARTBEAT") for _ in range(4)]
+        assert outcomes == [False, True, True, False]
+
+    def test_drop_counts_only_matching_type(self):
+        faults = WorkerFaults(
+            [{"kind": "drop_frame", "worker": "w", "frame_type": "INCUMBENT",
+              "after": 0, "count": 1}]
+        )
+        assert faults.drop_outbound("RESULT") is False  # not counted
+        assert faults.drop_outbound("INCUMBENT") is True
+
+    def test_unsafe_drop_rejected(self):
+        for frame in ("RESULT", "OFFCUT", "TASK"):
+            with pytest.raises(ValueError, match="refusing to drop"):
+                WorkerFaults(
+                    [{"kind": "drop_frame", "worker": "w",
+                      "frame_type": frame, "after": 0, "count": 1}]
+                )
+
+    def test_delay_targets_one_beat(self):
+        faults = WorkerFaults(
+            [{"kind": "delay_heartbeat", "worker": "w", "beat": 2,
+              "delay": 0.25}]
+        )
+        assert faults.next_beat_delay() == 0.0
+        assert faults.next_beat_delay() == 0.25
+        assert faults.next_beat_delay() == 0.0
+
+    def test_earliest_kill_wins(self):
+        faults = WorkerFaults(
+            [{"kind": "kill_worker", "worker": "w", "at_task": 5},
+             {"kind": "kill_worker", "worker": "w", "at_task": 2}]
+        )
+        assert faults._kill_at == 2
+        faults.on_task_start(1)  # below the threshold: must not exit
+
+    def test_from_events_filters_by_worker(self):
+        events = [
+            {"kind": "delay_heartbeat", "worker": "a", "beat": 1, "delay": 0.1},
+            {"kind": "partition", "worker": "a", "after_frames": 1, "count": 5},
+        ]
+        assert WorkerFaults.from_events(events, "b") is None
+        mine = WorkerFaults.from_events(events, "a")
+        # The partition event is coordinator-side and must be ignored.
+        assert mine is not None and mine.next_beat_delay() == 0.1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            WorkerFaults([{"kind": "meteor", "worker": "w"}])
+
+
+class TestCoordinatorFaults:
+    def test_partition_window_counts_inbound_frames(self):
+        faults = CoordinatorFaults(
+            [{"kind": "partition", "worker": "w", "after_frames": 2, "count": 2}]
+        )
+        outcomes = [faults.drop_inbound("w", "HEARTBEAT") for _ in range(5)]
+        assert outcomes == [False, False, True, True, False]
+
+    def test_other_workers_unaffected(self):
+        faults = CoordinatorFaults(
+            [{"kind": "partition", "worker": "w", "after_frames": 0, "count": 9}]
+        )
+        assert faults.drop_inbound("other", "RESULT") is False
+
+    def test_worker_side_events_ignored(self):
+        faults = CoordinatorFaults(
+            [{"kind": "kill_worker", "worker": "w", "at_task": 1}]
+        )
+        assert not faults
+        assert bool(CoordinatorFaults(
+            [{"kind": "partition", "worker": "w", "after_frames": 0, "count": 1}]
+        ))

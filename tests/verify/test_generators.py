@@ -1,0 +1,104 @@
+"""Tests for seeded instance generation and greedy shrinking."""
+
+import pytest
+
+from repro.cluster import protocol as P
+from repro.core.searchtypes import make_search_type
+from repro.core.sequential import sequential_search
+from repro.util.rng import SplitMix64
+from repro.verify.generators import (
+    FAMILIES,
+    Instance,
+    instance_spec,
+    sample_instance,
+    search_setup,
+    shrink_instance,
+)
+
+
+class TestDeterminism:
+    def test_sample_stream_reproducible(self):
+        a = SplitMix64(42)
+        b = SplitMix64(42)
+        for family in FAMILIES:
+            assert sample_instance(family, a) == sample_instance(family, b)
+
+    def test_different_seeds_differ(self):
+        a = sample_instance("maxclique", SplitMix64(1))
+        b = sample_instance("maxclique", SplitMix64(2))
+        assert a != b
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_spec_rebuild_gives_same_search(self, family):
+        # The (family, args) pair fully determines the search space:
+        # rebuilding the spec must reproduce the sequential result.
+        inst = sample_instance(family, SplitMix64(9))
+        spec1, kind, kwargs = search_setup(inst)
+        spec2 = instance_spec(inst.family, inst.args)
+        stype = make_search_type(kind, **kwargs)
+        r1 = sequential_search(spec1, stype)
+        r2 = sequential_search(spec2, make_search_type(kind, **kwargs))
+        assert r1.value == r2.value
+        assert r1.metrics.nodes == r2.metrics.nodes
+
+    def test_factory_accepts_list_args(self):
+        # Wire transport delivers args as a JSON list, not a tuple.
+        inst = sample_instance("knapsack", SplitMix64(3))
+        spec = instance_spec(inst.family, list(inst.args))
+        assert spec.name == instance_spec(inst.family, inst.args).name
+
+    def test_factory_is_wireable(self):
+        path = P.factory_path(instance_spec)
+        assert path == "repro.verify.generators:instance_spec"
+        assert P.resolve_factory(path) is instance_spec
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            instance_spec("sudoku", (3,))
+        with pytest.raises(ValueError):
+            sample_instance("sudoku", SplitMix64(0))
+
+    def test_dict_round_trip(self):
+        inst = sample_instance("sip", SplitMix64(8))
+        assert Instance.from_dict(inst.to_dict()) == inst
+
+
+class TestShrinking:
+    def test_shrinks_to_floor_when_everything_fails(self):
+        inst = Instance("maxclique", (14, 50, 123))
+        shrunk = shrink_instance(inst, lambda i: True)
+        assert shrunk.args[0] == 2  # the family's size floor
+        assert shrunk.args[2] == 123  # seed untouched
+
+    def test_keeps_instance_when_nothing_smaller_fails(self):
+        inst = Instance("knapsack", (9, 55))
+        shrunk = shrink_instance(inst, lambda i: i == inst)
+        assert shrunk == inst
+
+    def test_commits_only_still_failing_reductions(self):
+        # Failure iff n >= 6: shrinking must stop exactly at 6.
+        inst = Instance("knapsack", (10, 7))
+        shrunk = shrink_instance(inst, lambda i: i.args[0] >= 6)
+        assert shrunk.args == (6, 7)
+
+    def test_crashing_predicate_treated_as_not_failing(self):
+        inst = Instance("maxclique", (10, 40, 5))
+
+        def bomb(candidate):
+            raise RuntimeError("checker crashed")
+
+        assert shrink_instance(inst, bomb) == inst
+
+    def test_attempt_budget_respected(self):
+        calls = []
+        inst = Instance("maxclique", (14, 50, 1))
+        shrink_instance(inst, lambda i: calls.append(i) or True, max_attempts=3)
+        assert len(calls) <= 3
+
+    def test_seed_never_shrunk(self):
+        # The seed defines the failing tree; every candidate keeps it.
+        for family in FAMILIES:
+            inst = sample_instance(family, SplitMix64(17))
+            seed = inst.args[-1]
+            shrunk = shrink_instance(inst, lambda i: True)
+            assert shrunk.args[-1] == seed

@@ -1,0 +1,92 @@
+"""Tests for the dual oracles and the per-search-type invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.verify.generators import Instance
+from repro.verify.oracle import build_report, check_result, oracle_self_check
+
+# One fixed instance per family, small enough for the machine oracle.
+FIXED = [
+    Instance("uts", (2, 3, 7)),
+    Instance("maxclique", (9, 50, 11)),
+    Instance("kclique", (8, 40, 3, 5)),
+    Instance("knapsack", (7, 3)),
+    Instance("sip", (3, 7, 40, 1, 2)),
+]
+
+
+def clone(result, **overrides):
+    out = dataclasses.replace(result)
+    out.metrics = dataclasses.replace(result.metrics)
+    for key, value in overrides.items():
+        if hasattr(out.metrics, key):
+            setattr(out.metrics, key, value)
+        else:
+            setattr(out, key, value)
+    return out
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("inst", FIXED, ids=lambda i: i.family)
+    def test_oracles_agree_and_sequential_conforms(self, inst):
+        report = build_report(inst)
+        assert report.machine_value is not None, "instance too big for machine"
+        assert oracle_self_check(report) == []
+        assert check_result(report, report.sequential, label="seq") == []
+
+    def test_machine_skipped_above_node_limit(self):
+        report = build_report(FIXED[0], machine_max_nodes=1)
+        assert report.machine_value is None
+        assert oracle_self_check(report) == []
+
+
+class TestViolationsFlagged:
+    @pytest.fixture(scope="class")
+    def opt_report(self):
+        return build_report(Instance("knapsack", (7, 3)))
+
+    @pytest.fixture(scope="class")
+    def dec_report(self):
+        return build_report(Instance("kclique", (8, 40, 3, 5)))
+
+    def test_wrong_optimum_flagged(self, opt_report):
+        bad = clone(opt_report.sequential, value=opt_report.sequential.value + 1)
+        assert any("optimum" in i for i in check_result(opt_report, bad))
+
+    def test_right_value_wrong_witness_flagged(self, opt_report):
+        # The headline number alone must not pass: the witness has to
+        # re-verify through the feasibility predicate.
+        bad = clone(opt_report.sequential, node=None)
+        assert check_result(opt_report, bad)
+
+    def test_zero_nodes_flagged(self, opt_report):
+        bad = clone(opt_report.sequential, nodes=0)
+        assert any("node count 0" in i for i in check_result(opt_report, bad))
+
+    def test_overcount_without_reassignment_flagged(self, opt_report):
+        bad = clone(opt_report.sequential, nodes=opt_report.tree_nodes + 1)
+        assert any("double-processing" in i for i in check_result(opt_report, bad))
+
+    def test_overcount_with_reassignment_tolerated(self, opt_report):
+        redone = clone(
+            opt_report.sequential, nodes=opt_report.tree_nodes + 1, reassigned=1
+        )
+        assert check_result(opt_report, redone) == []
+
+    def test_decision_found_disagreement_flagged(self, dec_report):
+        flipped = clone(
+            dec_report.sequential, found=not dec_report.sequential.found
+        )
+        assert any("found" in i for i in check_result(dec_report, flipped))
+
+    def test_kind_mismatch_flagged(self, opt_report):
+        bad = clone(opt_report.sequential, kind="decision")
+        issues = check_result(opt_report, bad)
+        assert len(issues) == 1 and "kind" in issues[0]
+
+    def test_enumeration_undercount_flagged(self):
+        report = build_report(Instance("uts", (2, 3, 7)))
+        bad = clone(report.sequential, nodes=report.tree_nodes - 1)
+        assert any("expected exactly" in i for i in check_result(report, bad))
