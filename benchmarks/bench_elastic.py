@@ -1,0 +1,141 @@
+"""Elastic deployment vs a fixed fleet on a bursty job stream.
+
+Not a paper table: this measures the repository's own elastic
+deployment (``repro.deploy``, docs/deploy.md) on the workload shape
+elasticity exists for — bursts of jobs separated by idle gaps.  Two
+conditions run the identical stream:
+
+- ``fixed(4)``     the fleet is pinned at four workers for the whole
+  stream (``adapt(4, 4)``, so provisioning is metered by the same
+  loop);
+- ``adapt(1, 4)``  the Adaptive policy grows the fleet for each burst
+  and drains it back to one worker across the idle gap.
+
+Two axes are reported per condition:
+
+- *makespan*: wall time from the first submission to the last result,
+  idle gaps included (identical stream, so directly comparable);
+- *worker-seconds*: the integral of fleet size over time — the cost of
+  the capacity that was provisioned, whether or not it was busy.
+
+The fixed fleet buys its makespan by burning four workers through every
+idle second; the adaptive fleet should land within a few percent on
+makespan (it pays worker spawn latency at each burst front) at a
+fraction of the worker-seconds.  Every job's value is asserted against
+``sequential_search`` — elasticity is worthless if it loses work.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_elastic.py``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+from _harness import RESULTS_DIR, write_result
+
+from repro.cluster.local import job_payload
+from repro.core.searchtypes import make_search_type
+from repro.core.sequential import sequential_search
+from repro.instances.library import library_spec_factory, spec_for
+from repro.deploy import Adaptive, ClusterDeployment, WorkerSpec
+
+BUDGET = 500
+SHARE_POLL = 64
+IDLE_GAP = 6.0  # seconds between bursts; > the policy's down_cooldown
+
+# Two bursts of three MaxClique jobs each, small enough that a burst is
+# seconds-scale but splits enough work to occupy a four-worker fleet.
+BURSTS = [
+    ["brock90-1", "brock90-2", "p_hat90-1"],
+    ["san90-1", "sanr90-1", "brock100-1"],
+]
+
+
+def run_condition(minimum: int, maximum: int) -> dict:
+    pending = {"n": 0}
+    dep = ClusterDeployment(
+        WorkerSpec(name_prefix="bench", slots=2, give_up_after=30.0),
+        heartbeat_interval=0.25,
+        heartbeat_timeout=5.0,
+    )
+    try:
+        dep.adapt(
+            minimum,
+            maximum,
+            interval=0.1,
+            policy=Adaptive(minimum, maximum, down_cooldown=2.0),
+            queue_depth=lambda: pending["n"],
+        )
+        dep.wait_for_workers(minimum, timeout=60)
+        values = {}
+        t0 = time.perf_counter()
+        for i, burst in enumerate(BURSTS):
+            if i:
+                time.sleep(IDLE_GAP)
+            pending["n"] = len(burst)
+            for name in burst:
+                spec, stype_name, kwargs = spec_for(name)
+                stype = make_search_type(stype_name, **kwargs)
+                payload = job_payload(
+                    library_spec_factory, (name,), stype,
+                    budget=BUDGET, share_poll=SHARE_POLL,
+                )
+                res = dep.run_job(payload, timeout=300)
+                pending["n"] -= 1
+                seq = sequential_search(spec, stype)
+                assert res.value == seq.value, (
+                    f"{name}: elastic value {res.value} != "
+                    f"sequential {seq.value}")
+                values[name] = res.value
+        makespan = time.perf_counter() - t0
+        return {
+            "minimum": minimum,
+            "maximum": maximum,
+            "makespan_s": round(makespan, 3),
+            "worker_seconds": round(dep.worker_seconds, 2),
+            "fleet_peak": dep.fleet_peak,
+            "workers_spawned": dep.workers_spawned,
+            "workers_retired": dep.workers_retired,
+            "values": values,
+        }
+    finally:
+        dep.close()
+
+
+def main() -> None:
+    fixed = run_condition(4, 4)
+    elastic = run_condition(1, 4)
+    assert fixed["values"] == elastic["values"], "conditions diverged"
+
+    saved = 1.0 - elastic["worker_seconds"] / fixed["worker_seconds"]
+    rows = []
+    for label, rec in (("fixed(4)", fixed), ("adapt(1,4)", elastic)):
+        rows.append(
+            f"{label:<12} makespan={rec['makespan_s']:7.3f}s  "
+            f"worker-seconds={rec['worker_seconds']:7.2f}  "
+            f"peak={rec['fleet_peak']}  spawned={rec['workers_spawned']}  "
+            f"retired={rec['workers_retired']}"
+        )
+    rows.append(
+        f"adaptive fleet used {saved:.0%} fewer worker-seconds "
+        f"on the same stream"
+    )
+
+    header = [
+        "elastic deployment vs fixed fleet "
+        "(2 bursts x 3 maxclique jobs, 6s idle gap)",
+        f"host: {platform.platform()}  python: {platform.python_version()}",
+        f"budget={BUDGET} share_poll={SHARE_POLL}; every value asserted "
+        "against sequential_search",
+        "",
+    ]
+    write_result("elastic", header + rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "elastic.json").write_text(
+        json.dumps({"fixed": fixed, "elastic": elastic}, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -442,6 +442,92 @@ def _cmd_cluster_worker(args, out) -> int:
     return 0
 
 
+def _cmd_cluster_deploy(args, out) -> int:
+    """Run a job file on an elastic deployment: the coordinator plus an
+    adaptive worker fleet that grows toward --max-workers while work is
+    queued and drains back to --min-workers when it is not."""
+    import json
+
+    from repro.cluster.backend import ClusterBackend
+    from repro.cluster.coordinator import ClusterError
+    from repro.deploy import ClusterDeployment, WorkerSpec
+    from repro.service.jobs import JobSpec
+
+    if args.min_workers < 1:
+        raise SystemExit("--min-workers must be >= 1")
+    if args.max_workers < args.min_workers:
+        raise SystemExit("--max-workers must be >= --min-workers")
+    host, port = _parse_addr(args.listen)
+    if args.jobfile == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            with open(args.jobfile) as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            raise SystemExit(f"cannot read jobfile: {exc}") from None
+    specs = []
+    failed = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            specs.append(JobSpec.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as exc:
+            failed += 1
+            print(f"line {lineno}: rejected ({exc})", file=out)
+
+    # Pending jobs count as demand: the fleet bursts while the backlog
+    # exists and drains once only the in-flight job remains.
+    pending = len(specs)
+
+    try:
+        deployment = ClusterDeployment(
+            WorkerSpec(name_prefix="deploy"),
+            host=host,
+            port=port,
+            heartbeat_timeout=args.heartbeat_timeout,
+            on_event=lambda line: print(f"fleet: {line}", file=out),
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot listen on {host}:{port}: {exc}") from None
+    try:
+        bound_host, bound_port = deployment.handle.address
+        print(f"coordinator listening on {bound_host}:{bound_port}", file=out)
+        deployment.adapt(
+            args.min_workers, args.max_workers, queue_depth=lambda: pending
+        )
+        try:
+            deployment.wait_for_workers(
+                args.min_workers, timeout=args.worker_wait
+            )
+        except ClusterError as exc:
+            raise SystemExit(str(exc)) from None
+        for spec in specs:
+            pending -= 1
+            label = f"{spec.app}/{spec.instance}"
+            try:
+                payload = ClusterBackend._payload_for(spec)
+                res = deployment.run_job(payload, timeout=spec.timeout)
+            except (ClusterError, ValueError) as exc:
+                failed += 1
+                print(f"== {label}: FAILED ({exc})", file=out)
+                continue
+            print(f"== {label} (workers: {res.workers}, "
+                  f"reassigned: {res.metrics.reassigned})", file=out)
+            _report(res, out)
+        print(
+            f"fleet: peak {deployment.fleet_peak}  "
+            f"spawned {deployment.workers_spawned}  "
+            f"retired {deployment.workers_retired}",
+            file=out,
+        )
+    finally:
+        deployment.close()
+    return 1 if failed else 0
+
+
 def _cmd_serve(args, out) -> int:
     import json
 
@@ -458,16 +544,45 @@ def _cmd_serve(args, out) -> int:
         max_depth=args.queue_depth, max_per_submitter=args.per_submitter
     )
     cache = ResultCache(capacity=args.cache_size, ttl=args.cache_ttl)
+    metrics = None
+    deployment = None
+    if args.adaptive and args.backend != "cluster":
+        raise SystemExit("--adaptive requires --backend cluster")
     if args.backend == "processes":
         backend = ProcessBackend()
     elif args.backend == "cluster":
         from repro.cluster.backend import ClusterBackend
 
-        backend = ClusterBackend(local_workers=args.cluster_workers)
+        if args.adaptive:
+            from repro.deploy import ClusterDeployment, WorkerSpec
+            from repro.service.metrics import ServiceMetrics
+
+            if args.min_workers < 1:
+                raise SystemExit("--min-workers must be >= 1")
+            if args.max_workers < args.min_workers:
+                raise SystemExit("--max-workers must be >= --min-workers")
+            metrics = ServiceMetrics()
+            deployment = ClusterDeployment(
+                WorkerSpec(name_prefix="svc"),
+                metrics=metrics,
+                on_event=lambda line: print(f"fleet: {line}", file=out),
+            )
+            # The service queue's depth is part of the demand signal, so
+            # the fleet grows while jobs are still waiting for a slot on
+            # the (one-job-at-a-time) coordinator.
+            deployment.adapt(
+                args.min_workers, args.max_workers, queue_depth=queue.depth
+            )
+            backend = ClusterBackend(
+                deployment=deployment, min_workers=args.min_workers
+            )
+        else:
+            backend = ClusterBackend(local_workers=args.cluster_workers)
     else:
         backend = None
     sched = Scheduler(
-        backend=backend, queue=queue, cache=cache, n_workers=args.pool
+        backend=backend, queue=queue, cache=cache, n_workers=args.pool,
+        metrics=metrics,
     )
 
     if args.jobfile == "-":
@@ -489,15 +604,33 @@ def _cmd_serve(args, out) -> int:
         except (ValueError, KeyError, TypeError) as exc:
             bad_lines += 1
             print(f"line {lineno}: rejected ({exc})", file=out)
+    snap = None
     try:
         jobs = sched.run_until_idle()
+        if deployment is not None:
+            # Let the policy observe the now-idle queue and drain the
+            # fleet back to the floor, then freeze the footer snapshot
+            # *before* teardown empties the fleet — so the footer (and
+            # the elastic-e2e assertions) see the settled size.
+            import time as _time
+
+            settle = deployment.policy.down_cooldown + 10.0
+            deadline = _time.monotonic() + settle
+            while (
+                deployment.fleet_size() > args.min_workers
+                and _time.monotonic() < deadline
+            ):
+                _time.sleep(0.1)
+            snap = sched.metrics_snapshot()
     finally:
         if hasattr(backend, "close"):
             backend.close()
 
     for job in jobs:
         print(job.describe(), file=out)
-    print(sched.metrics_snapshot().render(), file=out)
+    if snap is None:
+        snap = sched.metrics_snapshot()
+    print(snap.render(), file=out)
 
     if args.results:
         with open(args.results, "w") as fh:
@@ -660,6 +793,13 @@ def build_parser() -> argparse.ArgumentParser:
                    "or a TCP cluster coordinator")
     p.add_argument("--cluster-workers", type=int, default=2, metavar="N",
                    help="local worker nodes for --backend cluster")
+    p.add_argument("--adaptive", action="store_true",
+                   help="with --backend cluster: run an elastic worker "
+                   "fleet that follows demand (see docs/deploy.md)")
+    p.add_argument("--min-workers", type=int, default=1, metavar="N",
+                   help="adaptive fleet floor (with --adaptive)")
+    p.add_argument("--max-workers", type=int, default=4, metavar="N",
+                   help="adaptive fleet ceiling (with --adaptive)")
     p.add_argument("--pool", type=int, default=2, help="worker pool size")
     p.add_argument("--queue-depth", type=int, default=256,
                    help="admission bound on queued jobs")
@@ -688,6 +828,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heartbeat-timeout", type=float, default=5.0, metavar="S",
                    help="silence before a worker is declared dead")
     p.set_defaults(fn=_cmd_cluster_coordinator)
+
+    p = sub.add_parser(
+        "cluster-deploy",
+        help="run a job file on an elastic, self-scaling worker fleet",
+    )
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="coordinator listen address (port 0 picks a free one)")
+    p.add_argument("--jobfile", default="jobs.jsonl",
+                   help="JSONL job file from `submit` ('-' reads stdin)")
+    p.add_argument("--min-workers", type=int, default=1, metavar="N",
+                   help="fleet floor (always at least this many workers)")
+    p.add_argument("--max-workers", type=int, default=4, metavar="N",
+                   help="fleet ceiling under load")
+    p.add_argument("--worker-wait", type=float, default=60.0, metavar="S",
+                   help="seconds to wait for the initial --min-workers")
+    p.add_argument("--heartbeat-timeout", type=float, default=5.0, metavar="S",
+                   help="silence before a worker is declared dead")
+    p.set_defaults(fn=_cmd_cluster_deploy)
 
     p = sub.add_parser(
         "cluster-worker", help="run a worker node against a coordinator"

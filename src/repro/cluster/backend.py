@@ -51,6 +51,13 @@ class ClusterBackend:
         handle: an already-started :class:`ClusterHandle` to attach to;
             None starts an embedded one (owned, shut down by
             :meth:`close`).
+        deployment: an elastic
+            :class:`~repro.deploy.deployment.ClusterDeployment` to run
+            over instead; the backend uses (and on :meth:`close`,
+            closes) the deployment's coordinator, and the fleet size is
+            the deployment's business — typically an ``adapt()`` loop
+            fed by the service queue's depth.  Mutually exclusive with
+            ``handle`` and ``local_workers``.
         local_workers: fan out this many localhost worker processes
             (0 means external workers are expected to connect).
         min_workers: block each job until at least this many workers are
@@ -62,11 +69,20 @@ class ClusterBackend:
         self,
         handle: Optional[ClusterHandle] = None,
         *,
+        deployment=None,
         local_workers: int = 0,
         min_workers: Optional[int] = None,
         worker_wait: float = 20.0,
         poll_interval: float = 0.05,
     ) -> None:
+        if deployment is not None and (handle is not None or local_workers):
+            raise ValueError(
+                "pass either a deployment or a handle/local_workers "
+                "topology, not both"
+            )
+        self.deployment = deployment
+        if deployment is not None:
+            handle = deployment.handle
         self._owns_handle = handle is None
         self.handle = handle if handle is not None else ClusterHandle()
         if self._owns_handle:
@@ -165,7 +181,10 @@ class ClusterBackend:
         )
 
     def close(self) -> None:
-        """Drain local workers and (if owned) stop the coordinator."""
+        """Drain local workers / the deployment and (if owned) stop the
+        coordinator."""
+        if self.deployment is not None:
+            self.deployment.close()
         if self._owns_handle:
             self.handle.shutdown(drain_workers=True)
         for p in self._procs:

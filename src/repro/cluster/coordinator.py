@@ -44,6 +44,7 @@ resumes contributing.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import threading
 import time
 from collections import deque
@@ -113,6 +114,7 @@ class WorkerConn:
     last_seen: float = 0.0
     alive: bool = True
     said_bye: bool = False
+    retiring: bool = False  # told to RETIRE: no new leases, drain out
 
 
 class _Job:
@@ -290,6 +292,66 @@ class Coordinator:
             except asyncio.TimeoutError:
                 continue
 
+    # -- fleet introspection / elastic control ------------------------------
+
+    def load_stats_now(self) -> dict:
+        """A point-in-time load snapshot (loop thread only).
+
+        This is the signal feed for :class:`repro.deploy.Adaptive`:
+        coordinator backlog (queued offcut subtrees), lease pressure,
+        outstanding-task count, and per-worker liveness/lease state —
+        everything the scaling policy needs, with no extra bookkeeping
+        beyond what the scheduler already maintains.
+        """
+        now = time.monotonic()
+        job = self._job
+        active = job is not None and job.state == "running"
+        workers = [
+            {
+                "id": w.id,
+                "name": w.name,
+                "leased": len(w.tasks),
+                "retiring": w.retiring,
+                "last_seen_age": max(0.0, now - w.last_seen),
+            }
+            for w in self.workers.values()
+        ]
+        return {
+            "connected": len(self.workers),
+            "retiring": sum(1 for w in self.workers.values() if w.retiring),
+            "job_active": active,
+            "queued_tasks": len(job.queue) if active else 0,
+            "leased_tasks": (
+                sum(len(w.tasks) for w in self.workers.values()) if active else 0
+            ),
+            "outstanding": job.outstanding if active else 0,
+            "reassigned": job.metrics.reassigned if active else 0,
+            "workers": workers,
+        }
+
+    async def load_stats(self) -> dict:
+        """Async wrapper over :meth:`load_stats_now` for cross-thread use."""
+        return self.load_stats_now()
+
+    def retire_worker_now(self, name: str) -> bool:
+        """Begin retiring the named worker (loop thread only).
+
+        Sends RETIRE and stops leasing to it; the worker finishes its
+        in-flight task, RELEASEs unstarted leases, says BYE and exits.
+        Returns False if no live worker has that name.  Idempotent.
+        """
+        for worker in self.workers.values():
+            if worker.name == name and worker.alive:
+                if not worker.retiring:
+                    worker.retiring = True
+                    self._post(worker, {"type": P.RETIRE})
+                return True
+        return False
+
+    async def retire_worker(self, name: str) -> bool:
+        """Async wrapper over :meth:`retire_worker_now`."""
+        return self.retire_worker_now(name)
+
     # -- job execution ------------------------------------------------------
 
     async def run_job(
@@ -453,6 +515,8 @@ class Coordinator:
             self._on_offcut(worker, job, msg)
         elif mtype == P.RESULT:
             self._on_result(worker, job, msg)
+        elif mtype == P.RELEASE:
+            self._on_release(worker, job, msg)
 
     def _valid_lease(self, worker: WorkerConn, job: _Job, msg: dict):
         """The task record iff this frame matches a live lease held by
@@ -547,6 +611,37 @@ class Coordinator:
             return
         self._pump()
 
+    def _on_release(self, worker: WorkerConn, job: _Job, msg: dict) -> None:
+        """Retire handback: re-queue each returned lease under a bumped
+        epoch (the cooperative twin of the crash re-lease path — same
+        accounting, but no partial state ever existed)."""
+        released = 0
+        for pair in msg.get("tasks") or []:
+            try:
+                task_id, epoch = int(pair[0]), int(pair[1])
+            except (TypeError, ValueError, IndexError):
+                continue
+            rec = job.tasks.get(task_id)
+            if (
+                rec is None
+                or rec.state != LEASED
+                or rec.worker != worker.id
+                or rec.epoch != epoch
+            ):
+                job.stale_dropped += 1
+                continue
+            worker.tasks.discard(rec.id)
+            # Bump before re-queueing: anything else the retiring worker
+            # still says about this task is stale by construction.
+            rec.epoch += 1
+            rec.state = QUEUED
+            rec.worker = None
+            job.queue.appendleft(rec.id)
+            job.metrics.reassigned += 1
+            released += 1
+        if released:
+            self._pump()
+
     # -- scheduling / fault handling ----------------------------------------
 
     def _pump(self) -> None:
@@ -555,7 +650,7 @@ class Coordinator:
         if job is None or job.state != "running":
             return
         for worker in list(self.workers.values()):
-            if not worker.alive:
+            if not worker.alive or worker.retiring:
                 continue
             while job.queue and len(worker.tasks) < worker.slots:
                 rec = job.tasks[job.queue.popleft()]
@@ -727,11 +822,32 @@ class ClusterHandle:
         return len(self.coordinator.workers)
 
     def wait_for_workers(self, n: int, timeout: Optional[float] = None) -> None:
-        """Block until ``n`` workers are connected (ClusterError on timeout)."""
-        self._call(
-            self.coordinator.wait_for_workers(n, timeout),
-            timeout=None if timeout is None else timeout + 1.0,
-        )
+        """Block until ``n`` workers are connected.
+
+        On timeout raises a :class:`ClusterError` naming how many
+        workers actually connected versus how many were required —
+        never a bare TimeoutError, whichever layer timed out (the
+        coordinator-side deadline or this facade's own call guard).
+        """
+        try:
+            self._call(
+                self.coordinator.wait_for_workers(n, timeout),
+                timeout=None if timeout is None else timeout + 1.0,
+            )
+        except (concurrent.futures.TimeoutError, asyncio.TimeoutError):
+            raise ClusterError(
+                f"only {self.n_workers()} of {n} required workers "
+                f"connected within {timeout:.1f}s"
+            ) from None
+
+    def load_stats(self) -> dict:
+        """Thread-safe point-in-time load snapshot (see
+        :meth:`Coordinator.load_stats_now`)."""
+        return self._call(self.coordinator.load_stats(), timeout=10.0)
+
+    def retire_worker(self, name: str) -> bool:
+        """Thread-safe retire request for the named worker."""
+        return self._call(self.coordinator.retire_worker(name), timeout=10.0)
 
     def run_job(
         self, payload: dict, *, timeout: Optional[float] = None

@@ -13,6 +13,11 @@ the ``REPRO_CHAOS`` environment variable):
 - ``{"kind": "kill_worker", "worker": NAME, "at_task": N}`` —
   worker-side: hard-exit (``os._exit``, no BYE, no drain) the moment the
   worker *starts* its ``N``-th task, so it dies holding a live lease.
+- ``{"kind": "kill_on_retire", "worker": NAME}`` — worker-side:
+  hard-exit the moment a RETIRE frame arrives, *before* the graceful
+  handback runs — the worker dies mid-retire still holding its leases,
+  so the coordinator's crash re-lease path must recover exactly what
+  the cooperative RELEASE would have returned.
 - ``{"kind": "drop_frame", "worker": NAME, "frame_type": T,
   "after": K, "count": C}`` — worker-side: silently discard outbound
   frames ``K+1 .. K+C`` of type ``T``.  Only HEARTBEAT and INCUMBENT
@@ -59,7 +64,9 @@ KILL_EXIT_CODE = 57
 
 SAFE_DROP_TYPES = frozenset({"HEARTBEAT", "INCUMBENT"})
 
-_WORKER_KINDS = ("kill_worker", "drop_frame", "delay_heartbeat")
+_WORKER_KINDS = (
+    "kill_worker", "kill_on_retire", "drop_frame", "delay_heartbeat"
+)
 
 
 class WorkerFaults:
@@ -67,6 +74,7 @@ class WorkerFaults:
 
     def __init__(self, events: list) -> None:
         self._kill_at: Optional[int] = None
+        self._kill_on_retire = False
         self._drops: list[dict] = []  # {frame_type, after, count, seen}
         self._delays: dict[int, float] = {}  # beat number -> extra seconds
         self._beats = 0
@@ -75,6 +83,8 @@ class WorkerFaults:
             if kind == "kill_worker":
                 at = int(ev["at_task"])
                 self._kill_at = at if self._kill_at is None else min(self._kill_at, at)
+            elif kind == "kill_on_retire":
+                self._kill_on_retire = True
             elif kind == "drop_frame":
                 ftype = ev["frame_type"]
                 if ftype not in SAFE_DROP_TYPES:
@@ -129,6 +139,14 @@ class WorkerFaults:
         """Called as the worker starts its ``task_number``-th task; may
         hard-exit the process (simulating SIGKILL mid-lease)."""
         if self._kill_at is not None and task_number >= self._kill_at:
+            sys.stderr.flush()
+            os._exit(KILL_EXIT_CODE)
+
+    def on_retire(self) -> None:
+        """Called when a RETIRE frame arrives, before the graceful
+        handback; may hard-exit the process (dying mid-retire with
+        leases live)."""
+        if self._kill_on_retire:
             sys.stderr.flush()
             os._exit(KILL_EXIT_CODE)
 

@@ -19,12 +19,25 @@ TASK       c -> w      lease one subtree (task id, epoch, node, depth)
 OFFCUT     w -> c      budget-trip split: subtrees pushed back for re-lease
 INCUMBENT  both        a strictly better bound value (broadcast downstream)
 RESULT     w -> c      a leased task finished: counters + local best
+RELEASE    w -> c      retire handback: unstarted leases returned for re-lease
 HEARTBEAT  w -> c      liveness (any frame also refreshes the deadline)
 JOB_DONE   c -> w      job over (result known / cancelled): drop its state
+RETIRE     c -> w      scale-down drain: finish the task in flight, RELEASE
+                       the rest, say BYE, exit (no new leases arrive)
 SHUTDOWN   c -> w      drain: finish the current task, say BYE, exit
 BYE        w -> c      orderly goodbye; the connection closes after it
 ERROR      c -> w      protocol violation report before disconnect
 ========== =========== ====================================================
+
+``RETIRE`` differs from ``SHUTDOWN`` in what happens to leases the
+worker holds but has not *started*: a retiring worker hands them back
+in a ``RELEASE`` frame (``tasks: [[id, epoch], ...]``) so the
+coordinator can re-lease them under a bumped epoch — the same epoch
+machinery that recovers a crashed worker's leases, but initiated
+cooperatively, before any partial state exists.  That makes retirement
+safe even for enumeration jobs, where losing a *started* task is fatal:
+the task in flight runs to its RESULT, and everything else was never
+touched.
 
 Node transport
 --------------
@@ -73,8 +86,10 @@ __all__ = [
     "OFFCUT",
     "INCUMBENT",
     "RESULT",
+    "RELEASE",
     "HEARTBEAT",
     "JOB_DONE",
+    "RETIRE",
     "SHUTDOWN",
     "BYE",
     "ERROR",
@@ -94,8 +109,10 @@ TASK = "TASK"
 OFFCUT = "OFFCUT"
 INCUMBENT = "INCUMBENT"
 RESULT = "RESULT"
+RELEASE = "RELEASE"
 HEARTBEAT = "HEARTBEAT"
 JOB_DONE = "JOB_DONE"
+RETIRE = "RETIRE"
 SHUTDOWN = "SHUTDOWN"
 BYE = "BYE"
 ERROR = "ERROR"

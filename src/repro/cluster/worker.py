@@ -22,9 +22,16 @@ Threading model (per connection):
 Fault behaviour: if the connection dies mid-task the task is simply
 abandoned — the coordinator's heartbeat watchdog re-leases it under a
 new epoch, and anything this worker still sends about it is dropped as
-stale.  The worker then reconnects with exponential backoff (it may
-rejoin the same search under a fresh worker id).  SHUTDOWN triggers a
+stale.  The worker then reconnects with *capped, jittered* exponential
+backoff: the delay doubles up to ``reconnect_max`` and each sleep is
+scaled by a random factor in [0.5, 1.0], so a churning fleet of
+respawned workers neither stalls for minutes on an unbounded backoff
+nor reconnects in thundering-herd lockstep.  SHUTDOWN triggers a
 graceful drain: finish the leased work, send the RESULTs, say BYE.
+RETIRE (elastic scale-down, see :mod:`repro.deploy`) is stricter:
+finish only the task already *in flight*, hand every unstarted lease
+back in a RELEASE frame so the coordinator re-leases it under a bumped
+epoch, then BYE and exit for good — no reconnect.
 
 ``run_worker`` is the process-level entry: one in-process worker, or a
 fan-out of several local worker processes (each a full ClusterWorker)
@@ -36,6 +43,7 @@ installed here turns the first rung into an orderly abandon-and-BYE.
 from __future__ import annotations
 
 import queue
+import random
 import signal
 import socket
 import sys
@@ -88,8 +96,14 @@ class ClusterWorker:
         stop_event: optional ``threading.Event``; when set the worker
             abandons its current task and exits at the next poll (the
             SIGTERM hook for process fan-out).
+        slots: concurrent leases to ask the coordinator for (leases
+            beyond the one being searched sit in the local queue as
+            prefetch; a RETIRE hands them back untouched).
         give_up_after: stop retrying (and raise) after this many seconds
             without reaching a coordinator; None retries forever.
+        jitter: reconnect-jitter source returning floats in [0, 1)
+            (injectable for deterministic tests; default
+            ``random.random``).
         faults: optional :class:`~repro.cluster.faults.WorkerFaults`
             injection hooks (conformance chaos testing); defaults to
             whatever the ``REPRO_CHAOS`` environment variable names for
@@ -103,10 +117,12 @@ class ClusterWorker:
         *,
         name: Optional[str] = None,
         stop_event: Optional[threading.Event] = None,
+        slots: int = 1,
         reconnect_initial: float = 0.1,
         reconnect_max: float = 2.0,
         give_up_after: Optional[float] = None,
         connect_timeout: float = 5.0,
+        jitter=None,
         faults: Optional[WorkerFaults] = None,
     ) -> None:
         self.host = host
@@ -114,14 +130,17 @@ class ClusterWorker:
         self.name = name or f"worker-{socket.gethostname()}"
         self._faults = faults if faults is not None else WorkerFaults.from_env(self.name)
         self.stop_event = stop_event
+        self.slots = max(1, int(slots))
         self.reconnect_initial = reconnect_initial
         self.reconnect_max = reconnect_max
         self.give_up_after = give_up_after
         self.connect_timeout = connect_timeout
+        self._jitter = jitter if jitter is not None else random.random
         self.worker_id: Optional[int] = None
         self.tasks_run = 0
         self.nodes_searched = 0
         self.sessions = 0
+        self.retired = False
         self._finished = False
         # Per-session state (reset in _session):
         self._sock: Optional[socket.socket] = None
@@ -130,15 +149,27 @@ class ClusterWorker:
         self._local_q: queue.Queue = queue.Queue()
         self._ctx: Optional[_JobContext] = None
         self._drain = False
+        self._retire = False
 
     def _stopped(self) -> bool:
         return self.stop_event is not None and self.stop_event.is_set()
 
     # -- connection management ----------------------------------------------
 
+    def reconnect_delay(self, backoff: float) -> float:
+        """The actual sleep for one reconnect attempt: the exponential
+        backoff value capped at ``reconnect_max``, scaled by a random
+        factor in [0.5, 1.0).  The cap bounds how long a respawned
+        worker can stall before rejoining under churn; the jitter
+        decorrelates a fleet of workers all chasing the same restarted
+        coordinator."""
+        capped = min(backoff, self.reconnect_max)
+        return capped * (0.5 + 0.5 * float(self._jitter()))
+
     def run(self) -> None:
-        """Connect (and reconnect with exponential backoff) until a
-        graceful drain completes or the stop event fires."""
+        """Connect (and reconnect with capped, jittered exponential
+        backoff) until a graceful drain/retire completes or the stop
+        event fires."""
         backoff = self.reconnect_initial
         last_contact = time.monotonic()
         while not self._finished and not self._stopped():
@@ -155,10 +186,11 @@ class ClusterWorker:
                         f"no coordinator at {self.host}:{self.port} for "
                         f"{self.give_up_after:.1f}s; giving up"
                     ) from None
+                delay = self.reconnect_delay(backoff)
                 if self.stop_event is not None:
-                    self.stop_event.wait(backoff)
+                    self.stop_event.wait(delay)
                 else:
-                    time.sleep(backoff)
+                    time.sleep(delay)
                 backoff = min(backoff * 2, self.reconnect_max)
                 continue
             backoff = self.reconnect_initial
@@ -178,13 +210,14 @@ class ClusterWorker:
         self._local_q = queue.Queue()
         self._ctx = None
         self._drain = False
+        self._retire = False
 
         sock.settimeout(self.connect_timeout)
         self._send({
             "type": P.HELLO,
             "version": P.PROTOCOL_VERSION,
             "name": self.name,
-            "slots": 1,
+            "slots": self.slots,
         })
         welcome = P.read_frame(sock)
         if welcome is None or welcome.get("type") != P.WELCOME:
@@ -282,6 +315,13 @@ class ClusterWorker:
             ctx = self._ctx
             if ctx is not None and msg.get("job") == ctx.id:
                 ctx.done = True
+        elif mtype == P.RETIRE:
+            if self._faults is not None:
+                # Chaos: may hard-exit here, dying mid-retire with its
+                # leases live — the coordinator's crash re-lease path
+                # must recover what the handback would have returned.
+                self._faults.on_retire()
+            self._retire = True
         elif mtype == P.SHUTDOWN:
             self._drain = True
         # HEARTBEAT/ERROR and unknown types: nothing to do.
@@ -290,12 +330,22 @@ class ClusterWorker:
 
     def _search_loop(self) -> None:
         """Pull leased tasks and run them; exit on session death, stop,
-        or a completed drain (BYE sent)."""
+        a completed drain, or a retire handback (BYE sent)."""
         while True:
             if self._session_dead.is_set():
                 return
             if self._stopped():
                 self._say_bye()
+                return
+            if self._retire:
+                # Between tasks, so nothing is in flight: hand every
+                # unstarted lease back and leave for good.  (A RETIRE
+                # that lands mid-task reaches this check right after
+                # that task's RESULT is sent.)
+                self._release_unstarted()
+                self._say_bye()
+                self.retired = True
+                self._finished = True
                 return
             try:
                 item = self._local_q.get(timeout=0.05)
@@ -320,6 +370,28 @@ class ClusterWorker:
             self._send({"type": P.BYE})
         except OSError:
             pass
+
+    def _release_unstarted(self) -> None:
+        """RELEASE every lease still sitting in the local queue.
+
+        Only tasks this worker never *started* are returned — the
+        coordinator re-leases them under a bumped epoch, so the handback
+        is exact for every search type (no partial accumulator exists
+        for work that never began)."""
+        returned: list[list] = []
+        ctx = self._ctx
+        while True:
+            try:
+                item_ctx, task_id, epoch, _node, _depth = self._local_q.get_nowait()
+            except queue.Empty:
+                break
+            if ctx is not None and item_ctx is ctx and not ctx.done:
+                returned.append([task_id, epoch])
+        if returned and ctx is not None:
+            try:
+                self._send({"type": P.RELEASE, "job": ctx.id, "tasks": returned})
+            except OSError:
+                pass  # crash path: the lease epochs cover us anyway
 
     def _run_task(self, ctx, task_id, epoch, root, root_depth) -> None:
         """Search one leased subtree with the inlined fast-path loop.
@@ -478,7 +550,9 @@ class ClusterWorker:
 # -- process fan-out ---------------------------------------------------------
 
 
-def _worker_process_main(host, port, name, give_up_after, chaos_events=None) -> None:
+def _worker_process_main(
+    host, port, name, give_up_after, chaos_events=None, slots=1
+) -> None:
     """Entry point of one fanned-out worker process.
 
     SIGTERM — the first rung of :func:`graceful_stop` — sets the stop
@@ -492,7 +566,8 @@ def _worker_process_main(host, port, name, give_up_after, chaos_events=None) -> 
     stop = threading.Event()
     signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
     worker = ClusterWorker(
-        host, port, name=name, stop_event=stop, give_up_after=give_up_after,
+        host, port, name=name, stop_event=stop, slots=slots,
+        give_up_after=give_up_after,
         faults=WorkerFaults.from_events(chaos_events, name),
     )
     try:

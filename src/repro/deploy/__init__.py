@@ -1,0 +1,31 @@
+"""repro.deploy — elastic, self-scaling cluster deployment.
+
+The deployment layer sits above :mod:`repro.cluster`: where the cluster
+runtime answers "how do N workers search one tree correctly over TCP",
+this package answers "how many workers should exist right now, and how
+do we change that without losing work".
+
+- :class:`WorkerSpec` — the template a fleet is stamped from.
+- :class:`ClusterDeployment` — owns a coordinator plus worker
+  subprocesses; ``scale(n)`` converges the fleet, retiring surplus
+  workers through the coordinator's RETIRE drain.
+- :class:`Adaptive` / :class:`LoadSignals` — the pure, fake-clock
+  testable policy mapping load snapshots to a target fleet size with
+  asymmetric hysteresis.
+- :func:`elastic_budget_search` — one-call burst-then-drain search used
+  by the conformance harness and the e2e tests.
+
+See docs/deploy.md for the drain protocol and the policy knobs.
+"""
+
+from repro.deploy.adaptive import Adaptive, LoadSignals
+from repro.deploy.deployment import ClusterDeployment, elastic_budget_search
+from repro.deploy.spec import WorkerSpec
+
+__all__ = [
+    "Adaptive",
+    "LoadSignals",
+    "WorkerSpec",
+    "ClusterDeployment",
+    "elastic_budget_search",
+]

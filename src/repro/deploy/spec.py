@@ -1,0 +1,79 @@
+"""Worker specifications: what one fleet member looks like.
+
+A :class:`WorkerSpec` is the deployment's template for spawning
+`cluster-worker` processes — the dask ``SpecCluster`` idea reduced to
+what this runtime needs: every worker in the fleet is stamped from one
+spec (name prefix + monotone index, lease slots, give-up budget), so
+scaling is just "spawn another one of these" / "retire one of these".
+
+The spec also carries the optional chaos-event list so fault plans ride
+into elastically-spawned workers exactly as they do into the fixed
+fan-out of :func:`repro.cluster.local.cluster_budget_search`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.worker import _worker_process_main
+
+__all__ = ["WorkerSpec"]
+
+# Fleet workers are started with the *spawn* context, not the platform
+# default fork.  An elastic deployment forks at unpredictable moments
+# from a background adapt thread while scheduler threads are running
+# arbitrary code; fork would snapshot whatever locks those threads hold
+# (module import locks especially) into a child that has no thread to
+# ever release them — a worker that connects and heartbeats but never
+# searches.  Spawn pays ~0.5s of interpreter start-up per worker for
+# immunity to that whole class of deadlock.
+_CTX = multiprocessing.get_context("spawn")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Template for one elastic fleet worker.
+
+    Attributes:
+        name_prefix: workers are named ``{name_prefix}-{index}`` with a
+            monotone index — names never recycle, so coordinator
+            diagnostics and chaos plans address workers unambiguously
+            across respawns.
+        slots: concurrent leases each worker asks for (>1 enables task
+            prefetch; unstarted prefetched leases are what a RETIRE
+            hands back).
+        give_up_after: seconds a worker keeps retrying an unreachable
+            coordinator before exiting on its own — bounds orphan spin
+            if the deployment dies without draining.
+        chaos_events: optional fault-plan event list (see
+            :mod:`repro.cluster.faults`); events addressed to a
+            worker's name become its injection hooks.
+    """
+
+    name_prefix: str = "deploy"
+    slots: int = 1
+    give_up_after: Optional[float] = 30.0
+    chaos_events: Optional[tuple] = None
+
+    def worker_name(self, index: int) -> str:
+        """The fleet-unique name of worker ``index``."""
+        return f"{self.name_prefix}-{index}"
+
+    def spawn(self, host: str, port: int, index: int):
+        """Start one worker process stamped from this spec."""
+        proc = _CTX.Process(
+            target=_worker_process_main,
+            args=(
+                host,
+                port,
+                self.worker_name(index),
+                self.give_up_after,
+                list(self.chaos_events) if self.chaos_events else None,
+                self.slots,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        return proc

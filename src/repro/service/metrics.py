@@ -49,6 +49,13 @@ class MetricsSnapshot:
     parallel_jobs: int = 0
     avg_workers: Optional[float] = None
     total_splits: int = 0
+    # Elastic-fleet visibility (populated when the service runs over a
+    # repro.deploy.ClusterDeployment): lifetime spawn/retire counts and
+    # the live/peak fleet size.  Defaulted like the block above.
+    workers_spawned: int = 0
+    workers_retired: int = 0
+    fleet_size: int = 0
+    fleet_peak: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict (JSON-ready) form of the snapshot."""
@@ -69,6 +76,10 @@ class MetricsSnapshot:
             "parallel_jobs": self.parallel_jobs,
             "avg_workers": self.avg_workers,
             "total_splits": self.total_splits,
+            "workers_spawned": self.workers_spawned,
+            "workers_retired": self.workers_retired,
+            "fleet_size": self.fleet_size,
+            "fleet_peak": self.fleet_peak,
         }
 
     def render(self) -> str:
@@ -96,8 +107,19 @@ class MetricsSnapshot:
                 f"  latency: p50 {p50}  p95 {p95}  over {self.completed} jobs",
                 f"  parallelism: {self.parallel_jobs} multi-worker jobs  "
                 f"avg workers {avg_workers}  splits {self.total_splits}",
-                f"  terminal states: {by_state}",
             ]
+            # The fleet line only exists for elastic deployments; a
+            # fixed-backend footer stays byte-identical to before.
+            + (
+                [
+                    f"  fleet: {self.fleet_size} live (peak {self.fleet_peak})  "
+                    f"spawned {self.workers_spawned}  "
+                    f"retired {self.workers_retired}"
+                ]
+                if self.workers_spawned or self.fleet_peak
+                else []
+            )
+            + [f"  terminal states: {by_state}"]
         )
 
 
@@ -114,6 +136,10 @@ class ServiceMetrics:
         self._latencies: list[float] = []
         self._worker_counts: list[int] = []
         self._total_splits = 0
+        self._workers_spawned = 0
+        self._workers_retired = 0
+        self._fleet_size = 0
+        self._fleet_peak = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -158,6 +184,22 @@ class ServiceMetrics:
                 if result.metrics is not None:
                     self._total_splits += result.metrics.spawns
 
+    def worker_spawned(self) -> None:
+        """Count an elastic deployment adding a fleet worker."""
+        with self._lock:
+            self._workers_spawned += 1
+
+    def worker_retired(self) -> None:
+        """Count an elastic deployment draining a fleet worker out."""
+        with self._lock:
+            self._workers_retired += 1
+
+    def set_fleet_size(self, n: int) -> None:
+        """Record the current live fleet size (tracks the peak too)."""
+        with self._lock:
+            self._fleet_size = max(0, int(n))
+            self._fleet_peak = max(self._fleet_peak, self._fleet_size)
+
     # -- reporting -----------------------------------------------------------
 
     def snapshot(
@@ -176,6 +218,10 @@ class ServiceMetrics:
             coalesced, retries = self.coalesced, self.retries
             worker_counts = list(self._worker_counts)
             total_splits = self._total_splits
+            workers_spawned = self._workers_spawned
+            workers_retired = self._workers_retired
+            fleet_size = self._fleet_size
+            fleet_peak = self._fleet_peak
         hits = cache.hits if cache is not None else 0
         misses = cache.misses if cache is not None else 0
         hit_rate = cache.hit_rate() if cache is not None else None
@@ -198,4 +244,8 @@ class ServiceMetrics:
                 sum(worker_counts) / len(worker_counts) if worker_counts else None
             ),
             total_splits=total_splits,
+            workers_spawned=workers_spawned,
+            workers_retired=workers_retired,
+            fleet_size=fleet_size,
+            fleet_peak=fleet_peak,
         )

@@ -58,6 +58,7 @@ def make_plan(
     *,
     allow_kill: bool = True,
     worker_prefix: str = "local-",
+    elastic: bool = False,
 ) -> FaultPlan:
     """Generate a survivable fault schedule for an N-worker topology.
 
@@ -65,17 +66,32 @@ def make_plan(
     (the :func:`repro.cluster.local.cluster_budget_search` convention).
     ``allow_kill=False`` restricts the menu to perturbations that never
     remove a worker permanently — required for enumeration jobs.
+
+    With ``elastic=True`` the plan targets an elastic deployment
+    (:func:`repro.deploy.elastic_budget_search`): the menu gains
+    ``kill_on_retire`` (die mid-drain still holding leases), and every
+    destructive event is aimed at indices >= 1 — the deployment retires
+    youngest-first, so worker 0 is the designated survivor that an
+    elastic scale-down keeps, and faulting it could leave the fleet
+    empty with nothing scheduled to respawn it.
     """
     rng = SplitMix64(seed ^ 0xFA0175)
     events: list[dict] = []
     kinds = ["drop_frame", "delay_heartbeat"]
     if allow_kill:
         kinds += ["kill_worker", "partition"]
+        if elastic and n_workers >= 2:
+            kinds.append("kill_on_retire")
     killed: set[str] = set()
     partitioned: set[str] = set()
+    retire_killed: set[str] = set()
     for _ in range(1 + rng.randrange(2)):
         kind = kinds[rng.randrange(len(kinds))]
-        worker = f"{worker_prefix}{rng.randrange(n_workers)}"
+        if elastic and n_workers >= 2:
+            index = 1 + rng.randrange(n_workers - 1)
+        else:
+            index = rng.randrange(n_workers)
+        worker = f"{worker_prefix}{index}"
         if kind == "kill_worker":
             # Keep at least one worker alive, and don't double-kill.
             if worker in killed or len(killed) + 1 >= n_workers:
@@ -85,6 +101,14 @@ def make_plan(
                 {"kind": "kill_worker", "worker": worker,
                  "at_task": 1 + rng.randrange(3)}
             )
+        elif kind == "kill_on_retire":
+            # Fires only if the deployment actually sends this worker a
+            # RETIRE (a fast job may finish before the scale-down) —
+            # harmless when it does not, a drain-crash when it does.
+            if worker in retire_killed or worker in killed:
+                continue
+            retire_killed.add(worker)
+            events.append({"kind": "kill_on_retire", "worker": worker})
         elif kind == "partition":
             # One partition window per worker; never partition the last
             # unkilled worker out AND kill the rest (the window heals,

@@ -130,6 +130,35 @@ def sample_config(
             },
         )
     if backend == "cluster":
+        # Half the draws run the fixed-fleet topology, half the elastic
+        # deployment (burst to max, drain back to min mid-job) — the
+        # RETIRE/RELEASE handback path is part of the conformance
+        # surface, not a separate test universe.
+        if rng.randrange(2) == 1:
+            maximum = 2 + rng.randrange(2)
+            plan = (
+                make_plan(
+                    rng.next_u64() & 0x7FFFFFFF,
+                    maximum,
+                    allow_kill=True,
+                    worker_prefix="deploy-",
+                    elastic=True,
+                )
+                if chaos
+                else None
+            )
+            return BackendConfig(
+                "cluster",
+                "budget",
+                {
+                    "elastic": True,
+                    "min_workers": 1,
+                    "max_workers": maximum,
+                    "budget": _choice(rng, (1, 2, 5, 20)),
+                    "share_poll": _choice(rng, (4, 16, 64)),
+                },
+                fault_plan=plan,
+            )
         # A kill plan needs a surviving worker, so chaos draws >= 2.
         workers = 2 + rng.randrange(2) if chaos else 1 + rng.randrange(3)
         plan = (
@@ -188,6 +217,22 @@ def run_config(
         from repro.cluster.local import cluster_budget_search
 
         chaotic = cfg.fault_plan is not None and bool(cfg.fault_plan.events)
+        if cfg.knobs.get("elastic"):
+            from repro.deploy import elastic_budget_search
+
+            return elastic_budget_search(
+                instance_spec,
+                (inst.family, inst.args),
+                stype,
+                minimum=cfg.knobs.get("min_workers", 1),
+                maximum=cfg.knobs.get("max_workers", 2),
+                budget=cfg.knobs.get("budget", 5),
+                share_poll=cfg.knobs.get("share_poll", 16),
+                timeout=cluster_timeout,
+                heartbeat_interval=0.1 if chaotic else 0.5,
+                heartbeat_timeout=1.0 if chaotic else 5.0,
+                fault_plan=cfg.fault_plan.to_dict() if chaotic else None,
+            )
         return cluster_budget_search(
             instance_spec,
             (inst.family, inst.args),

@@ -40,14 +40,15 @@ OPT_PAYLOAD = {
 class FakeWorker:
     """A hand-driven protocol peer: HELLOs, heartbeats, scripted frames."""
 
-    def __init__(self, host, port, name="fake"):
+    def __init__(self, host, port, name="fake", slots=1):
         self.sock = socket.create_connection((host, port), timeout=5.0)
         self.sock.settimeout(5.0)
         self._lock = threading.Lock()
         self._beating = threading.Event()
         self._beating.set()
         self._closed = threading.Event()
-        self.send({"type": P.HELLO, "version": P.PROTOCOL_VERSION, "name": name})
+        self.send({"type": P.HELLO, "version": P.PROTOCOL_VERSION,
+                   "name": name, "slots": slots})
         welcome = P.read_frame(self.sock)
         assert welcome["type"] == P.WELCOME
         self.id = welcome["worker"]

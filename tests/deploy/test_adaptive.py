@@ -1,0 +1,158 @@
+"""Fake-clock unit tests for the Adaptive scaling policy.
+
+``Adaptive.recommend`` takes an explicit ``now``, so every hysteresis
+property here is checked deterministically — no sleeps, no threads.
+"""
+
+import pytest
+
+from repro.deploy import Adaptive, LoadSignals
+
+
+def sig(queued=0, leased=0, depth=0, active=False):
+    return LoadSignals(
+        queued_tasks=queued,
+        leased_tasks=leased,
+        service_queue_depth=depth,
+        job_active=active,
+    )
+
+
+class TestLoadSignals:
+    def test_demand_sums_the_sources(self):
+        assert sig(queued=2, leased=3, depth=4).demand() == 9.0
+
+    def test_active_job_keeps_demand_alive(self):
+        # Mid-job instants where every task is momentarily accounted
+        # for must not read as "idle".
+        assert sig(active=True).demand() == 1.0
+        assert sig().demand() == 0.0
+
+
+class TestValidation:
+    def test_minimum_is_at_least_one(self):
+        with pytest.raises(ValueError, match="minimum"):
+            Adaptive(minimum=0, maximum=2)
+
+    def test_maximum_not_below_minimum(self):
+        with pytest.raises(ValueError, match="maximum"):
+            Adaptive(minimum=3, maximum=2)
+
+    def test_smoothing_bounds(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            Adaptive(1, 4, smoothing=0.0)
+        with pytest.raises(ValueError, match="smoothing"):
+            Adaptive(1, 4, smoothing=1.5)
+
+
+class TestScaleUp:
+    def test_first_observation_jumps_to_implied_size(self):
+        pol = Adaptive(1, 8, smoothing=1.0)
+        assert pol.recommend(sig(queued=5), now=0.0) == 5
+
+    def test_scale_up_is_immediate(self):
+        pol = Adaptive(1, 8, smoothing=1.0, down_cooldown=10.0)
+        assert pol.recommend(sig(), now=0.0) == 1
+        assert pol.recommend(sig(queued=6), now=0.1) == 6
+
+    def test_clamped_to_maximum(self):
+        pol = Adaptive(1, 4, smoothing=1.0)
+        assert pol.recommend(sig(queued=100), now=0.0) == 4
+
+    def test_up_cooldown_rate_limits_growth(self):
+        pol = Adaptive(1, 8, smoothing=1.0, up_cooldown=5.0)
+        assert pol.recommend(sig(queued=2), now=0.0) == 2
+        # Demand doubles immediately, but the up cooldown holds.
+        assert pol.recommend(sig(queued=4), now=1.0) == 2
+        assert pol.recommend(sig(queued=4), now=6.0) == 4
+
+
+class TestScaleDown:
+    def test_not_before_cooldown(self):
+        pol = Adaptive(1, 8, smoothing=1.0, down_cooldown=3.0)
+        assert pol.recommend(sig(queued=4), now=0.0) == 4
+        assert pol.recommend(sig(), now=1.0) == 4
+        assert pol.recommend(sig(), now=2.9) == 4
+
+    def test_after_sustained_low_demand(self):
+        pol = Adaptive(1, 8, smoothing=1.0, down_cooldown=3.0)
+        assert pol.recommend(sig(queued=4), now=0.0) == 4
+        assert pol.recommend(sig(), now=1.0) == 4
+        assert pol.recommend(sig(), now=4.1) == 1
+
+    def test_demand_recovery_resets_the_window(self):
+        pol = Adaptive(1, 8, smoothing=1.0, down_cooldown=2.0)
+        assert pol.recommend(sig(queued=4), now=0.0) == 4
+        assert pol.recommend(sig(), now=1.0) == 4  # low: window opens
+        assert pol.recommend(sig(queued=4), now=1.5) == 4  # recovered
+        # Low again — the old window must NOT carry over.
+        assert pol.recommend(sig(), now=3.0) == 4
+        assert pol.recommend(sig(), now=4.9) == 4
+        assert pol.recommend(sig(), now=5.5) == 1
+
+    def test_scale_down_lands_on_the_smoothed_level(self):
+        """When the window fires, the fleet drops to the EMA-implied
+        size, not straight to the instantaneous trough."""
+        pol = Adaptive(1, 8, smoothing=0.5, down_cooldown=1.0)
+        assert pol.recommend(sig(queued=8), now=0.0) == 8
+        assert pol.recommend(sig(), now=1.0) == 8  # window opens, ema=4
+        assert pol.recommend(sig(), now=2.0) == 2  # fires at ceil(ema=2)
+        assert pol.recommend(sig(), now=2.5) == 2  # fresh window opens
+        assert pol.recommend(sig(), now=3.5) == 1  # drains to the floor
+
+    def test_never_below_minimum(self):
+        pol = Adaptive(2, 8, smoothing=1.0, down_cooldown=0.0)
+        pol.recommend(sig(queued=6), now=0.0)
+        assert pol.recommend(sig(), now=10.0) == 2
+
+
+class TestSquareWaveStability:
+    def test_no_oscillation_when_period_beats_cooldown(self):
+        """A square-wave load with period << down_cooldown must pin the
+        fleet at its high-water mark, not flap it up and down."""
+        pol = Adaptive(1, 8, smoothing=0.5, down_cooldown=4.0)
+        history = []
+        now = 0.0
+        for tick in range(60):
+            load = sig(queued=6) if (tick // 2) % 2 == 0 else sig()
+            history.append(pol.recommend(load, now))
+            now += 0.5  # 2s period: always shorter than the cooldown
+        # After the first ramp the target never changes again.
+        peak = max(history)
+        settled = history[history.index(peak):]
+        assert set(settled) == {peak}
+
+    def test_sustained_idle_after_the_wave_drains(self):
+        pol = Adaptive(1, 8, smoothing=0.5, down_cooldown=4.0)
+        now = 0.0
+        for tick in range(20):
+            load = sig(queued=6) if tick % 2 == 0 else sig()
+            pol.recommend(load, now)
+            now += 0.5
+        # Then true idle, long enough for EMA decay + cooldown.
+        final = 8
+        for _ in range(30):
+            final = pol.recommend(sig(), now)
+            now += 0.5
+        assert final == 1
+
+    def test_single_tick_blip_never_moves_the_fleet(self):
+        """One empty poll between bursts opens the scale-down window
+        but the recovery on the very next tick closes it; a later blip
+        must start a fresh window, not inherit the old one."""
+        pol = Adaptive(1, 8, smoothing=0.3, down_cooldown=2.0)
+        pol.recommend(sig(queued=4), now=0.0)
+        pol.recommend(sig(queued=4), now=0.5)
+        pol.recommend(sig(queued=4), now=1.0)
+        assert pol.recommend(sig(), now=1.5) == 4
+        assert pol.recommend(sig(queued=4), now=2.0) == 4
+        assert pol.recommend(sig(), now=10.0) == 4  # window was reset
+
+
+class TestDesired:
+    def test_target_per_worker_scales_demand(self):
+        pol = Adaptive(1, 8, smoothing=1.0, target_per_worker=4.0)
+        assert pol.recommend(sig(queued=8), now=0.0) == 2
+
+    def test_desired_before_any_observation_is_minimum(self):
+        assert Adaptive(2, 8).desired() == 2
