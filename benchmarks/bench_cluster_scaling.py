@@ -42,7 +42,7 @@ from repro.core.sequential import sequential_search
 from repro.instances.library import library_spec_factory, load_instance, spec_for
 
 WORKER_COUNTS = (1, 2, 4)
-REPEATS = max(1, round(3 * SCALE))
+REPEATS = max(1, round(5 * SCALE))
 
 # (instance, budget, share_poll).  uts-bin-med's budget matches
 # bench_parallel_backends; the decoy instance wants a large budget so
@@ -52,6 +52,9 @@ CASES = [
     ("uts-bin-med", 2000, 64),
     ("sip-decoy-24-200", 20000, 64),
 ]
+
+# The negotiated frame encoding (docs/cluster.md "Wire formats").
+WIRE_CODEC = "binary"
 
 
 def _validated(name: str, res, seq) -> None:
@@ -78,41 +81,56 @@ def main() -> None:
         # does not (the decoys' full refutation is enormous); its
         # reference is the planted construction itself.
         seq = sequential_search(spec, stype) if name == "uts-bin-med" else None
-        base_time = None
+
+        def one_run(n_workers: int):
+            t0 = time.perf_counter()
+            res = cluster_budget_search(
+                library_spec_factory, (name,), stype,
+                n_workers=n_workers, budget=budget,
+                share_poll=share_poll, timeout=600,
+                wire_codec=WIRE_CODEC,
+            )
+            _ = time.perf_counter() - t0  # includes worker spawn
+            _validated(name, res, seq)
+            return res
+
+        # Warmup run (discarded): pays imports, bytecode caches and
+        # page-cache first touches so round 1 is not systematically slow.
+        one_run(WORKER_COUNTS[0])
+        # Interleave the worker-count arms within each round instead of
+        # running each arm as a sequential block: on a shared box,
+        # machine-load drift over the minutes of a block would otherwise
+        # read as a scaling difference between arms.
+        times: dict[int, list[float]] = {n: [] for n in WORKER_COUNTS}
+        nodes: dict[int, int] = {}
+        for _ in range(REPEATS):
+            for n_workers in WORKER_COUNTS:
+                res = one_run(n_workers)
+                times[n_workers].append(res.wall_time)
+                nodes[n_workers] = res.metrics.nodes
+        base_time = statistics.median(times[WORKER_COUNTS[0]])
         for n_workers in WORKER_COUNTS:
-            times = []
-            nodes = None
-            for _ in range(REPEATS):
-                t0 = time.perf_counter()
-                res = cluster_budget_search(
-                    library_spec_factory, (name,), stype,
-                    n_workers=n_workers, budget=budget,
-                    share_poll=share_poll, timeout=600,
-                )
-                _ = time.perf_counter() - t0  # includes worker spawn
-                _validated(name, res, seq)
-                times.append(res.wall_time)
-                nodes = res.metrics.nodes
-            med = statistics.median(times)
-            if base_time is None:
-                base_time = med
+            med = statistics.median(times[n_workers])
             speedup = base_time / med if med else float("inf")
             rows.append(
                 f"{name:<18} w={n_workers}  budget={budget:<6} "
-                f"median={med:7.3f}s  speedup={speedup:5.2f}x  nodes={nodes}"
+                f"median={med:7.3f}s  speedup={speedup:5.2f}x  "
+                f"nodes={nodes[n_workers]}"
             )
             records.append({
                 "instance": name, "workers": n_workers, "budget": budget,
-                "share_poll": share_poll, "repeats": REPEATS,
+                "share_poll": share_poll, "wire_codec": WIRE_CODEC,
+                "repeats": REPEATS,
                 "median_wall_s": round(med, 4),
-                "all_wall_s": [round(t, 4) for t in times],
+                "all_wall_s": [round(t, 4) for t in times[n_workers]],
                 "speedup_vs_1w": round(speedup, 3),
-                "nodes": nodes,
+                "nodes": nodes[n_workers],
             })
 
     header = [
         "cluster backend localhost scaling (coordinator + N worker processes over TCP)",
-        f"host: {platform.platform()}  python: {platform.python_version()}",
+        f"host: {platform.platform()}  python: {platform.python_version()}"
+        f"  wire codec: {WIRE_CODEC}",
         "speedup is vs the 1-worker cluster run (same protocol overhead);",
         "job wall time only — worker spawn/connect excluded.",
         "decision rows: nodes counts tasks whose RESULT arrived before the",

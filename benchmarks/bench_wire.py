@@ -1,0 +1,142 @@
+"""Wire codec microbenchmark: JSON vs binary, sizes and throughput.
+
+Not a paper table: this measures the repository's own wire formats
+(``repro.cluster.codec``, docs/cluster.md) on the frame shapes the
+cluster runtime actually exchanges — a batched TASK lease grant, an
+OFFCUT returning split subtrees, a counters-laden RESULT, an INCUMBENT
+broadcast and a bare HEARTBEAT — with both tuple-tagged structured
+nodes and opaque pickle-tagged nodes.
+
+Two quantities per (frame, codec):
+
+- **size**: encoded body bytes.  Smaller frames matter at every hop on
+  a real network; on localhost they mostly proxy for copy cost.
+- **throughput**: encode+decode round trips per second, single thread.
+  This is the CPU the coordinator burns per frame — the term that
+  actually bounds lease turnaround on one box.
+
+Results go to ``results/wire.txt`` (human table) and
+``results/wire.json`` (machine-readable).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_wire.py``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+from _harness import RESULTS_DIR, SCALE, write_result
+
+from repro.cluster.codec import CODECS, decode_body
+from repro.cluster.protocol import encode_node
+
+TARGET_SECONDS = max(0.05, 0.25 * SCALE)  # per (frame, codec) measurement
+
+
+def _tuple_node(i: int):
+    """A structured node like UTS/MaxClique ship: nested tuples, a
+    frozenset candidate set, small ints."""
+    return (i, (i + 1, i + 2), frozenset(range(i % 5 + 2)), "expand")
+
+
+def _frames() -> list[tuple[str, dict]]:
+    import base64
+    import pickle
+
+    task_batch = {
+        "type": "TASK",
+        "job": 3,
+        "leases": [
+            [100 + i, 0, encode_node(_tuple_node(i)), 4] for i in range(8)
+        ],
+    }
+    offcut = {
+        "type": "OFFCUT",
+        "job": 3,
+        "task": 104,
+        "epoch": 0,
+        "depth": 6,
+        "nodes": [encode_node(_tuple_node(i)) for i in range(6)],
+    }
+    result = {
+        "type": "RESULT", "job": 3, "task": 104, "epoch": 0,
+        "nodes": 15321, "prunes": 204, "backtracks": 9531,
+        "max_depth": 23, "goal": False, "knowledge": 88421,
+    }
+    incumbent = {
+        "type": "INCUMBENT", "job": 3, "value": 17,
+        "node": encode_node(_tuple_node(17)),
+    }
+    pickled = base64.b64encode(
+        pickle.dumps({"adj": list(range(40)), "chosen": (1, 5, 9)})
+    ).decode("ascii")
+    task_pickle = {
+        "type": "TASK", "job": 3,
+        "leases": [[200 + i, 0, {"__pickle__": pickled}, 2]
+                   for i in range(4)],
+    }
+    heartbeat = {"type": "HEARTBEAT"}
+    return [
+        ("TASK x8 tuple-node", task_batch),
+        ("TASK x4 pickle-node", task_pickle),
+        ("OFFCUT x6", offcut),
+        ("RESULT", result),
+        ("INCUMBENT", incumbent),
+        ("HEARTBEAT", heartbeat),
+    ]
+
+
+def _roundtrips_per_s(codec, msg: dict) -> float:
+    # Calibrate a batch size, then time encode+decode loops.
+    n = 64
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(n):
+            decode_body(codec.encode(msg))
+        dt = time.perf_counter() - t0
+        if dt >= TARGET_SECONDS:
+            return n / dt
+        n *= 4
+
+
+def main() -> None:
+    rows = [
+        f"{'frame':<20} {'codec':<7} {'bytes':>6} {'rt/s':>10} "
+        f"{'size':>6} {'speed':>6}"
+    ]
+    records = []
+    for label, msg in _frames():
+        stats = {}
+        for name, codec in CODECS.items():
+            body = codec.encode(msg)
+            assert decode_body(body) == msg, f"{label}/{name}: bad roundtrip"
+            stats[name] = (len(body), _roundtrips_per_s(codec, msg))
+        jsize, jrate = stats["json"]
+        for name in CODECS:
+            size, rate = stats[name]
+            rows.append(
+                f"{label:<20} {name:<7} {size:>6} {rate:>10.0f} "
+                f"{jsize / size:>5.2f}x {rate / jrate:>5.2f}x"
+            )
+            records.append({
+                "frame": label, "codec": name, "bytes": size,
+                "roundtrips_per_s": round(rate),
+                "size_ratio_vs_json": round(jsize / size, 3),
+                "speed_ratio_vs_json": round(rate / jrate, 3),
+            })
+
+    header = [
+        "wire codec microbenchmark (encode + decode round trips, one thread)",
+        f"host: {platform.platform()}  python: {platform.python_version()}",
+        "size/speed columns are vs the JSON encoding of the same frame.",
+        "",
+    ]
+    write_result("wire", header + rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "wire.json").write_text(json.dumps(records, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    main()

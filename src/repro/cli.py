@@ -108,6 +108,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="worker nodes for --backend cluster (default 2)",
     )
     parser.add_argument(
+        "--wire-codec", default="binary", choices=["json", "binary"],
+        help="cluster backend: frame body format on the wire (binary is "
+        "compact and fast; json is readable under tcpdump)",
+    )
+    parser.add_argument(
         "--decisionBound", type=int, default=None, metavar="K",
         help="run as a decision search with this target objective",
     )
@@ -130,6 +135,7 @@ def _params(args: argparse.Namespace) -> SkeletonParams:
         n_processes=args.processes,
         share_poll=args.share_poll,
         cluster_workers=args.cluster_workers,
+        wire_codec=args.wire_codec,
     )
 
 
@@ -390,7 +396,8 @@ def _cmd_cluster_coordinator(args, out) -> int:
             print(f"line {lineno}: rejected ({exc})", file=out)
 
     handle = ClusterHandle(
-        host=host, port=port, heartbeat_timeout=args.heartbeat_timeout
+        host=host, port=port, heartbeat_timeout=args.heartbeat_timeout,
+        wire_codec=args.wire_codec,
     )
     try:
         bound_host, bound_port = handle.start()
@@ -432,6 +439,7 @@ def _cmd_cluster_worker(args, out) -> int:
             processes=args.processes,
             name=args.name,
             give_up_after=args.give_up_after,
+            wire_codec=args.wire_codec,
         )
     except KeyboardInterrupt:
         return 0
@@ -484,10 +492,11 @@ def _cmd_cluster_deploy(args, out) -> int:
 
     try:
         deployment = ClusterDeployment(
-            WorkerSpec(name_prefix="deploy"),
+            WorkerSpec(name_prefix="deploy", wire_codec=args.wire_codec),
             host=host,
             port=port,
             heartbeat_timeout=args.heartbeat_timeout,
+            wire_codec=args.wire_codec,
             on_event=lambda line: print(f"fleet: {line}", file=out),
         )
     except OSError as exc:
@@ -563,7 +572,8 @@ def _cmd_serve(args, out) -> int:
                 raise SystemExit("--max-workers must be >= --min-workers")
             metrics = ServiceMetrics()
             deployment = ClusterDeployment(
-                WorkerSpec(name_prefix="svc"),
+                WorkerSpec(name_prefix="svc", wire_codec=args.wire_codec),
+                wire_codec=args.wire_codec,
                 metrics=metrics,
                 on_event=lambda line: print(f"fleet: {line}", file=out),
             )
@@ -577,7 +587,10 @@ def _cmd_serve(args, out) -> int:
                 deployment=deployment, min_workers=args.min_workers
             )
         else:
-            backend = ClusterBackend(local_workers=args.cluster_workers)
+            backend = ClusterBackend(
+                local_workers=args.cluster_workers,
+                wire_codec=args.wire_codec,
+            )
     else:
         backend = None
     sched = Scheduler(
@@ -793,6 +806,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "or a TCP cluster coordinator")
     p.add_argument("--cluster-workers", type=int, default=2, metavar="N",
                    help="local worker nodes for --backend cluster")
+    p.add_argument("--wire-codec", default="binary",
+                   choices=["json", "binary"],
+                   help="cluster backend: frame body format on the wire")
     p.add_argument("--adaptive", action="store_true",
                    help="with --backend cluster: run an elastic worker "
                    "fleet that follows demand (see docs/deploy.md)")
@@ -827,6 +843,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to wait for --min-workers")
     p.add_argument("--heartbeat-timeout", type=float, default=5.0, metavar="S",
                    help="silence before a worker is declared dead")
+    p.add_argument("--wire-codec", default="binary",
+                   choices=["json", "binary"],
+                   help="preferred frame body format (negotiated per worker)")
     p.set_defaults(fn=_cmd_cluster_coordinator)
 
     p = sub.add_parser(
@@ -845,6 +864,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds to wait for the initial --min-workers")
     p.add_argument("--heartbeat-timeout", type=float, default=5.0, metavar="S",
                    help="silence before a worker is declared dead")
+    p.add_argument("--wire-codec", default="binary",
+                   choices=["json", "binary"],
+                   help="preferred frame body format (negotiated per worker)")
     p.set_defaults(fn=_cmd_cluster_deploy)
 
     p = sub.add_parser(
@@ -858,6 +880,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--give-up-after", type=float, default=None, metavar="S",
                    help="exit if no coordinator is reachable for S seconds "
                    "(default: retry forever)")
+    p.add_argument("--wire-codec", default="binary",
+                   choices=["json", "binary"],
+                   help="codecs offered in HELLO (json offers json only — "
+                   "the debugging veto)")
     p.set_defaults(fn=_cmd_cluster_worker)
 
     return parser

@@ -7,9 +7,11 @@ multi-node runtime executing the Budget coordination, where work and
 knowledge move over a wire instead of a simulated network or shared
 memory.
 
-- :mod:`repro.cluster.protocol` — the length-prefixed JSON wire
-  protocol (HELLO/TASK/OFFCUT/INCUMBENT/RESULT/HEARTBEAT/SHUTDOWN …)
-  and the node/spec transport codecs.
+- :mod:`repro.cluster.protocol` — the length-prefixed wire protocol
+  (HELLO/TASK/OFFCUT/INCUMBENT/RESULT/HEARTBEAT/SHUTDOWN …) and the
+  node/spec transport codecs; frame bodies are JSON or the compact
+  binary format of :mod:`repro.cluster.codec`, negotiated per
+  connection in HELLO/WELCOME.
 - :mod:`repro.cluster.coordinator` — the coordinator: an asyncio accept
   loop owning the global task queue and incumbent, outstanding-task
   accounting for distributed termination detection, heartbeat-timeout

@@ -63,6 +63,9 @@ class ClusterBackend:
         min_workers: block each job until at least this many workers are
             connected (default: ``local_workers`` or 1).
         poll_interval: cancellation poll cadence while a job runs.
+        wire_codec: preferred frame body format for an *embedded*
+            coordinator and the local fan-out workers (an attached
+            handle/deployment keeps its own setting).
     """
 
     def __init__(
@@ -74,6 +77,7 @@ class ClusterBackend:
         min_workers: Optional[int] = None,
         worker_wait: float = 20.0,
         poll_interval: float = 0.05,
+        wire_codec: str = "binary",
     ) -> None:
         if deployment is not None and (handle is not None or local_workers):
             raise ValueError(
@@ -84,7 +88,10 @@ class ClusterBackend:
         if deployment is not None:
             handle = deployment.handle
         self._owns_handle = handle is None
-        self.handle = handle if handle is not None else ClusterHandle()
+        self.handle = (
+            handle if handle is not None
+            else ClusterHandle(wire_codec=wire_codec)
+        )
         if self._owns_handle:
             self.handle.start()
         self.min_workers = (
@@ -98,7 +105,7 @@ class ClusterBackend:
         for i in range(local_workers):
             p = Process(
                 target=_worker_process_main,
-                args=(host, port, f"svc-{i}", None),
+                args=(host, port, f"svc-{i}", None, None, 2, wire_codec),
                 daemon=True,
             )
             p.start()

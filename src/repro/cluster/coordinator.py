@@ -115,6 +115,11 @@ class WorkerConn:
     alive: bool = True
     said_bye: bool = False
     retiring: bool = False  # told to RETIRE: no new leases, drain out
+    proto_version: int = P.PROTOCOL_VERSION
+    # The negotiated wire codec for frames *to* this worker (inbound
+    # decoding auto-detects).  None until the WELCOME has been posted,
+    # so the handshake itself always travels as JSON.
+    codec: Any = None
 
 
 class _Job:
@@ -218,6 +223,10 @@ class Coordinator:
         heartbeat_interval: the cadence workers are told to beat at.
         heartbeat_timeout: silence longer than this declares a worker
             dead and re-leases its tasks.
+        wire_codec: the body format this coordinator *prefers*
+            (``"binary"`` or ``"json"``); each connection settles on it
+            via HELLO/WELCOME negotiation, so a JSON-only peer still
+            talks to a binary-preferring coordinator.
         faults: optional coordinator-side fault injection (partition
             windows dropping inbound frames from named workers) — see
             :mod:`repro.cluster.faults`.
@@ -230,12 +239,14 @@ class Coordinator:
         *,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 5.0,
+        wire_codec: str = "binary",
         faults: Optional[CoordinatorFaults] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.wire_codec = P.get_codec(wire_codec).name
         self._faults = faults if faults is not None and faults else None
         self.workers: dict[int, WorkerConn] = {}
         self._next_worker = 0
@@ -406,13 +417,21 @@ class Coordinator:
             if (
                 hello is None
                 or hello.get("type") != P.HELLO
-                or hello.get("version") != P.PROTOCOL_VERSION
+                or hello.get("version") not in P.SUPPORTED_VERSIONS
             ):
                 writer.write(P.frame_bytes({
                     "type": P.ERROR,
-                    "reason": "expected HELLO with matching protocol version",
+                    "reason": "expected HELLO with a supported protocol version",
                 }))
                 return
+            version = int(hello["version"])
+            # A v1 peer offers no codecs field and cannot decode binary
+            # bodies; negotiation for it degenerates to JSON.
+            codec_name = (
+                P.negotiate(hello.get("codecs"), self.wire_codec)
+                if version >= 2
+                else "json"
+            )
             self._next_worker += 1
             worker = WorkerConn(
                 id=self._next_worker,
@@ -420,13 +439,17 @@ class Coordinator:
                 writer=writer,
                 slots=max(1, int(hello.get("slots", 1))),
                 last_seen=time.monotonic(),
+                proto_version=version,
             )
             self.workers[worker.id] = worker
             self._post(worker, {
                 "type": P.WELCOME,
                 "worker": worker.id,
                 "heartbeat": self.heartbeat_interval,
+                "codec": codec_name,
             })
+            # Everything after the WELCOME speaks the negotiated codec.
+            worker.codec = P.get_codec(codec_name)
             if self.shutting_down:
                 self._post(worker, {"type": P.SHUTDOWN})
             elif self._job is not None and self._job.state == "running":
@@ -466,8 +489,6 @@ class Coordinator:
 
     @staticmethod
     async def _read_frame(reader) -> Optional[dict]:
-        import json
-
         try:
             header = await reader.readexactly(4)
         except asyncio.IncompleteReadError as exc:
@@ -481,13 +502,7 @@ class Coordinator:
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError:
             raise ConnectionError("connection closed mid-frame") from None
-        try:
-            msg = json.loads(body.decode("utf-8"))
-        except ValueError as exc:
-            raise P.ProtocolError(f"undecodable frame: {exc}") from None
-        if not isinstance(msg, dict) or "type" not in msg:
-            raise P.ProtocolError("frame is not a message object with a 'type'")
-        return msg
+        return P.decode_body(body)
 
     def _post(self, worker: WorkerConn, msg: dict) -> None:
         """Queue one frame to a worker (single-writer event loop, so a
@@ -496,7 +511,7 @@ class Coordinator:
         if not worker.alive:
             return
         try:
-            worker.writer.write(P.frame_bytes(msg))
+            worker.writer.write(P.frame_bytes(msg, worker.codec))
         except Exception:
             self._drop_worker(worker)
 
@@ -645,28 +660,66 @@ class Coordinator:
     # -- scheduling / fault handling ----------------------------------------
 
     def _pump(self) -> None:
-        """Lease queued tasks to every worker with a free slot."""
+        """Lease queued tasks to free slots, round-robin, batched.
+
+        Each pass grants at most one lease per worker with a free slot;
+        passes repeat until the queue drains or every slot is full.
+        Round-robin (not filling one worker greedily) is what spreads
+        the first few offcuts across the fleet — with prefetch slots a
+        greedy fill would let one worker hoard the whole frontier and
+        serialise the search.  All of a worker's grants then go out in
+        ONE batched TASK frame (``leases: [[id, epoch, node, depth],
+        ...]``); a v1 peer instead gets the single-lease frames it
+        expects, one per grant.
+        """
         job = self._job
         if job is None or job.state != "running":
             return
-        for worker in list(self.workers.values()):
-            if not worker.alive or worker.retiring:
-                continue
-            while job.queue and len(worker.tasks) < worker.slots:
-                rec = job.tasks[job.queue.popleft()]
-                if rec.state != QUEUED:
+        eligible = [
+            w for w in self.workers.values() if w.alive and not w.retiring
+        ]
+        batches: dict[int, list[TaskRecord]] = {}
+        granted = True
+        while granted and job.queue:
+            granted = False
+            for worker in eligible:
+                if not worker.alive or len(worker.tasks) >= worker.slots:
                     continue
+                rec = None
+                while job.queue:
+                    cand = job.tasks[job.queue.popleft()]
+                    if cand.state == QUEUED:
+                        rec = cand
+                        break
+                if rec is None:
+                    break  # queue drained (stale entries popped away)
                 rec.state = LEASED
                 rec.worker = worker.id
                 worker.tasks.add(rec.id)
+                batches.setdefault(worker.id, []).append(rec)
+                granted = True
+        for worker in eligible:
+            leases = batches.get(worker.id)
+            if not leases or not worker.alive:
+                continue
+            if worker.proto_version >= 2:
                 self._post(worker, {
                     "type": P.TASK,
                     "job": job.id,
-                    "task": rec.id,
-                    "epoch": rec.epoch,
-                    "node": rec.node,
-                    "depth": rec.depth,
+                    "leases": [
+                        [r.id, r.epoch, r.node, r.depth] for r in leases
+                    ],
                 })
+            else:
+                for r in leases:
+                    self._post(worker, {
+                        "type": P.TASK,
+                        "job": job.id,
+                        "task": r.id,
+                        "epoch": r.epoch,
+                        "node": r.node,
+                        "depth": r.depth,
+                    })
 
     def _drop_worker(self, worker: WorkerConn) -> None:
         """Remove a worker; re-lease its tasks (or fail an enumeration

@@ -74,6 +74,7 @@ def cluster_budget_search(
     heartbeat_interval: float = 0.5,
     heartbeat_timeout: float = 5.0,
     worker_join_timeout: float = 20.0,
+    wire_codec: str = "binary",
     fault_plan: Optional[dict] = None,
 ) -> SearchResult:
     """Budget search over an embedded coordinator + N local workers.
@@ -101,6 +102,7 @@ def cluster_budget_search(
     handle = ClusterHandle(
         heartbeat_interval=heartbeat_interval,
         heartbeat_timeout=heartbeat_timeout,
+        wire_codec=wire_codec,
         faults=CoordinatorFaults(events) if events else None,
     )
     procs: list[Process] = []
@@ -111,7 +113,8 @@ def cluster_budget_search(
                 target=_worker_process_main,
                 # give_up_after bounds orphan spin if this process dies
                 # before the drain: workers stop retrying on their own.
-                args=(host, port, f"local-{i}", 15.0, events or None),
+                args=(host, port, f"local-{i}", 15.0, events or None, 2,
+                      wire_codec),
                 daemon=True,
             )
             for i in range(n_workers)
@@ -153,4 +156,5 @@ def run_with_cluster(
         n_workers=params.cluster_workers,
         budget=params.budget,
         share_poll=params.share_poll,
+        wire_codec=params.wire_codec,
     )

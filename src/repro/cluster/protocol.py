@@ -1,10 +1,23 @@
 """The cluster wire protocol: framing, messages, and payload codecs.
 
 Every message is one *frame*: a 4-byte big-endian unsigned length
-followed by that many bytes of UTF-8 JSON encoding one object with a
-``"type"`` field.  Length-prefixed JSON keeps the protocol debuggable
-(``tcpdump`` shows readable traffic) while making message boundaries
-explicit — no sentinel scanning, no partial-line ambiguity.
+followed by that many bytes of *body*.  Two body formats exist, both
+encoding one object with a ``"type"`` field:
+
+- **json** (protocol v1, still the handshake + compatibility format):
+  UTF-8 JSON.  Human-readable on the wire (``tcpdump`` shows readable
+  traffic), with message boundaries explicit from the length prefix —
+  no sentinel scanning, no partial-line ambiguity.
+- **binary** (protocol v2): the struct-packed format in
+  :mod:`repro.cluster.codec` — 1-byte type tag, varint ints,
+  length-prefixed UTF-8 strings, dedicated tags for the node shapes
+  :func:`encode_node` emits (the pickle fallback travels as raw bytes
+  instead of base64).  Decoding auto-detects the format from the first
+  body byte, so a connection can carry a mix; *encoding* follows the
+  codec negotiated per connection in HELLO/WELCOME (the worker offers
+  ``codecs`` in its HELLO, the coordinator answers with ``codec`` in
+  the WELCOME; both handshake frames always travel as JSON, and a v1
+  peer that offers nothing negotiates JSON).
 
 Message types
 -------------
@@ -12,15 +25,18 @@ Message types
 ========== =========== ====================================================
 type       direction   meaning
 ========== =========== ====================================================
-HELLO      w -> c      join the cluster (protocol version, worker name)
-WELCOME    c -> w      assigned worker id + heartbeat interval
+HELLO      w -> c      join the cluster (protocol version, name, codecs)
+WELCOME    c -> w      assigned worker id + heartbeat interval + codec
 JOB        c -> w      search definition: spec factory, search type, knobs
-TASK       c -> w      lease one subtree (task id, epoch, node, depth)
+TASK       c -> w      lease subtrees: up to ``slots`` ``[id, epoch, node,
+                       depth]`` entries batched in one ``leases`` list
+                       (v1 peers get one single-lease frame per task)
 OFFCUT     w -> c      budget-trip split: subtrees pushed back for re-lease
 INCUMBENT  both        a strictly better bound value (broadcast downstream)
 RESULT     w -> c      a leased task finished: counters + local best
 RELEASE    w -> c      retire handback: unstarted leases returned for re-lease
-HEARTBEAT  w -> c      liveness (any frame also refreshes the deadline)
+HEARTBEAT  w -> c      liveness (any frame also refreshes the deadline, so
+                       workers suppress it while other traffic flows)
 JOB_DONE   c -> w      job over (result known / cancelled): drop its state
 RETIRE     c -> w      scale-down drain: finish the task in flight, RELEASE
                        the rest, say BYE, exit (no new leases arrive)
@@ -66,12 +82,34 @@ import importlib
 import pickle
 import socket
 import struct
-from typing import Any, Callable, Optional
+import threading
+from typing import Any, Callable, Optional, Union
+
+from .codec import (
+    BINARY_CODEC,
+    CODECS,
+    JSON_CODEC,
+    ProtocolError,
+    WireCodec,
+    decode_body,
+    get_codec,
+    negotiate,
+    offered_codecs,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAX_FRAME",
     "ProtocolError",
+    "WireCodec",
+    "JSON_CODEC",
+    "BINARY_CODEC",
+    "CODECS",
+    "get_codec",
+    "offered_codecs",
+    "negotiate",
+    "decode_body",
     "frame_bytes",
     "read_frame",
     "recv_exact",
@@ -95,7 +133,10 @@ __all__ = [
     "ERROR",
 ]
 
-PROTOCOL_VERSION = 1
+# v2 adds the binary codec + codec negotiation and batched TASK leases.
+# v1 peers (JSON only, one lease per TASK frame) remain fully supported.
+PROTOCOL_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 # One frame must hold a message-sized payload (a task node, an offcut
 # batch), never a bulk transfer; anything bigger than this is a protocol
@@ -118,23 +159,40 @@ BYE = "BYE"
 ERROR = "ERROR"
 
 
-class ProtocolError(Exception):
-    """A malformed or oversized frame / message."""
-
-
 # -- framing -----------------------------------------------------------------
 
-_LEN = struct.Struct(">I")
+_LEN = struct.Struct("!I")
+
+CodecLike = Union[WireCodec, str, None]
 
 
-def frame_bytes(msg: dict) -> bytes:
-    """Serialise one message dict into a length-prefixed frame."""
-    import json
+def _resolve_codec(codec: CodecLike) -> WireCodec:
+    if codec is None:
+        return JSON_CODEC
+    if isinstance(codec, str):
+        return get_codec(codec)
+    return codec
 
-    body = json.dumps(msg, separators=(",", ":")).encode("utf-8")
+
+def frame_bytes(msg: dict, codec: CodecLike = None) -> bytes:
+    """Serialise one message dict into a length-prefixed frame.
+
+    ``codec`` is a :class:`~repro.cluster.codec.WireCodec`, a codec
+    name, or None for the JSON default — callers pass whatever was
+    negotiated for their connection.
+    """
+    body = _resolve_codec(codec).encode(msg)
     if len(body) > MAX_FRAME:
         raise ProtocolError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
     return _LEN.pack(len(body)) + body
+
+
+# recv_exact reuses one growable receive buffer per thread (each
+# receiver thread owns its socket, so thread-local is the natural
+# scope): no per-frame chunk list, no b"".join.  Buffers above the cap
+# — a rare near-MAX_FRAME message — are not retained.
+_RECV_BUF_CAP = 1 << 20
+_recv_local = threading.local()
 
 
 def recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
@@ -144,23 +202,32 @@ def recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
     ``ConnectionError`` on EOF mid-message (a torn frame is a failure,
     an empty read between frames is a normal close).
     """
-    chunks: list[bytes] = []
+    buf = getattr(_recv_local, "buf", None)
+    if buf is None or len(buf) < n:
+        buf = bytearray(max(n, 4096))
+        if len(buf) <= _RECV_BUF_CAP:
+            _recv_local.buf = buf
+    view = memoryview(buf)
     got = 0
     while got < n:
-        chunk = sock.recv(n - got)
-        if not chunk:
+        read = sock.recv_into(view[got:n])
+        if not read:
             if got == 0:
                 return None
             raise ConnectionError("connection closed mid-frame")
-        chunks.append(chunk)
-        got += len(chunk)
-    return b"".join(chunks)
+        got += read
+    return bytes(view[:n])
 
 
-def read_frame(sock: socket.socket) -> Optional[dict]:
-    """Read one framed message from a blocking socket (None on clean EOF)."""
-    import json
+def read_frame(sock: socket.socket, codec: CodecLike = None) -> Optional[dict]:
+    """Read one framed message from a blocking socket (None on clean EOF).
 
+    ``codec`` is accepted for symmetry with :func:`frame_bytes`, but
+    decoding always auto-detects the body format from its first byte
+    (see :func:`~repro.cluster.codec.decode_body`), so mixed-codec
+    traffic — e.g. a JSON HELLO on an otherwise binary connection —
+    just works.
+    """
     header = recv_exact(sock, _LEN.size)
     if header is None:
         return None
@@ -170,13 +237,7 @@ def read_frame(sock: socket.socket) -> Optional[dict]:
     body = recv_exact(sock, length)
     if body is None:
         raise ConnectionError("connection closed mid-frame")
-    try:
-        msg = json.loads(body.decode("utf-8"))
-    except ValueError as exc:
-        raise ProtocolError(f"undecodable frame: {exc}") from None
-    if not isinstance(msg, dict) or "type" not in msg:
-        raise ProtocolError("frame is not a message object with a 'type'")
-    return msg
+    return decode_body(body)
 
 
 # -- node payload codec ------------------------------------------------------

@@ -98,7 +98,13 @@ class ClusterWorker:
             SIGTERM hook for process fan-out).
         slots: concurrent leases to ask the coordinator for (leases
             beyond the one being searched sit in the local queue as
-            prefetch; a RETIRE hands them back untouched).
+            prefetch; a RETIRE hands them back untouched).  The default
+            of 2 double-buffers: while one task runs, its successor is
+            already local, so finishing a task never stalls on a
+            RESULT -> TASK round trip.
+        wire_codec: preferred body format, offered in HELLO (the
+            coordinator's own preference wins if this worker offers
+            it).  ``"json"`` offers *only* JSON — the debugging veto.
         give_up_after: stop retrying (and raise) after this many seconds
             without reaching a coordinator; None retries forever.
         jitter: reconnect-jitter source returning floats in [0, 1)
@@ -117,7 +123,8 @@ class ClusterWorker:
         *,
         name: Optional[str] = None,
         stop_event: Optional[threading.Event] = None,
-        slots: int = 1,
+        slots: int = 2,
+        wire_codec: str = "binary",
         reconnect_initial: float = 0.1,
         reconnect_max: float = 2.0,
         give_up_after: Optional[float] = None,
@@ -131,6 +138,7 @@ class ClusterWorker:
         self._faults = faults if faults is not None else WorkerFaults.from_env(self.name)
         self.stop_event = stop_event
         self.slots = max(1, int(slots))
+        self.wire_codec = P.get_codec(wire_codec).name
         self.reconnect_initial = reconnect_initial
         self.reconnect_max = reconnect_max
         self.give_up_after = give_up_after
@@ -150,6 +158,8 @@ class ClusterWorker:
         self._ctx: Optional[_JobContext] = None
         self._drain = False
         self._retire = False
+        self._codec = None  # negotiated in WELCOME; None => JSON
+        self._last_sent = 0.0  # monotonic time of the last frame out
 
     def _stopped(self) -> bool:
         return self.stop_event is not None and self.stop_event.is_set()
@@ -211,6 +221,7 @@ class ClusterWorker:
         self._ctx = None
         self._drain = False
         self._retire = False
+        self._codec = None  # the HELLO below must go out as JSON
 
         sock.settimeout(self.connect_timeout)
         self._send({
@@ -218,12 +229,15 @@ class ClusterWorker:
             "version": P.PROTOCOL_VERSION,
             "name": self.name,
             "slots": self.slots,
+            "codecs": P.offered_codecs(self.wire_codec),
         })
         welcome = P.read_frame(sock)
         if welcome is None or welcome.get("type") != P.WELCOME:
             raise P.ProtocolError(f"expected WELCOME, got {welcome!r}")
         self.worker_id = welcome.get("worker")
         interval = float(welcome.get("heartbeat", 0.5))
+        # A v1 coordinator sends no codec field: stay on JSON.
+        self._codec = P.get_codec(welcome.get("codec") or "json")
         sock.settimeout(None)
 
         recv = threading.Thread(target=self._recv_loop, daemon=True)
@@ -247,12 +261,22 @@ class ClusterWorker:
     def _send(self, msg: dict) -> None:
         if self._faults is not None and self._faults.drop_outbound(msg["type"]):
             return  # chaos: the frame is lost on the (simulated) wire
-        data = P.frame_bytes(msg)
+        data = P.frame_bytes(msg, self._codec)
         with self._send_lock:
             self._sock.sendall(data)
+            # Only a frame that actually left counts for heartbeat
+            # suppression — a chaos-dropped one returned above.
+            self._last_sent = time.monotonic()
 
     def _heartbeat_loop(self, interval: float) -> None:
         while not self._session_dead.wait(interval):
+            if time.monotonic() - self._last_sent < interval:
+                # Any frame refreshes the coordinator's deadline, so a
+                # busy worker (RESULTs, OFFCUTs, INCUMBENTs flowing)
+                # needs no explicit beat — one fewer frame per cycle.
+                # Checked before the chaos hook so suppression never
+                # consumes a scripted beat delay.
+                continue
             if self._faults is not None:
                 pause = self._faults.next_beat_delay()
                 if pause > 0:
@@ -268,7 +292,7 @@ class ClusterWorker:
     def _recv_loop(self) -> None:
         try:
             while not self._session_dead.is_set():
-                msg = P.read_frame(self._sock)
+                msg = P.read_frame(self._sock, self._codec)
                 if msg is None:
                     break
                 self._on_message(msg)
@@ -294,13 +318,20 @@ class ClusterWorker:
         elif mtype == P.TASK:
             ctx = self._ctx
             if ctx is not None and msg.get("job") == ctx.id and not ctx.done:
-                self._local_q.put((
-                    ctx,
-                    msg["task"],
-                    msg["epoch"],
-                    P.decode_node(msg.get("node")),
-                    int(msg.get("depth", 0)),
-                ))
+                # v2 batches up to `slots` leases per frame; a v1
+                # coordinator sends the single-lease shape instead.
+                leases = msg.get("leases")
+                if leases is None:
+                    leases = [[
+                        msg["task"],
+                        msg["epoch"],
+                        msg.get("node"),
+                        msg.get("depth", 0),
+                    ]]
+                for task_id, epoch, node, depth in leases:
+                    self._local_q.put((
+                        ctx, task_id, epoch, P.decode_node(node), int(depth)
+                    ))
         elif mtype == P.INCUMBENT:
             ctx = self._ctx
             value = msg.get("value")
@@ -551,7 +582,8 @@ class ClusterWorker:
 
 
 def _worker_process_main(
-    host, port, name, give_up_after, chaos_events=None, slots=1
+    host, port, name, give_up_after, chaos_events=None, slots=2,
+    wire_codec="binary",
 ) -> None:
     """Entry point of one fanned-out worker process.
 
@@ -567,7 +599,7 @@ def _worker_process_main(
     signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
     worker = ClusterWorker(
         host, port, name=name, stop_event=stop, slots=slots,
-        give_up_after=give_up_after,
+        wire_codec=wire_codec, give_up_after=give_up_after,
         faults=WorkerFaults.from_events(chaos_events, name),
     )
     try:
@@ -584,6 +616,7 @@ def run_worker(
     name: Optional[str] = None,
     stop_event: Optional[threading.Event] = None,
     give_up_after: Optional[float] = None,
+    wire_codec: str = "binary",
 ) -> None:
     """Run worker capacity against a coordinator (blocking).
 
@@ -602,13 +635,14 @@ def run_worker(
             name=name,
             stop_event=stop_event,
             give_up_after=give_up_after,
+            wire_codec=wire_codec,
         ).run()
         return
     base = name or f"worker-{socket.gethostname()}"
     procs = [
         Process(
             target=_worker_process_main,
-            args=(host, port, f"{base}-{i}", give_up_after),
+            args=(host, port, f"{base}-{i}", give_up_after, None, 2, wire_codec),
             daemon=True,
         )
         for i in range(processes)

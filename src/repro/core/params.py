@@ -45,6 +45,11 @@ class SkeletonParams:
             more sharing traffic).
         cluster_workers: worker node processes for the ``"cluster"``
             backend.
+        wire_codec: cluster backend — the frame body format on the
+            wire: ``"binary"`` (compact struct-packed frames, the
+            default) or ``"json"`` (human-readable; handy under
+            ``tcpdump``).  Negotiated per connection, so mixed fleets
+            still interoperate.
     """
 
     d_cutoff: int = 2
@@ -58,6 +63,7 @@ class SkeletonParams:
     n_processes: int = 2
     share_poll: int = 64
     cluster_workers: int = 2
+    wire_codec: str = "binary"
 
     @property
     def workers(self) -> int:
@@ -78,6 +84,11 @@ class SkeletonParams:
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
                 "expected 'sim', 'processes' or 'cluster'"
+            )
+        if self.wire_codec not in ("json", "binary"):
+            raise ValueError(
+                f"unknown wire_codec {self.wire_codec!r}; "
+                "expected 'json' or 'binary'"
             )
         # Worker/granularity counts share one validator so a bad CLI or
         # job-file value fails here with the knob's name, not later as

@@ -52,8 +52,9 @@ class ClusterDeployment:
         handle: an already-*started* :class:`ClusterHandle` to attach
             to; by default the deployment creates and owns one (started
             immediately, closed by :meth:`close`).
-        host/port, heartbeat_interval, heartbeat_timeout: forwarded to
-            the owned coordinator (ignored when ``handle`` is given).
+        host/port, heartbeat_interval, heartbeat_timeout, wire_codec:
+            forwarded to the owned coordinator (ignored when ``handle``
+            is given).
         coordinator_faults: optional coordinator-side chaos hooks for
             the owned coordinator.
         metrics: optional :class:`~repro.service.metrics.ServiceMetrics`
@@ -72,6 +73,7 @@ class ClusterDeployment:
         port: int = 0,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 5.0,
+        wire_codec: str = "binary",
         coordinator_faults: Optional[CoordinatorFaults] = None,
         metrics: Any = None,
         on_event: Optional[Callable[[str], None]] = None,
@@ -84,6 +86,7 @@ class ClusterDeployment:
                 port=port,
                 heartbeat_interval=heartbeat_interval,
                 heartbeat_timeout=heartbeat_timeout,
+                wire_codec=wire_codec,
                 faults=coordinator_faults,
             )
             handle.start()
@@ -376,6 +379,7 @@ def elastic_budget_search(
     heartbeat_timeout: float = 5.0,
     worker_join_timeout: float = 20.0,
     burst_hold: float = 0.4,
+    wire_codec: str = "binary",
     fault_plan: Optional[dict] = None,
 ) -> SearchResult:
     """Budget search on a deployment that scales mid-job.
@@ -409,12 +413,14 @@ def elastic_budget_search(
         name_prefix="deploy",
         slots=2,  # prefetch one: retiring workers hold leases to hand back
         give_up_after=15.0,
+        wire_codec=wire_codec,
         chaos_events=tuple(events) if events else None,
     )
     dep = ClusterDeployment(
         spec,
         heartbeat_interval=heartbeat_interval,
         heartbeat_timeout=heartbeat_timeout,
+        wire_codec=wire_codec,
         coordinator_faults=CoordinatorFaults(events) if events else None,
     )
     try:

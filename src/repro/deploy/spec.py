@@ -43,18 +43,23 @@ class WorkerSpec:
             across respawns.
         slots: concurrent leases each worker asks for (>1 enables task
             prefetch; unstarted prefetched leases are what a RETIRE
-            hands back).
+            hands back).  Defaults to 2 — double-buffering, so the hot
+            loop never stalls on a RESULT -> TASK round trip.
         give_up_after: seconds a worker keeps retrying an unreachable
             coordinator before exiting on its own — bounds orphan spin
             if the deployment dies without draining.
+        wire_codec: preferred frame body format offered in HELLO
+            (``"binary"`` or ``"json"``; the coordinator's preference
+            wins when both are offered).
         chaos_events: optional fault-plan event list (see
             :mod:`repro.cluster.faults`); events addressed to a
             worker's name become its injection hooks.
     """
 
     name_prefix: str = "deploy"
-    slots: int = 1
+    slots: int = 2
     give_up_after: Optional[float] = 30.0
+    wire_codec: str = "binary"
     chaos_events: Optional[tuple] = None
 
     def worker_name(self, index: int) -> str:
@@ -72,6 +77,7 @@ class WorkerSpec:
                 self.give_up_after,
                 list(self.chaos_events) if self.chaos_events else None,
                 self.slots,
+                self.wire_codec,
             ),
             daemon=True,
         )

@@ -156,6 +156,7 @@ def sample_config(
                     "max_workers": maximum,
                     "budget": _choice(rng, (1, 2, 5, 20)),
                     "share_poll": _choice(rng, (4, 16, 64)),
+                    "wire_codec": _choice(rng, ("json", "binary")),
                 },
                 fault_plan=plan,
             )
@@ -173,6 +174,7 @@ def sample_config(
                 "cluster_workers": workers,
                 "budget": _choice(rng, (1, 2, 5, 20)),
                 "share_poll": _choice(rng, (4, 16, 64)),
+                "wire_codec": _choice(rng, ("json", "binary")),
             },
             fault_plan=plan,
         )
@@ -231,6 +233,7 @@ def run_config(
                 timeout=cluster_timeout,
                 heartbeat_interval=0.1 if chaotic else 0.5,
                 heartbeat_timeout=1.0 if chaotic else 5.0,
+                wire_codec=cfg.knobs.get("wire_codec", "binary"),
                 fault_plan=cfg.fault_plan.to_dict() if chaotic else None,
             )
         return cluster_budget_search(
@@ -245,6 +248,7 @@ def run_config(
             # fast, so injected partitions resolve within the timeout.
             heartbeat_interval=0.1 if chaotic else 0.5,
             heartbeat_timeout=1.0 if chaotic else 5.0,
+            wire_codec=cfg.knobs.get("wire_codec", "binary"),
             fault_plan=cfg.fault_plan.to_dict() if chaotic else None,
         )
     raise ValueError(f"unknown backend {cfg.backend!r}")

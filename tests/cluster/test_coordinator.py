@@ -8,6 +8,7 @@ makes is observable deterministically — no real search involved.
 import socket
 import threading
 import time
+from collections import deque
 
 import pytest
 
@@ -38,20 +39,39 @@ OPT_PAYLOAD = {
 
 
 class FakeWorker:
-    """A hand-driven protocol peer: HELLOs, heartbeats, scripted frames."""
+    """A hand-driven protocol peer: HELLOs, heartbeats, scripted frames.
 
-    def __init__(self, host, port, name="fake", slots=1):
+    By default it offers no ``codecs`` in HELLO, so the coordinator
+    negotiates JSON for it; pass ``codecs=["binary", "json"]`` to get
+    binary frames back (reads auto-detect either way).  A v2
+    coordinator sends batched TASK frames — ``recv`` decomposes each
+    ``leases`` batch into the classic single-lease shape so scripted
+    tests keep addressing one task at a time; ``recv_raw`` returns
+    frames as they actually arrived.
+    """
+
+    def __init__(self, host, port, name="fake", slots=1, codecs=None,
+                 version=None):
         self.sock = socket.create_connection((host, port), timeout=5.0)
         self.sock.settimeout(5.0)
         self._lock = threading.Lock()
         self._beating = threading.Event()
         self._beating.set()
         self._closed = threading.Event()
-        self.send({"type": P.HELLO, "version": P.PROTOCOL_VERSION,
-                   "name": name, "slots": slots})
+        self._pending = deque()
+        self._send_codec = None
+        hello = {"type": P.HELLO,
+                 "version": P.PROTOCOL_VERSION if version is None else version,
+                 "name": name, "slots": slots}
+        if codecs is not None:
+            hello["codecs"] = codecs
+        self.send(hello)
         welcome = P.read_frame(self.sock)
         assert welcome["type"] == P.WELCOME
         self.id = welcome["worker"]
+        self.codec = welcome.get("codec")
+        if self.codec is not None:
+            self._send_codec = P.get_codec(self.codec)
         self._hb = threading.Thread(target=self._beat, daemon=True)
         self._hb.start()
 
@@ -66,10 +86,22 @@ class FakeWorker:
 
     def send(self, msg):
         with self._lock:
-            self.sock.sendall(P.frame_bytes(msg))
+            self.sock.sendall(P.frame_bytes(msg, self._send_codec))
 
-    def recv(self, want_type, timeout=5.0):
-        """Next frame of ``want_type`` (other types are skipped)."""
+    @staticmethod
+    def _decompose(msg):
+        """A batched TASK frame becomes one pseudo-frame per lease."""
+        if msg["type"] == P.TASK and "leases" in msg:
+            return [
+                {"type": P.TASK, "job": msg["job"], "task": tid,
+                 "epoch": epoch, "node": node, "depth": depth}
+                for tid, epoch, node, depth in msg["leases"]
+            ]
+        return [msg]
+
+    def recv_raw(self, want_type, timeout=5.0):
+        """Next frame of ``want_type`` exactly as it arrived (batched
+        TASK frames are NOT decomposed; other types are skipped)."""
         deadline = time.monotonic() + timeout
         while True:
             remaining = deadline - time.monotonic()
@@ -82,8 +114,29 @@ class FakeWorker:
             if msg["type"] == want_type:
                 return msg
 
+    def recv(self, want_type, timeout=5.0):
+        """Next frame of ``want_type`` (other types are skipped)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            while self._pending:
+                msg = self._pending.popleft()
+                if msg["type"] == want_type:
+                    return msg
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise AssertionError(f"no {want_type} frame within {timeout}s")
+            self.sock.settimeout(remaining)
+            msg = P.read_frame(self.sock)
+            if msg is None:
+                raise AssertionError(f"EOF while waiting for {want_type}")
+            self._pending.extend(self._decompose(msg))
+
     def assert_no_frame(self, want_type, within=0.4):
         """Fail if a ``want_type`` frame arrives within the window."""
+        while self._pending:
+            msg = self._pending.popleft()
+            if msg["type"] == want_type:
+                raise AssertionError(f"unexpected {want_type}: {msg}")
         deadline = time.monotonic() + within
         while True:
             remaining = deadline - time.monotonic()
@@ -94,8 +147,11 @@ class FakeWorker:
                 msg = P.read_frame(self.sock)
             except (TimeoutError, socket.timeout):
                 return
-            if msg is not None and msg["type"] == want_type:
-                raise AssertionError(f"unexpected {want_type}: {msg}")
+            if msg is None:
+                return
+            for piece in self._decompose(msg):
+                if piece["type"] == want_type:
+                    raise AssertionError(f"unexpected {want_type}: {piece}")
 
     def stop_heartbeat(self):
         self._beating.clear()
@@ -333,6 +389,166 @@ class TestIncumbent:
         finally:
             w1.close()
             w2.close()
+
+
+def offcut_frame(task_msg, nodes, depth=3):
+    """An OFFCUT frame splitting ``nodes`` off a held lease."""
+    return {
+        "type": P.OFFCUT,
+        "job": task_msg["job"],
+        "task": task_msg["task"],
+        "epoch": task_msg["epoch"],
+        "depth": depth,
+        "nodes": [P.encode_node(n) for n in nodes],
+    }
+
+
+def lease_to_task(raw, lease):
+    """One ``[id, epoch, node, depth]`` entry as a classic TASK dict."""
+    task_id, epoch, node, depth = lease
+    return {"type": P.TASK, "job": raw["job"], "task": task_id,
+            "epoch": epoch, "node": node, "depth": depth}
+
+
+class TestBatching:
+    def test_offcut_batch_leased_in_one_frame(self, handle):
+        # A v2 worker with free slots gets all its grants in a single
+        # TASK frame, not one frame per lease.
+        w = FakeWorker(*handle.address, slots=3)
+        try:
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            root = w.recv(P.TASK)
+            w.send(offcut_frame(root, [(1, 2), (3, 4)]))
+            raw = w.recv_raw(P.TASK)
+            assert len(raw["leases"]) == 2
+            w.send(result_frame(root, knowledge=1))
+            for lease in raw["leases"]:
+                w.send(result_frame(lease_to_task(raw, lease), knowledge=10))
+            res = fut.result(timeout=10)
+            assert res.value == 21
+            assert res.metrics.spawns == 2
+        finally:
+            w.close()
+
+    def test_round_robin_spreads_leases_across_workers(self, handle):
+        # Grants rotate one-lease-per-worker-per-pass, so a burst of
+        # offcuts cannot all pile onto whichever worker is checked
+        # first — that hoarding is what flattens search-order anomalies.
+        w1 = FakeWorker(*handle.address, name="w1", slots=2)
+        w2 = FakeWorker(*handle.address, name="w2", slots=2)
+        try:
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            root = w1.recv(P.TASK)
+            # w1 holds the root (1 free slot), w2 is idle (2 free).
+            w1.send(offcut_frame(root, [(1,), (2,), (3,), (4,)]))
+            raw1 = w1.recv_raw(P.TASK)
+            raw2 = w2.recv_raw(P.TASK)
+            assert len(raw1["leases"]) == 1
+            assert len(raw2["leases"]) == 2
+            # Completing the root frees w1's slot: the queued 4th offcut
+            # lands there.
+            w1.send(result_frame(root, knowledge=1))
+            raw3 = w1.recv_raw(P.TASK)
+            assert len(raw3["leases"]) == 1
+            for raw, worker, value in ((raw1, w1, 10), (raw2, w2, 100),
+                                       (raw3, w1, 10000)):
+                for lease in raw["leases"]:
+                    worker.send(
+                        result_frame(lease_to_task(raw, lease), knowledge=value)
+                    )
+            res = fut.result(timeout=10)
+            assert res.value == 1 + 10 + 100 + 100 + 10000
+            assert res.metrics.spawns == 4
+            assert res.workers == 2
+        finally:
+            w1.close()
+            w2.close()
+
+    def test_v1_worker_receives_single_lease_frames(self, handle):
+        # A v1 peer predates ``leases``: every grant must arrive as its
+        # own classic single-lease frame, and the codec must be JSON.
+        w = FakeWorker(*handle.address, version=1, slots=2)
+        try:
+            assert w.codec in (None, "json")
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            root = w.recv_raw(P.TASK)
+            assert "leases" not in root
+            assert root["epoch"] == 0
+            w.send(offcut_frame(root, [(1,), (2,)]))
+            t2 = w.recv_raw(P.TASK)
+            assert "leases" not in t2
+            w.send(result_frame(root, knowledge=1))
+            t3 = w.recv_raw(P.TASK)
+            assert "leases" not in t3
+            for t, value in ((t2, 10), (t3, 100)):
+                w.send(result_frame(t, knowledge=value))
+            res = fut.result(timeout=10)
+            assert res.value == 111
+        finally:
+            w.close()
+
+    def test_binary_codec_negotiated_end_to_end(self, handle):
+        w = FakeWorker(*handle.address, codecs=["binary", "json"])
+        try:
+            assert w.codec == "binary"
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            task = w.recv(P.TASK)
+            w.send(result_frame(task, knowledge=17))
+            assert fut.result(timeout=10).value == 17
+        finally:
+            w.close()
+
+    def test_mixed_codec_workers_share_one_job(self, handle):
+        # Negotiation is per-connection: a JSON worker and a binary
+        # worker exchange offcuts through the same coordinator.
+        w1 = FakeWorker(*handle.address, name="legacy")
+        w2 = FakeWorker(*handle.address, name="modern",
+                        codecs=["binary", "json"])
+        try:
+            assert w1.codec == "json" and w2.codec == "binary"
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            root = w1.recv(P.TASK)
+            w1.send(offcut_frame(root, [(7, 7)]))
+            t2 = w2.recv(P.TASK)
+            assert P.decode_node(t2["node"]) == (7, 7)
+            w1.send(result_frame(root, knowledge=1))
+            w2.send(result_frame(t2, knowledge=10))
+            res = fut.result(timeout=10)
+            assert res.value == 11
+            assert res.workers == 2
+        finally:
+            w1.close()
+            w2.close()
+
+    def test_batched_release_requeues_under_bumped_epoch(self, handle):
+        # A RELEASE frame hands several unstarted leases back at once;
+        # each re-queues under epoch+1 so anything else the releasing
+        # worker says about them is stale by construction.
+        w = FakeWorker(*handle.address, slots=3)
+        try:
+            fut = handle.run_job_future(ENUM_PAYLOAD, timeout=10)
+            root = w.recv(P.TASK)
+            w.send(offcut_frame(root, [(1,), (2,)]))
+            raw = w.recv_raw(P.TASK)
+            assert len(raw["leases"]) == 2
+            w.send({
+                "type": P.RELEASE,
+                "job": raw["job"],
+                "tasks": [[lease[0], lease[1]] for lease in raw["leases"]],
+            })
+            # Both come back in a fresh batch with bumped epochs.
+            raw2 = w.recv_raw(P.TASK)
+            assert len(raw2["leases"]) == 2
+            assert sorted(l[0] for l in raw2["leases"]) == \
+                sorted(l[0] for l in raw["leases"])
+            assert all(l[1] == 1 for l in raw2["leases"])
+            w.send(result_frame(root, knowledge=1))
+            for lease in raw2["leases"]:
+                w.send(result_frame(lease_to_task(raw2, lease), knowledge=10))
+            res = fut.result(timeout=10)
+            assert res.value == 21
+        finally:
+            w.close()
 
 
 class TestTimeout:
