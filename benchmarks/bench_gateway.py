@@ -1,0 +1,162 @@
+"""Gateway front-door benchmark: HTTP submit→result throughput and latency.
+
+Not a paper table: this measures the repository's own network layer
+(``repro.gateway``, docs/gateway.md) end to end over real sockets — 8
+client threads pushing MaxClique jobs through ``POST /jobs`` and reading
+them back via ``GET /jobs/{id}/result`` — at 1, 2 and 4 shards, for two
+traffic mixes:
+
+- **uncached**: every job is distinct (the budget parameter varies, so
+  every content-addressed key differs).  Each submission runs a real
+  bounded search; the gateway adds routing, admission and two HTTP round
+  trips on top.
+- **cached**: one spec is warmed once, then resubmitted repeatedly.
+  Every submission is answered from the shard's result cache without
+  touching a backend, so this is the ceiling the HTTP + routing layer
+  itself imposes.
+
+Per (mix, shards): wall-clock throughput and p50/p95 submit→result
+latency, plus the summed ``executed`` counter as the dedup witness (the
+cached mix must execute exactly one search no matter how many jobs flow).
+
+Results go to ``results/gateway.txt`` (human table) and
+``results/gateway.json`` (machine-readable).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_gateway.py``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+import time
+
+from _harness import RESULTS_DIR, SCALE, write_result
+
+from repro.gateway import Gateway, GatewayClient, GatewayHandle, ShardRouter
+
+CLIENTS = 8
+UNCACHED_JOBS = max(CLIENTS, int(round(24 * SCALE)))
+CACHED_JOBS = max(16, int(round(96 * SCALE)))
+SHARD_COUNTS = (1, 2, 4)
+
+
+def make_spec(i: int) -> dict:
+    """A small real search; the budget parameter makes keys distinct."""
+    return {
+        "app": "maxclique",
+        "instance": "brock90-1",
+        "skeleton": "budget",
+        "params": {"budget": 400 + i},
+        "timeout": 120.0,
+    }
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+
+def drive(url: str, specs: list[dict]) -> list[float]:
+    """Push specs through CLIENTS threads; return submit→result latencies."""
+    lock = threading.Lock()
+    pending = list(enumerate(specs))
+    latencies: list[float] = []
+    failures: list[str] = []
+
+    def worker() -> None:
+        client = GatewayClient(url)
+        while True:
+            with lock:
+                if not pending:
+                    return
+                index, spec = pending.pop()
+            spec = dict(spec, submitter=f"bench-{index % CLIENTS}")
+            t0 = time.perf_counter()
+            record = client.submit_paced(spec, attempts=10_000)
+            status, body = client.result(record["job"])
+            while status == 202:
+                time.sleep(0.002)
+                status, body = client.result(record["job"])
+            elapsed = time.perf_counter() - t0
+            with lock:
+                if status != 200:
+                    failures.append(f"job {record['job']}: HTTP {status}")
+                latencies.append(elapsed)
+
+    threads = [threading.Thread(target=worker) for _ in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if failures:
+        raise AssertionError("; ".join(failures))
+    return latencies
+
+
+def run_mix(n_shards: int, specs: list[dict], *, warm: dict | None = None):
+    """One gateway lifetime; returns (wall, latencies, executed)."""
+    handle = GatewayHandle(
+        Gateway(ShardRouter(n_shards, queue_depth=4096))
+    )
+    handle.start()
+    try:
+        if warm is not None:
+            drive(handle.url, [warm])
+        t0 = time.perf_counter()
+        latencies = drive(handle.url, specs)
+        wall = time.perf_counter() - t0
+        snaps = handle.gateway.router.snapshots()
+        executed = sum(s.executed for s in snaps.values())
+        return wall, latencies, executed
+    finally:
+        handle.close()
+
+
+def main() -> None:
+    rows = [
+        f"{'mix':<9} {'shards':>6} {'jobs':>5} {'wall s':>7} "
+        f"{'jobs/s':>7} {'p50 ms':>7} {'p95 ms':>7} {'executed':>8}"
+    ]
+    records = []
+    for mix, jobs, warm in (
+        ("uncached", [make_spec(i) for i in range(UNCACHED_JOBS)], None),
+        ("cached", [make_spec(0)] * CACHED_JOBS, make_spec(0)),
+    ):
+        for n_shards in SHARD_COUNTS:
+            wall, latencies, executed = run_mix(n_shards, jobs, warm=warm)
+            if warm is not None:
+                assert executed == 1, (
+                    f"cached mix executed {executed} searches; dedup broke")
+            p50 = percentile(latencies, 0.50) * 1e3
+            p95 = percentile(latencies, 0.95) * 1e3
+            rate = len(latencies) / wall
+            rows.append(
+                f"{mix:<9} {n_shards:>6} {len(latencies):>5} {wall:>7.2f} "
+                f"{rate:>7.1f} {p50:>7.1f} {p95:>7.1f} {executed:>8}"
+            )
+            records.append({
+                "mix": mix, "shards": n_shards, "jobs": len(latencies),
+                "wall_s": round(wall, 3),
+                "jobs_per_s": round(rate, 1),
+                "p50_ms": round(p50, 2), "p95_ms": round(p95, 2),
+                "executed": executed, "clients": CLIENTS,
+            })
+
+    header = [
+        "gateway front-door benchmark (HTTP submit -> result, "
+        f"{CLIENTS} client threads)",
+        f"host: {platform.platform()}  python: {platform.python_version()}",
+        "uncached: distinct keys, real budget-bounded searches;",
+        "cached: one warmed spec resubmitted (executed must stay 1).",
+        "",
+    ]
+    write_result("gateway", header + rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "gateway.json").write_text(
+        json.dumps(records, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    main()

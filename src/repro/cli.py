@@ -33,6 +33,14 @@ and the distributed runtime (:mod:`repro.cluster`) by three more::
     python -m repro.cli maxclique --instance brock100-1 --skeleton budget \\
         --backend cluster --cluster-workers 4   # self-contained localhost run
 
+The network front door (:mod:`repro.gateway`, see docs/gateway.md)
+adds three more::
+
+    python -m repro.cli gateway --listen 127.0.0.1:8080 --shards 2
+    python -m repro.cli submit --url http://127.0.0.1:8080 --app maxclique \\
+        --instance sanr90-1 --wait
+    python -m repro.cli gateway-top --url http://127.0.0.1:8080
+
 The differential conformance harness (:mod:`repro.verify`, see
 docs/verify.md) runs as::
 
@@ -343,6 +351,11 @@ def _cmd_submit(args, out) -> int:
         )
     except (ValueError, TypeError) as exc:
         raise SystemExit(f"invalid job: {exc}") from None
+    if args.url:
+        return _submit_remote(spec, args, out)
+    if args.wait:
+        raise SystemExit("--wait requires --url (job files are drained "
+                         "later by `serve`)")
     line = json.dumps(spec.to_dict(), sort_keys=True)
     if args.jobfile == "-":
         print(line, file=out)
@@ -352,6 +365,170 @@ def _cmd_submit(args, out) -> int:
         print(f"queued {spec.app}/{spec.instance} key={spec.key[:12]} "
               f"-> {args.jobfile}", file=out)
     return 0
+
+
+def _submit_remote(spec, args, out) -> int:
+    """POST one job to a running gateway (``submit --url``); with
+    ``--wait``, follow the status stream and report the result."""
+    from repro.gateway.client import Backpressure, GatewayClient, GatewayError
+
+    try:
+        client = GatewayClient(args.url)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        record = client.submit_paced(spec.to_dict())
+    except Backpressure as bp:
+        print(f"gateway busy (HTTP {bp.status}), gave up after pacing; "
+              f"server suggests retrying in {bp.retry_after:g}s", file=out)
+        return 1
+    except (GatewayError, OSError) as exc:
+        print(f"submit failed: {exc}", file=out)
+        return 1
+    print(f"queued {spec.app}/{spec.instance} key={spec.key[:12]} "
+          f"-> {client.host}:{client.port} "
+          f"(job {record['job']}, shard {record['shard']}, "
+          f"{record['state']}{', cached' if record.get('from_cache') else ''})",
+          file=out)
+    if not args.wait:
+        return 0
+    try:
+        for event in client.events(record["job"]):
+            kind = event.get("event")
+            if kind == "incumbent":
+                print(f"  incumbent: {event.get('value')}", file=out)
+            elif kind != "ping":
+                print(f"  {kind}", file=out)
+        status, body = client.result(record["job"])
+        if status != 200:
+            final = client.job(record["job"])
+            print(f"job {final['state']}: {final.get('error')}", file=out)
+            return 1
+    except (GatewayError, OSError) as exc:
+        print(f"wait failed: {exc}", file=out)
+        return 1
+    from repro.core.results import result_from_dict
+
+    _report(result_from_dict(body["result"]), out)
+    return 0
+
+
+def _cmd_gateway(args, out) -> int:
+    """Run the HTTP front door until SIGTERM/SIGINT, then drain: finish
+    in-flight jobs, cancel queued ones, stop serving."""
+    import signal
+    import threading
+
+    from repro.gateway import Gateway, GatewayHandle, ShardRouter
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.adaptive and args.backend != "cluster":
+        raise SystemExit("--adaptive requires --backend cluster")
+    if args.adaptive:
+        if args.min_workers < 1:
+            raise SystemExit("--min-workers must be >= 1")
+        if args.max_workers < args.min_workers:
+            raise SystemExit("--max-workers must be >= --min-workers")
+    host, port = _parse_addr(args.listen)
+
+    deployments = []
+
+    def backend_factory(index: int):
+        if args.backend == "processes":
+            from repro.service import ProcessBackend
+
+            return ProcessBackend()
+        if args.backend == "cluster":
+            from repro.cluster.backend import ClusterBackend
+
+            if args.adaptive:
+                from repro.deploy import ClusterDeployment, WorkerSpec
+
+                deployment = ClusterDeployment(
+                    WorkerSpec(
+                        name_prefix=f"gw{index}", wire_codec=args.wire_codec
+                    ),
+                    wire_codec=args.wire_codec,
+                    on_event=lambda line, i=index: print(
+                        f"shard {i} fleet: {line}", file=out
+                    ),
+                )
+                deployments.append((index, deployment))
+                return ClusterBackend(
+                    deployment=deployment, min_workers=args.min_workers
+                )
+            return ClusterBackend(
+                local_workers=args.cluster_workers, wire_codec=args.wire_codec
+            )
+        return None  # inproc: the shard's scheduler threads run the searches
+
+    try:
+        router = ShardRouter(
+            args.shards,
+            backend_factory=backend_factory,
+            pool=args.pool,
+            queue_depth=args.queue_depth,
+            per_submitter=args.per_submitter,
+            cache_size=args.cache_size,
+            cache_ttl=args.cache_ttl,
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot start shard backends: {exc}") from None
+    for index, deployment in deployments:
+        # Each shard's fleet follows that shard's own backlog — the queue
+        # exists only now, after the router built it.
+        deployment.adapt(
+            args.min_workers,
+            args.max_workers,
+            queue_depth=router.shards[index].scheduler.queue.depth,
+        )
+    handle = GatewayHandle(
+        Gateway(router, host=host, port=port, retry_after=args.retry_after)
+    )
+    try:
+        bound_host, bound_port = handle.start()
+    except OSError as exc:
+        raise SystemExit(f"cannot listen on {host}:{port}: {exc}") from None
+    print(f"gateway listening on http://{bound_host}:{bound_port}  "
+          f"({args.shards} shard(s), backend {args.backend})", file=out)
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    previous = {}
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _on_signal)
+    except ValueError:
+        pass  # not the main thread: no handlers, rely on KeyboardInterrupt
+    try:
+        while not stop.wait(timeout=0.5):
+            pass
+        print("draining: in-flight jobs finish, queued jobs cancel, "
+              "new submissions get 503", file=out, flush=True)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        handle.close(timeout=args.drain_timeout)
+        print("gateway stopped", file=out)
+    return 0
+
+
+def _cmd_gateway_top(args, out) -> int:
+    """Live ASCII dashboard over a gateway's ``/metrics`` endpoint."""
+    from repro.gateway.dashboard import gateway_top
+
+    iterations = 1 if args.once else args.iterations
+    return gateway_top(
+        args.url,
+        interval=args.interval,
+        iterations=iterations,
+        out=out,
+        clear=not args.no_clear,
+    )
 
 
 def _parse_addr(text: str) -> tuple[str, int]:
@@ -793,7 +970,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None,
                    help="per-job wall-clock timeout in seconds")
     p.add_argument("--submitter", default="anon", help="fairness bucket")
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="POST to a running gateway instead of a job file")
+    p.add_argument("--wait", action="store_true",
+                   help="with --url: follow the status stream and print "
+                   "the final result")
     p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "gateway",
+        help="run the HTTP front door: sharded schedulers, streaming job "
+        "status, Prometheus /metrics (SIGTERM drains in-flight jobs)",
+    )
+    p.add_argument("--listen", default="127.0.0.1:8080", metavar="HOST:PORT",
+                   help="listen address (port 0 picks a free port)")
+    p.add_argument("--shards", type=int, default=2, metavar="N",
+                   help="independent scheduler shards; also the modulus of "
+                   "the job-hash routing rule (default 2)")
+    p.add_argument("--backend", default="inproc",
+                   choices=["inproc", "processes", "cluster"],
+                   help="per-shard execution backend: scheduler threads, OS "
+                   "processes, or a TCP cluster coordinator per shard")
+    p.add_argument("--cluster-workers", type=int, default=2, metavar="N",
+                   help="local worker nodes per shard for --backend cluster")
+    p.add_argument("--wire-codec", default="binary",
+                   choices=["json", "binary"],
+                   help="cluster backend: frame body format on the wire")
+    p.add_argument("--adaptive", action="store_true",
+                   help="with --backend cluster: each shard runs an elastic "
+                   "worker fleet that follows its queue depth")
+    p.add_argument("--min-workers", type=int, default=1, metavar="N",
+                   help="adaptive fleet floor per shard (with --adaptive)")
+    p.add_argument("--max-workers", type=int, default=4, metavar="N",
+                   help="adaptive fleet ceiling per shard (with --adaptive)")
+    p.add_argument("--pool", type=int, default=2,
+                   help="scheduler worker threads per shard")
+    p.add_argument("--queue-depth", type=int, default=256,
+                   help="per-shard admission bound on queued jobs")
+    p.add_argument("--per-submitter", type=int, default=None,
+                   help="per-submitter admission quota per shard")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="per-shard result cache capacity (entries)")
+    p.add_argument("--cache-ttl", type=float, default=None,
+                   help="result cache TTL in seconds (default: no expiry)")
+    p.add_argument("--retry-after", type=float, default=1.0, metavar="S",
+                   help="Retry-After pacing hint on 429/503 responses")
+    p.add_argument("--drain-timeout", type=float, default=120.0, metavar="S",
+                   help="max seconds to wait for in-flight jobs on shutdown")
+    p.set_defaults(fn=_cmd_gateway)
+
+    p = sub.add_parser(
+        "gateway-top",
+        help="live ASCII dashboard over a gateway's /metrics endpoint",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8080",
+                   help="gateway base URL")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="seconds between scrapes (default 1)")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="frames to render (default: until interrupted)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single frame and exit (CI mode)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of clearing the screen")
+    p.set_defaults(fn=_cmd_gateway_top)
 
     p = sub.add_parser(
         "serve", help="run a scheduler over a job file (or stdin) to completion"

@@ -136,24 +136,32 @@ class ClusterBackend:
                 )
             except ClusterError as exc:
                 raise WorkerCrash(str(exc)) from exc
-            future = self.handle.run_job_future(payload, timeout=timeout)
-            while True:
-                try:
-                    return future.result(timeout=self.poll_interval)
-                except concurrent.futures.TimeoutError:
-                    if cancel is not None and cancel.is_set():
-                        self.handle.cancel_job("cancelled by scheduler")
-                        try:
-                            future.result(timeout=5.0)
-                        except Exception:
-                            pass
-                        raise JobCancelled
-                except ClusterJobTimeout as exc:
-                    raise JobTimeout from exc
-                except ClusterJobCancelled as exc:
-                    raise JobCancelled from exc
-                except Exception as exc:
-                    raise WorkerCrash(f"{type(exc).__name__}: {exc}") from exc
+            # One job runs at a time (we hold the lock), so routing the
+            # coordinator's incumbent-improvement callback to this job's
+            # progress hook is unambiguous.  Fires on the loop thread —
+            # the hook (the scheduler's event sink) is thread-safe.
+            self.handle.coordinator.on_incumbent = job.on_incumbent
+            try:
+                future = self.handle.run_job_future(payload, timeout=timeout)
+                while True:
+                    try:
+                        return future.result(timeout=self.poll_interval)
+                    except concurrent.futures.TimeoutError:
+                        if cancel is not None and cancel.is_set():
+                            self.handle.cancel_job("cancelled by scheduler")
+                            try:
+                                future.result(timeout=5.0)
+                            except Exception:
+                                pass
+                            raise JobCancelled
+                    except ClusterJobTimeout as exc:
+                        raise JobTimeout from exc
+                    except ClusterJobCancelled as exc:
+                        raise JobCancelled from exc
+                    except Exception as exc:
+                        raise WorkerCrash(f"{type(exc).__name__}: {exc}") from exc
+            finally:
+                self.handle.coordinator.on_incumbent = None
 
     @staticmethod
     def _payload_for(spec) -> dict:
@@ -186,6 +194,12 @@ class ClusterBackend:
             budget=params.budget,
             share_poll=params.share_poll,
         )
+
+    def load_stats(self) -> dict:
+        """The coordinator's point-in-time load snapshot (queued/leased
+        tasks, per-worker liveness) — surfaced on the gateway's
+        ``/metrics`` endpoint."""
+        return self.handle.load_stats()
 
     def close(self) -> None:
         """Drain local workers / the deployment and (if owned) stop the

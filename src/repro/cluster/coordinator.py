@@ -49,7 +49,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.cluster import protocol as P
 from repro.cluster.faults import CoordinatorFaults
@@ -249,6 +249,11 @@ class Coordinator:
         self.wire_codec = P.get_codec(wire_codec).name
         self._faults = faults if faults is not None and faults else None
         self.workers: dict[int, WorkerConn] = {}
+        # Optional observer of strict incumbent improvements — the
+        # gateway's status streams feed off this.  Called on the loop
+        # thread with the new objective value; must be fast and must
+        # not raise (it is guarded anyway).
+        self.on_incumbent: Optional[Callable[[int], None]] = None
         self._next_worker = 0
         self._next_job = 0
         self._job: Optional[_Job] = None
@@ -567,6 +572,11 @@ class Coordinator:
             for other in list(self.workers.values()):
                 if other.id != worker.id:
                     self._post(other, out)
+            if self.on_incumbent is not None:
+                try:
+                    self.on_incumbent(value)
+                except Exception:
+                    pass
         if job.stype.is_goal(job.knowledge):
             # Goal reached — but complete on the RESULT frame, not here.
             # The publishing worker broke out of its search loop on this

@@ -1,0 +1,57 @@
+"""The network front door: asyncio HTTP over sharded coordinators.
+
+``repro serve`` drains a job file and exits; production traffic is
+concurrent, streaming and long-lived.  This package is the layer that
+turns the service machinery (:mod:`repro.service`) into a network
+service — the master/client serving architecture tree-search
+frameworks like mts converge on:
+
+- :mod:`repro.gateway.http` — minimal HTTP/1.1 over asyncio streams
+  (no frameworks, chunked streaming responses).
+- :mod:`repro.gateway.events` — the thread-safe job-status event hub
+  (``queued → leased → incumbent… → done``) bridging scheduler threads
+  and the asyncio loop.
+- :mod:`repro.gateway.shard` — :class:`ShardRouter`: N independent
+  scheduler/coordinator shards, routed by content-addressed job hash so
+  duplicates coalesce on one shard while independent jobs fan out.
+- :mod:`repro.gateway.server` — :class:`Gateway`: ``POST /jobs`` with
+  429-backpressure, job records, chunked JSONL status streams, result
+  retrieval, and a Prometheus-style ``GET /metrics``; graceful drain.
+- :mod:`repro.gateway.prometheus` — the text exposition (and parser).
+- :mod:`repro.gateway.client` — :class:`GatewayClient`, the sync
+  client behind ``repro submit --url`` and the tests.
+- :mod:`repro.gateway.dashboard` — ``repro gateway-top``, a live ASCII
+  dashboard over the scraped ``/metrics``.
+
+Quick start::
+
+    from repro.gateway import Gateway, GatewayClient, GatewayHandle, ShardRouter
+
+    handle = GatewayHandle(Gateway(ShardRouter(n_shards=2)))
+    handle.start()
+    client = GatewayClient(handle.url)
+    record = client.submit({"app": "maxclique", "instance": "sanr90-1"})
+    final = client.wait(record["job"])
+    handle.close()
+
+The CLI front ends are ``repro gateway`` (run a server; SIGTERM drains
+in-flight jobs first), ``repro submit --url`` (remote submission) and
+``repro gateway-top`` (dashboard); see ``docs/gateway.md``.
+"""
+
+from repro.gateway.client import Backpressure, GatewayClient, GatewayError
+from repro.gateway.events import EventBroker
+from repro.gateway.server import Gateway, GatewayHandle
+from repro.gateway.shard import Shard, ShardRouter, shard_of_key
+
+__all__ = [
+    "Backpressure",
+    "EventBroker",
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayHandle",
+    "Shard",
+    "ShardRouter",
+    "shard_of_key",
+]

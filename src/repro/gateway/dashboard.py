@@ -1,0 +1,166 @@
+"""``repro gateway-top`` — a live ASCII dashboard over ``/metrics``.
+
+Scrapes the gateway's Prometheus endpoint on an interval and renders
+the operator's view in the terminal: a per-shard table (submitted,
+executed, running, queue depth, cache hit rate, latency percentiles,
+cluster workers) and a rolling :func:`repro.util.asciiplot.ascii_chart`
+of submit throughput and in-flight load — the same "watch the service
+breathe" purpose dask's dashboard serves, with nothing but characters.
+
+Everything here consumes the *scraped* endpoint, never in-process
+state: if the dashboard can see it, so can any Prometheus server.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from repro.gateway.client import GatewayClient, GatewayError
+from repro.util.asciiplot import ascii_chart
+
+__all__ = ["render_frame", "gateway_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _shard_labels(metrics: dict) -> list[str]:
+    labels = {
+        dict(labels).get("shard")
+        for (name, labels) in metrics
+        if name == "repro_jobs_submitted_total"
+    }
+    return sorted(label for label in labels if label is not None)
+
+
+def _get(metrics: dict, name: str, **labels) -> Optional[float]:
+    return metrics.get((name, tuple(sorted(labels.items()))))
+
+
+def render_frame(
+    metrics: dict,
+    *,
+    url: str,
+    history: Optional[list] = None,
+) -> str:
+    """One dashboard frame from a parsed ``/metrics`` scrape.
+
+    ``history`` is the rolling list of ``(t, submitted_total,
+    in_flight)`` samples the throughput chart is drawn from.
+    """
+    shards = _shard_labels(metrics)
+    draining = _get(metrics, "repro_gateway_draining")
+    uptime = _get(metrics, "repro_gateway_uptime_seconds")
+    streams = _get(metrics, "repro_gateway_streams_active")
+    head = [
+        f"repro gateway  {url}"
+        + (f"  up {uptime:.0f}s" if uptime is not None else "")
+        + (f"  streams {streams:.0f}" if streams is not None else "")
+        + ("  [DRAINING]" if draining else ""),
+        "",
+        "shard  submitted  executed  running  queued  cache-hit  "
+        "p50      p95      workers",
+    ]
+    totals = {"submitted": 0.0, "executed": 0.0, "running": 0.0, "queued": 0.0}
+    for shard in shards:
+        submitted = _get(metrics, "repro_jobs_submitted_total", shard=shard) or 0
+        executed = _get(metrics, "repro_jobs_executed_total", shard=shard) or 0
+        running = _get(metrics, "repro_jobs_running", shard=shard) or 0
+        queued = _get(metrics, "repro_queue_depth", shard=shard) or 0
+        hits = _get(metrics, "repro_cache_hits_total", shard=shard) or 0
+        misses = _get(metrics, "repro_cache_misses_total", shard=shard) or 0
+        rate = f"{hits / (hits + misses):7.0%}" if hits + misses else "    n/a"
+        p50 = _get(metrics, "repro_job_latency_seconds", shard=shard, quantile="0.5")
+        p95 = _get(metrics, "repro_job_latency_seconds", shard=shard, quantile="0.95")
+        workers = _get(metrics, "repro_cluster_workers_connected", shard=shard)
+        p50s = f"{p50:.3f}s" if p50 is not None else "n/a"
+        p95s = f"{p95:.3f}s" if p95 is not None else "n/a"
+        w = f"{workers:.0f}" if workers is not None else "-"
+        head.append(
+            f"{shard:>5}  {submitted:9.0f}  {executed:8.0f}  {running:7.0f}  "
+            f"{queued:6.0f}  {rate}  {p50s:>7}  {p95s:>7}  {w:>7}"
+        )
+        totals["submitted"] += submitted
+        totals["executed"] += executed
+        totals["running"] += running
+        totals["queued"] += queued
+    head.append(
+        f"total  {totals['submitted']:9.0f}  {totals['executed']:8.0f}  "
+        f"{totals['running']:7.0f}  {totals['queued']:6.0f}"
+    )
+
+    if history is not None:
+        history.append(
+            (
+                time.monotonic(),
+                totals["submitted"],
+                totals["running"] + totals["queued"],
+            )
+        )
+        del history[:-120]
+        if len(history) >= 3:
+            t0 = history[0][0]
+            rate_pts = [
+                (
+                    t - t0,
+                    max(0.0, (s - s_prev) / max(1e-9, t - t_prev)),
+                )
+                for (t_prev, s_prev, _), (t, s, _) in zip(history, history[1:])
+            ]
+            load_pts = [(t - t0, load) for t, _, load in history[1:]]
+            try:
+                head.append("")
+                head.append(
+                    ascii_chart(
+                        {"submit/s": rate_pts, "in-flight": load_pts},
+                        width=60,
+                        height=10,
+                        title="throughput and load",
+                        xlabel="seconds",
+                    )
+                )
+            except ValueError:
+                pass  # flat zero history; nothing worth plotting
+    return "\n".join(head)
+
+
+def gateway_top(
+    url: str,
+    *,
+    interval: float = 1.0,
+    iterations: Optional[int] = None,
+    out=None,
+    clear: bool = True,
+    sleep=time.sleep,
+) -> int:
+    """Run the dashboard loop; returns a process exit status.
+
+    ``iterations=None`` runs until interrupted; ``iterations=1`` prints
+    a single frame (the ``--once`` mode CI uses).
+    """
+    out = out if out is not None else sys.stdout
+    client = GatewayClient(url)
+    history: list = []
+    n = 0
+    while iterations is None or n < iterations:
+        try:
+            metrics = client.metrics()
+        except (GatewayError, OSError) as exc:
+            if n == 0:
+                print(f"cannot scrape {url}/metrics: {exc}", file=out)
+                return 1
+            print(f"scrape failed ({exc}); gateway gone — exiting", file=out)
+            return 0
+        frame = render_frame(metrics, url=url, history=history)
+        if clear and iterations != 1:
+            print(_CLEAR + frame, file=out, flush=True)
+        else:
+            print(frame, file=out, flush=True)
+        n += 1
+        if iterations is None or n < iterations:
+            try:
+                sleep(interval)
+            except KeyboardInterrupt:
+                return 0
+    return 0

@@ -1,0 +1,218 @@
+"""Minimal HTTP/1.1 over asyncio streams — the gateway's wire layer.
+
+The gateway deliberately speaks plain HTTP with nothing but the
+standard library: requests are parsed straight off an
+``asyncio.StreamReader``, responses are rendered to bytes, and
+long-lived status streams use ``Transfer-Encoding: chunked`` so a
+client can read job events line by line while the search runs.  This is
+the same "no framework, just sockets" discipline as the cluster's
+length-prefixed protocol — everything on the wire is inspectable with
+``curl`` and ``tcpdump``.
+
+Scope is intentionally small: one request per connection
+(``Connection: close``), bodies bounded by ``max_body``, no request
+chunking, no TLS.  Anything outside that scope gets a clean 4xx/5xx
+instead of undefined behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "response_bytes",
+    "read_request",
+    "start_chunked",
+    "write_chunk",
+    "end_chunked",
+    "STATUS_PHRASES",
+]
+
+STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+# Bound on the request head (request line + headers) and default bound
+# on bodies: a search JobSpec is well under a kilobyte, so anything
+# megabyte-sized is a client error, not a bigger buffer's job.
+_MAX_HEAD_LINE = 16 * 1024
+DEFAULT_MAX_BODY = 1 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """A request that cannot be served; carries the response status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)  # keys lower-cased
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object (raises 400-flavoured
+        :class:`HttpError` on anything else)."""
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"body is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise HttpError(400, "body must be a JSON object")
+        return data
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = DEFAULT_MAX_BODY
+) -> Optional[Request]:
+    """Parse one request off ``reader``; None on a clean EOF.
+
+    Malformed input raises :class:`HttpError` with the right status
+    (400 bad syntax, 413 oversized body, 501 request chunking).
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > _MAX_HEAD_LINE:
+        raise HttpError(400, "request line too long")
+    try:
+        method, target, version = line.decode("latin-1").strip().split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict = {}
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        if len(line) > _MAX_HEAD_LINE or len(headers) > 100:
+            raise HttpError(400, "headers too large")
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise HttpError(400, "undecodable header") from None
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body exceeds {max_body} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None  # client hung up mid-body; nothing to respond to
+
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes | str | dict,
+    *,
+    content_type: str = "application/json",
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Render a complete non-streaming response.
+
+    ``body`` may be a dict (serialised as JSON), str (UTF-8 encoded) or
+    raw bytes; Content-Length and ``Connection: close`` are always set.
+    """
+    if isinstance(body, dict):
+        body = json.dumps(body, sort_keys=True).encode()
+    elif isinstance(body, str):
+        body = body.encode()
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+async def start_chunked(
+    writer: asyncio.StreamWriter,
+    *,
+    status: int = 200,
+    content_type: str = "application/x-ndjson",
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> None:
+    """Send the head of a ``Transfer-Encoding: chunked`` response."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        "Transfer-Encoding: chunked",
+        "Cache-Control: no-store",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+
+
+async def write_chunk(writer: asyncio.StreamWriter, data: bytes | str) -> None:
+    """Write one chunk (and flush — streams must not sit in buffers)."""
+    if isinstance(data, str):
+        data = data.encode()
+    if not data:
+        return  # an empty chunk would terminate the stream
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    await writer.drain()
+
+
+async def end_chunked(writer: asyncio.StreamWriter) -> None:
+    """Terminate a chunked response."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

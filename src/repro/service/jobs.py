@@ -193,6 +193,11 @@ class Job:
     from_cache: bool = False
     coalesced_into: Optional[str] = None  # leader job id, for followers
     cancel_event: Optional[Any] = None  # threading.Event, set on live cancel
+    # Transient progress hook: backends that observe incumbent
+    # improvements mid-search call this with the new objective value.
+    # The scheduler wires it to its event sink before execution; it is
+    # best-effort (may fire from any thread, may be None).
+    on_incumbent: Optional[Any] = None  # Callable[[int], None]
 
     @property
     def key(self) -> str:

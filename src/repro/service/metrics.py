@@ -34,6 +34,7 @@ class MetricsSnapshot:
     rejected: int
     coalesced: int
     retries: int
+    executed: int
     cache_hits: int
     cache_misses: int
     cache_hit_rate: Optional[float]
@@ -66,6 +67,7 @@ class MetricsSnapshot:
             "rejected": self.rejected,
             "coalesced": self.coalesced,
             "retries": self.retries,
+            "executed": self.executed,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
@@ -132,6 +134,7 @@ class ServiceMetrics:
         self.rejected = 0
         self.coalesced = 0
         self.retries = 0
+        self.executed = 0
         self._by_state: dict[str, int] = {}
         self._latencies: list[float] = []
         self._worker_counts: list[int] = []
@@ -162,6 +165,13 @@ class ServiceMetrics:
         """Count a retry dispatched after a worker crash."""
         with self._lock:
             self.retries += 1
+
+    def job_executed(self) -> None:
+        """Count a job actually handed to a backend (cache hits, rejects
+        and coalesced followers never reach this) — the counter that
+        proves deduplication: N identical submissions, one execution."""
+        with self._lock:
+            self.executed += 1
 
     def job_finished(self, job: Job) -> None:
         """Record a job reaching a terminal state (latency + state count).
@@ -208,23 +218,31 @@ class ServiceMetrics:
         """Freeze the current counters into a :class:`MetricsSnapshot`.
 
         ``cache`` is a :class:`repro.service.cache.ResultCache` (or
-        anything with ``hits``/``misses``/``hit_rate()``); omitted, the
-        cache columns read zero.
+        anything with ``hits``/``misses`` counters); omitted, the cache
+        columns read zero.
+
+        The snapshot is *consistent*: every counter is copied inside one
+        critical section, and the cache hit rate is derived from the
+        same ``hits``/``misses`` pair that is reported — not re-read via
+        ``cache.hit_rate()``, which could observe newer counters than
+        the ones already copied and publish a rate that disagrees with
+        them (visible to a concurrent ``/metrics`` scrape).
         """
         with self._lock:
             latencies = list(self._latencies)
             by_state = dict(self._by_state)
             submitted, rejected = self.submitted, self.rejected
             coalesced, retries = self.coalesced, self.retries
+            executed = self.executed
             worker_counts = list(self._worker_counts)
             total_splits = self._total_splits
             workers_spawned = self._workers_spawned
             workers_retired = self._workers_retired
             fleet_size = self._fleet_size
             fleet_peak = self._fleet_peak
-        hits = cache.hits if cache is not None else 0
-        misses = cache.misses if cache is not None else 0
-        hit_rate = cache.hit_rate() if cache is not None else None
+            hits = cache.hits if cache is not None else 0
+            misses = cache.misses if cache is not None else 0
+        hit_rate = hits / (hits + misses) if (hits + misses) else None
         return MetricsSnapshot(
             queue_depth=queue_depth,
             running=running,
@@ -232,6 +250,7 @@ class ServiceMetrics:
             rejected=rejected,
             coalesced=coalesced,
             retries=retries,
+            executed=executed,
             cache_hits=hits,
             cache_misses=misses,
             cache_hit_rate=hit_rate,

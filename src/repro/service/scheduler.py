@@ -112,7 +112,7 @@ class InProcessBackend:
         spec = job.spec
         try:
             if spec.skeleton == "sequential" and (deadline or cancel):
-                return self._cooperative_sequential(spec, deadline, cancel)
+                return self._cooperative_sequential(job, deadline, cancel)
             result = run_library_search(**spec.run_payload())
         except (JobTimeout, JobCancelled):
             raise
@@ -126,15 +126,17 @@ class InProcessBackend:
 
     @staticmethod
     def _cooperative_sequential(
-        spec: JobSpec,
+        job: Job,
         deadline: Optional[float],
         cancel: Optional[threading.Event],
     ) -> SearchResult:
         """Sequential search via the stepped task machine, checking the
-        deadline and cancel event every ``_CHECK_EVERY`` steps."""
+        deadline and cancel event every ``_CHECK_EVERY`` steps and
+        reporting incumbent improvements through ``job.on_incumbent``."""
         from repro.core.searchtypes import make_search_type
         from repro.instances.library import spec_for
 
+        spec = job.spec
         search_spec, default_type, default_kwargs = spec_for(spec.instance)
         stype_name = spec.search_type or default_type
         kwargs = dict(default_kwargs) if stype_name == default_type else {}
@@ -147,9 +149,19 @@ class InProcessBackend:
         started = time.perf_counter()
         steps = 0
         goal = False
+        last_value = (
+            knowledge.value if isinstance(knowledge, Incumbent) else None
+        )
         while not task.finished:
             knowledge, out = task.step(knowledge)
             steps += 1
+            if (
+                job.on_incumbent is not None
+                and isinstance(knowledge, Incumbent)
+                and knowledge.value != last_value
+            ):
+                last_value = knowledge.value
+                job.on_incumbent(knowledge.value)
             if out.processed:
                 metrics.nodes += 1
                 metrics.weighted_nodes += out.weight
@@ -227,9 +239,19 @@ class Scheduler:
         backend: execution backend (default :class:`InProcessBackend`).
         queue: admission-controlled queue (default: depth 256).
         cache: result cache (default: 256 entries, no TTL).
-        n_workers: worker pool size for :meth:`run_until_idle`.
+        n_workers: worker pool size for :meth:`run_until_idle` /
+            :meth:`start`.
         metrics: a :class:`ServiceMetrics` to report into.
         clock: time source for latencies/timeouts (injectable in tests).
+        name: prefix for generated job ids (``name="s0-"`` yields
+            ``s0-j0001``) — lets a shard router hand out globally
+            unique ids across many schedulers.
+        on_event: lifecycle event sink, called as
+            ``on_event(job, event, data)`` with ``event`` one of
+            ``queued / coalesced / rejected / leased / incumbent /
+            done / failed / cancelled / timeout``.  Fired from worker
+            threads, sometimes with the scheduler lock held: sinks must
+            be fast and must not call back into the scheduler.
     """
 
     def __init__(
@@ -241,6 +263,8 @@ class Scheduler:
         n_workers: int = 2,
         metrics: Optional[ServiceMetrics] = None,
         clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+        on_event: Optional[Callable[[Job, str, dict], None]] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -251,9 +275,23 @@ class Scheduler:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._clock = clock
         self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
         self._jobs: dict[str, Job] = {}
         self._running = 0
         self._seq = 0
+        self.name = name
+        self.on_event = on_event
+        self._stopping = False
+        self._threads: list[threading.Thread] = []
+
+    def _emit(self, job: Job, event: str, **data) -> None:
+        """Report a lifecycle event to the sink (never raises)."""
+        if self.on_event is None:
+            return
+        try:
+            self.on_event(job, event, data)
+        except Exception:  # a broken sink must not kill a worker
+            pass
 
     # -- submission ----------------------------------------------------------
 
@@ -269,7 +307,9 @@ class Scheduler:
         self._validate(spec)
         with self._lock:
             self._seq += 1
-            job = Job(spec, id=f"j{self._seq:04d}", submitted_at=self._clock())
+            job = Job(
+                spec, id=f"{self.name}j{self._seq:04d}", submitted_at=self._clock()
+            )
             self._jobs[job.id] = job
             self.metrics.job_submitted()
 
@@ -284,16 +324,26 @@ class Scheduler:
             if leader is not None:
                 job.coalesced_into = self.cache.join(spec.key, job.id)
                 self.metrics.job_coalesced()
+                self._emit(job, "coalesced", leader=job.coalesced_into)
                 return job  # stays PENDING until the leader lands
 
+            if self._stopping:
+                job.error = "rejected: scheduler is draining"
+                self.metrics.job_rejected()
+                self._emit(job, "rejected", reason="scheduler is draining")
+                self._finish(job, JobState.FAILED)
+                return job
             try:
                 self.queue.push(job)
             except AdmissionError as exc:
                 job.error = f"rejected: {exc.reason}"
                 self.metrics.job_rejected()
+                self._emit(job, "rejected", reason=exc.reason)
                 self._finish(job, JobState.FAILED)
                 return job
             self.cache.lead(spec.key, job.id)
+            self._emit(job, "queued", queue_depth=self.queue.depth())
+            self._work.notify()
             return job
 
     @staticmethod
@@ -363,12 +413,78 @@ class Scheduler:
         except AdmissionError as exc:
             new_leader.error = f"rejected: {exc.reason}"
             self.metrics.job_rejected()
+            self._emit(new_leader, "rejected", reason=exc.reason)
             self._finish(new_leader, JobState.FAILED)
             self._promote([j.id for j in rest])
             return
         self.cache.lead(new_leader.key, new_leader.id)
+        self._emit(new_leader, "queued", queue_depth=self.queue.depth())
+        self._work.notify()
         for job in rest:
             job.coalesced_into = self.cache.join(job.key, job.id)
+
+    # -- long-running service mode -------------------------------------------
+
+    def start(self) -> None:
+        """Start ``n_workers`` long-lived worker threads that serve the
+        queue until :meth:`stop` — the mode a network front door runs
+        the scheduler in, where submissions arrive concurrently and
+        forever rather than from a finite job file."""
+        with self._lock:
+            if self._threads:
+                raise RuntimeError("scheduler already started")
+            self._stopping = False
+        self._threads = [
+            threading.Thread(
+                target=self._serve_loop,
+                name=f"{self.name or 'svc-'}worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.n_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._work:
+                job = self.queue.pop()
+                while job is None and not self._stopping:
+                    self._work.wait(timeout=0.2)
+                    job = self.queue.pop()
+                if job is None:
+                    return
+            self._run_job(job)
+
+    def stop(self, *, timeout: Optional[float] = 30.0) -> None:
+        """Drain and stop the long-lived workers.
+
+        In-flight jobs run to completion; jobs still *queued* are
+        cancelled (``error="cancelled: scheduler shutting down"``) so
+        their submitters' status streams terminate instead of hanging,
+        and new submissions are rejected from this point on.
+        Idempotent.
+        """
+        with self._work:
+            self._stopping = True
+            while True:
+                job = self.queue.pop()
+                if job is None:
+                    break
+                job.error = "cancelled: scheduler shutting down"
+                self._finish(job, JobState.CANCELLED)
+                for fid in self.cache.finish(job.key):
+                    follower = self._jobs[fid]
+                    if follower.terminal:
+                        continue
+                    follower.error = (
+                        f"coalesced with {job.id}, cancelled at shutdown"
+                    )
+                    self._finish(follower, JobState.CANCELLED)
+            self._work.notify_all()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads = []
 
     # -- execution -----------------------------------------------------------
 
@@ -398,8 +514,13 @@ class Scheduler:
             if job.state is not JobState.PENDING:  # cancelled in the gap
                 return
             job.cancel_event = threading.Event()
+            job.on_incumbent = lambda value: self._emit(
+                job, "incumbent", value=value
+            )
             job.transition(JobState.RUNNING, now=self._clock())
             self._running += 1
+            self.metrics.job_executed()
+        self._emit(job, "leased", worker=threading.current_thread().name)
         spec = job.spec
         deadline = (
             None if spec.timeout is None else time.monotonic() + spec.timeout
@@ -475,6 +596,15 @@ class Scheduler:
     def _finish(self, job: Job, state: JobState) -> None:
         job.transition(state, now=self._clock())
         self.metrics.job_finished(job)
+        data: dict = {"state": state.value, "from_cache": job.from_cache}
+        if job.result is not None:
+            data["value"] = job.result.value
+        if job.error:
+            data["error"] = job.error
+        lat = job.latency()
+        if lat is not None:
+            data["latency"] = lat
+        self._emit(job, state.value.lower(), **data)
 
     # -- reporting -----------------------------------------------------------
 

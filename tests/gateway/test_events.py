@@ -1,0 +1,147 @@
+"""EventBroker: replay + live fan-out, bounded retention, thread safety."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.gateway.events import TERMINAL_EVENTS, EventBroker
+
+
+async def collect(broker, job_id, *, limit=100, poll_timeout=None):
+    """Drain a subscription into a list (bounded, for tests)."""
+    out = []
+    async for record in broker.subscribe(job_id, poll_timeout=poll_timeout):
+        out.append(record)
+        if len(out) >= limit:
+            break
+    return out
+
+
+class TestHistory:
+    def test_publish_records_in_order_with_payload(self):
+        b = EventBroker(clock=lambda: 123.0)
+        b.publish("j1", "queued", queue_depth=1)
+        b.publish("j1", "leased", worker="w0")
+        events = b.history("j1")
+        assert [e["event"] for e in events] == ["queued", "leased"]
+        assert events[0] == {
+            "job": "j1", "event": "queued", "ts": 123.0, "queue_depth": 1,
+        }
+
+    def test_unknown_job_has_empty_history(self):
+        assert EventBroker().history("nope") == []
+
+    def test_terminal_event_closes_the_log(self):
+        b = EventBroker()
+        b.publish("j1", "queued")
+        b.publish("j1", "done", value=7)
+        assert b.closed("j1")
+        b.publish("j1", "incumbent", value=9)  # post-terminal noise
+        assert [e["event"] for e in b.history("j1")] == ["queued", "done"]
+
+    def test_history_cap_drops_oldest_with_marker(self):
+        b = EventBroker(history_limit=8)
+        b.publish("j1", "queued")
+        for i in range(20):
+            b.publish("j1", "incumbent", value=i)
+        events = b.history("j1")
+        assert len(events) == 8
+        assert events[0]["event"] == "dropped"
+        # 21 published, 7 real events kept -> 14 dropped, counted exactly
+        assert events[0]["count"] == 14
+        assert [e.get("value") for e in events[1:]] == list(range(13, 20))
+
+    def test_eviction_retires_oldest_terminal_logs_only(self):
+        b = EventBroker(max_jobs=2)
+        b.publish("j1", "done")
+        b.publish("j2", "queued")       # live: never evicted
+        b.publish("j3", "done")
+        assert len(b) == 2
+        assert b.history("j1") == []    # oldest terminal log went first
+        assert b.history("j2") != []
+        assert b.history("j3") != []
+
+
+class TestSubscribe:
+    def test_replay_then_terminal_ends_stream(self):
+        b = EventBroker()
+        b.publish("j1", "queued")
+        b.publish("j1", "done", value=3)
+        events = asyncio.run(collect(b, "j1"))
+        assert [e["event"] for e in events] == ["queued", "done"]
+
+    def test_live_events_reach_a_waiting_subscriber(self):
+        b = EventBroker()
+        b.publish("j1", "queued")
+
+        async def run():
+            gen = collect(b, "j1")
+            task = asyncio.ensure_future(gen)
+            await asyncio.sleep(0.05)
+            # published from a foreign thread, like a scheduler worker
+            t = threading.Thread(target=lambda: (
+                b.publish("j1", "leased"),
+                b.publish("j1", "done"),
+            ))
+            t.start()
+            t.join()
+            return await asyncio.wait_for(task, 5)
+
+        events = asyncio.run(run())
+        assert [e["event"] for e in events] == ["queued", "leased", "done"]
+
+    def test_ping_fills_silent_gaps(self):
+        b = EventBroker()
+        b.publish("j1", "queued")
+
+        async def run():
+            out = []
+            async for record in b.subscribe("j1", poll_timeout=0.02):
+                out.append(record["event"])
+                if len(out) == 3:
+                    break
+            return out
+
+        events = asyncio.run(run())
+        assert events == ["queued", "ping", "ping"]
+
+    def test_subscriber_list_is_cleaned_up(self):
+        b = EventBroker()
+        b.publish("j1", "queued")
+        b.publish("j1", "done")
+        asyncio.run(collect(b, "j1"))
+        assert b._logs["j1"].subscribers == []
+
+    def test_concurrent_threaded_publish_is_not_lost(self):
+        b = EventBroker(history_limit=4096)
+        threads = [
+            threading.Thread(
+                target=lambda t=t: [
+                    b.publish("j1", "incumbent", value=t * 100 + i)
+                    for i in range(100)
+                ]
+            )
+            for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        b.publish("j1", "done")
+        events = b.history("j1")
+        assert len(events) == 401
+        assert events[-1]["event"] == "done"
+
+
+class TestVocabulary:
+    def test_terminal_events_mirror_job_states(self):
+        from repro.service.jobs import TERMINAL_STATES
+
+        assert TERMINAL_EVENTS == {s.value.lower() for s in TERMINAL_STATES}
+
+    def test_bounds_are_validated(self):
+        with pytest.raises(ValueError):
+            EventBroker(history_limit=2)
+        with pytest.raises(ValueError):
+            EventBroker(max_jobs=0)

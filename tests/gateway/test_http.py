@@ -1,0 +1,139 @@
+"""HTTP/1.1 parsing and serialisation primitives.
+
+The parser is driven directly over in-memory asyncio streams — no
+sockets — so every malformed-input branch is cheap to hit.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.gateway.http import (
+    HttpError,
+    read_request,
+    response_bytes,
+    start_chunked,
+    write_chunk,
+)
+
+
+def parse(raw: bytes, **kw):
+    """Feed raw bytes to read_request via an in-memory StreamReader."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kw)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        req = parse(b"GET /jobs/j1 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/jobs/j1"
+        assert req.headers["host"] == "x"
+        assert req.body == b""
+
+    def test_post_with_body(self):
+        body = b'{"a": "b"}'
+        req = parse(
+            b"POST /jobs HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n".encode()
+            + b"Content-Type: application/json\r\n\r\n"
+            + body
+        )
+        assert req.method == "POST"
+        assert req.json() == {"a": "b"}
+
+    def test_query_string_is_parsed_off_the_path(self):
+        req = parse(b"GET /jobs/j1/events?timeout=5 HTTP/1.1\r\n\r\n")
+        assert req.path == "/jobs/j1/events"
+        assert req.query == {"timeout": "5"}
+
+    def test_eof_before_request_returns_none(self):
+        assert parse(b"") is None
+
+    def test_header_names_are_case_insensitive(self):
+        req = parse(b"GET / HTTP/1.1\r\nX-Thing: 1\r\n\r\n")
+        assert req.headers["x-thing"] == "1"
+
+    def test_bad_request_line_is_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpError) as err:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                max_body=10,
+            )
+        assert err.value.status == 413
+
+    def test_chunked_request_body_is_501(self):
+        with pytest.raises(HttpError) as err:
+            parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"0\r\n\r\n"
+            )
+        assert err.value.status == 501
+
+    def test_truncated_body_returns_none(self):
+        # Client hung up mid-body: not an error worth a response.
+        assert parse(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nhalf") is None
+
+    def test_json_on_invalid_body_is_400(self):
+        req = parse(b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope")
+        with pytest.raises(HttpError) as err:
+            req.json()
+        assert err.value.status == 400
+
+
+class TestResponses:
+    def test_response_bytes_shape(self):
+        raw = response_bytes(404, {"error": "no such job"})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 404 Not Found\r\n")
+        assert b"content-type: application/json" in head.lower()
+        assert f"content-length: {len(body)}".encode() in head.lower()
+        assert b"no such job" in body
+
+    def test_extra_headers_are_emitted(self):
+        raw = response_bytes(429, {"error": "full"}, extra_headers={"Retry-After": "2"})
+        assert b"Retry-After: 2\r\n" in raw
+
+    def test_chunked_stream_round_trip(self):
+        class Sink:
+            def __init__(self):
+                self.data = b""
+
+            def write(self, chunk):
+                self.data += chunk
+
+            async def drain(self):
+                pass
+
+        async def run():
+            from repro.gateway.http import end_chunked
+
+            sink = Sink()
+            await start_chunked(sink)
+            await write_chunk(sink, b'{"event": "queued"}\n')
+            await write_chunk(sink, b"")  # must not terminate the stream
+            await end_chunked(sink)
+            return sink.data
+
+        data = asyncio.run(run())
+        assert b"Transfer-Encoding: chunked" in data
+        # chunk framing: hex size, CRLF, payload, CRLF, then 0-terminator
+        payload = b'{"event": "queued"}\n'
+        assert f"{len(payload):x}".encode() + b"\r\n" + payload in data
+        assert data.endswith(b"0\r\n\r\n")

@@ -1,0 +1,127 @@
+"""Prometheus text exposition: escaping, rendering, parse round-trip."""
+
+import pytest
+
+from repro.gateway.prometheus import (
+    escape_help,
+    escape_label_value,
+    parse_metrics,
+    render_families,
+    render_service,
+    sample_line,
+)
+from repro.service.metrics import ServiceMetrics
+
+
+class TestEscaping:
+    def test_backslash_quote_and_newline(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_backslash_escapes_before_quote(self):
+        # The order matters: escaping quotes first would double-escape.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_help_escapes_newline_but_not_quote(self):
+        assert escape_help('say "hi"\nplease') == 'say "hi"\\nplease'
+
+    @pytest.mark.parametrize(
+        "hostile",
+        ['plain', 'with"quote', "with\\slash", "with\nnewline",
+         'all\\three" \n at once', ""],
+    )
+    def test_round_trip_through_parser(self, hostile):
+        text = render_families([
+            ("m", "gauge", "h", [({"label": hostile}, 1.5)]),
+        ])
+        parsed = parse_metrics(text)
+        assert parsed == {("m", (("label", hostile),)): 1.5}
+
+
+class TestRendering:
+    def test_sample_line_shapes(self):
+        assert sample_line("up", 1) == "up 1"
+        assert sample_line("x", 2.5, {"a": "b"}) == 'x{a="b"} 2.5'
+        assert sample_line("b", True) == "b 1"
+
+    def test_families_carry_help_and_type(self):
+        text = render_families([
+            ("repro_up", "gauge", "Is it up.", [(None, 1)]),
+        ])
+        assert "# HELP repro_up Is it up.\n" in text
+        assert "# TYPE repro_up gauge\n" in text
+        assert text.endswith("repro_up 1\n")
+
+    def test_none_samples_and_empty_families_are_omitted(self):
+        text = render_families([
+            ("a", "gauge", "h", [(None, None)]),
+            ("b", "gauge", "h", [(None, 1), ({"k": "v"}, None)]),
+        ])
+        assert "a" not in text.split()
+        assert text.count("\n") == 3  # HELP + TYPE + one sample
+
+
+class TestRenderService:
+    def snapshot(self):
+        class FakeCache:
+            hits = 2
+            misses = 3
+
+        m = ServiceMetrics()
+        m.job_submitted()
+        m.job_executed()
+        return m.snapshot(queue_depth=0, running=1, cache=FakeCache())
+
+    def test_shard_labels_and_counters(self):
+        text = render_service({"0": self.snapshot(), "1": self.snapshot()})
+        parsed = parse_metrics(text)
+        assert parsed[("repro_jobs_submitted_total", (("shard", "0"),))] == 1
+        assert parsed[("repro_jobs_executed_total", (("shard", "1"),))] == 1
+        assert parsed[("repro_cache_hits_total", (("shard", "0"),))] == 2
+
+    def test_gateway_and_request_families(self):
+        text = render_service(
+            {"0": self.snapshot()},
+            gateway={"shards": 2, "draining": 0, "streams_active": 1,
+                     "uptime_seconds": 10.0},
+            requests={("POST", 201): 4, ("GET", 200): 9},
+        )
+        parsed = parse_metrics(text)
+        assert parsed[("repro_gateway_shards", ())] == 2
+        assert parsed[
+            ("repro_gateway_requests_total",
+             (("code", "201"), ("method", "POST")))
+        ] == 4
+
+    def test_load_stats_families(self):
+        text = render_service(
+            {"0": self.snapshot()},
+            load_stats={"0": {"connected": 3, "retiring": 1,
+                              "job_active": True, "queued_tasks": 5,
+                              "leased_tasks": 2, "outstanding": 7,
+                              "reassigned": 0}},
+        )
+        parsed = parse_metrics(text)
+        assert parsed[("repro_cluster_workers_connected", (("shard", "0"),))] == 3
+        assert parsed[("repro_cluster_job_active", (("shard", "0"),))] == 1
+
+    def test_latency_quantiles_absent_until_first_job(self):
+        text = render_service({"0": self.snapshot()})
+        assert "repro_job_latency_seconds" not in text
+
+
+class TestParser:
+    def test_unlabelled_and_special_values(self):
+        parsed = parse_metrics("a 1\nb +Inf\nc NaN\n")
+        assert parsed[("a", ())] == 1
+        assert parsed[("b", ())] == float("inf")
+        assert parsed[("c", ())] != parsed[("c", ())]  # NaN
+
+    def test_comments_and_blanks_are_skipped(self):
+        parsed = parse_metrics("# HELP a h\n# TYPE a gauge\n\na 2\n")
+        assert parsed == {("a", ()): 2.0}
+
+    def test_multiple_labels_sorted(self):
+        parsed = parse_metrics('m{b="2",a="1"} 5\n')
+        assert parsed == {("m", (("a", "1"), ("b", "2"))): 5.0}

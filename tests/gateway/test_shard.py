@@ -1,0 +1,157 @@
+"""ShardRouter: deterministic hash routing, global ids, dedup at scale."""
+
+import time
+
+import pytest
+
+from repro.core.results import SearchResult
+from repro.gateway import EventBroker, ShardRouter, shard_of_key
+from repro.service import JobState
+from repro.service.jobs import JobSpec
+
+
+def spec(instance="brock90-1", app="maxclique", **kw):
+    return JobSpec(app=app, instance=instance, **kw)
+
+
+def wait_terminal(job, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not job.terminal:
+        assert time.monotonic() < deadline, f"{job.id} stuck in {job.state}"
+        time.sleep(0.005)
+
+
+class CountingBackend:
+    """Instant backend that remembers which jobs it executed."""
+
+    def __init__(self):
+        self.executed = []
+
+    def execute(self, job, *, deadline=None, cancel=None):
+        self.executed.append(job.id)
+        return SearchResult(kind="optimisation", value=42, node=("w",))
+
+
+def make_router(n_shards=4, backends=None, **kw):
+    backends = backends if backends is not None else {}
+
+    def factory(i):
+        backends[i] = CountingBackend()
+        return backends[i]
+
+    kw.setdefault("pool", 1)
+    return ShardRouter(n_shards, backend_factory=factory, **kw)
+
+
+class TestRouting:
+    def test_shard_of_key_is_first_16_hex_digits_mod_n(self):
+        key = "deadbeefcafef00d" + "0" * 48
+        assert shard_of_key(key, 4) == int("deadbeefcafef00d", 16) % 4
+        assert shard_of_key(key, 1) == 0
+
+    def test_route_is_deterministic_across_router_instances(self):
+        s = spec()
+        a = ShardRouter(4)
+        b = ShardRouter(4)
+        try:
+            assert a.route(s) == b.route(s) == shard_of_key(s.key, 4)
+        finally:
+            a.close()
+            b.close()
+
+    def test_identical_specs_land_on_one_shard_different_specs_scatter(self):
+        router = make_router(4)
+        try:
+            same = [router.route(spec(submitter=who)) for who in "abc"]
+            assert len(set(same)) == 1  # submitter is not outcome-determining
+            instances = ["brock90-1", "brock90-2", "brock100-1", "sanr90-1",
+                         "p_hat90-1", "brock110-1"]
+            scattered = {router.route(spec(instance=i)) for i in instances}
+            assert len(scattered) > 1  # independent jobs fan out
+        finally:
+            router.close()
+
+    def test_n_shards_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestGlobalIds:
+    def test_job_ids_carry_the_shard_prefix(self):
+        router = make_router(4)
+        try:
+            index, job = router.submit(spec())
+            assert job.id.startswith(f"s{index}-j")
+            found_index, found = router.job(job.id)
+            assert found is job
+            assert found_index == index
+        finally:
+            router.close()
+
+    @pytest.mark.parametrize("bad", ["", "j0001", "s-j1", "sX-j1", "s9-j1",
+                                     "nonsense"])
+    def test_malformed_or_out_of_range_ids_raise_keyerror(self, bad):
+        router = make_router(2)
+        try:
+            with pytest.raises(KeyError):
+                router.job(bad)
+        finally:
+            router.close()
+
+
+class TestDedup:
+    def test_duplicate_submissions_execute_once_two_results(self):
+        backends = {}
+        router = make_router(4, backends=backends)
+        router.start()
+        try:
+            i1, first = router.submit(spec(submitter="alice"))
+            i2, second = router.submit(spec(submitter="bob"))
+            assert i1 == i2
+            for job in (first, second):
+                wait_terminal(job)
+                assert job.state is JobState.DONE
+                assert job.result.value == 42
+            executed = [b for b in backends.values() if b.executed]
+            assert len(executed) == 1
+            assert len(executed[0].executed) == 1  # one run, two results
+            snap = router.shards[i1].snapshot()
+            assert snap.executed == 1
+            assert snap.submitted == 2
+        finally:
+            router.close()
+
+    def test_events_carry_the_shard_index(self):
+        broker = EventBroker()
+        router = make_router(4, broker=broker)
+        router.start()
+        try:
+            index, job = router.submit(spec())
+            wait_terminal(job)
+            events = broker.history(job.id)
+            assert [e["event"] for e in events][-1] == "done"
+            assert all(e["shard"] == index for e in events)
+        finally:
+            router.close()
+
+
+class TestReporting:
+    def test_snapshots_and_in_flight(self):
+        router = make_router(2)
+        router.start()
+        try:
+            _, job = router.submit(spec())
+            wait_terminal(job)
+            snaps = router.snapshots()
+            assert set(snaps) == {"0", "1"}
+            assert sum(s.submitted for s in snaps.values()) == 1
+            assert router.in_flight() == 0
+        finally:
+            router.close()
+
+    def test_load_stats_empty_for_backends_without_them(self):
+        router = make_router(2)
+        try:
+            assert router.load_stats() == {}
+        finally:
+            router.close()

@@ -245,3 +245,65 @@ class TestVerifyCommand:
     def test_verify_rejects_chaos_without_cluster(self):
         with pytest.raises(SystemExit):
             run_cli("verify", "--backend", "sim", "--chaos", "--rounds", "1")
+
+
+class TestGatewayCommands:
+    def test_submit_wait_requires_url(self):
+        with pytest.raises(SystemExit, match="--wait requires --url"):
+            run_cli("submit", "--app", "maxclique", "--instance", "brock90-1",
+                    "--wait", "--jobfile", "-")
+
+    def test_submit_url_unreachable_fails_cleanly(self):
+        code, out = run_cli(
+            "submit", "--url", "http://127.0.0.1:9", "--app", "maxclique",
+            "--instance", "brock90-1",
+        )
+        assert code == 1
+        assert "submit failed" in out
+
+    def test_submit_url_rejects_non_http_schemes(self):
+        with pytest.raises(SystemExit, match="http"):
+            run_cli("submit", "--url", "ftp://example.org", "--app",
+                    "maxclique", "--instance", "brock90-1")
+
+    def test_gateway_top_unreachable_exits_1(self):
+        code, out = run_cli(
+            "gateway-top", "--url", "http://127.0.0.1:9", "--once"
+        )
+        assert code == 1
+        assert "cannot scrape" in out
+
+    def test_gateway_validates_flag_combinations(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            run_cli("gateway", "--shards", "0")
+        with pytest.raises(SystemExit, match="--adaptive requires"):
+            run_cli("gateway", "--adaptive")
+        with pytest.raises(SystemExit, match="--max-workers"):
+            run_cli("gateway", "--adaptive", "--backend", "cluster",
+                    "--min-workers", "3", "--max-workers", "1")
+
+    def test_submit_and_wait_against_a_live_gateway(self):
+        from repro.gateway import Gateway, GatewayHandle, ShardRouter
+
+        handle = GatewayHandle(Gateway(ShardRouter(2), port=0))
+        handle.start()
+        try:
+            code, out = run_cli(
+                "submit", "--url", handle.url, "--app", "maxclique",
+                "--instance", "brock90-1", "--skeleton", "budget",
+                "--param", "budget=500", "--wait",
+            )
+            assert code == 0
+            assert "queued maxclique/brock90-1" in out
+            assert "done" in out
+            assert "value:" in out
+            # a second submission is served from the cache
+            code, out = run_cli(
+                "submit", "--url", handle.url, "--app", "maxclique",
+                "--instance", "brock90-1", "--skeleton", "budget",
+                "--param", "budget=500",
+            )
+            assert code == 0
+            assert "cached" in out
+        finally:
+            handle.close()
