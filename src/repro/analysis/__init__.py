@@ -1,0 +1,78 @@
+"""Concurrency-aware static analysis for the repro codebase.
+
+The verify harness (:mod:`repro.verify`) attacks "same answer under
+any interleaving" dynamically; this package attacks the *source code*
+statically with five repo-specific rules — lock discipline over
+``# guarded-by`` annotations, blocking calls in async bodies, wire
+protocol exhaustiveness, spec-factory importability and cross-thread
+loop call safety — plus a dynamic lock-acquisition-order tracer
+(:mod:`repro.analysis.lockorder`) that turns the test suite into a
+deadlock detector.  Entry points: ``repro analyze`` (CLI) and
+:func:`analyze_paths` (programmatic, used by the self-test in tier-1).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.config import (
+    AnalyzeConfig,
+    discover_files,
+    load_config,
+)
+from repro.analysis.core import (
+    AnalysisReport,
+    Project,
+    Rule,
+    run_analysis,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import all_rules, resolve_rules
+
+__all__ = [
+    "AnalysisReport",
+    "AnalyzeConfig",
+    "Finding",
+    "Project",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "apply_baseline",
+    "discover_files",
+    "load_baseline",
+    "load_config",
+    "resolve_rules",
+    "run_analysis",
+    "save_baseline",
+]
+
+
+def analyze_paths(
+    root: Union[str, Path],
+    paths: Optional[Sequence[str]] = None,
+    *,
+    rules: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Convenience wrapper: discover, load and analyze in one call.
+
+    *paths* overrides the pyproject ``include`` list; *rules* selects
+    a subset by name (suppression hygiene is then skipped, see
+    :func:`repro.analysis.core.run_analysis`).
+    """
+    root = Path(root)
+    config = load_config(root)
+    files = discover_files(root, config, paths)
+    project = Project.load(root, files)
+    selected = resolve_rules(rules)
+    return run_analysis(
+        project,
+        selected,
+        check_suppression_hygiene=not rules,
+    )

@@ -1,0 +1,76 @@
+"""Committed-baseline support for `repro analyze`.
+
+A baseline is a JSON file of known finding fingerprints.  Gating works
+on *new* findings only: anything already in the baseline is reported in
+the summary but does not fail the run, which lets the analyzer land on
+a codebase with pre-existing findings and ratchet them down over time.
+The repo's own baseline (``analysis-baseline.json``) is kept empty —
+every real finding is either fixed or carries an inline suppression
+with a rationale.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.core import AnalysisReport
+from repro.analysis.findings import Severity
+
+__all__ = ["load_baseline", "save_baseline", "apply_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Union[str, Path]) -> set[str]:
+    """Read a baseline file; returns the set of known fingerprints."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file: {path}")
+    return {
+        entry["fingerprint"]
+        for entry in data.get("findings", [])
+        if isinstance(entry, dict) and "fingerprint" in entry
+    }
+
+
+def save_baseline(path: Union[str, Path], report: AnalysisReport) -> int:
+    """Write the report's error findings as the new baseline.
+
+    Warnings are never baselined — they do not gate, so freezing them
+    would only hide hygiene drift.  Returns the number of entries.
+    """
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "symbol": f.symbol,
+            "message": f.message,
+        }
+        for f in report.findings
+        if f.severity == Severity.ERROR
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    report: AnalysisReport, known: set[str]
+) -> AnalysisReport:
+    """Split baselined findings out of *report* (in place) and return it."""
+    fresh = []
+    baselined = 0
+    for finding in report.findings:
+        if finding.fingerprint in known:
+            baselined += 1
+        else:
+            fresh.append(finding)
+    report.findings = fresh
+    report.baselined = baselined
+    return report

@@ -1,0 +1,329 @@
+"""Framework core: source model, suppressions, rule protocol, runner.
+
+The analyzer's unit of work is a :class:`Project` — a set of parsed
+:class:`SourceFile` objects under one root.  Rules are small objects
+with a :meth:`Rule.check` generator; most override the per-file hook,
+while cross-file rules (protocol exhaustiveness) override the project
+hook directly.
+
+Inline suppressions follow the repo-wide convention::
+
+    do_racy_thing()  # repro: allow[lock-discipline] -- benign: <why>
+
+The ``-- reason`` clause is mandatory; a suppression without one is
+itself an error, and a suppression that matches no finding is reported
+as a warning so stale waivers cannot accumulate silently (hygiene
+checks run only when the full rule set is active, because a subset run
+legitimately leaves other rules' suppressions unused).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "Comment",
+    "Suppression",
+    "SourceFile",
+    "Project",
+    "Rule",
+    "AnalysisReport",
+    "run_analysis",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[([^\]]+)\]\s*(?:--\s*(\S.*?))?\s*$"
+)
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][\w|]*)")
+_HOLDS_RE = re.compile(r"#\s*repro:\s*holds\[([A-Za-z_][\w|]*)\]")
+
+
+@dataclass
+class Comment:
+    """One ``#`` comment token: position plus raw text."""
+
+    line: int
+    col: int
+    text: str
+    own_line: bool  # nothing but whitespace precedes it
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro: allow[rule,...] -- reason`` marker.
+
+    ``line`` is the *effective* line: the comment's own line when it
+    trails code, or the following line when the comment stands alone.
+    """
+
+    line: int
+    comment_line: int
+    rules: tuple[str, ...]
+    reason: Optional[str]
+    used: bool = False
+
+    def matches(self, rule: str) -> bool:
+        """Whether this waiver covers the given rule (or is ``*``)."""
+        return "*" in self.rules or rule in self.rules
+
+
+class SourceFile:
+    """One parsed python file: text, AST, comments, annotations."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(text, filename=rel)
+        except SyntaxError as exc:
+            self.syntax_error = exc
+        self.comments = _scan_comments(text)
+        self.suppressions = [
+            s for s in map(_parse_suppression, self.comments) if s
+        ]
+        self._by_line: dict[int, list[Suppression]] = {}
+        for sup in self.suppressions:
+            self._by_line.setdefault(sup.line, []).append(sup)
+        # `# guarded-by: spec` and `# repro: holds[spec]` annotations,
+        # keyed by the line they sit on (used by lock-discipline).
+        self.guards: dict[int, str] = {}
+        self.holds: dict[int, str] = {}
+        for comment in self.comments:
+            m = _GUARDED_RE.search(comment.text)
+            if m:
+                self.guards[comment.line] = m.group(1)
+            m = _HOLDS_RE.search(comment.text)
+            if m:
+                self.holds[comment.line] = m.group(1)
+
+    def suppressions_at(self, line: int) -> list[Suppression]:
+        """Suppressions whose coverage includes the given line."""
+        return self._by_line.get(line, [])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SourceFile({self.rel!r})"
+
+
+def _scan_comments(text: str) -> list[Comment]:
+    """Extract comment tokens; tolerant of tokenize errors."""
+    comments: list[Comment] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line_text = tok.line[: tok.start[1]]
+            comments.append(
+                Comment(
+                    line=tok.start[0],
+                    col=tok.start[1],
+                    text=tok.string,
+                    own_line=not line_text.strip(),
+                )
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def _parse_suppression(comment: Comment) -> Optional[Suppression]:
+    m = _SUPPRESS_RE.search(comment.text)
+    if not m:
+        return None
+    rules = tuple(
+        r.strip() for r in m.group(1).split(",") if r.strip()
+    )
+    reason = m.group(2)
+    effective = comment.line + 1 if comment.own_line else comment.line
+    return Suppression(
+        line=effective,
+        comment_line=comment.line,
+        rules=rules,
+        reason=reason.strip() if reason else None,
+    )
+
+
+class Project:
+    """A root directory plus the source files selected for analysis."""
+
+    def __init__(self, root: Path, files: Sequence[SourceFile]) -> None:
+        self.root = Path(root)
+        self.files = list(files)
+        self.by_rel = {f.rel: f for f in self.files}
+
+    @classmethod
+    def load(cls, root: Path, paths: Iterable[Path]) -> "Project":
+        root = Path(root).resolve()
+        files = []
+        for path in sorted(set(Path(p).resolve() for p in paths)):
+            try:
+                rel = path.relative_to(root).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            try:
+                text = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue
+            files.append(SourceFile(path, rel, text))
+        return cls(root, files)
+
+    def find_suffix(self, suffix: str) -> Optional[SourceFile]:
+        """The unique file whose relative path ends with ``suffix``."""
+        hits = [f for f in self.files if f.rel.endswith(suffix)]
+        return hits[0] if len(hits) == 1 else None
+
+
+class Rule:
+    """Base class for checkers.
+
+    Override :meth:`check_file` for per-file rules or :meth:`check`
+    for whole-project rules.  ``name`` is the identifier used by
+    ``--rules`` and ``allow[...]`` suppressions.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Yield findings for the whole project (default: per file)."""
+        for src in project.files:
+            if src.tree is None:
+                continue
+            yield from self.check_file(src)
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        """Per-file hook for single-file rules; default yields nothing."""
+        return ()
+
+
+@dataclass
+class AnalysisReport:
+    """Everything `repro analyze` needs to render and gate."""
+
+    findings: list[Finding]
+    suppressed: int
+    files: int
+    rules: list[str]
+    baselined: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(
+            1 for f in self.findings if f.severity == Severity.WARNING
+        )
+
+    def to_dict(self) -> dict:
+        """The stable JSON schema emitted by ``--format json``."""
+        return {
+            "version": 1,
+            "rules": list(self.rules),
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "files": self.files,
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+            },
+        }
+
+
+def run_analysis(
+    project: Project,
+    rules: Sequence[Rule],
+    *,
+    check_suppression_hygiene: bool = True,
+) -> AnalysisReport:
+    """Run *rules* over *project* and fold in suppressions.
+
+    Suppression hygiene (missing reasons, waivers that match nothing)
+    is only checked when the caller says the full rule set ran —
+    ``--rules`` subset runs would otherwise report false "unused"
+    warnings for the rules that were skipped.
+    """
+    raw: list[Finding] = []
+    for src in project.files:
+        if src.syntax_error is not None:
+            err = src.syntax_error
+            raw.append(
+                Finding(
+                    path=src.rel,
+                    line=err.lineno or 1,
+                    col=(err.offset or 1) - 1,
+                    rule="syntax-error",
+                    message=f"file does not parse: {err.msg}",
+                )
+            )
+    for rule in rules:
+        raw.extend(rule.check(project))
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        src = project.by_rel.get(finding.path)
+        matched = None
+        if src is not None:
+            for sup in src.suppressions_at(finding.line):
+                if sup.matches(finding.rule):
+                    matched = sup
+                    break
+        if matched is not None:
+            matched.used = True
+            suppressed += 1
+        else:
+            kept.append(finding)
+
+    if check_suppression_hygiene:
+        for src in project.files:
+            for sup in src.suppressions:
+                if sup.reason is None:
+                    kept.append(
+                        Finding(
+                            path=src.rel,
+                            line=sup.comment_line,
+                            col=0,
+                            rule="suppression-hygiene",
+                            message=(
+                                "suppression is missing its"
+                                " '-- reason' rationale"
+                            ),
+                        )
+                    )
+                elif not sup.used:
+                    kept.append(
+                        Finding(
+                            path=src.rel,
+                            line=sup.comment_line,
+                            col=0,
+                            rule="suppression-hygiene",
+                            severity=Severity.WARNING,
+                            message=(
+                                "suppression matches no finding"
+                                f" (allow[{','.join(sup.rules)}])"
+                            ),
+                        )
+                    )
+
+    kept.sort()
+    return AnalysisReport(
+        findings=kept,
+        suppressed=suppressed,
+        files=len(project.files),
+        rules=[r.name for r in rules],
+    )

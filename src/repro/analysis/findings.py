@@ -1,0 +1,76 @@
+"""Finding and severity model for :mod:`repro.analysis`.
+
+A :class:`Finding` is one diagnostic anchored to a file position.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line number so
+that committed baselines survive unrelated edits above the finding —
+two findings with the same rule, file, enclosing symbol and message are
+the *same* finding wherever they drift to.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, enum.Enum):
+    """How strongly a finding gates the analysis exit code.
+
+    ``ERROR`` findings fail `repro analyze`; ``WARNING`` findings are
+    reported but do not gate; ``INFO`` is advisory output only.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: *rule* fired at *path:line:col* with *message*.
+
+    ``symbol`` names the enclosing scope (``Class.method`` or a module
+    level marker) and exists mostly to keep fingerprints stable and
+    reports readable.
+    """
+
+    path: str  # posix-style path relative to the analysis root
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+    symbol: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the committed baseline file."""
+        raw = "|".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (schema is tested for stability)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One-line text report form."""
+        where = f" [in {self.symbol}]" if self.symbol else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value} {self.rule}: {self.message}{where}"
+        )

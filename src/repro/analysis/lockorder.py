@@ -1,0 +1,342 @@
+"""Dynamic lock-acquisition-order tracer — a runtime deadlock detector.
+
+Static analysis proves fields stay under their lock; it cannot prove
+two locks are always taken in the same order.  This module can:
+:func:`install` monkeypatches ``threading.Lock``/``threading.RLock``
+so every lock created afterwards is wrapped in a :class:`TracedLock`
+that records, per thread, the stack of currently-held locks and adds
+``held -> acquiring`` edges to a global acquisition-order graph.  A
+cycle in that graph (A taken under B somewhere, B taken under A
+elsewhere) is a latent deadlock even if the schedules that trigger it
+never ran; :meth:`LockOrderGraph.assert_acyclic` fails loudly with the
+offending cycle.
+
+Locks are keyed by *creation site* (``file.py:lineno``), so the many
+per-instance locks minted by one constructor collapse into one graph
+node — exactly the granularity deadlock reasoning wants.
+
+Wiring: set ``REPRO_LOCK_TRACE=1`` and the test suite's conftest (and
+``repro verify``) install the tracer and assert acyclicity at the end
+of the run, which makes the conformance suite double as a deadlock
+detector.  Overhead is one dict update per acquisition — fine for
+tests, not meant for production serving.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "ENV_FLAG",
+    "LockOrderCycleError",
+    "LockOrderGraph",
+    "TracedLock",
+    "current_graph",
+    "install",
+    "installed",
+    "maybe_install_from_env",
+    "traced",
+    "uninstall",
+]
+
+ENV_FLAG = "REPRO_LOCK_TRACE"
+
+# Captured before any patching so the tracer's own bookkeeping never
+# recurses through a TracedLock.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+_tls = threading.local()
+
+
+class LockOrderCycleError(AssertionError):
+    """Raised by :meth:`LockOrderGraph.assert_acyclic` on a cycle."""
+
+
+class LockOrderGraph:
+    """Directed acquisition-order graph over lock creation sites."""
+
+    def __init__(self) -> None:
+        self._mutex = _REAL_LOCK()
+        self._edges: dict[str, set[str]] = {}
+        self._acquisitions: dict[str, int] = {}
+
+    def record(self, held: str, acquiring: str) -> None:
+        """Add a ``held -> acquiring`` edge (self-edges are dropped)."""
+        if held == acquiring:
+            return
+        with self._mutex:
+            self._edges.setdefault(held, set()).add(acquiring)
+
+    def count(self, site: str) -> None:
+        """Bump the acquisition counter for one creation site."""
+        with self._mutex:
+            self._acquisitions[site] = self._acquisitions.get(site, 0) + 1
+
+    def edges(self) -> dict[str, set[str]]:
+        """A snapshot copy of the acquisition-order edge map."""
+        with self._mutex:
+            return {k: set(v) for k, v in self._edges.items()}
+
+    def acquisitions(self, site_substring: str = "") -> int:
+        """Total acquisitions across sites containing the substring."""
+        with self._mutex:
+            return sum(
+                n
+                for site, n in self._acquisitions.items()
+                if site_substring in site
+            )
+
+    def find_cycle(self) -> Optional[list[str]]:
+        """One cycle as a site path ``[a, b, ..., a]``, or None."""
+        edges = self.edges()
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in edges}
+        for succs in edges.values():
+            for node in succs:
+                color.setdefault(node, WHITE)
+        path: list[str] = []
+
+        def visit(node: str) -> Optional[list[str]]:
+            color[node] = GREY
+            path.append(node)
+            for succ in sorted(edges.get(node, ())):
+                if color[succ] == GREY:
+                    return path[path.index(succ):] + [succ]
+                if color[succ] == WHITE:
+                    cycle = visit(succ)
+                    if cycle is not None:
+                        return cycle
+            path.pop()
+            color[node] = BLACK
+            return None
+
+        for node in sorted(color):
+            if color[node] == WHITE:
+                cycle = visit(node)
+                if cycle is not None:
+                    return cycle
+        return None
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`LockOrderCycleError` if any cycle exists."""
+        cycle = self.find_cycle()
+        if cycle is not None:
+            pretty = " -> ".join(cycle)
+            raise LockOrderCycleError(
+                f"lock acquisition order cycle (latent deadlock): {pretty}"
+            )
+
+
+def _held_stack() -> list[str]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+class TracedLock:
+    """Wraps a real lock; records order edges on every acquisition.
+
+    Duck-types enough of the lock protocol for
+    ``threading.Condition`` — including ``_is_owned`` and the
+    ``_release_save``/``_acquire_restore`` pair used by
+    ``Condition.wait`` with an RLock — and keeps the per-thread held
+    stack consistent through those paths too.
+    """
+
+    def __init__(self, inner, site: str, graph: LockOrderGraph) -> None:
+        self._inner = inner
+        self._site = site
+        self._graph = graph
+
+    # -- core protocol ------------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Record order edges from every held lock, then acquire."""
+        stack = _held_stack()
+        if self._site not in stack:
+            for held in stack:
+                self._graph.record(held, self._site)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            stack.append(self._site)
+            self._graph.count(self._site)
+        return got
+
+    def release(self) -> None:
+        """Release the lock and pop it from the thread's held stack."""
+        self._inner.release()
+        stack = _held_stack()
+        # Remove the most recent occurrence (RLocks may hold several).
+        for idx in range(len(stack) - 1, -1, -1):
+            if stack[idx] == self._site:
+                del stack[idx]
+                break
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        """Whether the wrapped lock is currently held (best effort)."""
+        probe = getattr(self._inner, "locked", None)
+        if probe is not None:
+            return probe()
+        if self._inner.acquire(False):  # pragma: no cover - old RLock
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TracedLock {self._site} of {self._inner!r}>"
+
+    def __getattr__(self, name: str):
+        # Full duck-typing: anything not overridden (e.g. RLock's
+        # _recursion_count, used by multiprocessing.resource_tracker)
+        # proxies straight to the wrapped lock.
+        return getattr(self._inner, name)
+
+    # -- Condition interop --------------------------------------------------
+
+    def _is_owned(self) -> bool:
+        probe = getattr(self._inner, "_is_owned", None)
+        if probe is not None:
+            return probe()
+        return self._site in _held_stack()
+
+    def _release_save(self):
+        stack = _held_stack()
+        depth = stack.count(self._site)
+        _remove_all(stack, self._site)
+        saver = getattr(self._inner, "_release_save", None)
+        if saver is not None:
+            return (saver(), depth)
+        self._inner.release()
+        return (None, depth)
+
+    def _acquire_restore(self, state) -> None:
+        inner_state, depth = state
+        restorer = getattr(self._inner, "_acquire_restore", None)
+        if restorer is not None:
+            restorer(inner_state)
+        else:
+            self._inner.acquire()
+        _held_stack().extend([self._site] * max(1, depth))
+
+
+def _remove_all(stack: list[str], site: str) -> None:
+    while site in stack:
+        stack.remove(site)
+
+
+_state_mutex = _REAL_LOCK()
+_graph: Optional[LockOrderGraph] = None
+_installed = False
+
+
+def _caller_site() -> str:
+    """Creation site of the lock: first frame outside this module."""
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back  # pragma: no cover - defensive
+    if frame is None:  # pragma: no cover - defensive
+        return "<unknown>"
+    filename = frame.f_code.co_filename
+    for marker in ("/src/", "/site-packages/", "/lib/"):
+        if marker in filename:
+            filename = filename.split(marker, 1)[1]
+            break
+    return f"{filename}:{frame.f_lineno}"
+
+
+def _traced_lock_factory():
+    graph = _graph
+    if graph is None:  # pragma: no cover - raced uninstall
+        return _REAL_LOCK()
+    return TracedLock(_REAL_LOCK(), _caller_site(), graph)
+
+
+def _traced_rlock_factory():
+    graph = _graph
+    if graph is None:  # pragma: no cover - raced uninstall
+        return _REAL_RLOCK()
+    return TracedLock(_REAL_RLOCK(), _caller_site(), graph)
+
+
+def install() -> LockOrderGraph:
+    """Start tracing every lock created from now on; idempotent."""
+    global _graph, _installed
+    with _state_mutex:
+        if _installed:
+            assert _graph is not None
+            return _graph
+        _graph = LockOrderGraph()
+        threading.Lock = _traced_lock_factory  # type: ignore[assignment]
+        threading.RLock = _traced_rlock_factory  # type: ignore[assignment]
+        _installed = True
+        return _graph
+
+
+def uninstall() -> None:
+    """Stop tracing; locks created while installed keep working."""
+    global _graph, _installed
+    with _state_mutex:
+        if not _installed:
+            return
+        threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+        threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+        _graph = None
+        _installed = False
+
+
+def installed() -> bool:
+    """Whether the tracer currently owns ``threading.Lock``/``RLock``."""
+    return _installed
+
+
+def current_graph() -> Optional[LockOrderGraph]:
+    """The active acquisition graph, or None when not tracing."""
+    return _graph
+
+
+def maybe_install_from_env() -> Optional[LockOrderGraph]:
+    """Install iff ``REPRO_LOCK_TRACE`` is set to a truthy value."""
+    if os.environ.get(ENV_FLAG, "").lower() in ("1", "true", "yes", "on"):
+        return install()
+    return None
+
+
+@contextmanager
+def traced() -> Iterator[LockOrderGraph]:
+    """Scoped tracing for tests: a *fresh* graph, restored on exit.
+
+    Always yields its own graph, even when a session-wide tracer (the
+    ``REPRO_LOCK_TRACE`` conftest hook) is already installed: locks
+    created inside the scope record here, so a test that deliberately
+    builds a cycle cannot poison the session graph.  Locks created
+    before the scope keep recording to their original graph.
+    """
+    global _graph, _installed
+    with _state_mutex:
+        prev_graph, prev_installed = _graph, _installed
+        graph = LockOrderGraph()
+        _graph = graph
+        threading.Lock = _traced_lock_factory  # type: ignore[assignment]
+        threading.RLock = _traced_rlock_factory  # type: ignore[assignment]
+        _installed = True
+    try:
+        yield graph
+    finally:
+        with _state_mutex:
+            _graph = prev_graph
+            _installed = prev_installed
+            if not prev_installed:
+                threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+                threading.RLock = _REAL_RLOCK  # type: ignore[assignment]

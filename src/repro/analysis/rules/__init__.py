@@ -1,0 +1,45 @@
+"""Rule registry for :mod:`repro.analysis`.
+
+``all_rules()`` returns fresh instances so repeated runs never share
+state; ``resolve_rules`` maps ``--rules`` CLI input to instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+from repro.analysis.rules.call_safety import CallSafetyRule
+from repro.analysis.rules.factories import FactoryImportsRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.protocol_exhaustive import ProtocolExhaustiveRule
+
+__all__ = ["RULE_CLASSES", "all_rules", "resolve_rules"]
+
+RULE_CLASSES = (
+    LockDisciplineRule,
+    AsyncBlockingRule,
+    ProtocolExhaustiveRule,
+    FactoryImportsRule,
+    CallSafetyRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in registry order."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def resolve_rules(names: Optional[Sequence[str]]) -> list[Rule]:
+    """Instantiate the named rules; None/empty means the full set."""
+    if not names:
+        return all_rules()
+    by_name = {cls.name: cls for cls in RULE_CLASSES}
+    rules = []
+    for name in names:
+        if name not in by_name:
+            known = ", ".join(sorted(by_name))
+            raise ValueError(f"unknown rule '{name}' (known: {known})")
+        rules.append(by_name[name]())
+    return rules

@@ -1,0 +1,237 @@
+"""async-blocking: no blocking calls or dropped coroutines in async defs.
+
+One ``time.sleep`` inside a coordinator or gateway handler freezes the
+whole event loop — every shard, every stream, every heartbeat.  The
+rule flags, inside ``async def`` bodies:
+
+- known blocking calls by dotted name (``time.sleep``,
+  ``subprocess.run``, ``urllib.request.urlopen``, ...);
+- blocking socket-style method calls (``.recv``/``.accept``/
+  ``.sendall``) — asyncio code should use streams or
+  ``loop.run_in_executor``;
+- ``.get()``/``.put()`` on a local ``queue.Queue`` (the *threading*
+  queue; ``asyncio.Queue`` methods are coroutines and must be awaited);
+- bare coroutine calls: an expression statement that calls an ``async
+  def`` from the same module without awaiting it creates a coroutine
+  object and silently drops it.
+
+Blocking work belongs behind ``loop.run_in_executor`` (the gateway's
+idiom for scheduler submits) — executor dispatch never matches these
+patterns, so the correct code is naturally clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.core import Rule, SourceFile
+from repro.analysis.findings import Finding
+
+__all__ = ["AsyncBlockingRule"]
+
+# Fully-dotted callables that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "urllib.request.urlopen",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "input",
+    }
+)
+
+# Method names that are blocking on sockets/files whatever the receiver.
+BLOCKING_METHODS = frozenset({"recv", "recv_into", "accept", "sendall"})
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class AsyncBlockingRule(Rule):
+    name = "async-blocking"
+    description = (
+        "no blocking calls or un-awaited coroutines inside"
+        " 'async def' bodies"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        """Check every ``async def`` body for blocking constructs."""
+        async_names = self._module_async_defs(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                owner = self._owner_class(src.tree, node)
+                yield from self._check_async_body(
+                    src, node, owner, async_names
+                )
+
+    # -- module knowledge ---------------------------------------------------
+
+    def _module_async_defs(self, tree: ast.Module) -> set[tuple[str, str]]:
+        """(scope, name) pairs; scope '' = module level, else class name."""
+        names: set[tuple[str, str]] = set()
+        for node in tree.body:
+            if isinstance(node, ast.AsyncFunctionDef):
+                names.add(("", node.name))
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, ast.AsyncFunctionDef):
+                        names.add((node.name, sub.name))
+        return names
+
+    def _owner_class(
+        self, tree: ast.Module, func: ast.AsyncFunctionDef
+    ) -> str:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and func in node.body:
+                return node.name
+        return ""
+
+    # -- per-async-def scan -------------------------------------------------
+
+    def _check_async_body(
+        self,
+        src: SourceFile,
+        func: ast.AsyncFunctionDef,
+        owner: str,
+        async_names: set[tuple[str, str]],
+    ) -> Iterator[Finding]:
+        symbol = f"{owner}.{func.name}" if owner else func.name
+        thread_queues = self._local_thread_queues(func)
+        for node in self._async_scope(func):
+            if isinstance(node, ast.Expr) and isinstance(
+                node.value, ast.Call
+            ):
+                dropped = self._dropped_coroutine(
+                    node.value, owner, async_names
+                )
+                if dropped:
+                    yield Finding(
+                        path=src.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=self.name,
+                        message=(
+                            f"coroutine '{dropped}' is called but"
+                            " never awaited (the call only creates"
+                            " the coroutine object)"
+                        ),
+                        symbol=symbol,
+                    )
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted in BLOCKING_CALLS:
+                yield Finding(
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"blocking call '{dotted}' inside 'async"
+                        " def'; use asyncio primitives or"
+                        " loop.run_in_executor"
+                    ),
+                    symbol=symbol,
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BLOCKING_METHODS
+            ):
+                yield Finding(
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"blocking socket method '.{node.func.attr}()'"
+                        " inside 'async def'; use asyncio streams or"
+                        " loop.run_in_executor"
+                    ),
+                    symbol=symbol,
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("get", "put")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in thread_queues
+            ):
+                yield Finding(
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"'{node.func.value.id}.{node.func.attr}()' on"
+                        " a threading queue.Queue blocks the event"
+                        " loop; use asyncio.Queue"
+                    ),
+                    symbol=symbol,
+                )
+
+    def _async_scope(self, func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Nodes lexically inside *func* but not in nested functions.
+
+        Nested sync defs are callbacks with their own execution
+        context; nested async defs are visited in their own right by
+        :meth:`check_file`.
+        """
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _local_thread_queues(self, func: ast.AsyncFunctionDef) -> set[str]:
+        """Local names assigned from ``queue.Queue(...)`` in this def."""
+        names: set[str] = set()
+        for node in self._async_scope(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            if _dotted(node.value.func) == "queue.Queue":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _dropped_coroutine(
+        self,
+        call: ast.Call,
+        owner: str,
+        async_names: set[tuple[str, str]],
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and ("", func.id) in async_names:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and owner
+            and (owner, func.attr) in async_names
+        ):
+            return f"self.{func.attr}"
+        return None

@@ -1,0 +1,142 @@
+"""thread-call-safety: publisher threads talk to the loop safely.
+
+Almost every asyncio loop method is unsafe to call from another
+thread; the two blessed bridges are ``loop.call_soon_threadsafe`` and
+``asyncio.run_coroutine_threadsafe``.  The EventBroker publish path
+and both cluster/gateway handles follow that contract — this rule
+keeps it that way by flagging, in any *sync* function (one not nested
+inside an ``async def``):
+
+- ``<loop>.call_soon`` / ``call_later`` / ``call_at`` /
+  ``create_task`` / ``ensure_future`` where the receiver looks like an
+  event loop (``loop``, ``_loop``, ``*_loop``);
+- module-level ``asyncio.create_task`` / ``asyncio.ensure_future``,
+  which require a *running* loop and so only make sense on the loop
+  thread (i.e. inside a coroutine).
+
+A sync def nested inside an ``async def`` is a loop-thread callback
+(e.g. a ``call_soon`` target) and is exempt.  Loop-*owner* methods
+such as ``run_forever``/``run_until_complete``/``close`` are not
+flagged — owning threads legitimately drive their own loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.core import Rule, SourceFile
+from repro.analysis.findings import Finding
+
+__all__ = ["CallSafetyRule"]
+
+UNSAFE_LOOP_METHODS = frozenset(
+    {"call_soon", "call_later", "call_at", "create_task", "ensure_future"}
+)
+
+LOOP_BRIDGES = "call_soon_threadsafe / asyncio.run_coroutine_threadsafe"
+
+
+def _receiver_name(node: ast.AST) -> Optional[str]:
+    """Rightmost identifier of the receiver expression."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_loopish(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower()
+    return lowered == "loop" or lowered.endswith("_loop")
+
+
+class CallSafetyRule(Rule):
+    name = "thread-call-safety"
+    description = (
+        "sync (publisher-thread) code must reach the event loop via"
+        " call_soon_threadsafe / run_coroutine_threadsafe only"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        """Check loop-touching calls in every sync function body."""
+        yield from self._walk(src, src.tree.body, symbol="", in_sync=False)
+
+    def _walk(
+        self,
+        src: SourceFile,
+        body: Iterable[ast.stmt],
+        *,
+        symbol: str,
+        in_sync: bool,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            yield from self._visit(src, stmt, symbol=symbol, in_sync=in_sync)
+
+    def _visit(
+        self, src: SourceFile, node: ast.AST, *, symbol: str, in_sync: bool
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.AsyncFunctionDef):
+            # Everything below runs on the loop thread.
+            return
+        if isinstance(node, ast.ClassDef):
+            qualifier = (
+                f"{symbol}.{node.name}" if symbol else node.name
+            )
+            yield from self._walk(
+                src, node.body, symbol=qualifier, in_sync=False
+            )
+            return
+        if isinstance(node, ast.FunctionDef):
+            qualifier = f"{symbol}.{node.name}" if symbol else node.name
+            yield from self._walk(
+                src, node.body, symbol=qualifier, in_sync=True
+            )
+            return
+        if in_sync and isinstance(node, ast.Call):
+            yield from self._check_call(src, node, symbol)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(
+                src, child, symbol=symbol, in_sync=in_sync
+            )
+
+    def _check_call(
+        self, src: SourceFile, call: ast.Call, symbol: str
+    ) -> Iterator[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in UNSAFE_LOOP_METHODS:
+            return
+        receiver = _receiver_name(func.value)
+        if receiver == "asyncio" and func.attr in (
+            "create_task",
+            "ensure_future",
+        ):
+            yield Finding(
+                path=src.rel,
+                line=call.lineno,
+                col=call.col_offset,
+                rule=self.name,
+                message=(
+                    f"asyncio.{func.attr}() needs a running loop and"
+                    " so cannot be called from a publisher thread;"
+                    f" use {LOOP_BRIDGES}"
+                ),
+                symbol=symbol,
+            )
+        elif _is_loopish(receiver):
+            yield Finding(
+                path=src.rel,
+                line=call.lineno,
+                col=call.col_offset,
+                rule=self.name,
+                message=(
+                    f"'{receiver}.{func.attr}()' is not thread-safe"
+                    " outside the loop thread; use"
+                    f" {LOOP_BRIDGES}"
+                ),
+                symbol=symbol,
+            )

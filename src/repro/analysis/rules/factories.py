@@ -1,0 +1,195 @@
+"""factory-imports: every spec-factory reference actually resolves.
+
+Cluster jobs ship search-space factories by name
+(``module:qualname``, built by ``protocol.factory_path`` and resolved
+on the worker by ``protocol.resolve_factory``).  A typo'd or moved
+factory only explodes when a worker finally leases the job — this rule
+moves that failure to analysis time by checking:
+
+- string literals shaped like ``repro.<module>:<qualname>`` (outside
+  docstrings) import and resolve via :func:`importlib.import_module`
+  plus ``getattr`` chains;
+- names passed as ``spec_factory=``/``factory=`` keywords or as the
+  argument of ``factory_path(...)`` resolve through the module's
+  imports, and the *imported* attribute really exists — a
+  from-import of a function that was renamed upstream is caught here;
+- such names must be module-level callables: a lambda or closure has
+  no stable ``module:qualname`` address and cannot cross the wire.
+
+Local variables (e.g. a factory picked at runtime inside the CLI) are
+skipped — only references the checker can resolve statically are
+judged.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import re
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.core import Rule, SourceFile
+from repro.analysis.findings import Finding
+
+__all__ = ["FactoryImportsRule"]
+
+_FACTORY_STR = re.compile(
+    r"^repro(\.[A-Za-z_]\w*)+:[A-Za-z_]\w*(\.[A-Za-z_]\w*)*$"
+)
+_FACTORY_KEYWORDS = ("spec_factory", "factory")
+
+
+def _resolve_path(path: str) -> Optional[str]:
+    """Import ``module:qualname``; returns an error string or None."""
+    module_name, _, qualname = path.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except Exception as exc:  # ImportError and anything import-time
+        return f"module '{module_name}' does not import: {exc}"
+    obj = module
+    for part in qualname.split("."):
+        try:
+            obj = getattr(obj, part)
+        except AttributeError:
+            return (
+                f"'{module_name}' has no attribute"
+                f" '{part}' (resolving '{qualname}')"
+            )
+    return None
+
+
+class FactoryImportsRule(Rule):
+    name = "factory-imports"
+    description = (
+        "module:qualname factory references and spec_factory="
+        " arguments resolve to importable module-level callables"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        """Resolve every ``module:qualname`` factory reference."""
+        docstrings = self._docstring_nodes(src.tree)
+        imports = self._import_map(src.tree)
+        module_defs = {
+            node.name
+            for node in src.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in docstrings
+                and _FACTORY_STR.match(node.value)
+            ):
+                error = _resolve_path(node.value)
+                if error:
+                    yield Finding(
+                        path=src.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=self.name,
+                        message=(
+                            f"factory reference '{node.value}' does"
+                            f" not resolve: {error}"
+                        ),
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(
+                    src, node, imports, module_defs
+                )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _docstring_nodes(self, tree: ast.Module) -> set[int]:
+        ids: set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(
+                node,
+                (
+                    ast.Module,
+                    ast.ClassDef,
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                ),
+            ):
+                continue
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                ids.add(id(body[0].value))
+        return ids
+
+    def _import_map(self, tree: ast.Module) -> dict[str, tuple[str, str]]:
+        """local name -> (module, attr) for from-imports; attr '' for
+        whole-module imports."""
+        mapping: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".")[0]
+                    mapping[local] = (item.name, "")
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative imports: skip, not addressable
+                    continue
+                module = node.module or ""
+                for item in node.names:
+                    local = item.asname or item.name
+                    mapping[local] = (module, item.name)
+        return mapping
+
+    def _check_call(
+        self,
+        src: SourceFile,
+        call: ast.Call,
+        imports: dict[str, tuple[str, str]],
+        module_defs: set[str],
+    ) -> Iterator[Finding]:
+        candidates: list[ast.expr] = []
+        func_name = None
+        if isinstance(call.func, ast.Name):
+            func_name = call.func.id
+        elif isinstance(call.func, ast.Attribute):
+            func_name = call.func.attr
+        if func_name == "factory_path" and call.args:
+            candidates.append(call.args[0])
+        for kw in call.keywords:
+            if kw.arg in _FACTORY_KEYWORDS:
+                candidates.append(kw.value)
+        for value in candidates:
+            if isinstance(value, ast.Lambda):
+                yield Finding(
+                    path=src.rel,
+                    line=value.lineno,
+                    col=value.col_offset,
+                    rule=self.name,
+                    message=(
+                        "a lambda has no module:qualname address and"
+                        " cannot be shipped as a spec factory"
+                    ),
+                )
+                continue
+            if not isinstance(value, ast.Name):
+                continue  # dynamic expression: not statically judged
+            name = value.id
+            if name in module_defs:
+                continue  # defined here at module level: addressable
+            if name not in imports:
+                continue  # a local/parameter: not statically judged
+            module, attr = imports[name]
+            target = f"{module}:{attr}" if attr else f"{module}:__name__"
+            error = _resolve_path(target)
+            if error:
+                yield Finding(
+                    path=src.rel,
+                    line=value.lineno,
+                    col=value.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"spec factory '{name}' (from {target})"
+                        f" does not resolve: {error}"
+                    ),
+                )

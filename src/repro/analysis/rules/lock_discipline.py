@@ -1,0 +1,273 @@
+"""lock-discipline: guarded fields are only touched under their lock.
+
+The convention (docs/analysis.md) is declared at the field's
+initialisation site::
+
+    class ServiceMetrics:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._by_state = {}  # guarded-by: _lock
+
+From then on every ``self._by_state`` read or write anywhere in the
+class must sit inside ``with self._lock:`` (alternatives may be
+declared as ``# guarded-by: _lock|_work`` — any one of them
+suffices, the idiom for a Condition sharing the scheduler's RLock).
+
+Two escape hatches express "the caller holds the lock":
+
+- a method whose name ends in ``_locked``;
+- a ``# repro: holds[_lock]`` comment on the ``def`` line.
+
+The special spec ``# guarded-by: caller`` declares a deliberately
+lock-free container (ResultCache, JobQueue, Workpool) whose *owner*
+serialises access; the class itself must then stay free of threading
+machinery, which is the statically checkable half of that contract.
+
+Nested functions reset the held-lock context: a closure defined inside
+a ``with self._lock:`` block usually runs later, on another thread,
+when the lock is long released.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.core import Rule, SourceFile
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["LockDisciplineRule"]
+
+_CALLER = "caller"
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ClassGuards:
+    """Guard declarations collected from one class's ``__init__``."""
+
+    def __init__(self) -> None:
+        self.fields: dict[str, frozenset[str]] = {}  # field -> lock names
+        self.caller_fields: list[tuple[str, int]] = []
+
+    @property
+    def all_locks(self) -> frozenset[str]:
+        names: set[str] = set()
+        for locks in self.fields.values():
+            names.update(locks)
+        return frozenset(names)
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "fields declared '# guarded-by: <lock>' are only accessed"
+        " inside 'with self.<lock>:' blocks"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        """Check guarded-by annotated fields in every class."""
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(src, node)
+
+    # -- declaration collection ---------------------------------------------
+
+    def _collect_guards(
+        self, src: SourceFile, cls: ast.ClassDef
+    ) -> _ClassGuards:
+        guards = _ClassGuards()
+        init = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return guards
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            spec = src.guards.get(stmt.lineno)
+            if spec is None:
+                continue
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                name = _self_attr(target)
+                if name is None:
+                    continue
+                if spec == _CALLER:
+                    guards.caller_fields.append((name, stmt.lineno))
+                else:
+                    guards.fields[name] = frozenset(spec.split("|"))
+        return guards
+
+    # -- checking -----------------------------------------------------------
+
+    def _check_class(
+        self, src: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guards = self._collect_guards(src, cls)
+        if guards.caller_fields:
+            yield from self._check_caller_contract(src, cls, guards)
+        if not guards.fields:
+            return
+        for stmt in cls.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if stmt.name == "__init__":
+                continue
+            held = self._initial_holds(src, stmt, guards)
+            yield from self._scan(src, cls, stmt, stmt.body, held, guards)
+
+    def _initial_holds(
+        self,
+        src: SourceFile,
+        func: ast.AST,
+        guards: _ClassGuards,
+    ) -> frozenset[str]:
+        """Locks the method may assume held on entry."""
+        name = getattr(func, "name", "")
+        if name.endswith("_locked"):
+            return guards.all_locks
+        spec = src.holds.get(func.lineno)
+        if spec is not None:
+            return frozenset(spec.split("|"))
+        return frozenset()
+
+    def _scan(
+        self,
+        src: SourceFile,
+        cls: ast.ClassDef,
+        method: ast.AST,
+        body: Iterable[ast.stmt],
+        held: frozenset[str],
+        guards: _ClassGuards,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            yield from self._scan_node(src, cls, method, stmt, held, guards)
+
+    def _scan_node(
+        self,
+        src: SourceFile,
+        cls: ast.ClassDef,
+        method: ast.AST,
+        node: ast.AST,
+        held: frozenset[str],
+        guards: _ClassGuards,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                lock = _self_attr(item.context_expr)
+                if lock is not None and lock in guards.all_locks:
+                    acquired.add(lock)
+                else:
+                    yield from self._scan_node(
+                        src, cls, method, item.context_expr, held, guards
+                    )
+            inner = held | acquired
+            for stmt in node.body:
+                yield from self._scan_node(
+                    src, cls, method, stmt, inner, guards
+                )
+            return
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            # A nested function body runs later — locks held at its
+            # definition site mean nothing at its call site.
+            nested_held = self._initial_holds(src, node, guards)
+            children = (
+                node.body
+                if isinstance(node.body, list)
+                else [node.body]
+            )
+            for child in children:
+                yield from self._scan_node(
+                    src, cls, method, child, nested_held, guards
+                )
+            return
+        field = None
+        if isinstance(node, ast.Attribute):
+            field = _self_attr(node)
+        if field is not None and field in guards.fields:
+            wanted = guards.fields[field]
+            if not (wanted & held):
+                verb = (
+                    "written"
+                    if isinstance(node.ctx, (ast.Store, ast.Del))
+                    else "read"
+                )
+                locks = "|".join(sorted(wanted))
+                yield Finding(
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"field '{field}' {verb} outside"
+                        f" 'with self.{locks}:'"
+                    ),
+                    symbol=f"{cls.name}.{getattr(method, 'name', '?')}",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan_node(
+                src, cls, method, child, held, guards
+            )
+
+    def _check_caller_contract(
+        self, src: SourceFile, cls: ast.ClassDef, guards: _ClassGuards
+    ) -> Iterator[Finding]:
+        """guarded-by: caller classes must not manage threading."""
+        for node in ast.walk(cls):
+            bad = None
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ):
+                if node.value.id == "threading" and node.attr in (
+                    "Lock",
+                    "RLock",
+                    "Condition",
+                    "Thread",
+                    "Semaphore",
+                ):
+                    bad = f"threading.{node.attr}"
+            elif isinstance(node, ast.Name) and node.id in (
+                "Lock",
+                "RLock",
+                "Thread",
+            ):
+                bad = node.id
+            if bad is not None:
+                fields = ", ".join(n for n, _ in guards.caller_fields)
+                yield Finding(
+                    path=src.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=(
+                        f"class declares caller-guarded fields"
+                        f" ({fields}) but uses {bad}; pick one"
+                        " locking story"
+                    ),
+                    symbol=cls.name,
+                )

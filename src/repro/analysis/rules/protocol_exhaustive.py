@@ -1,0 +1,276 @@
+"""protocol-exhaustiveness: every wire frame is fully plumbed.
+
+The cluster protocol is declared once (``cluster/protocol.py``: module
+level ``NAME = "NAME"`` constants) and consumed in three places: the
+binary codec's append-only ``FRAME_TYPES`` tag table
+(``cluster/codec.py``), the coordinator's dispatch
+(``cluster/coordinator.py``) and the worker's dispatch
+(``cluster/worker.py``).  Adding a frame type but forgetting any of
+those is a silent-corruption bug: the binary codec would reject the
+frame at runtime, or a peer would drop it on the floor.
+
+This whole-project rule checks set equality/coverage:
+
+- every declared frame has a tag in ``FRAME_TYPES`` and vice versa;
+- every declared frame is referenced (``P.<NAME>`` through the import
+  alias, or a directly-imported name) in the coordinator module *and*
+  in the worker module — removing a dispatch arm removes the
+  reference and fails the build (see the negative tests);
+- ``protocol.__all__`` exports every frame constant.
+
+The rule locates the four modules by path suffix inside the analyzed
+file set, so it runs equally on ``src/repro`` and on test fixtures
+that copy the tree; if the protocol module is not part of the run the
+rule is silently inert.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import Project, Rule, SourceFile
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["ProtocolExhaustiveRule"]
+
+PROTOCOL_SUFFIX = "cluster/protocol.py"
+CODEC_SUFFIX = "cluster/codec.py"
+COORDINATOR_SUFFIX = "cluster/coordinator.py"
+WORKER_SUFFIX = "cluster/worker.py"
+
+
+def _declared_frames(src: SourceFile) -> dict[str, int]:
+    """``NAME = "NAME"`` constants at module level -> line numbers."""
+    frames: dict[str, int] = {}
+    for node in src.tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or not target.id.isupper():
+            continue
+        if (
+            isinstance(node.value, ast.Constant)
+            and node.value.value == target.id
+        ):
+            frames[target.id] = node.lineno
+    return frames
+
+
+def _dunder_all(src: SourceFile) -> Optional[set[str]]:
+    for node in src.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            return {
+                el.value
+                for el in node.value.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            }
+    return None
+
+
+def _frame_types_tuple(src: SourceFile) -> Optional[tuple[list[str], int]]:
+    for node in src.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "FRAME_TYPES"
+            and isinstance(node.value, (ast.Tuple, ast.List))
+        ):
+            tags = [
+                el.value
+                for el in node.value.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            ]
+            return tags, node.lineno
+    return None
+
+
+def _protocol_aliases(src: SourceFile) -> tuple[set[str], set[str]]:
+    """(module aliases, directly imported names) of the protocol module."""
+    aliases: set[str] = set()
+    direct: set[str] = set()
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name.endswith(".protocol"):
+                    aliases.add(item.asname or item.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.endswith(".protocol"):
+                for item in node.names:
+                    direct.add(item.asname or item.name)
+            elif module.endswith("cluster"):
+                for item in node.names:
+                    if item.name == "protocol":
+                        aliases.add(item.asname or "protocol")
+    return aliases, direct
+
+
+def _referenced_frames(
+    src: SourceFile, frames: set[str]
+) -> set[str]:
+    aliases, direct = _protocol_aliases(src)
+    seen: set[str] = set()
+    for node in ast.walk(src.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in aliases
+            and node.attr in frames
+        ):
+            seen.add(node.attr)
+        elif (
+            isinstance(node, ast.Name)
+            and node.id in direct
+            and node.id in frames
+        ):
+            seen.add(node.id)
+    return seen
+
+
+class ProtocolExhaustiveRule(Rule):
+    name = "protocol-exhaustiveness"
+    description = (
+        "every frame type in cluster/protocol.py has a codec tag and"
+        " dispatch plumbing in both the coordinator and the worker"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Cross-check frame types against codec tags and dispatch."""
+        protocol = project.find_suffix(PROTOCOL_SUFFIX)
+        if protocol is None or protocol.tree is None:
+            return
+        frames = _declared_frames(protocol)
+        if not frames:
+            return
+        yield from self._check_all_export(protocol, frames)
+        yield from self._check_codec(project, protocol, frames)
+        for suffix, role in (
+            (COORDINATOR_SUFFIX, "coordinator"),
+            (WORKER_SUFFIX, "worker"),
+        ):
+            yield from self._check_dispatch(
+                project, protocol, frames, suffix, role
+            )
+
+    def _check_all_export(
+        self, protocol: SourceFile, frames: dict[str, int]
+    ) -> Iterator[Finding]:
+        exported = _dunder_all(protocol)
+        if exported is None:
+            return
+        for frame, line in sorted(frames.items()):
+            if frame not in exported:
+                yield Finding(
+                    path=protocol.rel,
+                    line=line,
+                    col=0,
+                    rule=self.name,
+                    severity=Severity.WARNING,
+                    message=(
+                        f"frame type '{frame}' is not exported in"
+                        " protocol.__all__"
+                    ),
+                    symbol=frame,
+                )
+
+    def _check_codec(
+        self,
+        project: Project,
+        protocol: SourceFile,
+        frames: dict[str, int],
+    ) -> Iterator[Finding]:
+        codec = project.find_suffix(CODEC_SUFFIX)
+        if codec is None or codec.tree is None:
+            yield self._missing_module(protocol, CODEC_SUFFIX)
+            return
+        found = _frame_types_tuple(codec)
+        if found is None:
+            yield Finding(
+                path=codec.rel,
+                line=1,
+                col=0,
+                rule=self.name,
+                message="no FRAME_TYPES tag table found in the codec",
+                symbol="FRAME_TYPES",
+            )
+            return
+        tags, line = found
+        for frame, decl_line in sorted(frames.items()):
+            if frame not in tags:
+                yield Finding(
+                    path=codec.rel,
+                    line=line,
+                    col=0,
+                    rule=self.name,
+                    message=(
+                        f"frame type '{frame}' has no binary codec"
+                        " tag in FRAME_TYPES"
+                    ),
+                    symbol=frame,
+                )
+        for tag in tags:
+            if tag not in frames:
+                yield Finding(
+                    path=codec.rel,
+                    line=line,
+                    col=0,
+                    rule=self.name,
+                    message=(
+                        f"FRAME_TYPES tags '{tag}' which is not a"
+                        " declared protocol frame type"
+                    ),
+                    symbol=tag,
+                )
+
+    def _check_dispatch(
+        self,
+        project: Project,
+        protocol: SourceFile,
+        frames: dict[str, int],
+        suffix: str,
+        role: str,
+    ) -> Iterator[Finding]:
+        src = project.find_suffix(suffix)
+        if src is None or src.tree is None:
+            yield self._missing_module(protocol, suffix)
+            return
+        seen = _referenced_frames(src, set(frames))
+        for frame, decl_line in sorted(frames.items()):
+            if frame not in seen:
+                yield Finding(
+                    path=src.rel,
+                    line=1,
+                    col=0,
+                    rule=self.name,
+                    message=(
+                        f"frame type '{frame}' is declared in"
+                        f" protocol.py but never referenced in the"
+                        f" {role} module — missing dispatch arm or"
+                        " send site"
+                    ),
+                    symbol=frame,
+                )
+
+    def _missing_module(
+        self, protocol: SourceFile, suffix: str
+    ) -> Finding:
+        return Finding(
+            path=protocol.rel,
+            line=1,
+            col=0,
+            rule=self.name,
+            severity=Severity.WARNING,
+            message=(
+                f"protocol module analyzed without '{suffix}' in the"
+                " file set; exhaustiveness not checked"
+            ),
+            symbol=suffix,
+        )

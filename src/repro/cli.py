@@ -850,10 +850,15 @@ def _cmd_serve(args, out) -> int:
 
 def _cmd_verify(args, out) -> int:
     """Run the differential conformance harness (see docs/verify.md)."""
+    from repro.analysis import lockorder
     from repro.verify.differential import run_verify
 
+    # Under REPRO_LOCK_TRACE=1 the conformance run doubles as a
+    # deadlock detector: every lock acquisition feeds the order graph
+    # and a cycle fails the command even if all answers matched.
+    graph = lockorder.maybe_install_from_env()
     try:
-        return run_verify(
+        status = run_verify(
             backend=args.backend,
             seed=args.seed,
             rounds=args.rounds,
@@ -864,6 +869,94 @@ def _cmd_verify(args, out) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    if graph is not None:
+        cycle = graph.find_cycle()
+        if cycle is not None:
+            print(
+                "lock-order cycle (latent deadlock): "
+                + " -> ".join(cycle),
+                file=out,
+            )
+            return 1
+        print("lock-order graph acyclic", file=out)
+    return status
+
+
+def _cmd_analyze(args, out) -> int:
+    """Static concurrency analysis over the source tree."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis import (
+        Project,
+        Severity,
+        apply_baseline,
+        discover_files,
+        load_baseline,
+        load_config,
+        resolve_rules,
+        run_analysis,
+        save_baseline,
+    )
+    from repro.analysis.rules import RULE_CLASSES
+
+    if args.list_rules:
+        for cls in RULE_CLASSES:
+            print(f"{cls.name}: {cls.description}", file=out)
+        return 0
+
+    root = Path(args.root).resolve()
+    config = load_config(root)
+    rule_names = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        rules = resolve_rules(rule_names)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    files = discover_files(root, config, args.paths or None)
+    if not files:
+        print("no files selected for analysis", file=out)
+        return 1
+    project = Project.load(root, files)
+    report = run_analysis(
+        project, rules, check_suppression_hygiene=rule_names is None
+    )
+
+    baseline_path = args.baseline or config.baseline
+    if args.write_baseline:
+        if not baseline_path:
+            raise SystemExit(
+                "--write-baseline needs --baseline or a pyproject"
+                " [tool.repro.analyze] baseline entry"
+            )
+        count = save_baseline(root / baseline_path, report)
+        print(
+            f"baseline written to {baseline_path} ({count} findings)",
+            file=out,
+        )
+        return 0
+    if baseline_path and (root / baseline_path).is_file():
+        report = apply_baseline(
+            report, load_baseline(root / baseline_path)
+        )
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), sort_keys=True), file=out)
+    else:
+        for finding in report.findings:
+            print(finding.render(), file=out)
+        print(
+            f"{len(report.findings)} findings"
+            f" ({report.errors} errors, {report.warnings} warnings);"
+            f" {report.suppressed} suppressed;"
+            f" {report.baselined} baselined;"
+            f" {report.files} files",
+            file=out,
+        )
+    return 1 if report.errors else 0
 
 
 def _cmd_list(args, out) -> int:
@@ -948,6 +1041,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cluster-timeout", type=float, default=60.0, metavar="S",
                    help="per-run wall-clock limit for cluster cells")
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "analyze",
+        help="concurrency-aware static analysis: lock discipline, "
+        "async blocking, protocol exhaustiveness, factory imports, "
+        "cross-thread call safety (see docs/analysis.md)",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files/directories to scan (default: the "
+                   "pyproject [tool.repro.analyze] include list)")
+    p.add_argument("--rules", default=None, metavar="R1,R2",
+                   help="comma-separated rule subset (default: all)")
+    p.add_argument("--list-rules", action="store_true", default=False,
+                   help="print the rule catalogue and exit")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format (json schema is stable, v1)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline file of known findings (default: the "
+                   "pyproject baseline entry, if the file exists)")
+    p.add_argument("--write-baseline", action="store_true", default=False,
+                   help="snapshot current error findings as the baseline")
+    p.add_argument("--root", default=".", metavar="DIR",
+                   help="project root holding pyproject.toml (default .)")
+    p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser(
         "submit", help="append one job to a job file (see `serve`)"

@@ -159,7 +159,8 @@ class ClusterWorker:
         self._drain = False
         self._retire = False
         self._codec = None  # negotiated in WELCOME; None => JSON
-        self._last_sent = 0.0  # monotonic time of the last frame out
+        # Monotonic time of the last frame that actually left.
+        self._last_sent = 0.0  # guarded-by: _send_lock
 
     def _stopped(self) -> bool:
         return self.stop_event is not None and self.stop_event.is_set()
@@ -270,6 +271,7 @@ class ClusterWorker:
 
     def _heartbeat_loop(self, interval: float) -> None:
         while not self._session_dead.wait(interval):
+            # repro: allow[lock-discipline] -- benign lock-free read of a monotonic float; worst case is one extra beat
             if time.monotonic() - self._last_sent < interval:
                 # Any frame refreshes the coordinator's deadline, so a
                 # busy worker (RESULTs, OFFCUTs, INCUMBENTs flowing)
@@ -355,7 +357,16 @@ class ClusterWorker:
             self._retire = True
         elif mtype == P.SHUTDOWN:
             self._drain = True
-        # HEARTBEAT/ERROR and unknown types: nothing to do.
+        elif mtype == P.ERROR:
+            # The coordinator rejected something we sent; surface the
+            # reason (diagnosis only — the session keeps running, and
+            # the lease-epoch machinery recovers any affected task).
+            print(
+                f"[{self.name}] coordinator error: "
+                f"{msg.get('reason', 'unspecified')}",
+                file=sys.stderr,
+            )
+        # HEARTBEAT and unknown types: nothing to do.
 
     # -- searching ----------------------------------------------------------
 

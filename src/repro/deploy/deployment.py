@@ -94,20 +94,21 @@ class ClusterDeployment:
         self.metrics = metrics
         self._on_event = on_event
         self._lock = threading.RLock()
-        self._procs: dict[str, Process] = {}  # name -> live-ish process
-        self._retiring: set[str] = set()
-        self._next_index = 0
-        self.workers_spawned = 0
-        self.workers_retired = 0
-        self.fleet_peak = 0
+        # name -> live-ish process
+        self._procs: dict[str, Process] = {}  # guarded-by: _lock
+        self._retiring: set[str] = set()  # guarded-by: _lock
+        self._next_index = 0  # guarded-by: _lock
+        self.workers_spawned = 0  # guarded-by: _lock
+        self.workers_retired = 0  # guarded-by: _lock
+        self.fleet_peak = 0  # guarded-by: _lock
         # Integral of fleet size over time while adapting — the cost
         # axis of the elasticity benchmark (worker-seconds provisioned).
-        self.worker_seconds = 0.0
+        self.worker_seconds = 0.0  # guarded-by: _lock
         self._adapt_thread: Optional[threading.Thread] = None
         self._adapt_stop = threading.Event()
         self._queue_depth: Optional[Callable[[], int]] = None
         self.policy: Optional[Adaptive] = None
-        self._closed = False
+        self._closed = False  # guarded-by: _lock
 
     # -- introspection -------------------------------------------------------
 
@@ -162,7 +163,7 @@ class ClusterDeployment:
 
     # -- fleet mutation ------------------------------------------------------
 
-    def _reap(self) -> None:
+    def _reap(self) -> None:  # repro: holds[_lock]
         """Collect exited worker processes (lock held by caller)."""
         for name, proc in list(self._procs.items()):
             if proc.is_alive():
@@ -179,13 +180,13 @@ class ClusterDeployment:
                 self._event(f"worker {name} died (exit {proc.exitcode})")
         self._record_fleet()
 
-    def _record_fleet(self) -> None:
+    def _record_fleet(self) -> None:  # repro: holds[_lock]
         size = len(self._procs)
         self.fleet_peak = max(self.fleet_peak, size)
         if self.metrics is not None:
             self.metrics.set_fleet_size(size)
 
-    def _spawn_one(self) -> str:
+    def _spawn_one(self) -> str:  # repro: holds[_lock]
         host, port = self.handle.address
         index = self._next_index
         self._next_index += 1
@@ -198,7 +199,7 @@ class ClusterDeployment:
         self._event(f"spawned {name}")
         return name
 
-    def _retire_one(self, name: str) -> None:
+    def _retire_one(self, name: str) -> None:  # repro: holds[_lock]
         self._retiring.add(name)
         if not self.handle.retire_worker(name):
             # Not connected (still starting up, or mid-reconnect): it
@@ -305,7 +306,8 @@ class ClusterDeployment:
                 now = time.monotonic()
                 try:
                     live = self.fleet_size()
-                    self.worker_seconds += live * (now - last)
+                    with self._lock:
+                        self.worker_seconds += live * (now - last)
                     last = now
                     self.scale(policy.recommend(self.signals(), now))
                 except Exception:

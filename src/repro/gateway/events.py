@@ -71,7 +71,7 @@ class EventBroker:
         self.max_jobs = max_jobs
         self._clock = clock
         self._lock = threading.Lock()
-        self._logs: "OrderedDict[str, _JobLog]" = OrderedDict()
+        self._logs: "OrderedDict[str, _JobLog]" = OrderedDict()  # guarded-by: _lock
 
     # -- publishing (any thread) --------------------------------------------
 

@@ -37,7 +37,7 @@ class _SharedKnowledge:
     def __init__(self, stype: SearchType, spec: SearchSpec) -> None:
         self.stype = stype
         self.lock = threading.Lock()
-        self.value = stype.initial_knowledge(spec)
+        self.value = stype.initial_knowledge(spec)  # guarded-by: lock
         self.goal = threading.Event()
 
     def read(self):

@@ -47,8 +47,8 @@ class Workpool:
         if discipline not in self.DISCIPLINES:
             raise ValueError(f"unknown pool discipline {discipline!r}")
         self.discipline = discipline
-        self._heap: list[tuple[tuple, int, PoolEntry]] = []
-        self._seq = 0
+        self._heap: list[tuple[tuple, int, PoolEntry]] = []  # guarded-by: caller
+        self._seq = 0  # guarded-by: caller
 
     def __len__(self) -> int:
         return len(self._heap)

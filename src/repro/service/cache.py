@@ -49,10 +49,11 @@ class ResultCache:
         self.capacity = capacity
         self.ttl = ttl
         self._clock = clock
-        self._entries: OrderedDict[str, tuple[SearchResult, float]] = OrderedDict()
-        self._inflight: dict[str, tuple[str, list[str]]] = {}  # key -> (leader, followers)
-        self.hits = 0
-        self.misses = 0
+        self._entries: OrderedDict[str, tuple[SearchResult, float]] = OrderedDict()  # guarded-by: caller
+        # key -> (leader, followers)
+        self._inflight: dict[str, tuple[str, list[str]]] = {}  # guarded-by: caller
+        self.hits = 0  # guarded-by: caller
+        self.misses = 0  # guarded-by: caller
 
     # -- the result store ----------------------------------------------------
 

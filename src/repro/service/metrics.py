@@ -130,19 +130,19 @@ class ServiceMetrics:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.rejected = 0
-        self.coalesced = 0
-        self.retries = 0
-        self.executed = 0
-        self._by_state: dict[str, int] = {}
-        self._latencies: list[float] = []
-        self._worker_counts: list[int] = []
-        self._total_splits = 0
-        self._workers_spawned = 0
-        self._workers_retired = 0
-        self._fleet_size = 0
-        self._fleet_peak = 0
+        self.submitted = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
+        self.coalesced = 0  # guarded-by: _lock
+        self.retries = 0  # guarded-by: _lock
+        self.executed = 0  # guarded-by: _lock
+        self._by_state: dict[str, int] = {}  # guarded-by: _lock
+        self._latencies: list[float] = []  # guarded-by: _lock
+        self._worker_counts: list[int] = []  # guarded-by: _lock
+        self._total_splits = 0  # guarded-by: _lock
+        self._workers_spawned = 0  # guarded-by: _lock
+        self._workers_retired = 0  # guarded-by: _lock
+        self._fleet_size = 0  # guarded-by: _lock
+        self._fleet_peak = 0  # guarded-by: _lock
 
     # -- recording -----------------------------------------------------------
 

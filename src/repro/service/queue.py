@@ -58,9 +58,9 @@ class JobQueue:
             raise ValueError("max_per_submitter must be >= 1")
         self.max_depth = max_depth
         self.max_per_submitter = max_per_submitter
-        self._heaps: dict[str, list[tuple[int, int, Job]]] = {}
-        self._round_robin: deque[str] = deque()
-        self._seq = 0
+        self._heaps: dict[str, list[tuple[int, int, Job]]] = {}  # guarded-by: caller
+        self._round_robin: deque[str] = deque()  # guarded-by: caller
+        self._seq = 0  # guarded-by: caller
 
     # -- introspection -------------------------------------------------------
 

@@ -269,19 +269,22 @@ class Scheduler:
         if n_workers < 1:
             raise ValueError("need at least one worker")
         self.backend: Backend = backend if backend is not None else InProcessBackend()
-        self.queue = queue if queue is not None else JobQueue()
-        self.cache = cache if cache is not None else ResultCache()
+        # The queue and cache are single-threaded structures; every use
+        # must hold the scheduler lock (directly or via the condition,
+        # which wraps the same RLock).
+        self.queue = queue if queue is not None else JobQueue()  # guarded-by: _lock|_work
+        self.cache = cache if cache is not None else ResultCache()  # guarded-by: _lock|_work
         self.n_workers = n_workers
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._clock = clock
         self._lock = threading.RLock()
         self._work = threading.Condition(self._lock)
-        self._jobs: dict[str, Job] = {}
-        self._running = 0
-        self._seq = 0
+        self._jobs: dict[str, Job] = {}  # guarded-by: _lock|_work
+        self._running = 0  # guarded-by: _lock|_work
+        self._seq = 0  # guarded-by: _lock|_work
         self.name = name
         self.on_event = on_event
-        self._stopping = False
+        self._stopping = False  # guarded-by: _lock|_work
         self._threads: list[threading.Thread] = []
 
     def _emit(self, job: Job, event: str, **data) -> None:
@@ -362,11 +365,26 @@ class Scheduler:
 
     def job(self, job_id: str) -> Job:
         """Look up a job record by id."""
-        return self._jobs[job_id]
+        with self._lock:
+            return self._jobs[job_id]
 
     def jobs(self) -> list[Job]:
-        """All job records, in submission order."""
-        return [self._jobs[k] for k in sorted(self._jobs, key=lambda k: int(k[1:]))]
+        """All job records, in submission order.
+
+        Takes the scheduler lock: gateway threads call this while
+        worker threads insert new records, and iterating a dict that
+        grows concurrently raises ``RuntimeError: dictionary changed
+        size during iteration``.
+        """
+        with self._lock:
+            # Ids are f"{name}j{seq:04d}"; sort on the numeric tail so
+            # prefixed (sharded) ids like "s0-j0001" order correctly.
+            return [
+                self._jobs[k]
+                for k in sorted(
+                    self._jobs, key=lambda k: int(k.rsplit("j", 1)[-1])
+                )
+            ]
 
     # -- cancellation --------------------------------------------------------
 
@@ -396,7 +414,7 @@ class Scheduler:
                 return True
             return False
 
-    def _promote(self, follower_ids: list[str]) -> None:
+    def _promote(self, follower_ids: list[str]) -> None:  # repro: holds[_lock]
         """Re-queue the first live follower as the new leader for its
         key; later followers re-join it (lock held by caller)."""
         live = [
@@ -563,7 +581,9 @@ class Scheduler:
             followers = self.cache.finish(job.key)
             self._resolve_followers(job, followers)
 
-    def _resolve_followers(self, leader: Job, follower_ids: list[str]) -> None:
+    def _resolve_followers(  # repro: holds[_lock]
+        self, leader: Job, follower_ids: list[str]
+    ) -> None:
         """Fan the leader's outcome out to coalesced followers (lock held).
 
         A DONE leader serves its followers from the cache (each counts

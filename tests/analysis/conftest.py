@@ -1,0 +1,28 @@
+"""Fixture helpers for the static-analysis tests.
+
+``project_from`` builds a throwaway :class:`repro.analysis.Project`
+from a mapping of relative paths to source text, so each rule test can
+state its fixture code inline next to the assertion.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.core import Project
+
+
+@pytest.fixture
+def project_from(tmp_path):
+    def build(files: dict) -> Project:
+        paths = []
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+            paths.append(path)
+        return Project.load(tmp_path, paths)
+
+    return build

@@ -1,0 +1,134 @@
+"""async-blocking rule: event-loop bodies stay non-blocking."""
+
+from __future__ import annotations
+
+from repro.analysis.core import run_analysis
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+
+
+def check(project):
+    return run_analysis(
+        project, [AsyncBlockingRule()], check_suppression_hygiene=False
+    )
+
+
+class TestBlockingCalls:
+    def test_time_sleep_flagged(self, project_from):
+        src = (
+            "import time\n\n\n"
+            "async def handler():\n"
+            "    time.sleep(1)\n"
+        )
+        (finding,) = check(project_from({"h.py": src})).findings
+        assert "time.sleep" in finding.message
+        assert finding.symbol == "handler"
+
+    def test_asyncio_sleep_clean(self, project_from):
+        src = (
+            "import asyncio\n\n\n"
+            "async def handler():\n"
+            "    await asyncio.sleep(1)\n"
+        )
+        assert check(project_from({"h.py": src})).findings == []
+
+    def test_socket_method_flagged(self, project_from):
+        src = (
+            "async def pump(sock):\n"
+            "    data = sock.recv(4096)\n"
+            "    return data\n"
+        )
+        (finding,) = check(project_from({"h.py": src})).findings
+        assert ".recv()" in finding.message
+
+    def test_run_in_executor_clean(self, project_from):
+        src = (
+            "import asyncio\n\n\n"
+            "async def handler(loop, fn):\n"
+            "    return await loop.run_in_executor(None, fn)\n"
+        )
+        assert check(project_from({"h.py": src})).findings == []
+
+    def test_sync_def_not_scanned(self, project_from):
+        src = "import time\n\n\ndef worker():\n    time.sleep(1)\n"
+        assert check(project_from({"h.py": src})).findings == []
+
+    def test_nested_sync_def_exempt(self, project_from):
+        # A sync callback defined inside an async def runs elsewhere
+        # (executor / call_soon target): not the loop's problem.
+        src = (
+            "import time\n\n\n"
+            "async def handler(loop):\n"
+            "    def blocking():\n"
+            "        time.sleep(1)\n"
+            "    await loop.run_in_executor(None, blocking)\n"
+        )
+        assert check(project_from({"h.py": src})).findings == []
+
+
+class TestThreadQueues:
+    def test_local_queue_get_flagged(self, project_from):
+        src = (
+            "import queue\n\n\n"
+            "async def drain():\n"
+            "    q = queue.Queue()\n"
+            "    return q.get()\n"
+        )
+        (finding,) = check(project_from({"h.py": src})).findings
+        assert "q.get()" in finding.message
+        assert "asyncio.Queue" in finding.message
+
+    def test_asyncio_queue_clean(self, project_from):
+        src = (
+            "import asyncio\n\n\n"
+            "async def drain():\n"
+            "    q = asyncio.Queue()\n"
+            "    return await q.get()\n"
+        )
+        assert check(project_from({"h.py": src})).findings == []
+
+
+class TestDroppedCoroutines:
+    def test_bare_module_coroutine_call_flagged(self, project_from):
+        src = (
+            "async def step():\n"
+            "    pass\n\n\n"
+            "async def run():\n"
+            "    step()\n"
+        )
+        (finding,) = check(project_from({"h.py": src})).findings
+        assert "never awaited" in finding.message
+        assert "'step'" in finding.message
+
+    def test_bare_self_coroutine_call_flagged(self, project_from):
+        src = (
+            "class Handler:\n"
+            "    async def _notify(self):\n"
+            "        pass\n\n"
+            "    async def run(self):\n"
+            "        self._notify()\n"
+        )
+        (finding,) = check(project_from({"h.py": src})).findings
+        assert "self._notify" in finding.message
+        assert finding.symbol == "Handler.run"
+
+    def test_awaited_coroutine_clean(self, project_from):
+        src = (
+            "async def step():\n"
+            "    pass\n\n\n"
+            "async def run():\n"
+            "    await step()\n"
+        )
+        assert check(project_from({"h.py": src})).findings == []
+
+
+class TestSuppressed:
+    def test_waiver_with_reason(self, project_from):
+        src = (
+            "import time\n\n\n"
+            "async def handler():\n"
+            "    time.sleep(0)"
+            "  # repro: allow[async-blocking] -- yields the GIL only\n"
+        )
+        report = check(project_from({"h.py": src}))
+        assert report.findings == []
+        assert report.suppressed == 1

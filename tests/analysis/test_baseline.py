@@ -1,0 +1,87 @@
+"""Baseline round-trip: save, load, apply, gate on new findings only."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.core import AnalysisReport
+from repro.analysis.findings import Finding, Severity
+
+
+def _report(findings):
+    return AnalysisReport(
+        findings=list(findings), suppressed=0, files=1, rules=["demo"]
+    )
+
+
+ERROR = Finding(path="a.py", line=3, col=0, rule="demo", message="old bug")
+WARNING = Finding(
+    path="a.py", line=9, col=0, rule="demo", message="nit",
+    severity=Severity.WARNING,
+)
+
+
+class TestRoundTrip:
+    def test_save_then_load_recovers_fingerprints(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        count = save_baseline(path, _report([ERROR, WARNING]))
+        assert count == 1  # warnings are never baselined
+        assert load_baseline(path) == {ERROR.fingerprint}
+
+    def test_apply_splits_known_from_fresh(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, _report([ERROR]))
+        fresh = Finding(
+            path="a.py", line=5, col=0, rule="demo", message="new bug"
+        )
+        # The old finding drifted to another line: still baselined,
+        # because fingerprints exclude line numbers.
+        drifted = Finding(
+            path="a.py", line=40, col=2, rule="demo", message="old bug"
+        )
+        report = apply_baseline(
+            _report([drifted, fresh]), load_baseline(path)
+        )
+        assert report.baselined == 1
+        assert report.findings == [fresh]
+        assert report.errors == 1
+
+    def test_saved_file_is_valid_sorted_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, _report([ERROR]))
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        (entry,) = data["findings"]
+        assert entry["fingerprint"] == ERROR.fingerprint
+        assert entry["rule"] == "demo"
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="unsupported baseline"):
+            load_baseline(path)
+
+    def test_non_dict_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_committed_repo_baseline_is_empty(self, repo_root=None):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        known = load_baseline(root / "analysis-baseline.json")
+        assert known == set(), (
+            "the repo baseline must stay empty: fix findings or add an"
+            " inline '# repro: allow[...] -- reason' suppression"
+        )

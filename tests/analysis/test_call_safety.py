@@ -1,0 +1,89 @@
+"""thread-call-safety rule: publisher threads use the blessed bridges."""
+
+from __future__ import annotations
+
+from repro.analysis.core import run_analysis
+from repro.analysis.rules.call_safety import CallSafetyRule
+
+
+def check(project):
+    return run_analysis(
+        project, [CallSafetyRule()], check_suppression_hygiene=False
+    )
+
+
+class TestUnsafeCalls:
+    def test_call_soon_from_sync_def_flagged(self, project_from):
+        src = (
+            "def publish(loop, fn):\n"
+            "    loop.call_soon(fn)\n"
+        )
+        (finding,) = check(project_from({"p.py": src})).findings
+        assert "'loop.call_soon()'" in finding.message
+        assert finding.symbol == "publish"
+
+    def test_self_loop_attribute_flagged(self, project_from):
+        src = (
+            "class Broker:\n"
+            "    def publish(self, fn):\n"
+            "        self._loop.create_task(fn())\n"
+        )
+        (finding,) = check(project_from({"p.py": src})).findings
+        assert "'_loop.create_task()'" in finding.message
+        assert finding.symbol == "Broker.publish"
+
+    def test_asyncio_create_task_in_sync_def_flagged(self, project_from):
+        src = (
+            "import asyncio\n\n\n"
+            "def publish(coro):\n"
+            "    asyncio.create_task(coro)\n"
+        )
+        (finding,) = check(project_from({"p.py": src})).findings
+        assert "asyncio.create_task()" in finding.message
+
+
+class TestSafeCalls:
+    def test_call_soon_threadsafe_clean(self, project_from):
+        src = (
+            "def publish(loop, fn):\n"
+            "    loop.call_soon_threadsafe(fn)\n"
+        )
+        assert check(project_from({"p.py": src})).findings == []
+
+    def test_async_def_exempt(self, project_from):
+        src = (
+            "import asyncio\n\n\n"
+            "async def handler(loop, fn):\n"
+            "    loop.call_soon(fn)\n"
+            "    asyncio.create_task(fn())\n"
+        )
+        assert check(project_from({"p.py": src})).findings == []
+
+    def test_sync_def_inside_async_def_exempt(self, project_from):
+        # call_soon callbacks run on the loop thread.
+        src = (
+            "async def handler(loop):\n"
+            "    def on_tick():\n"
+            "        loop.call_soon(print)\n"
+            "    loop.call_soon_threadsafe(on_tick)\n"
+        )
+        assert check(project_from({"p.py": src})).findings == []
+
+    def test_non_loop_receiver_clean(self, project_from):
+        src = (
+            "def enqueue(pool, fn):\n"
+            "    pool.create_task(fn)\n"
+        )
+        assert check(project_from({"p.py": src})).findings == []
+
+
+class TestSuppressed:
+    def test_waiver_with_reason(self, project_from):
+        src = (
+            "def publish(loop, fn):\n"
+            "    loop.call_soon(fn)"
+            "  # repro: allow[thread-call-safety] -- loop not started yet\n"
+        )
+        report = check(project_from({"p.py": src}))
+        assert report.findings == []
+        assert report.suppressed == 1

@@ -1,0 +1,149 @@
+"""`repro analyze` CLI: exit codes, formats, rule selection, baselines."""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+RACY = """\
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0  # guarded-by: _lock
+
+    def bump(self):
+        self.n += 1
+"""
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def racy_root(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "racy.py").write_text(textwrap.dedent(RACY))
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro.analyze]\ninclude = ["pkg"]\n'
+        'baseline = "baseline.json"\n'
+    )
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_repo_source_analyzes_clean(self):
+        code, out = run_cli("analyze", "--root", str(REPO_ROOT))
+        assert code == 0, out
+        assert "0 errors" in out
+
+    def test_findings_exit_nonzero(self, racy_root):
+        code, out = run_cli("analyze", "--root", str(racy_root))
+        assert code == 1
+        assert "lock-discipline" in out
+        assert "'n' written outside" in out
+
+    def test_empty_selection_fails(self, tmp_path):
+        code, out = run_cli("analyze", "--root", str(tmp_path))
+        assert code == 1
+        assert "no files selected" in out
+
+
+class TestRuleSelection:
+    def test_list_rules(self):
+        code, out = run_cli("analyze", "--list-rules")
+        assert code == 0
+        for name in (
+            "lock-discipline",
+            "async-blocking",
+            "protocol-exhaustiveness",
+            "factory-imports",
+            "thread-call-safety",
+        ):
+            assert name in out
+
+    def test_rules_subset_skips_other_rules(self, racy_root):
+        code, out = run_cli(
+            "analyze", "--root", str(racy_root),
+            "--rules", "async-blocking",
+        )
+        assert code == 0  # the lock bug is invisible to this rule
+
+    def test_unknown_rule_rejected(self, racy_root):
+        with pytest.raises(SystemExit, match="unknown rule"):
+            run_cli(
+                "analyze", "--root", str(racy_root), "--rules", "bogus"
+            )
+
+
+class TestJsonFormat:
+    def test_json_schema(self, racy_root):
+        code, out = run_cli(
+            "analyze", "--root", str(racy_root), "--format", "json"
+        )
+        assert code == 1
+        data = json.loads(out)
+        assert data["version"] == 1
+        assert data["summary"]["errors"] == 1
+        (finding,) = data["findings"]
+        assert finding["rule"] == "lock-discipline"
+        assert finding["path"] == "pkg/racy.py"
+        assert isinstance(finding["fingerprint"], str)
+
+
+class TestBaselineFlow:
+    def test_write_then_gate_on_new_findings_only(self, racy_root):
+        code, out = run_cli(
+            "analyze", "--root", str(racy_root), "--write-baseline"
+        )
+        assert code == 0
+        assert "baseline written" in out
+        assert (racy_root / "baseline.json").is_file()
+
+        # The known finding is baselined: the gate passes.
+        code, out = run_cli("analyze", "--root", str(racy_root))
+        assert code == 0
+        assert "1 baselined" in out
+
+        # A new violation still fails.
+        racy = racy_root / "pkg" / "racy.py"
+        racy.write_text(
+            racy.read_text()
+            + "\n    def peek(self):\n        return self.n\n"
+        )
+        code, out = run_cli("analyze", "--root", str(racy_root))
+        assert code == 1
+        assert "'n' read outside" in out
+
+    def test_explicit_baseline_flag(self, racy_root, tmp_path):
+        alt = tmp_path / "alt.json"
+        code, _ = run_cli(
+            "analyze", "--root", str(racy_root),
+            "--baseline", str(alt.name), "--write-baseline",
+        )
+        assert code == 0
+        assert (racy_root / alt.name).is_file()
+
+
+class TestExplicitPaths:
+    def test_positional_paths_override_include(self, racy_root):
+        (racy_root / "clean").mkdir()
+        (racy_root / "clean" / "ok.py").write_text("x = 1\n")
+        code, out = run_cli(
+            "analyze", "--root", str(racy_root), "clean"
+        )
+        assert code == 0
+        assert "1 files" in out

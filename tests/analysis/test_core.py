@@ -1,0 +1,202 @@
+"""Framework tests: suppressions, fingerprints, hygiene, report schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.core import run_analysis
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import all_rules, resolve_rules
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+
+RACY = """\
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0  # guarded-by: _lock
+
+    def bump(self):
+        self.n += 1
+"""
+
+
+class TestSuppressions:
+    def test_trailing_suppression_silences_finding(self, project_from):
+        project = project_from(
+            {
+                "racy.py": RACY.replace(
+                    "        self.n += 1",
+                    "        self.n += 1"
+                    "  # repro: allow[lock-discipline] -- test fixture",
+                )
+            }
+        )
+        report = run_analysis(project, [LockDisciplineRule()])
+        assert report.errors == 0
+        assert report.suppressed == 1
+
+    def test_own_line_suppression_covers_next_line(self, project_from):
+        project = project_from(
+            {
+                "racy.py": RACY.replace(
+                    "        self.n += 1",
+                    "        # repro: allow[lock-discipline] -- fixture\n"
+                    "        self.n += 1",
+                )
+            }
+        )
+        report = run_analysis(project, [LockDisciplineRule()])
+        assert report.errors == 0
+        assert report.suppressed == 1
+
+    def test_wildcard_rule_list(self, project_from):
+        project = project_from(
+            {
+                "racy.py": RACY.replace(
+                    "        self.n += 1",
+                    "        self.n += 1  # repro: allow[*] -- fixture",
+                )
+            }
+        )
+        report = run_analysis(project, [LockDisciplineRule()])
+        assert report.errors == 0
+
+    def test_unrelated_rule_does_not_suppress(self, project_from):
+        project = project_from(
+            {
+                "racy.py": RACY.replace(
+                    "        self.n += 1",
+                    "        self.n += 1"
+                    "  # repro: allow[async-blocking] -- wrong rule",
+                )
+            }
+        )
+        report = run_analysis(
+            project,
+            [LockDisciplineRule()],
+            check_suppression_hygiene=False,
+        )
+        assert report.errors == 1
+
+
+class TestSuppressionHygiene:
+    def test_missing_reason_is_an_error(self, project_from):
+        project = project_from(
+            {
+                "racy.py": RACY.replace(
+                    "        self.n += 1",
+                    "        self.n += 1  # repro: allow[lock-discipline]",
+                )
+            }
+        )
+        report = run_analysis(project, all_rules())
+        hygiene = [
+            f for f in report.findings if f.rule == "suppression-hygiene"
+        ]
+        assert len(hygiene) == 1
+        assert hygiene[0].severity == Severity.ERROR
+        assert "reason" in hygiene[0].message
+
+    def test_unused_suppression_is_a_warning(self, project_from):
+        project = project_from(
+            {
+                "clean.py": (
+                    "x = 1  # repro: allow[lock-discipline] -- stale\n"
+                )
+            }
+        )
+        report = run_analysis(project, all_rules())
+        hygiene = [
+            f for f in report.findings if f.rule == "suppression-hygiene"
+        ]
+        assert len(hygiene) == 1
+        assert hygiene[0].severity == Severity.WARNING
+        assert report.errors == 0
+
+    def test_hygiene_skipped_on_rule_subset(self, project_from):
+        project = project_from(
+            {
+                "clean.py": (
+                    "x = 1  # repro: allow[lock-discipline] -- stale\n"
+                )
+            }
+        )
+        report = run_analysis(
+            project,
+            [LockDisciplineRule()],
+            check_suppression_hygiene=False,
+        )
+        assert report.findings == []
+
+
+class TestSyntaxErrors:
+    def test_unparsable_file_yields_finding(self, project_from):
+        project = project_from({"broken.py": "def f(:\n    pass\n"})
+        report = run_analysis(project, all_rules())
+        assert report.errors == 1
+        assert report.findings[0].rule == "syntax-error"
+
+
+class TestFindings:
+    def test_fingerprint_ignores_line_drift(self):
+        a = Finding(
+            path="a.py", line=10, col=0, rule="r", message="m", symbol="C.f"
+        )
+        b = Finding(
+            path="a.py", line=99, col=4, rule="r", message="m", symbol="C.f"
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_distinguishes_rule_and_path(self):
+        a = Finding(path="a.py", line=1, col=0, rule="r1", message="m")
+        b = Finding(path="a.py", line=1, col=0, rule="r2", message="m")
+        c = Finding(path="b.py", line=1, col=0, rule="r1", message="m")
+        assert len({a.fingerprint, b.fingerprint, c.fingerprint}) == 3
+
+    def test_render_mentions_position_and_rule(self):
+        f = Finding(
+            path="x.py", line=3, col=7, rule="demo", message="boom",
+            symbol="C.m",
+        )
+        assert f.render() == "x.py:3:7: error demo: boom [in C.m]"
+
+
+class TestReportSchema:
+    def test_to_dict_shape_is_stable(self, project_from):
+        project = project_from({"racy.py": RACY})
+        report = run_analysis(project, all_rules())
+        data = report.to_dict()
+        assert data["version"] == 1
+        assert sorted(data) == ["findings", "rules", "summary", "version"]
+        assert sorted(data["summary"]) == [
+            "baselined", "errors", "files", "suppressed", "warnings",
+        ]
+        assert data["summary"]["errors"] == report.errors == 1
+        (finding,) = [
+            f for f in data["findings"] if f["rule"] == "lock-discipline"
+        ]
+        assert sorted(finding) == [
+            "col", "fingerprint", "line", "message", "path", "rule",
+            "severity", "symbol",
+        ]
+
+
+class TestRuleRegistry:
+    def test_all_rules_returns_fresh_instances(self):
+        assert {r.name for r in all_rules()} == {
+            "lock-discipline",
+            "async-blocking",
+            "protocol-exhaustiveness",
+            "factory-imports",
+            "thread-call-safety",
+        }
+        assert all_rules()[0] is not all_rules()[0]
+
+    def test_resolve_rules_subset_and_unknown(self):
+        (rule,) = resolve_rules(["lock-discipline"])
+        assert rule.name == "lock-discipline"
+        with pytest.raises(ValueError, match="unknown rule"):
+            resolve_rules(["no-such-rule"])

@@ -1,0 +1,87 @@
+"""factory-imports rule: spec-factory references resolve statically."""
+
+from __future__ import annotations
+
+from repro.analysis.core import run_analysis
+from repro.analysis.rules.factories import FactoryImportsRule
+
+
+def check(project):
+    return run_analysis(
+        project, [FactoryImportsRule()], check_suppression_hygiene=False
+    )
+
+
+class TestStringReferences:
+    def test_valid_reference_clean(self, project_from):
+        src = 'PATH = "repro.instances.graphs:planted_clique"\n'
+        assert check(project_from({"m.py": src})).findings == []
+
+    def test_missing_attribute_flagged(self, project_from):
+        src = 'PATH = "repro.instances.graphs:no_such_factory"\n'
+        (finding,) = check(project_from({"m.py": src})).findings
+        assert "does not resolve" in finding.message
+        assert "no_such_factory" in finding.message
+
+    def test_missing_module_flagged(self, project_from):
+        src = 'PATH = "repro.nowhere:thing"\n'
+        (finding,) = check(project_from({"m.py": src})).findings
+        assert "does not import" in finding.message
+
+    def test_docstring_examples_exempt(self, project_from):
+        src = (
+            "def f():\n"
+            '    """Use "repro.nowhere:thing" as the factory path."""\n'
+            "    return 1\n"
+        )
+        assert check(project_from({"m.py": src})).findings == []
+
+    def test_non_factory_string_exempt(self, project_from):
+        src = 'MSG = "repro is a python package"\n'
+        assert check(project_from({"m.py": src})).findings == []
+
+
+class TestKeywordArguments:
+    def test_lambda_factory_flagged(self, project_from):
+        src = "submit = dict(spec_factory=lambda: None)\n"
+        (finding,) = check(project_from({"m.py": src})).findings
+        assert "lambda" in finding.message
+
+    def test_module_level_def_clean(self, project_from):
+        src = (
+            "def my_factory():\n"
+            "    return None\n\n\n"
+            "job = dict(spec_factory=my_factory)\n"
+        )
+        assert check(project_from({"m.py": src})).findings == []
+
+    def test_good_import_clean(self, project_from):
+        src = (
+            "from repro.instances.graphs import planted_clique\n\n"
+            "job = dict(spec_factory=planted_clique)\n"
+        )
+        assert check(project_from({"m.py": src})).findings == []
+
+    def test_broken_from_import_flagged(self, project_from):
+        # The import itself would fail at runtime; analysis says so.
+        src = (
+            "from repro.instances.graphs import gone_factory\n\n"
+            "job = dict(spec_factory=gone_factory)\n"
+        )
+        (finding,) = check(project_from({"m.py": src})).findings
+        assert "gone_factory" in finding.message
+
+    def test_factory_path_argument_checked(self, project_from):
+        src = (
+            "from repro.cluster.protocol import factory_path\n"
+            "from repro.instances.graphs import planted_clique\n\n"
+            "p = factory_path(planted_clique)\n"
+        )
+        assert check(project_from({"m.py": src})).findings == []
+
+    def test_local_variable_skipped(self, project_from):
+        src = (
+            "def run(factory_fn):\n"
+            "    return dict(spec_factory=factory_fn)\n"
+        )
+        assert check(project_from({"m.py": src})).findings == []

@@ -1,0 +1,151 @@
+"""lock-discipline rule: guarded fields stay under their lock."""
+
+from __future__ import annotations
+
+from repro.analysis.core import run_analysis
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+
+
+def check(project):
+    return run_analysis(
+        project, [LockDisciplineRule()], check_suppression_hygiene=False
+    )
+
+
+CLEAN = """\
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def get(self):
+        with self._lock:
+            return self.value
+
+    def set(self, v):
+        with self._lock:
+            self.value = v
+"""
+
+
+class TestClean:
+    def test_locked_accesses_pass(self, project_from):
+        assert check(project_from({"box.py": CLEAN})).findings == []
+
+    def test_unguarded_fields_ignored(self, project_from):
+        src = CLEAN.replace("  # guarded-by: _lock", "")
+        assert check(project_from({"box.py": src})).findings == []
+
+
+class TestViolations:
+    def test_unlocked_read_flagged(self, project_from):
+        src = CLEAN + "\n    def peek(self):\n        return self.value\n"
+        report = check(project_from({"box.py": src}))
+        (finding,) = report.findings
+        assert finding.rule == "lock-discipline"
+        assert "'value' read outside" in finding.message
+        assert finding.symbol == "Box.peek"
+
+    def test_unlocked_write_flagged(self, project_from):
+        src = CLEAN + "\n    def reset(self):\n        self.value = 0\n"
+        (finding,) = check(project_from({"box.py": src})).findings
+        assert "'value' written outside" in finding.message
+
+    def test_wrong_lock_flagged(self, project_from):
+        src = (
+            "import threading\n"
+            "\n\nclass Box:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "        self.value = 0  # guarded-by: _a\n"
+            "\n"
+            "    def bad(self):\n"
+            "        with self._b:\n"
+            "            return self.value\n"
+        )
+        (finding,) = check(project_from({"box.py": src})).findings
+        assert "'value' read outside 'with self._a:'" in finding.message
+
+    def test_closure_does_not_inherit_lock(self, project_from):
+        # A callback defined inside `with self._lock:` runs later, when
+        # the lock is long released — accesses inside it must be flagged.
+        src = CLEAN + (
+            "\n    def sneaky(self):\n"
+            "        with self._lock:\n"
+            "            def cb():\n"
+            "                return self.value\n"
+            "            return cb\n"
+        )
+        (finding,) = check(project_from({"box.py": src})).findings
+        assert finding.symbol == "Box.sneaky"
+
+
+class TestEscapeHatches:
+    def test_locked_suffix_method_assumes_lock(self, project_from):
+        src = CLEAN + (
+            "\n    def _drain_locked(self):\n"
+            "        return self.value\n"
+        )
+        assert check(project_from({"box.py": src})).findings == []
+
+    def test_holds_comment_assumes_named_lock(self, project_from):
+        src = CLEAN + (
+            "\n    def _drain(self):  # repro: holds[_lock]\n"
+            "        return self.value\n"
+        )
+        assert check(project_from({"box.py": src})).findings == []
+
+    def test_alternative_locks_either_suffices(self, project_from):
+        src = (
+            "import threading\n"
+            "\n\nclass Sched:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+            "        self._work = threading.Condition(self._lock)\n"
+            "        self.jobs = {}  # guarded-by: _lock|_work\n"
+            "\n"
+            "    def via_lock(self):\n"
+            "        with self._lock:\n"
+            "            return len(self.jobs)\n"
+            "\n"
+            "    def via_cond(self):\n"
+            "        with self._work:\n"
+            "            return len(self.jobs)\n"
+        )
+        assert check(project_from({"sched.py": src})).findings == []
+
+
+class TestCallerContract:
+    CALLER = """\
+class Cache:
+    def __init__(self):
+        self.entries = {}  # guarded-by: caller
+"""
+
+    def test_lock_free_container_passes(self, project_from):
+        assert check(project_from({"cache.py": self.CALLER})).findings == []
+
+    def test_threading_machinery_flagged(self, project_from):
+        src = (
+            "import threading\n\n\n" + self.CALLER
+            + "        self._t = threading.Thread(target=print)\n"
+        )
+        (finding,) = check(project_from({"cache.py": src})).findings
+        assert "caller-guarded fields (entries)" in finding.message
+        assert "threading.Thread" in finding.message
+
+
+class TestSuppressed:
+    def test_inline_waiver_with_reason(self, project_from):
+        src = CLEAN + (
+            "\n    def peek(self):\n"
+            "        return self.value"
+            "  # repro: allow[lock-discipline] -- benign stale read\n"
+        )
+        report = check(project_from({"box.py": src}))
+        assert report.findings == []
+        assert report.suppressed == 1

@@ -1,0 +1,231 @@
+"""Dynamic lock-order tracing: unit graph tests, Condition interop and
+the scheduler x EventBroker x ShardRouter acyclicity regression."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.lockorder import (
+    LockOrderCycleError,
+    LockOrderGraph,
+    installed,
+    traced,
+)
+from repro.core.results import SearchResult
+
+
+class TestGraph:
+    def test_acyclic_graph_passes(self):
+        graph = LockOrderGraph()
+        graph.record("a.py:1", "b.py:2")
+        graph.record("b.py:2", "c.py:3")
+        assert graph.find_cycle() is None
+        graph.assert_acyclic()
+
+    def test_two_lock_cycle_detected(self):
+        graph = LockOrderGraph()
+        graph.record("a.py:1", "b.py:2")
+        graph.record("b.py:2", "a.py:1")
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a.py:1", "b.py:2"}
+        with pytest.raises(LockOrderCycleError, match="latent deadlock"):
+            graph.assert_acyclic()
+
+    def test_three_lock_cycle_detected(self):
+        graph = LockOrderGraph()
+        graph.record("a", "b")
+        graph.record("b", "c")
+        graph.record("c", "a")
+        graph.record("a", "d")  # a side branch must not mask the cycle
+        assert graph.find_cycle() is not None
+
+    def test_self_edges_ignored(self):
+        graph = LockOrderGraph()
+        graph.record("a", "a")  # re-entrant RLock acquisition
+        assert graph.find_cycle() is None
+
+
+class TestTracedLocks:
+    def test_install_scoped_and_restored(self):
+        # Robust under an outer REPRO_LOCK_TRACE session tracer: the
+        # scope must restore whatever state preceded it.
+        before_installed = installed()
+        before_factory = threading.Lock
+        with traced():
+            assert installed()
+        assert installed() == before_installed
+        assert threading.Lock is before_factory
+
+    def test_consistent_order_stays_acyclic(self):
+        with traced() as graph:
+            a = threading.Lock()
+            b = threading.Lock()
+
+            def use():
+                for _ in range(3):
+                    with a:
+                        with b:
+                            pass
+
+            threads = [threading.Thread(target=use) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            use()
+            assert graph.find_cycle() is None
+
+    def test_opposite_orders_form_a_cycle(self):
+        with traced() as graph:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+            cycle = graph.find_cycle()
+            assert cycle is not None
+            with pytest.raises(LockOrderCycleError):
+                graph.assert_acyclic()
+
+    def test_acquisition_counter(self):
+        with traced() as graph:
+            lock = threading.Lock()
+            before = graph.acquisitions("test_lockorder")
+            for _ in range(5):
+                with lock:
+                    pass
+            assert graph.acquisitions("test_lockorder") == before + 5
+
+    def test_rlock_reentry_is_not_a_cycle(self):
+        with traced() as graph:
+            lock = threading.RLock()
+            with lock:
+                with lock:
+                    pass
+            assert graph.find_cycle() is None
+
+
+class TestConditionInterop:
+    def test_condition_over_traced_lock(self):
+        with traced() as graph:
+            lock = threading.Lock()
+            cond = threading.Condition(lock)
+            ready = []
+
+            def waiter():
+                with cond:
+                    while not ready:
+                        cond.wait(timeout=5.0)
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            time.sleep(0.05)
+            with cond:
+                ready.append(True)
+                cond.notify_all()
+            t.join(timeout=5.0)
+            assert not t.is_alive()
+            assert graph.find_cycle() is None
+
+    def test_condition_over_traced_rlock(self):
+        # The scheduler's exact shape: Condition sharing an RLock.
+        with traced() as graph:
+            lock = threading.RLock()
+            cond = threading.Condition(lock)
+            with lock:  # outer hold: wait() must fully release and restore
+                with cond:
+                    cond.wait(timeout=0.01)
+            assert graph.find_cycle() is None
+
+
+# -- end-to-end over the real service stack ------------------------------
+
+
+class InstantBackend:
+    """Deterministic zero-latency backend for the e2e trace."""
+
+    def execute(self, job, *, deadline=None, cancel=None):
+        return SearchResult(kind="optimisation", value=42, node=("w",))
+
+
+def _wait_terminal(job, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not job.terminal:
+        assert time.monotonic() < deadline, f"{job.id} stuck in {job.state}"
+        time.sleep(0.005)
+
+
+class TestServiceAcyclicity:
+    """Satellite regression: the full scheduler x EventBroker x
+    ShardRouter stack never takes its locks in conflicting orders."""
+
+    def test_shard_router_e2e_lock_order_is_acyclic(self):
+        from repro.gateway import EventBroker, ShardRouter
+        from repro.service.jobs import JobSpec
+
+        with traced() as graph:
+            broker = EventBroker()
+            router = ShardRouter(
+                2,
+                backend_factory=lambda i: InstantBackend(),
+                pool=2,
+                broker=broker,
+            )
+            router.start()
+            try:
+                jobs = []
+                for instance in ("brock90-1", "brock90-2", "sanr90-1"):
+                    _, job = router.submit(
+                        JobSpec(app="maxclique", instance=instance)
+                    )
+                    jobs.append(job)
+                for job in jobs:
+                    _wait_terminal(job)
+                # Cross-component probes: broker history under its lock,
+                # scheduler job tables under theirs, metric snapshots.
+                for job in jobs:
+                    assert broker.history(job.id)
+                    router.job(job.id)
+                for shard in router.shards:
+                    shard.snapshot()
+                    shard.scheduler.jobs()
+            finally:
+                router.close()
+            graph.assert_acyclic()
+            assert graph.acquisitions("service/scheduler.py") > 0
+            assert graph.acquisitions("gateway/events.py") > 0
+
+    def test_scheduler_job_lookups_take_the_lock(self):
+        """Regression for the unlocked Scheduler.job()/jobs() reads:
+        both must acquire the scheduler lock (gateway threads iterate
+        the job table while workers mutate it)."""
+        from repro.gateway import ShardRouter
+        from repro.service.jobs import JobSpec
+
+        with traced() as graph:
+            router = ShardRouter(
+                1, backend_factory=lambda i: InstantBackend(), pool=1
+            )
+            router.start()
+            try:
+                _, job = router.submit(
+                    JobSpec(app="maxclique", instance="brock90-1")
+                )
+                _wait_terminal(job)
+                scheduler = router.shards[0].scheduler
+                before = graph.acquisitions("service/scheduler.py")
+                scheduler.jobs()
+                scheduler.job(job.id)
+                scheduler.jobs()
+                after = graph.acquisitions("service/scheduler.py")
+            finally:
+                router.close()
+            assert after >= before + 3

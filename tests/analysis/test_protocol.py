@@ -1,0 +1,120 @@
+"""protocol-exhaustiveness: the real tree is clean, and removing any
+piece of frame plumbing demonstrably fails the analysis."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.analysis.core import Project, run_analysis
+from repro.analysis.rules.protocol_exhaustive import ProtocolExhaustiveRule
+from repro.cluster import protocol
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CLUSTER_DIR = REPO_ROOT / "src" / "repro" / "cluster"
+
+
+def check(project):
+    return run_analysis(
+        project,
+        [ProtocolExhaustiveRule()],
+        check_suppression_hygiene=False,
+    )
+
+
+def load_cluster_copy(tmp_path) -> tuple[Path, Path]:
+    """Copy the real cluster package into a tmp tree for mutation."""
+    dest = tmp_path / "repro" / "cluster"
+    shutil.copytree(CLUSTER_DIR, dest, ignore=shutil.ignore_patterns("__pycache__"))
+    return tmp_path, dest
+
+
+def project_over(root: Path, cluster: Path) -> Project:
+    return Project.load(root, sorted(cluster.glob("*.py")))
+
+
+class TestRealTree:
+    def test_cluster_package_is_exhaustive(self, tmp_path):
+        root, cluster = load_cluster_copy(tmp_path)
+        report = check(project_over(root, cluster))
+        assert report.findings == []
+
+    def test_every_declared_frame_seen_by_rule(self, tmp_path):
+        # Guards against the rule silently matching nothing: it must
+        # recognise the same frame constants the protocol exports.
+        from repro.analysis.rules.protocol_exhaustive import _declared_frames
+
+        root, cluster = load_cluster_copy(tmp_path)
+        project = project_over(root, cluster)
+        src = project.find_suffix("cluster/protocol.py")
+        frames = _declared_frames(src)
+        declared = {
+            name
+            for name in protocol.__all__
+            if name.isupper() and getattr(protocol, name) == name
+        }
+        assert set(frames) == declared
+        assert len(frames) >= 10
+
+
+class TestNegative:
+    """Break the plumbing one way at a time; the rule must notice."""
+
+    def _mutate(self, path: Path, old: str, new: str) -> None:
+        text = path.read_text()
+        assert old in text, f"fixture drift: {old!r} not in {path.name}"
+        path.write_text(text.replace(old, new))
+
+    def test_removed_worker_dispatch_arm_is_flagged(self, tmp_path):
+        root, cluster = load_cluster_copy(tmp_path)
+        worker = cluster / "worker.py"
+        # Neutralise every reference to the ERROR frame in the worker.
+        self._mutate(worker, "P.ERROR", "None")
+        report = check(project_over(root, cluster))
+        hits = [
+            f
+            for f in report.findings
+            if "'ERROR'" in f.message and "worker" in f.message
+        ]
+        assert len(hits) == 1
+        assert "missing dispatch arm" in hits[0].message
+
+    def test_removed_codec_tag_is_flagged(self, tmp_path):
+        root, cluster = load_cluster_copy(tmp_path)
+        codec = cluster / "codec.py"
+        self._mutate(codec, '"HEARTBEAT", ', "")
+        report = check(project_over(root, cluster))
+        hits = [f for f in report.findings if "HEARTBEAT" in f.message]
+        assert any("no binary codec tag" in f.message for f in hits)
+
+    def test_new_unplumbed_frame_is_flagged(self, tmp_path):
+        root, cluster = load_cluster_copy(tmp_path)
+        proto = cluster / "protocol.py"
+        proto.write_text(
+            proto.read_text() + '\nNEW_FRAME = "NEW_FRAME"\n'
+        )
+        report = check(project_over(root, cluster))
+        messages = " | ".join(f.message for f in report.findings)
+        assert "NEW_FRAME" in messages
+        # Missing everywhere: codec tag + both dispatch sides.
+        errors = [
+            f
+            for f in report.findings
+            if "NEW_FRAME" in f.message and f.severity.value == "error"
+        ]
+        assert len(errors) >= 3
+
+    def test_missing_companion_module_is_warning_only(self, tmp_path):
+        root, cluster = load_cluster_copy(tmp_path)
+        (cluster / "worker.py").unlink()
+        report = check(project_over(root, cluster))
+        assert report.errors == 0
+        assert any(
+            "cluster/worker.py" in f.message for f in report.findings
+        )
+
+
+class TestInert:
+    def test_no_protocol_module_no_findings(self, project_from):
+        project = project_from({"app.py": "x = 1\n"})
+        assert check(project).findings == []

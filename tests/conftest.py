@@ -80,3 +80,26 @@ def toy_spec_unbounded():
     children = {"root": ["a", "b"], "a": ["aa"]}
     values = {"root": 0, "a": 1, "b": 2, "aa": 3}
     return make_toy_spec(children, values, with_bound=False)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_order_trace():
+    """Opt-in dynamic lock-order tracing for the whole test session.
+
+    With ``REPRO_LOCK_TRACE=1`` in the environment (the CI conformance
+    job sets it), every ``threading.Lock``/``RLock`` created during the
+    run is traced and the session fails if the acquisition-order graph
+    ever contains a cycle — a latent deadlock, even if the schedule
+    that would trigger it never ran.
+    """
+    from repro.analysis import lockorder
+
+    graph = lockorder.maybe_install_from_env()
+    if graph is None:
+        yield None
+        return
+    try:
+        yield graph
+    finally:
+        lockorder.uninstall()
+        graph.assert_acyclic()

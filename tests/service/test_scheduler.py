@@ -75,6 +75,16 @@ class TestSubmission:
         assert dup.from_cache
         assert backend.executed == ["j0001"]  # the duplicate never ran
 
+    def test_jobs_listing_orders_prefixed_shard_ids(self):
+        # Regression: jobs() sorted on int(id[1:]), which crashed on
+        # sharded id prefixes ("s0-j0001") the gateway generates.
+        s = make_sched(name="s0-")
+        first = s.submit(spec())
+        second = s.submit(spec(instance="brock90-2"))
+        assert first.id == "s0-j0001"
+        assert [j.id for j in s.jobs()] == [first.id, second.id]
+        s.run_until_idle()
+
     def test_rejection_reports_reason_and_terminal_state(self):
         s = make_sched(queue=JobQueue(max_depth=1))
         s.submit(spec())
