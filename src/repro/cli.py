@@ -852,21 +852,39 @@ def _cmd_verify(args, out) -> int:
     """Run the differential conformance harness (see docs/verify.md)."""
     from repro.analysis import lockorder
     from repro.verify.differential import run_verify
+    from repro.verify.repetition import run_repetition
 
     # Under REPRO_LOCK_TRACE=1 the conformance run doubles as a
     # deadlock detector: every lock acquisition feeds the order graph
     # and a cycle fails the command even if all answers matched.
     graph = lockorder.maybe_install_from_env()
     try:
-        status = run_verify(
-            backend=args.backend,
-            seed=args.seed,
-            rounds=args.rounds,
-            chaos=args.chaos,
-            artifact_dir=args.artifacts,
-            log=lambda line: print(line, file=out),
-            cluster_timeout=args.cluster_timeout,
-        )
+        if args.repeat > 1:
+            # Repetition mode: fewer instances, each hammered repeat
+            # times across worker counts — so the unset default is
+            # smaller than the differential sweep's.
+            status = run_repetition(
+                backend=args.backend if args.backend != "all" else "cluster",
+                coordination=args.coordination or "ordered",
+                seed=args.seed,
+                rounds=args.rounds if args.rounds is not None else 3,
+                repeat=args.repeat,
+                chaos=args.chaos or None,
+                artifact_dir=args.artifacts,
+                log=lambda line: print(line, file=out),
+                cluster_timeout=args.cluster_timeout,
+            )
+        else:
+            status = run_verify(
+                backend=args.backend,
+                seed=args.seed,
+                rounds=args.rounds if args.rounds is not None else 20,
+                chaos=args.chaos,
+                coordination=args.coordination,
+                artifact_dir=args.artifacts,
+                log=lambda line: print(line, file=out),
+                cluster_timeout=args.cluster_timeout,
+            )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     if graph is not None:
@@ -1032,8 +1050,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="which backend(s) to check (default: all)")
     p.add_argument("--seed", type=int, default=0,
                    help="harness seed; fixes instances, knobs and fault plans")
-    p.add_argument("--rounds", type=int, default=20,
-                   help="instances to generate (default 20)")
+    p.add_argument("--rounds", type=int, default=None,
+                   help="instances to generate (default 20; 3 with --repeat)")
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="repetition oracle: run each cell N times across "
+                   "worker counts 1/2/4 (plus a kill_worker chaos round on "
+                   "the cluster backend) and require stable values — and, "
+                   "for --coordination ordered, bit-identical node counts")
+    p.add_argument("--coordination", default=None,
+                   choices=["depthbounded", "budget", "stacksteal",
+                            "ordered", "random"],
+                   help="pin every parallel cell to one coordination "
+                   "(default: seeded draw; 'ordered' with --repeat)")
     p.add_argument("--chaos", action="store_true", default=False,
                    help="cluster backend: inject a seeded FaultPlan per round")
     p.add_argument("--artifacts", default="verify-artifacts", metavar="DIR",

@@ -3,9 +3,9 @@
 The paper's headline evaluation is distributed-memory scaling — k-clique
 refutations across 17 localities (Fig. 4) on HPX.  This package is the
 repository's real-network counterpart to that substrate: a socket-based
-multi-node runtime executing the Budget coordination, where work and
-knowledge move over a wire instead of a simulated network or shared
-memory.
+multi-node runtime executing the Budget, Stack-Stealing and Ordered
+coordinations, where work and knowledge move over a wire instead of a
+simulated network or shared memory.
 
 - :mod:`repro.cluster.protocol` — the length-prefixed wire protocol
   (HELLO/TASK/OFFCUT/INCUMBENT/RESULT/HEARTBEAT/SHUTDOWN …) and the
@@ -22,10 +22,10 @@ memory.
   loop wrapped in a TCP client with reconnect-with-backoff and graceful
   drain on SHUTDOWN; ``run_worker`` optionally fans out to several
   local worker processes.
-- :mod:`repro.cluster.local` — ``cluster_budget_search``: spin up an
-  embedded coordinator plus N localhost worker processes for one
-  search (the ``backend="cluster"`` skeleton route and the benchmark
-  driver).
+- :mod:`repro.cluster.local` — ``cluster_search``: spin up an embedded
+  coordinator plus N localhost worker processes for one search under
+  any cluster coordination (the ``backend="cluster"`` skeleton route
+  and the benchmark driver).
 - :mod:`repro.cluster.backend` — :class:`ClusterBackend`, the service
   :class:`~repro.service.scheduler.Backend` that dispatches scheduler
   jobs cluster-wide (``repro serve --backend cluster``).
@@ -52,7 +52,11 @@ failure model.
 
 from repro.cluster.backend import ClusterBackend
 from repro.cluster.coordinator import ClusterHandle, Coordinator
-from repro.cluster.local import cluster_budget_search, run_with_cluster
+from repro.cluster.local import (
+    cluster_budget_search,
+    cluster_search,
+    run_with_cluster,
+)
 from repro.cluster.worker import ClusterWorker, run_worker
 
 __all__ = [
@@ -60,6 +64,7 @@ __all__ = [
     "ClusterHandle",
     "ClusterWorker",
     "run_worker",
+    "cluster_search",
     "cluster_budget_search",
     "run_with_cluster",
     "ClusterBackend",

@@ -170,16 +170,16 @@ class ClusterBackend:
         The instance name doubles as the spec-factory argument (the
         registry is deterministic on every node), the search type is
         resolved exactly as :func:`run_library_search` resolves it, and
-        only the Budget skeleton is accepted — it is the one whose work
-        movement the cluster implements.
+        the budget, stacksteal and ordered skeletons are accepted —
+        the coordinations whose work movement the cluster implements.
         """
         from repro.core.searchtypes import make_search_type
         from repro.instances.library import library_spec_factory, spec_for
 
-        if spec.skeleton != "budget":
+        if spec.skeleton not in ("budget", "stacksteal", "ordered"):
             raise ValueError(
-                f"the cluster backend runs the 'budget' skeleton, not "
-                f"{spec.skeleton!r}"
+                f"the cluster backend runs the 'budget', 'stacksteal' or "
+                f"'ordered' skeletons, not {spec.skeleton!r}"
             )
         _, default_type, default_kwargs = spec_for(spec.instance)
         stype_name = spec.search_type or default_type
@@ -191,8 +191,11 @@ class ClusterBackend:
             library_spec_factory,
             (spec.instance,),
             stype,
+            coordination=spec.skeleton,
             budget=params.budget,
             share_poll=params.share_poll,
+            d_cutoff=params.d_cutoff,
+            chunked=params.chunked,
         )
 
     def load_stats(self) -> dict:

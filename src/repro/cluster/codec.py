@@ -82,6 +82,7 @@ MAGIC = 0xB1
 FRAME_TYPES = (
     "HELLO", "WELCOME", "JOB", "TASK", "OFFCUT", "INCUMBENT", "RESULT",
     "RELEASE", "HEARTBEAT", "JOB_DONE", "RETIRE", "SHUTDOWN", "BYE", "ERROR",
+    "STEAL", "STOLEN",
 )
 _TYPE_INDEX = {name: i for i, name in enumerate(FRAME_TYPES)}
 _TYPE_ESCAPE = 0xFE  # unregistered type: escape byte + raw string
@@ -98,6 +99,8 @@ _KEYS = (
     "tasks", "reason", "leases", "codec", "codecs",
     "json", "binary", "enumeration", "optimisation", "decision",
     "__tuple__", "__set__", "__frozenset__", "__pickle__",
+    "coordination", "chunked", "d_cutoff", "bound",
+    "stacksteal", "ordered",
 )
 _KEY_INDEX = {name: i for i, name in enumerate(_KEYS)}
 _RAW_KEY = 0xFF

@@ -53,6 +53,7 @@ from typing import Any, Callable, Optional
 
 from repro.cluster import protocol as P
 from repro.cluster.faults import CoordinatorFaults
+from repro.core.ordered import OrderedLedger, ordered_frontier
 from repro.core.results import SearchMetrics, SearchResult
 from repro.core.searchtypes import Incumbent
 from repro.runtime.processes import make_stype
@@ -100,6 +101,11 @@ class TaskRecord:
     epoch: int = 0
     state: str = QUEUED
     worker: Optional[int] = None
+    # Ordered jobs only: the discovery-order priority and the pinned
+    # starting bound (None = speculative, the worker uses its last-heard
+    # finalised-prefix best).
+    seq: Optional[int] = None
+    bound: Optional[int] = None
 
 
 @dataclass
@@ -116,6 +122,11 @@ class WorkerConn:
     said_bye: bool = False
     retiring: bool = False  # told to RETIRE: no new leases, drain out
     proto_version: int = P.PROTOCOL_VERSION
+    # Stack-stealing mediation state: a STEAL is in flight to this
+    # worker (one at a time), / its last STOLEN answer was empty so
+    # re-asking is pointless until it reports fresh progress.
+    steal_pending: bool = False
+    steal_dry: bool = False
     # The negotiated wire codec for frames *to* this worker (inbound
     # decoding auto-detects).  None until the WELCOME has been posted,
     # so the handshake itself always travels as JSON.
@@ -135,6 +146,14 @@ class _Job:
             payload["stype_kind"], dict(payload.get("stype_kwargs") or {})
         )
         self.enum = self.stype.kind == "enumeration"
+        self.coordination = str(payload.get("coordination") or "budget")
+        if self.coordination not in ("budget", "stacksteal", "ordered"):
+            raise ValueError(
+                f"the cluster runs 'budget', 'stacksteal' or 'ordered' "
+                f"jobs, not {self.coordination!r}"
+            )
+        self.chunked = bool(payload.get("chunked", True))
+        self.d_cutoff = int(payload.get("d_cutoff", 2))
         self.knowledge = self.stype.initial_knowledge(self.spec)
         self.best_value: Optional[int] = (
             None if self.enum else self.knowledge.value
@@ -150,12 +169,39 @@ class _Job:
         self.started = time.perf_counter()
         self.done: asyncio.Future = loop.create_future()
         self._next_task = 0
-        root = TaskRecord(
-            id=self._new_task_id(), node=P.encode_node(self.spec.root), depth=0
-        )
-        self.tasks[root.id] = root
-        self.queue.append(root.id)
-        self.outstanding = 1
+        self.ledger: Optional[OrderedLedger] = None
+        self.seq_task: dict[int, int] = {}
+        if self.coordination == "ordered":
+            # Phase 1 runs here, synchronously: the sequential
+            # depth-bounded expansion that numbers the frontier.  It is
+            # the region above d_cutoff — small by construction — so
+            # blocking the loop for it is fine.
+            frontier = ordered_frontier(
+                self.spec, self.stype, d_cutoff=self.d_cutoff
+            )
+            self.ledger = OrderedLedger(self.stype, frontier)
+            if not self.enum:
+                self.best_value = self.ledger.required_bound()
+            for t in frontier.tasks:
+                rec = TaskRecord(
+                    id=self._new_task_id(),
+                    node=P.encode_node(t.node),
+                    depth=t.depth,
+                    seq=t.seq,
+                )
+                self.tasks[rec.id] = rec
+                self.queue.append(rec.id)
+                self.seq_task[t.seq] = rec.id
+            self.outstanding = self.ledger.task_count
+        else:
+            root = TaskRecord(
+                id=self._new_task_id(),
+                node=P.encode_node(self.spec.root),
+                depth=0,
+            )
+            self.tasks[root.id] = root
+            self.queue.append(root.id)
+            self.outstanding = 1
 
     def _new_task_id(self) -> int:
         self._next_task += 1
@@ -184,6 +230,9 @@ class _Job:
             "stype_kwargs": dict(self.payload.get("stype_kwargs") or {}),
             "budget": int(self.payload.get("budget", 1000)),
             "share_poll": int(self.payload.get("share_poll", 64)),
+            "coordination": self.coordination,
+            "chunked": self.chunked,
+            "d_cutoff": self.d_cutoff,
             "best": self.best_value,
         }
 
@@ -390,8 +439,17 @@ class Coordinator:
         self._job = job
         msg = job.job_message()
         for worker in list(self.workers.values()):
+            # Steal state is per-job; a STOLEN still in flight for the
+            # previous job is dropped by the job-id check in _dispatch.
+            worker.steal_pending = False
+            worker.steal_dry = False
             self._post(worker, msg)
-        self._pump()
+        if job.ledger is not None and job.ledger.finished:
+            # Phase 1 already finished the search (empty frontier, or a
+            # decision goal during expansion): no tasks to lease.
+            self._finish_ordered(job)
+        else:
+            self._pump()
         try:
             return await asyncio.wait_for(asyncio.shield(job.done), timeout)
         except asyncio.TimeoutError:
@@ -533,6 +591,8 @@ class Coordinator:
             self._on_incumbent(worker, job, msg)
         elif mtype == P.OFFCUT:
             self._on_offcut(worker, job, msg)
+        elif mtype == P.STOLEN:
+            self._on_stolen(worker, job, msg)
         elif mtype == P.RESULT:
             self._on_result(worker, job, msg)
         elif mtype == P.RELEASE:
@@ -553,7 +613,9 @@ class Coordinator:
         return rec
 
     def _on_incumbent(self, worker: WorkerConn, job: _Job, msg: dict) -> None:
-        if job.enum:
+        if job.enum or job.ledger is not None:
+            # Ordered workers never publish mid-task (fixed-bound tasks
+            # are pure); the only incumbent authority is the ledger.
             return
         value = msg.get("value")
         if not isinstance(value, int):
@@ -597,9 +659,36 @@ class Coordinator:
             job.add_offcuts(rec, depth, nodes)
             self._pump()
 
+    def _on_stolen(self, worker: WorkerConn, job: _Job, msg: dict) -> None:
+        """A steal answer: offcut subtrees carved from the victim's live
+        stack, or an empty list meaning it had nothing to give."""
+        worker.steal_pending = False
+        nodes = msg.get("nodes") or []
+        if not nodes:
+            # Don't re-ask until the victim reports fresh progress (the
+            # flag clears on its next RESULT); retry other victims now.
+            worker.steal_dry = True
+            self._pump()
+            return
+        rec = self._valid_lease(worker, job, msg)
+        if rec is None:
+            return
+        depth = int(msg.get("depth", rec.depth + 1))
+        job.add_offcuts(rec, depth, nodes)
+        job.metrics.steals += len(nodes)
+        self._pump()
+
     def _on_result(self, worker: WorkerConn, job: _Job, msg: dict) -> None:
         rec = self._valid_lease(worker, job, msg)
         if rec is None:
+            return
+        # Fresh progress: empty-handed steal verdicts are stale now, and
+        # any STEAL this worker left unanswered died with the task.
+        worker.steal_pending = False
+        for other in self.workers.values():
+            other.steal_dry = False
+        if job.ledger is not None:
+            self._on_result_ordered(worker, job, rec, msg)
             return
         rec.state = DONE
         rec.worker = None
@@ -635,6 +724,79 @@ class Coordinator:
             self._complete_job(job)
             return
         self._pump()
+
+    def _on_result_ordered(
+        self, worker: WorkerConn, job: _Job, rec: TaskRecord, msg: dict
+    ) -> None:
+        """Feed one arrived ordered result to the ledger and act on its
+        verdict: finalise the ready prefix, re-lease any run the ledger
+        rejected for a bound mismatch (epoch bumped, bound pinned,
+        front of the queue), and broadcast the new finalised-prefix
+        best."""
+        ledger = job.ledger
+        rec.state = DONE
+        rec.worker = None
+        worker.tasks.discard(rec.id)
+        job.contributors.add(worker.id)
+        payload: dict = {
+            "nodes": int(msg.get("nodes", 0)),
+            "prunes": int(msg.get("prunes", 0)),
+            "backtracks": int(msg.get("backtracks", 0)),
+            "max_depth": int(msg.get("max_depth", 0)),
+            "goal": bool(msg.get("goal")),
+        }
+        if job.enum:
+            payload["knowledge"] = msg.get("knowledge")
+        else:
+            payload["bound"] = msg.get("bound")
+            payload["value"] = msg.get("value")
+            payload["node"] = P.decode_node(msg.get("node"))
+        ledger.record(rec.seq, payload)
+        for rerun_seq, rerun_bound in ledger.advance():
+            rrec = job.tasks[job.seq_task[rerun_seq]]
+            # Bump before re-queueing, exactly like a crash re-lease:
+            # the rejected run's lease is dead.
+            rrec.epoch += 1
+            rrec.state = QUEUED
+            rrec.worker = None
+            rrec.bound = rerun_bound
+            job.queue.appendleft(rrec.id)
+        job.outstanding = ledger.task_count - ledger.next_seq
+        if not job.enum:
+            new_best = ledger.required_bound()
+            if new_best is not None and (
+                job.best_value is None or new_best > job.best_value
+            ):
+                # The broadcast value is the *finalised-prefix* best —
+                # monotone and deterministic — not the raw arrival best.
+                job.best_value = new_best
+                job.metrics.broadcasts += 1
+                out = {"type": P.INCUMBENT, "job": job.id, "value": new_best}
+                for other in list(self.workers.values()):
+                    self._post(other, out)
+                if self.on_incumbent is not None:
+                    try:
+                        self.on_incumbent(new_best)
+                    except Exception:
+                        pass
+        if ledger.finished:
+            self._finish_ordered(job)
+            return
+        self._pump()
+
+    def _finish_ordered(self, job: _Job) -> None:
+        """Copy the ledger's authoritative state into the job and
+        complete it (the ledger owns knowledge and every deterministic
+        counter; the job contributes only transport-level bookkeeping)."""
+        ledger = job.ledger
+        ledger.metrics.reassigned += job.metrics.reassigned
+        ledger.metrics.broadcasts = job.metrics.broadcasts
+        ledger.metrics.steals = job.metrics.steals
+        job.metrics = ledger.metrics
+        job.knowledge = ledger.knowledge
+        job.goal = ledger.goal
+        job.outstanding = 0
+        self._complete_job(job)
 
     def _on_release(self, worker: WorkerConn, job: _Job, msg: dict) -> None:
         """Retire handback: re-queue each returned lease under a bumped
@@ -685,8 +847,13 @@ class Coordinator:
         job = self._job
         if job is None or job.state != "running":
             return
+        # Only v3 peers understand coordination-aware jobs (bound
+        # leases, STEAL); a down-level worker leased ordered work would
+        # run it with the budget loop and corrupt determinism.
+        min_version = 3 if job.coordination != "budget" else 1
         eligible = [
-            w for w in self.workers.values() if w.alive and not w.retiring
+            w for w in self.workers.values()
+            if w.alive and not w.retiring and w.proto_version >= min_version
         ]
         batches: dict[int, list[TaskRecord]] = {}
         granted = True
@@ -716,7 +883,12 @@ class Coordinator:
                 self._post(worker, {
                     "type": P.TASK,
                     "job": job.id,
+                    # Ordered leases carry a 5th element: the pinned
+                    # starting bound (None = speculative).
                     "leases": [
+                        [r.id, r.epoch, r.node, r.depth, r.bound]
+                        for r in leases
+                    ] if job.ledger is not None else [
                         [r.id, r.epoch, r.node, r.depth] for r in leases
                     ],
                 })
@@ -729,7 +901,32 @@ class Coordinator:
                         "epoch": r.epoch,
                         "node": r.node,
                         "depth": r.depth,
+                        "bound": r.bound,
                     })
+        if job.coordination == "stacksteal" and not job.queue:
+            self._mediate_steals(job, eligible)
+
+    def _mediate_steals(self, job: _Job, eligible: list) -> None:
+        """Ask busy workers to split their live stacks for idle ones.
+
+        One STEAL per idle worker per pass, aimed at the most-loaded
+        victims; a victim with a STEAL already in flight, or whose last
+        answer was empty (``steal_dry``), is skipped until it reports
+        progress.  Only v3 peers can be victims — older ones would drop
+        the frame on the floor and the pending flag would stick.
+        """
+        idle = sum(1 for w in eligible if not w.tasks)
+        if not idle:
+            return
+        victims = [
+            w for w in self.workers.values()
+            if w.alive and not w.retiring and w.proto_version >= 3
+            and w.tasks and not w.steal_pending and not w.steal_dry
+        ]
+        victims.sort(key=lambda w: len(w.tasks), reverse=True)
+        for victim in victims[:idle]:
+            victim.steal_pending = True
+            self._post(victim, {"type": P.STEAL, "job": job.id})
 
     def _drop_worker(self, worker: WorkerConn) -> None:
         """Remove a worker; re-lease its tasks (or fail an enumeration
@@ -751,7 +948,10 @@ class Coordinator:
             # An orderly BYE never abandons leases (drain completes
             # tasks first); if one slips through treat it as a crash.
             pass
-        if job.enum:
+        if job.enum and job.ledger is None:
+            # Ordered enumeration is exempt: its tasks are pure
+            # functions of (root, bound) with no shared accumulator, so
+            # a crashed lease is simply re-run — bit-identical.
             self._fail_job(job, ClusterJobFailed(
                 f"worker {worker.name!r} was lost holding "
                 f"{len(leased)} enumeration task(s); a partial "

@@ -1,12 +1,14 @@
 """Self-contained localhost clusters: one call, N worker processes.
 
-``cluster_budget_search`` is the cluster counterpart of
-:func:`repro.runtime.processes.multiprocessing_budget_search`: same
-arguments, same result contract, but the work sharing happens over real
-TCP sockets through an embedded coordinator instead of through
-``multiprocessing`` queues.  It exists so the ``backend="cluster"``
-skeleton route, the tests and the scaling benchmark can exercise the
-genuine wire path without shell choreography.
+``cluster_search`` is the cluster counterpart of the
+``multiprocessing_*_search`` family in
+:mod:`repro.runtime.processes`: same arguments, same result contract,
+but the work movement (budget offcuts, stack-steal splits, or ordered
+fixed-bound leases) happens over real TCP sockets through an embedded
+coordinator instead of through ``multiprocessing`` queues.  It exists
+so the ``backend="cluster"`` skeleton route, the tests and the scaling
+benchmark can exercise the genuine wire path without shell
+choreography.
 
 The topology it builds::
 
@@ -32,7 +34,14 @@ from repro.core.results import SearchResult
 from repro.core.searchtypes import SearchType
 from repro.runtime.processes import _stype_payload, graceful_stop
 
-__all__ = ["job_payload", "cluster_budget_search", "run_with_cluster"]
+__all__ = [
+    "job_payload",
+    "cluster_search",
+    "cluster_budget_search",
+    "run_with_cluster",
+]
+
+CLUSTER_COORDINATIONS = ("budget", "stacksteal", "ordered")
 
 
 def job_payload(
@@ -40,8 +49,11 @@ def job_payload(
     factory_args: tuple,
     stype: SearchType,
     *,
+    coordination: str = "budget",
     budget: int = 1000,
     share_poll: int = 64,
+    d_cutoff: int = 2,
+    chunked: bool = True,
 ) -> dict:
     """Build the wire job definition for a search.
 
@@ -49,27 +61,41 @@ def job_payload(
     (pickling-free; every node rebuilds the spec locally), the search
     type as its ``(kind, kwargs)`` reduction — so the same stock-type
     restriction as the multiprocessing backend applies, with the same
-    loud ValueError for custom types.
+    loud ValueError for custom types.  ``coordination`` picks the work
+    movement: ``"budget"`` (offcut splits), ``"stacksteal"``
+    (coordinator-mediated STEAL/STOLEN), or ``"ordered"`` (replicable
+    fixed-bound tasks finalised by the coordinator's ledger).
     """
+    if coordination not in CLUSTER_COORDINATIONS:
+        raise ValueError(
+            f"the cluster backend implements {CLUSTER_COORDINATIONS}, "
+            f"not {coordination!r}"
+        )
     kind, kwargs = _stype_payload(stype)
     return {
         "factory": P.factory_path(spec_factory),
         "factory_args": P.encode_node(list(factory_args)),
         "stype_kind": kind,
         "stype_kwargs": kwargs,
+        "coordination": coordination,
         "budget": int(budget),
         "share_poll": int(share_poll),
+        "d_cutoff": int(d_cutoff),
+        "chunked": bool(chunked),
     }
 
 
-def cluster_budget_search(
+def cluster_search(
     spec_factory: Callable[..., Any],
     factory_args: tuple,
     stype: SearchType,
     *,
+    coordination: str = "budget",
     n_workers: int = 2,
     budget: int = 1000,
     share_poll: int = 64,
+    d_cutoff: int = 2,
+    chunked: bool = True,
     timeout: Optional[float] = None,
     heartbeat_interval: float = 0.5,
     heartbeat_timeout: float = 5.0,
@@ -77,13 +103,14 @@ def cluster_budget_search(
     wire_codec: str = "binary",
     fault_plan: Optional[dict] = None,
 ) -> SearchResult:
-    """Budget search over an embedded coordinator + N local workers.
+    """One search over an embedded coordinator + N local workers.
 
     Spins the topology up, runs one job, drains it down.  Raises the
     coordinator's :class:`~repro.cluster.coordinator.ClusterError`
     family on timeout/failure; returns the same :class:`SearchResult`
     shape as every other backend (``metrics.reassigned`` > 0 means the
-    run survived a worker failure).
+    run survived a worker failure — or, for ordered jobs, counted
+    bound-mismatch re-runs).
 
     ``fault_plan`` is an optional chaos schedule — a dict with an
     ``events`` list (see :mod:`repro.cluster.faults`): partition events
@@ -96,7 +123,8 @@ def cluster_budget_search(
         raise ValueError("need at least one cluster worker")
     payload = job_payload(
         spec_factory, factory_args, stype,
-        budget=budget, share_poll=share_poll,
+        coordination=coordination, budget=budget, share_poll=share_poll,
+        d_cutoff=d_cutoff, chunked=chunked,
     )
     events = list((fault_plan or {}).get("events", []))
     handle = ClusterHandle(
@@ -130,6 +158,19 @@ def cluster_budget_search(
             graceful_stop(p, grace=1.0)
 
 
+def cluster_budget_search(
+    spec_factory: Callable[..., Any],
+    factory_args: tuple,
+    stype: SearchType,
+    **kwargs: Any,
+) -> SearchResult:
+    """Budget search over an embedded cluster (compatibility wrapper
+    around :func:`cluster_search` with ``coordination="budget"``)."""
+    return cluster_search(
+        spec_factory, factory_args, stype, coordination="budget", **kwargs
+    )
+
+
 def run_with_cluster(
     coordination: str,
     spec_factory: Callable[..., Any],
@@ -139,22 +180,26 @@ def run_with_cluster(
 ) -> SearchResult:
     """Dispatch a skeleton run onto a localhost cluster.
 
-    Entry point for ``SkeletonParams(backend="cluster")``: only the
-    Budget coordination moves work dynamically enough to be worth a
-    wire, so everything else is rejected with advice (mirroring
-    :func:`repro.runtime.processes.run_with_processes`).
+    Entry point for ``SkeletonParams(backend="cluster")``: the budget,
+    stacksteal and ordered coordinations move (or pin) work dynamically
+    enough to be worth a wire; everything else is rejected with advice
+    (mirroring :func:`repro.runtime.processes.run_with_processes`).
     """
-    if coordination != "budget":
+    if coordination not in CLUSTER_COORDINATIONS:
         raise ValueError(
-            f"the cluster backend implements the 'budget' coordination, not "
-            f"{coordination!r}; use backend='processes' or backend='sim'"
+            f"the cluster backend implements the {CLUSTER_COORDINATIONS} "
+            f"coordinations, not {coordination!r}; use backend='processes' "
+            "or backend='sim'"
         )
-    return cluster_budget_search(
+    return cluster_search(
         spec_factory,
         factory_args,
         stype,
+        coordination=coordination,
         n_workers=params.cluster_workers,
         budget=params.budget,
         share_poll=params.share_poll,
+        d_cutoff=params.d_cutoff,
+        chunked=params.chunked,
         wire_codec=params.wire_codec,
     )

@@ -32,8 +32,13 @@ TASK       c -> w      lease subtrees: up to ``slots`` ``[id, epoch, node,
                        depth]`` entries batched in one ``leases`` list
                        (v1 peers get one single-lease frame per task)
 OFFCUT     w -> c      budget-trip split: subtrees pushed back for re-lease
+STEAL      c -> w      stack-stealing: split your live generator stack and
+                       answer with a STOLEN frame (v3)
+STOLEN     w -> c      steal answer: lowest-depth subtrees carved off the
+                       victim's stack, or empty = nothing to give (v3)
 INCUMBENT  both        a strictly better bound value (broadcast downstream)
 RESULT     w -> c      a leased task finished: counters + local best
+                       (ordered jobs also echo the ``bound`` searched under)
 RELEASE    w -> c      retire handback: unstarted leases returned for re-lease
 HEARTBEAT  w -> c      liveness (any frame also refreshes the deadline, so
                        workers suppress it while other traffic flows)
@@ -122,6 +127,8 @@ __all__ = [
     "JOB",
     "TASK",
     "OFFCUT",
+    "STEAL",
+    "STOLEN",
     "INCUMBENT",
     "RESULT",
     "RELEASE",
@@ -134,9 +141,13 @@ __all__ = [
 ]
 
 # v2 adds the binary codec + codec negotiation and batched TASK leases.
-# v1 peers (JSON only, one lease per TASK frame) remain fully supported.
-PROTOCOL_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+# v3 adds the coordination-aware JOB (ordered bound-carrying leases and
+# the STEAL/STOLEN stack-stealing exchange).  v1 peers (JSON only, one
+# lease per TASK frame) and v2 peers remain fully supported — but only
+# v3 peers are eligible for ordered/stacksteal work (see the
+# coordinator's lease/victim selection).
+PROTOCOL_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 # One frame must hold a message-sized payload (a task node, an offcut
 # batch), never a bulk transfer; anything bigger than this is a protocol
@@ -148,6 +159,8 @@ WELCOME = "WELCOME"
 JOB = "JOB"
 TASK = "TASK"
 OFFCUT = "OFFCUT"
+STEAL = "STEAL"
+STOLEN = "STOLEN"
 INCUMBENT = "INCUMBENT"
 RESULT = "RESULT"
 RELEASE = "RELEASE"

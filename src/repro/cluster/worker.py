@@ -54,8 +54,9 @@ from typing import Optional
 
 from repro.cluster import protocol as P
 from repro.cluster.faults import WorkerFaults
+from repro.core.ordered import run_task_fixed_bound
 from repro.core.searchtypes import Incumbent
-from repro.core.tasks import split_lowest_inlined
+from repro.core.tasks import split_lowest_inlined, split_one_inlined
 from repro.runtime.processes import graceful_stop, make_stype
 
 __all__ = ["ClusterWorker", "run_worker"]
@@ -82,6 +83,9 @@ class _JobContext:
         self.enum = self.stype.kind == "enumeration"
         self.budget = max(1, int(msg.get("budget", 1000)))
         self.share_poll = max(1, int(msg.get("share_poll", 64)))
+        # A v2 coordinator sends no coordination field: budget it is.
+        self.coordination = str(msg.get("coordination") or "budget")
+        self.chunked = bool(msg.get("chunked", True))
         best = msg.get("best")
         self.bound = best if isinstance(best, int) else 0
         self.done = False
@@ -159,6 +163,9 @@ class ClusterWorker:
         self._drain = False
         self._retire = False
         self._codec = None  # negotiated in WELCOME; None => JSON
+        # The unanswered STEAL frame, if any (written by the receiver
+        # thread, consumed by the search loop at share_poll cadence).
+        self._steal_req: Optional[dict] = None
         # Monotonic time of the last frame that actually left.
         self._last_sent = 0.0  # guarded-by: _send_lock
 
@@ -222,6 +229,7 @@ class ClusterWorker:
         self._ctx = None
         self._drain = False
         self._retire = False
+        self._steal_req = None
         self._codec = None  # the HELLO below must go out as JSON
 
         sock.settimeout(self.connect_timeout)
@@ -322,6 +330,8 @@ class ClusterWorker:
             if ctx is not None and msg.get("job") == ctx.id and not ctx.done:
                 # v2 batches up to `slots` leases per frame; a v1
                 # coordinator sends the single-lease shape instead.
+                # Ordered leases carry a 5th element, the pinned
+                # starting bound (None = speculative).
                 leases = msg.get("leases")
                 if leases is None:
                     leases = [[
@@ -329,11 +339,20 @@ class ClusterWorker:
                         msg["epoch"],
                         msg.get("node"),
                         msg.get("depth", 0),
+                        msg.get("bound"),
                     ]]
-                for task_id, epoch, node, depth in leases:
+                for lease in leases:
+                    task_id, epoch, node, depth = lease[:4]
+                    bound = lease[4] if len(lease) > 4 else None
                     self._local_q.put((
-                        ctx, task_id, epoch, P.decode_node(node), int(depth)
+                        ctx, task_id, epoch, P.decode_node(node),
+                        int(depth), bound,
                     ))
+        elif mtype == P.STEAL:
+            # Answered by the search loop: mid-task at the next
+            # share_poll check (split the live stack), or immediately
+            # with an empty STOLEN if we turn out to be idle.
+            self._steal_req = msg
         elif mtype == P.INCUMBENT:
             ctx = self._ctx
             value = msg.get("value")
@@ -389,6 +408,9 @@ class ClusterWorker:
                 self.retired = True
                 self._finished = True
                 return
+            if self._steal_req is not None:
+                # Idle between tasks: nothing on a live stack to give.
+                self._answer_steal_empty()
             try:
                 item = self._local_q.get(timeout=0.05)
             except queue.Empty:
@@ -398,11 +420,11 @@ class ClusterWorker:
                     self._finished = True
                     return
                 continue
-            ctx, task_id, epoch, node, depth = item
+            ctx, task_id, epoch, node, depth, bound = item
             if ctx.done or ctx is not self._ctx:
                 continue
             try:
-                self._run_task(ctx, task_id, epoch, node, depth)
+                self._run_task(ctx, task_id, epoch, node, depth, bound)
             except (ConnectionError, OSError):
                 self._session_dead.set()
                 return
@@ -412,6 +434,17 @@ class ClusterWorker:
             self._send({"type": P.BYE})
         except OSError:
             pass
+
+    def _answer_steal_empty(self) -> None:
+        """Decline a STEAL: no live stack to carve anything from."""
+        req = self._steal_req
+        self._steal_req = None
+        if req is None:
+            return
+        try:
+            self._send({"type": P.STOLEN, "job": req.get("job"), "nodes": []})
+        except OSError:
+            self._session_dead.set()
 
     def _release_unstarted(self) -> None:
         """RELEASE every lease still sitting in the local queue.
@@ -435,18 +468,26 @@ class ClusterWorker:
             except OSError:
                 pass  # crash path: the lease epochs cover us anyway
 
-    def _run_task(self, ctx, task_id, epoch, root, root_depth) -> None:
+    def _run_task(self, ctx, task_id, epoch, root, root_depth, bound=None) -> None:
         """Search one leased subtree with the inlined fast-path loop.
 
-        Sends OFFCUT on budget trips, INCUMBENT (value + witness) on
-        strict improvements, and RESULT on completion; sends nothing if
-        the task is aborted (job done / stop / session death), leaving
-        the coordinator's lease accounting to handle it.
+        Budget jobs send OFFCUT on budget trips; stack-stealing jobs
+        answer STEAL requests with STOLEN splits instead; both send
+        INCUMBENT (value + witness) on strict improvements and RESULT on
+        completion.  Ordered jobs take the replicable fixed-bound path.
+        Nothing is sent if the task is aborted (job done / stop /
+        session death), leaving the coordinator's lease accounting to
+        handle it.
         """
         if self._faults is not None:
             # Chaos: may hard-exit here, dying with this lease live so
             # the coordinator's epoch/re-lease path has to recover it.
             self._faults.on_task_start(self.tasks_run + 1)
+        if ctx.coordination == "ordered":
+            self._run_ordered_task(ctx, task_id, epoch, root, root_depth, bound)
+            return
+        stacksteal = ctx.coordination == "stacksteal"
+        split = split_lowest_inlined if ctx.chunked else split_one_inlined
         spec, stype, enum = ctx.spec, ctx.stype, ctx.enum
         budget, share_poll = ctx.budget, ctx.share_poll
         process = stype.process
@@ -553,7 +594,19 @@ class ClusterWorker:
                         seen = ctx.bound
                         if seen > prune_know.value:
                             prune_know = Incumbent(seen, None)
-                    if task_nodes >= budget:
+                    if stacksteal:
+                        if self._steal_req is not None:
+                            self._steal_req = None
+                            offcuts, frame_index = split(stack)
+                            self._send({
+                                "type": P.STOLEN,
+                                "job": ctx.id,
+                                "task": task_id,
+                                "epoch": epoch,
+                                "depth": root_depth + frame_index + 1,
+                                "nodes": [P.encode_node(o) for o in offcuts],
+                            })
+                    elif task_nodes >= budget:
                         offcuts, frame_index = split_lowest_inlined(stack)
                         if offcuts:
                             self._send({
@@ -586,6 +639,54 @@ class ClusterWorker:
             # their witnesses, but repeat the task-local best anyway.
             result["value"] = prune_know.value
             result["node"] = P.encode_node(prune_know.node)
+        self._send(result)
+
+    def _run_ordered_task(
+        self, ctx, task_id, epoch, root, root_depth, bound
+    ) -> None:
+        """One replicable Ordered task: a pure function of (root, bound).
+
+        The lease either pins the bound (a ledger-demanded re-run) or
+        leaves it None — speculative, in which case the last-heard
+        finalised-prefix best is used and echoed back in the RESULT so
+        the coordinator's ledger can check it against the required
+        bound at finalisation time.  No INCUMBENT is ever published
+        mid-task; the ledger is the only incumbent authority.
+        """
+        if not ctx.enum and bound is None:
+            bound = ctx.bound
+        payload = run_task_fixed_bound(
+            ctx.spec,
+            ctx.stype,
+            root,
+            root_depth,
+            None if ctx.enum else bound,
+            poll=ctx.share_poll,
+            should_abort=lambda: (
+                ctx.done or self._session_dead.is_set() or self._stopped()
+            ),
+        )
+        if payload is None:
+            return  # aborted: lease accounting covers us
+        self.tasks_run += 1
+        self.nodes_searched += payload["nodes"]
+        result = {
+            "type": P.RESULT,
+            "job": ctx.id,
+            "task": task_id,
+            "epoch": epoch,
+            "nodes": payload["nodes"],
+            "prunes": payload["prunes"],
+            "backtracks": payload["backtracks"],
+            "max_depth": payload["max_depth"],
+            "goal": payload["goal"],
+        }
+        if ctx.enum:
+            result["knowledge"] = payload["knowledge"]
+        else:
+            result["bound"] = bound
+            result["value"] = payload["value"]
+            result["node"] = P.encode_node(payload["node"])
         self._send(result)
 
 

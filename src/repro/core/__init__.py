@@ -16,6 +16,14 @@ from repro.core.nodegen import (
     ListNodeGenerator,
     NodeGenerator,
 )
+from repro.core.ordered import (
+    OrderedFrontier,
+    OrderedLedger,
+    OrderedTask,
+    ordered_frontier,
+    ordered_reference_search,
+    run_task_fixed_bound,
+)
 from repro.core.params import SkeletonParams
 from repro.core.results import (
     SearchMetrics,
@@ -42,6 +50,12 @@ __all__ = [
     "ListNodeGenerator",
     "GeneratorFactory",
     "SkeletonParams",
+    "OrderedTask",
+    "OrderedFrontier",
+    "OrderedLedger",
+    "ordered_frontier",
+    "ordered_reference_search",
+    "run_task_fixed_bound",
     "SearchMetrics",
     "SearchResult",
     "result_from_dict",

@@ -1,0 +1,477 @@
+"""Replicable Ordered coordination: shared machinery (Archibald et al.).
+
+The Ordered skeleton promises something the other coordinations do not:
+two runs with the same seed and *any* worker count return the identical
+objective, the identical witness, and the identical node count.  The
+scheme here is the repro's rendering of the Replicable Parallel Branch
+and Bound discipline (PAPERS.md, "Replicable parallel branch and bound
+search"):
+
+1. **Deterministic spawn order.**  A sequential depth-bounded expansion
+   (:func:`ordered_frontier`) walks the tree above ``d_cutoff`` exactly
+   as the Depth-Bounded coordination would and numbers the frontier
+   subtrees in discovery (traversal) order — the sequence number is the
+   task's priority, lexicographic on its sibling-index path key.
+
+2. **Atomic tasks, pinned bounds.**  Each frontier subtree is searched
+   to completion by :func:`run_task_fixed_bound` starting from an
+   explicit incumbent *bound*.  The runner is a pure function of
+   ``(root, bound)``: it never reads shared knowledge mid-flight, so
+   re-running a task — on another worker, after a crash, at a different
+   worker count — reproduces its node/prune/backtrack counters bit for
+   bit.  Local strengthening inside the task is allowed (it is derived
+   from the same two inputs).
+
+3. **In-order finalisation with a bound journal.**  The
+   :class:`OrderedLedger` parks results as they arrive and *finalises*
+   them strictly in sequence order.  Task ``i`` may only finalise a run
+   whose starting bound equals the **required bound** ``B*_i`` — the
+   best objective over the phase-1 prefix and every finalised task
+   ``j < i``.  A result computed from a staler (or, under speculation,
+   any other) bound is discarded and the task re-issued with ``B*_i``
+   pinned; every accepted ``(seq, bound, nodes)`` triple is appended to
+   the :attr:`~OrderedLedger.journal`.  Only finalised runs contribute
+   to the returned metrics, which is what makes the node count a
+   deterministic function of the instance — enforced, not hoped for.
+
+4. **Priority tie-break.**  The incumbent merge at finalisation is
+   strict (``>`` replaces): when several tasks attain the optimum the
+   witness is the one from the lowest sequence number — priority wins
+   over arrival time, matching the sequential discovery order.
+
+:func:`ordered_reference_search` executes the same contract on a single
+thread with no queues and no shared state; it is the oracle the
+repetition harness compares every parallel Ordered run against.  It
+deliberately merges inline rather than through the ledger so the
+``ordered-tiebreak`` verification mutation (see :class:`OrderedLedger`)
+corrupts the backends but never the reference.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.params import SkeletonParams
+from repro.core.results import SearchMetrics, SearchResult
+from repro.core.searchtypes import Incumbent, SearchType, _active_mutation
+from repro.core.space import SearchSpec
+from repro.core.tasks import ORDERED, SearchTask, SpawnedTask
+
+__all__ = [
+    "OrderedTask",
+    "OrderedFrontier",
+    "ordered_frontier",
+    "run_task_fixed_bound",
+    "OrderedLedger",
+    "ordered_reference_search",
+]
+
+
+@dataclass(frozen=True)
+class OrderedTask:
+    """One frontier subtree with its discovery-order priority.
+
+    ``seq`` is the position in the sequential depth-bounded traversal —
+    lower runs (and finalises) first.  ``depth`` is the root's global
+    depth; ``key`` the sibling-index path from the search root (kept for
+    diagnostics: sorting by key *is* sorting by seq).
+    """
+
+    seq: int
+    node: Any
+    depth: int
+    key: tuple = ()
+
+
+@dataclass
+class OrderedFrontier:
+    """Phase-1 output: numbered tasks plus the prefix searched to make them.
+
+    ``knowledge`` / ``metrics`` cover exactly the nodes the expansion
+    visited (the region above ``d_cutoff``); ``goal`` is True when a
+    decision search short-circuited during expansion, in which case
+    ``tasks`` is empty and the search is already complete.
+    """
+
+    tasks: list[OrderedTask] = field(default_factory=list)
+    knowledge: Any = None
+    goal: bool = False
+    metrics: SearchMetrics = field(default_factory=SearchMetrics)
+
+
+def ordered_frontier(
+    spec: SearchSpec,
+    stype: SearchType,
+    *,
+    d_cutoff: int = 2,
+) -> OrderedFrontier:
+    """Sequentially expand the depth-``d_cutoff`` frontier in traversal order.
+
+    Subtree roots at depth >= ``d_cutoff`` become :class:`OrderedTask`s
+    numbered in discovery order; everything above is processed here,
+    threading one knowledge value through the walk exactly as the
+    sequential search would.  Deterministic by construction — no clocks,
+    no randomness, no worker interleaving.
+    """
+    # d_cutoff=0 degenerates gracefully: the root is expanded with no
+    # spawn rule firing, i.e. phase 1 completes the whole search
+    # sequentially and the task list comes back empty.
+    params = SkeletonParams(d_cutoff=d_cutoff)
+    knowledge = stype.initial_knowledge(spec)
+    metrics = SearchMetrics()
+    frontier: list[SpawnedTask] = []
+    goal = False
+    # Depth-first worklist: expanding a subtree root above the cutoff
+    # visits that node and spawns its children; pushing the spawns in
+    # reverse keeps the pop order lexicographic on path keys, i.e. the
+    # sequential traversal order.
+    pending: list[SpawnedTask] = [SpawnedTask(spec.root, 0, ())]
+    while pending and not goal:
+        sp = pending.pop()
+        if sp.depth >= d_cutoff and sp.depth > 0:
+            frontier.append(sp)
+            continue
+        sub = SearchTask(
+            spec,
+            stype,
+            sp.root,
+            policy=ORDERED,
+            params=params,
+            root_depth=sp.depth,
+            key=sp.key,
+        )
+        spawned: list[SpawnedTask] = []
+        while not sub.finished:
+            knowledge, out = sub.step(knowledge)
+            metrics.nodes += int(out.processed)
+            metrics.weighted_nodes += out.weight if out.processed else 0
+            metrics.prunes += int(out.pruned)
+            metrics.backtracks += int(out.backtracked)
+            depth = sp.depth + len(sub.stack)
+            if depth > metrics.max_depth:
+                metrics.max_depth = depth
+            spawned.extend(out.spawned)
+            if out.goal:
+                goal = True
+                break
+        pending.extend(reversed(spawned))
+    if goal:
+        frontier = []
+    frontier.sort(key=lambda sp: sp.key)
+    tasks = [
+        OrderedTask(seq=i, node=sp.root, depth=sp.depth, key=sp.key)
+        for i, sp in enumerate(frontier)
+    ]
+    metrics.spawns = len(tasks)
+    return OrderedFrontier(
+        tasks=tasks, knowledge=knowledge, goal=goal, metrics=metrics
+    )
+
+
+def run_task_fixed_bound(
+    spec: SearchSpec,
+    stype: SearchType,
+    root: Any,
+    root_depth: int,
+    bound: Optional[int] = None,
+    *,
+    poll: int = 1024,
+    should_abort: Optional[Callable[[], bool]] = None,
+) -> Optional[dict]:
+    """Search the subtree under ``root`` atomically from a pinned bound.
+
+    The replicable unit of work: a pure function of ``(root, bound)``.
+    Pruning starts from ``Incumbent(bound, None)`` and is strengthened
+    only by nodes found *inside* this subtree — the shared incumbent is
+    never consulted, so the visit sequence (and every counter) is
+    reproducible on any worker at any time.  ``bound`` is ignored for
+    enumeration, which accumulates from the monoid zero.
+
+    Returns a payload dict (``nodes``/``prunes``/``backtracks``/
+    ``max_depth``/``goal`` plus ``value``+``node`` for incumbent types or
+    ``knowledge`` for enumeration; ``value`` is None when nothing beat
+    the bound) — or None if ``should_abort()`` answered True at a
+    ``poll``-node check, in which case nothing was published anywhere.
+    """
+    enum = stype.kind == "enumeration"
+    process = stype.process
+    is_goal = stype.is_goal
+    should_prune = stype.should_prune if (not enum and spec.can_prune) else None
+    generator = spec.generator
+    space = spec.space
+
+    if enum:
+        know = stype.initial_knowledge(spec)
+    else:
+        know = Incumbent(bound if bound is not None else 0, None)
+    nodes = 1
+    prunes = backtracks = max_depth = 0
+    goal = False
+    since = 0
+
+    # -- the task root (the (schedule) rule) --
+    expand = True
+    if enum:
+        know, _ = process(spec, root, know)
+    else:
+        know, improved = process(spec, root, know)
+        if improved and is_goal(know):
+            goal = True
+            expand = False
+        elif should_prune is not None and should_prune(spec, root, know):
+            prunes = 1
+            expand = False
+
+    if expand:
+        stack = [generator(space, root)]
+        max_depth = root_depth + 1
+        while stack:
+            gen = stack[-1]
+            if gen.has_next():
+                child = gen.next()
+                nodes += 1
+                since += 1
+                if enum:
+                    know, _ = process(spec, child, know)
+                    stack.append(generator(space, child))
+                    if root_depth + len(stack) > max_depth:
+                        max_depth = root_depth + len(stack)
+                else:
+                    know, improved = process(spec, child, know)
+                    if improved and is_goal(know):
+                        goal = True
+                        break
+                    if should_prune is not None and should_prune(
+                        spec, child, know
+                    ):
+                        prunes += 1
+                    else:
+                        stack.append(generator(space, child))
+                        if root_depth + len(stack) > max_depth:
+                            max_depth = root_depth + len(stack)
+            else:
+                stack.pop()
+                backtracks += 1
+            if since >= poll:
+                since = 0
+                if should_abort is not None and should_abort():
+                    return None
+
+    payload: dict = {
+        "nodes": nodes,
+        "prunes": prunes,
+        "backtracks": backtracks,
+        "max_depth": max_depth,
+        "goal": goal,
+    }
+    if enum:
+        payload["knowledge"] = know
+    else:
+        payload["value"] = know.value if know.node is not None else None
+        payload["node"] = know.node
+    return payload
+
+
+class OrderedLedger:
+    """Finalises ordered task results in sequence order, enforcing bounds.
+
+    Both parallel Ordered drivers (the multiprocessing parent and the
+    cluster coordinator) feed arriving ``(seq, payload)`` pairs to
+    :meth:`record` and then call :meth:`advance`, which finalises the
+    longest ready prefix and answers with the re-runs it demands: a
+    parked result whose ``payload["bound"]`` differs from the required
+    bound ``B*_seq`` is discarded and ``(seq, B*_seq)`` returned for
+    re-issue.  Speculative execution (dispatching a task with whatever
+    bound is current) is therefore always *safe* — at worst it is
+    re-run once, after its prefix has finalised, with the bound pinned.
+
+    The ``ordered-tiebreak`` entry of the ``REPRO_VERIFY_MUTATION``
+    switch (docs/verify.md) corrupts exactly the determinism guarantee
+    this class provides: the witness is merged at *arrival* time with a
+    ``>=`` comparison (arrival-order wins ties) instead of at
+    finalisation with ``>`` (priority wins).  Required bounds are
+    tracked separately from the witness, so the mutation perturbs only
+    witness identity — the signature the repetition oracle pins against
+    :func:`ordered_reference_search`, which does not route through this
+    class and stays sound.
+    """
+
+    def __init__(self, stype: SearchType, frontier: OrderedFrontier) -> None:
+        self._stype = stype
+        self._enum = stype.kind == "enumeration"
+        self._tasks = frontier.tasks
+        self._n = len(frontier.tasks)
+        self._next = 0
+        self._parked: dict[int, dict] = {}
+        self.knowledge = frontier.knowledge
+        self.goal = frontier.goal
+        self.metrics = SearchMetrics(**frontier.metrics.to_dict())
+        self.journal: list[tuple[int, Optional[int], int]] = []
+        # Finalised-prefix best, the source of required bounds.  Kept
+        # apart from the witness incumbent so the tie-break mutation
+        # below cannot leak into bound enforcement (and node counts).
+        self._best: Optional[int] = (
+            None if self._enum else frontier.knowledge.value
+        )
+        self._mutated = _active_mutation() == "ordered-tiebreak"
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Every task finalised, or a decision goal short-circuited."""
+        return self.goal or self._next >= self._n
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number finalisation is waiting on."""
+        return self._next
+
+    @property
+    def task_count(self) -> int:
+        return self._n
+
+    def required_bound(self, seq: Optional[int] = None) -> Optional[int]:
+        """The bound task ``seq`` must have run from to finalise *now*.
+
+        Only exact for ``seq == next_seq`` (later tasks' bounds are not
+        yet determined); for speculative dispatch it is the best guess
+        available.  None for enumeration, which has no bound.
+        """
+        return self._best
+
+    # -- the driver protocol ------------------------------------------------
+
+    def record(self, seq: int, payload: dict) -> None:
+        """Park one arrived result (later arrivals for a seq replace)."""
+        if seq < self._next or seq >= self._n or self.finished:
+            return  # finalised already, or arrived after a goal: stale
+        self._parked[seq] = payload
+        if (
+            self._mutated
+            and not self._enum
+            and payload.get("node") is not None
+            and payload["value"] >= self.knowledge.value
+        ):
+            # Deliberate bug (mutation test): merge the witness on
+            # arrival, >= — whichever tied optimum lands last wins,
+            # which is exactly the anomaly Ordered exists to forbid.
+            self.knowledge = Incumbent(payload["value"], payload["node"])
+
+    def advance(self) -> list[tuple[int, Optional[int]]]:
+        """Finalise the ready prefix; return tasks to re-issue.
+
+        Each returned ``(seq, bound)`` pair names a parked result that
+        was rejected because it ran from the wrong bound; the caller
+        must execute the task again with ``bound`` pinned.  At most one
+        re-run is demanded per call: nothing after ``seq`` can finalise
+        until it does.
+        """
+        while not self.finished and self._next in self._parked:
+            payload = self._parked[self._next]
+            if not self._enum and payload.get("bound") != self._best:
+                del self._parked[self._next]
+                self.metrics.reassigned += 1
+                return [(self._next, self._best)]
+            del self._parked[self._next]
+            self._finalise(payload)
+            self._next += 1
+        return []
+
+    def _finalise(self, payload: dict) -> None:
+        self.journal.append(
+            (self._next, payload.get("bound"), payload["nodes"])
+        )
+        m = self.metrics
+        m.nodes += payload["nodes"]
+        m.prunes += payload["prunes"]
+        m.backtracks += payload["backtracks"]
+        if payload["max_depth"] > m.max_depth:
+            m.max_depth = payload["max_depth"]
+        if self._enum:
+            self.knowledge = self._stype.combine(
+                self.knowledge, payload["knowledge"]
+            )
+            return
+        value = payload.get("value")
+        if value is not None and value > self._best:
+            self._best = value
+            if not self._mutated:
+                # Priority tie-break: strict improvement replaces, ties
+                # keep the earlier (lower-seq) witness.
+                self.knowledge = Incumbent(value, payload["node"])
+        if payload["goal"] or self._stype.is_goal(self.knowledge):
+            self.goal = True
+
+
+def ordered_reference_search(
+    spec: SearchSpec,
+    stype: SearchType,
+    *,
+    d_cutoff: int = 2,
+) -> SearchResult:
+    """The single-threaded executable contract for Ordered runs.
+
+    Expands the frontier, runs every task in sequence order with the
+    exact finalised-prefix bound, and merges inline (strict ``>``, so
+    priority wins ties).  Every conforming parallel Ordered run — any
+    backend, any worker count, crashes or not — must reproduce this
+    result bit for bit: value, witness, found flag, and the ``nodes`` /
+    ``prunes`` / ``backtracks`` / ``max_depth`` counters.
+
+    Deliberately does *not* drive :class:`OrderedLedger`, so the
+    verification mutations that corrupt the parallel merge paths leave
+    this oracle sound.
+    """
+    started = time.perf_counter()
+    frontier = ordered_frontier(spec, stype, d_cutoff=d_cutoff)
+    knowledge = frontier.knowledge
+    metrics = frontier.metrics
+    goal = frontier.goal
+    enum = stype.kind == "enumeration"
+    best = None if enum else knowledge.value
+    for task in frontier.tasks:
+        if goal:
+            break
+        payload = run_task_fixed_bound(
+            spec, stype, task.node, task.depth, best
+        )
+        metrics.nodes += payload["nodes"]
+        metrics.prunes += payload["prunes"]
+        metrics.backtracks += payload["backtracks"]
+        if payload["max_depth"] > metrics.max_depth:
+            metrics.max_depth = payload["max_depth"]
+        if enum:
+            knowledge = stype.combine(knowledge, payload["knowledge"])
+            continue
+        value = payload["value"]
+        if value is not None and value > best:
+            best = value
+            knowledge = Incumbent(value, payload["node"])
+        if payload["goal"] or stype.is_goal(knowledge):
+            goal = True
+    # Parallel ordered backends do not track per-node weights; pin the
+    # reference to the same convention so fingerprints are comparable.
+    metrics.weighted_nodes = metrics.nodes
+    elapsed = time.perf_counter() - started
+    if enum:
+        return SearchResult(
+            kind=stype.kind,
+            value=knowledge,
+            metrics=metrics,
+            wall_time=elapsed,
+            workers=1,
+        )
+    return SearchResult(
+        kind=stype.kind,
+        value=knowledge.value,
+        node=knowledge.node,
+        found=(goal or stype.is_goal(knowledge))
+        if stype.kind == "decision"
+        else None,
+        metrics=metrics,
+        wall_time=elapsed,
+        workers=1,
+    )

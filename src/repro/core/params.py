@@ -10,8 +10,20 @@ system (§5.5); Table 2's worst/random/best columns sweep exactly these.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 __all__ = ["SkeletonParams"]
+
+# Kept in sync with repro.core.skeletons.COORDINATIONS (params cannot
+# import skeletons: skeletons imports params).
+_COORDINATION_NAMES = (
+    "sequential",
+    "depthbounded",
+    "stacksteal",
+    "budget",
+    "random",
+    "ordered",
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +62,13 @@ class SkeletonParams:
             default) or ``"json"`` (human-readable; handy under
             ``tcpdump``).  Negotiated per connection, so mixed fleets
             still interoperate.
+        coordination: optional coordination override.  A skeleton
+            normally carries its own coordination, but batch drivers
+            (the verify harness, the service scheduler) configure runs
+            entirely through params; setting this routes
+            :meth:`Skeleton.search` to the named coordination instead
+            of the skeleton's own.  None (the default) defers to the
+            skeleton.
     """
 
     d_cutoff: int = 2
@@ -64,6 +83,7 @@ class SkeletonParams:
     share_poll: int = 64
     cluster_workers: int = 2
     wire_codec: str = "binary"
+    coordination: Optional[str] = None
 
     @property
     def workers(self) -> int:
@@ -89,6 +109,15 @@ class SkeletonParams:
             raise ValueError(
                 f"unknown wire_codec {self.wire_codec!r}; "
                 "expected 'json' or 'binary'"
+            )
+        if (
+            self.coordination is not None
+            and self.coordination not in _COORDINATION_NAMES
+        ):
+            raise ValueError(
+                f"unknown coordination {self.coordination!r}; "
+                f"expected one of {_COORDINATION_NAMES} (or None to "
+                "defer to the skeleton)"
             )
         # Worker/granularity counts share one validator so a bad CLI or
         # job-file value fails here with the knob's name, not later as

@@ -113,7 +113,10 @@ class Skeleton:
                 f"search type object is {stype.kind!r}, skeleton wants {self.search_type!r}"
             )
         params = params if params is not None else SkeletonParams()
-        policy = COORDINATIONS[self.coordination]
+        # params.coordination is the batch-driver override (verify,
+        # service): it reroutes this run without rebuilding the skeleton.
+        coordination = params.coordination or self.coordination
+        policy = COORDINATIONS[coordination]
         if policy == SEQ:
             return sequential_search(spec, stype)
         if params.backend == "processes":
@@ -126,7 +129,7 @@ class Skeleton:
             from repro.runtime.processes import run_with_processes
 
             return run_with_processes(
-                self.coordination, spec_factory, factory_args, stype, params
+                coordination, spec_factory, factory_args, stype, params
             )
         if params.backend == "cluster":
             if spec_factory is None:
@@ -138,7 +141,7 @@ class Skeleton:
             from repro.cluster.local import run_with_cluster
 
             return run_with_cluster(
-                self.coordination, spec_factory, factory_args, stype, params
+                coordination, spec_factory, factory_args, stype, params
             )
         if cluster is None:
             # Imported here so the core package has no hard dependency

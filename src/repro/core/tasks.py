@@ -39,6 +39,7 @@ __all__ = [
     "SearchTask",
     "SpawnedTask",
     "split_lowest_inlined",
+    "split_one_inlined",
     "SEQ",
     "DEPTH",
     "BUDGET",
@@ -155,6 +156,29 @@ def split_lowest_inlined(gens: list) -> tuple[list, int]:
                 return [], -1
             return nodes, index
     return [], -1
+
+
+def split_one_inlined(gens: list) -> tuple[list, int]:
+    """(spawn-stack), un-chunked, for the inlined fast-path driver.
+
+    The single-node variant of :func:`split_lowest_inlined`: take *one*
+    child from the first non-exhausted generator nearest the root (the
+    stolen node of the (spawn-stack) rule) and leave the rest in place.
+    Generators cannot be partially drained and restored one element at a
+    time, so the frame is drained as in the chunked split and the
+    remainder re-installed as a :class:`ListNodeGenerator` at the same
+    position — the traversal continues from it unchanged.
+
+    Returns ``(nodes, frame_index)`` with at most one node; the same
+    degenerate-split refusal applies (a lone child with no deeper work
+    stays local, returning ``([], -1)``).
+    """
+    nodes, index = split_lowest_inlined(gens)
+    if not nodes:
+        return [], -1
+    if len(nodes) > 1:
+        gens[index] = ListNodeGenerator(nodes[1:])
+    return [nodes[0]], index
 
 
 class SearchTask:

@@ -372,10 +372,13 @@ def elastic_budget_search(
     factory_args: tuple,
     stype: SearchType,
     *,
+    coordination: str = "budget",
     minimum: int = 1,
     maximum: int = 4,
     budget: int = 1000,
     share_poll: int = 64,
+    d_cutoff: int = 2,
+    chunked: bool = True,
     timeout: Optional[float] = None,
     heartbeat_interval: float = 0.5,
     heartbeat_timeout: float = 5.0,
@@ -399,6 +402,10 @@ def elastic_budget_search(
     Chaos workers are named ``deploy-0 .. deploy-{maximum-1}``; the
     scale-down retires every index >= ``minimum``, so plans targeting
     those indices always fire.
+
+    ``coordination`` routes the job's work movement (``"budget"``,
+    ``"stacksteal"`` or ``"ordered"``) — despite the historical name,
+    any cluster coordination can run elastically.
     """
     from repro.cluster.local import job_payload
 
@@ -408,7 +415,8 @@ def elastic_budget_search(
         raise ValueError("maximum must be >= minimum")
     payload = job_payload(
         spec_factory, factory_args, stype,
-        budget=budget, share_poll=share_poll,
+        coordination=coordination, budget=budget, share_poll=share_poll,
+        d_cutoff=d_cutoff, chunked=chunked,
     )
     events = list((fault_plan or {}).get("events", []))
     spec = WorkerSpec(

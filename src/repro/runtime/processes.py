@@ -4,7 +4,7 @@ Where :mod:`repro.runtime.threads` is GIL-bound, these backends achieve
 *actual* CPython parallel speedup by distributing subtree tasks over
 ``multiprocessing`` workers, each searching in its own interpreter.
 
-Two coordinations have process implementations:
+Four coordinations have process implementations:
 
 - :func:`multiprocessing_depthbounded_search` — **static** splitting:
   the parent expands the depth-``d`` frontier sequentially and hands
@@ -19,6 +19,16 @@ Two coordinations have process implementations:
   (:func:`~repro.core.tasks.split_lowest_inlined`) and pushes them back
   to the queue, so load balances at runtime instead of being fixed by
   the initial frontier.
+- :func:`multiprocessing_stacksteal_search` — **demand-driven** work
+  sharing (Stack-Stealing): the same hot loop, but a victim only splits
+  its generator stack when a shared hungry counter says another worker
+  is starving, so granularity adapts to the tree instead of a fixed
+  budget cadence.
+- :func:`multiprocessing_ordered_search` — **replicable** search
+  (Ordered, after Archibald et al.): discovery-ordered atomic tasks
+  with pinned bounds, finalised in sequence order by an
+  :class:`~repro.core.ordered.OrderedLedger`, making value, witness and
+  node counts identical run-to-run at any worker count.
 
 Because ``SearchSpec`` objects contain closures (not picklable), both
 backends take a *spec factory* — a top-level callable plus picklable
@@ -46,14 +56,23 @@ from multiprocessing import Pipe, Pool, Process, Queue, Value
 from queue import Empty
 from typing import Any, Callable, Optional
 
+from repro.core.ordered import OrderedLedger, ordered_frontier, run_task_fixed_bound
 from repro.core.params import SkeletonParams
 from repro.core.results import SearchMetrics, SearchResult, result_from_dict
 from repro.core.searchtypes import Incumbent, SearchType
-from repro.core.tasks import SEQ, SearchTask, SpawnedTask, split_lowest_inlined
+from repro.core.tasks import (
+    SEQ,
+    SearchTask,
+    SpawnedTask,
+    split_lowest_inlined,
+    split_one_inlined,
+)
 
 __all__ = [
     "multiprocessing_depthbounded_search",
     "multiprocessing_budget_search",
+    "multiprocessing_stacksteal_search",
+    "multiprocessing_ordered_search",
     "run_with_processes",
     "make_stype",
     "run_library_search",
@@ -619,6 +638,203 @@ def _budget_worker_main(
             pass
 
 
+def _stacksteal_worker_main(
+    spec_factory,
+    factory_args,
+    stype_factory,
+    stype_args,
+    task_q,
+    result_q,
+    outstanding,
+    best,
+    goal_flag,
+    done_flag,
+    hungry,
+    chunked,
+    share_poll,
+    queue_poll,
+):
+    """Worker process: pull tasks, search them fast, split when starved.
+
+    The per-node path is identical to :func:`_budget_worker_main`; only
+    the sharing trigger differs.  ``hungry`` counts currently-starving
+    workers: an idle worker registers itself once (and deregisters on
+    its next successful dequeue), and a busy worker that sees the
+    counter raised during its ``share_poll`` periodic duties splits the
+    lowest frame of its generator stack for the thief — the
+    (spawn-stack) rule with the victim's poll standing in for the
+    interrupt.  Only the registering worker ever decrements its own
+    registration, so the counter never goes negative and a serviced
+    request cannot be double-claimed; the worst case is a harmless
+    over-split inside one poll window.
+    """
+    try:
+        task_q.cancel_join_thread()
+        spec = spec_factory(*factory_args)
+        stype = stype_factory(*stype_args)
+        enum = stype.kind == "enumeration"
+        process = stype.process
+        is_goal = stype.is_goal
+        should_prune = stype.should_prune if (not enum and spec.can_prune) else None
+        generator = spec.generator
+        space = spec.space
+        best_raw = best.get_obj()  # lock-free reads (aligned 8-byte load)
+        best_lock = best.get_lock()
+        out_raw = outstanding.get_obj()
+        out_lock = outstanding.get_lock()
+        hungry_raw = hungry.get_obj()
+        hungry_lock = hungry.get_lock()
+        split = split_lowest_inlined if chunked else split_one_inlined
+
+        knowledge = stype.initial_knowledge(spec)
+        if enum:
+            prune_know = None
+            bound_val = 0
+        else:
+            bound_val = max(knowledge.value, best_raw.value)
+            prune_know = knowledge if bound_val == knowledge.value else Incumbent(
+                bound_val, None
+            )
+
+        nodes = prunes = backtracks = max_depth = 0
+        splits = tasks_run = 0
+        goal_hit = False
+        aborted = False
+        registered = False  # this worker's own entry in `hungry`
+
+        while True:
+            if done_flag.value or goal_flag.value:
+                break
+            try:
+                root, root_depth = task_q.get(timeout=queue_poll)
+            except Empty:
+                if not registered:
+                    with hungry_lock:
+                        hungry_raw.value += 1
+                    registered = True
+                continue
+            if registered:
+                with hungry_lock:
+                    hungry_raw.value -= 1
+                registered = False
+            tasks_run += 1
+            since_check = 0
+
+            # -- process the task root (the (schedule) rule) --
+            nodes += 1
+            expand = True
+            if enum:
+                knowledge, _ = process(spec, root, knowledge)
+            else:
+                k2, improved = process(spec, root, prune_know)
+                if improved:
+                    knowledge = prune_know = k2
+                    bound_val = k2.value
+                    with best_lock:
+                        if bound_val > best_raw.value:
+                            best_raw.value = bound_val
+                    if is_goal(k2):
+                        goal_hit = True
+                        goal_flag.value = 1
+                        break
+                if should_prune is not None and should_prune(spec, root, prune_know):
+                    prunes += 1
+                    expand = False
+
+            if expand:
+                stack = [generator(space, root)]
+                if root_depth + 1 > max_depth:
+                    max_depth = root_depth + 1
+                # -- the inlined hot loop --
+                while stack:
+                    gen = stack[-1]
+                    if gen.has_next():
+                        child = gen.next()
+                        nodes += 1
+                        since_check += 1
+                        if enum:
+                            knowledge, _ = process(spec, child, knowledge)
+                            stack.append(generator(space, child))
+                            if root_depth + len(stack) > max_depth:
+                                max_depth = root_depth + len(stack)
+                        else:
+                            k2, improved = process(spec, child, prune_know)
+                            if improved:
+                                knowledge = prune_know = k2
+                                bound_val = k2.value
+                                with best_lock:
+                                    if bound_val > best_raw.value:
+                                        best_raw.value = bound_val
+                                if is_goal(k2):
+                                    goal_hit = True
+                                    goal_flag.value = 1
+                                    break
+                            if should_prune is not None and should_prune(
+                                spec, child, prune_know
+                            ):
+                                prunes += 1
+                            else:
+                                stack.append(generator(space, child))
+                                if root_depth + len(stack) > max_depth:
+                                    max_depth = root_depth + len(stack)
+                    else:
+                        stack.pop()
+                        backtracks += 1
+                    if since_check >= share_poll:
+                        # Periodic duties: goal check, lock-free bound
+                        # refresh, and answering steal requests.
+                        since_check = 0
+                        if goal_flag.value:
+                            aborted = True
+                            break
+                        if not enum:
+                            seen = best_raw.value
+                            if seen > bound_val:
+                                bound_val = seen
+                                prune_know = Incumbent(seen, None)
+                        if hungry_raw.value > 0:
+                            offcuts, frame_index = split(stack)
+                            if offcuts:
+                                with out_lock:
+                                    out_raw.value += len(offcuts)
+                                depth = root_depth + frame_index + 1
+                                for off in offcuts:
+                                    task_q.put((off, depth))
+                                splits += len(offcuts)
+
+            if goal_hit or aborted:
+                break
+            with out_lock:
+                out_raw.value -= 1
+                if out_raw.value == 0:
+                    done_flag.value = 1
+
+        payload = {
+            "knowledge": knowledge if enum else (knowledge.value, knowledge.node),
+            "nodes": nodes,
+            "prunes": prunes,
+            "backtracks": backtracks,
+            "max_depth": max_depth,
+            "goal": goal_hit,
+            "splits": splits,
+            "tasks": tasks_run,
+        }
+        try:
+            result_q.put(("ok", payload))
+        except Exception:
+            # Unpicklable witness: degrade to the value alone.
+            if not enum:
+                payload["knowledge"] = (knowledge.value, None)
+                result_q.put(("ok", payload))
+            else:
+                raise
+    except BaseException as exc:  # report crashes instead of dying silently
+        try:
+            result_q.put(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+
+
 def multiprocessing_budget_search(
     spec_factory: Callable[..., Any],
     factory_args: tuple,
@@ -650,12 +866,85 @@ def multiprocessing_budget_search(
     dying mid-search raises RuntimeError in the parent: its local
     accumulator is unrecoverable, so completing would silently undercount.
     """
-    if n_processes < 1:
-        raise ValueError("need at least one process")
     if budget < 1:
         raise ValueError("budget must be >= 1")
     if share_poll < 1:
         raise ValueError("share_poll must be >= 1")
+    return _sharing_search(
+        _budget_worker_main,
+        (budget, share_poll, queue_poll),
+        spec_factory, factory_args, stype_factory, stype_args,
+        n_processes=n_processes, label="budget",
+    )
+
+
+def multiprocessing_stacksteal_search(
+    spec_factory: Callable[..., Any],
+    factory_args: tuple,
+    stype_factory: Callable[..., SearchType],
+    stype_args: tuple = (),
+    *,
+    n_processes: int = 2,
+    chunked: bool = True,
+    share_poll: int = 64,
+    queue_poll: float = 0.02,
+) -> SearchResult:
+    """Stack-Stealing search over worker processes (shared-memory steals).
+
+    The whole tree starts as one task on the shared queue.  An idle
+    worker raises a *steal request* — a shared hungry counter it
+    increments once and decrements when it next obtains work.  Busy
+    workers poll that counter on their ``share_poll`` periodic duties
+    and, seeing it raised, expose the lowest-depth frame of their live
+    generator stack: all remaining children there when ``chunked``
+    (:func:`~repro.core.tasks.split_lowest_inlined`), a single node
+    otherwise (:func:`~repro.core.tasks.split_one_inlined`), pushed to
+    the queue for the thief.  This is the paper's Stack-Stealing
+    coordination with the victim's poll standing in for an interrupt:
+    work moves only when somebody is starving, unlike Budget's
+    unconditional splitting cadence.
+
+    Factories and objective constraints are as for
+    :func:`multiprocessing_budget_search`; a worker death likewise
+    raises RuntimeError.
+    """
+    if share_poll < 1:
+        raise ValueError("share_poll must be >= 1")
+    hungry = Value("q", 0)
+    return _sharing_search(
+        _stacksteal_worker_main,
+        (hungry, bool(chunked), share_poll, queue_poll),
+        spec_factory, factory_args, stype_factory, stype_args,
+        n_processes=n_processes, label="stacksteal", count_steals=True,
+    )
+
+
+def _sharing_search(
+    worker_target: Callable[..., None],
+    extra_args: tuple,
+    spec_factory: Callable[..., Any],
+    factory_args: tuple,
+    stype_factory: Callable[..., SearchType],
+    stype_args: tuple = (),
+    *,
+    n_processes: int = 2,
+    label: str = "budget",
+    count_steals: bool = False,
+) -> SearchResult:
+    """Shared parent driver for the queue-based sharing coordinations.
+
+    Budget and Stack-Stealing differ only in *when a worker gives work
+    away*; everything around that — the shared incumbent, the
+    outstanding-task termination counter, crash detection, draining and
+    the result merge — is this function.  ``worker_target`` receives the
+    standard shared objects followed by ``extra_args`` and must report a
+    payload dict in the ``_budget_worker_main`` shape; ``count_steals``
+    additionally folds the workers' split counts into
+    ``metrics.steals`` (they are steals, not scheduled spawns, under
+    Stack-Stealing).
+    """
+    if n_processes < 1:
+        raise ValueError("need at least one process")
     spec = spec_factory(*factory_args)
     stype = stype_factory(*stype_args)
     started = time.perf_counter()
@@ -675,11 +964,11 @@ def multiprocessing_budget_search(
 
     procs = [
         Process(
-            target=_budget_worker_main,
+            target=worker_target,
             args=(
                 spec_factory, factory_args, stype_factory, stype_args,
                 task_q, result_q, outstanding, best, goal_flag, done_flag,
-                budget, share_poll, queue_poll,
+                *extra_args,
             ),
             daemon=True,
         )
@@ -728,10 +1017,15 @@ def multiprocessing_budget_search(
         if p.is_alive():
             p.kill()
             p.join(timeout=5.0)
+    # The drain races the feeder thread: items still in its internal
+    # buffer can flush into the (now reader-less) pipe after the drain,
+    # and interpreter exit would join that blocked feeder forever.
+    # Leftover tasks are garbage at this point, so drop them.
+    task_q.cancel_join_thread()
     task_q.close()
     result_q.close()
     if error is not None:
-        raise RuntimeError(f"budget backend worker failed: {error}")
+        raise RuntimeError(f"{label} backend worker failed: {error}")
 
     metrics = SearchMetrics()
     goal = False
@@ -740,6 +1034,8 @@ def multiprocessing_budget_search(
         metrics.prunes += body["prunes"]
         metrics.backtracks += body["backtracks"]
         metrics.spawns += body["splits"]
+        if count_steals:
+            metrics.steals += body["splits"]
         metrics.max_depth = max(metrics.max_depth, body["max_depth"])
         goal = goal or body["goal"]
         if stype.kind == "enumeration":
@@ -757,6 +1053,226 @@ def multiprocessing_budget_search(
             value=knowledge.value,
             node=knowledge.node,
             found=(goal or stype.is_goal(knowledge))
+            if stype.kind == "decision"
+            else None,
+            metrics=metrics,
+            wall_time=elapsed,
+            workers=n_processes,
+        )
+    return SearchResult(
+        kind=stype.kind,
+        value=knowledge,
+        metrics=metrics,
+        wall_time=elapsed,
+        workers=n_processes,
+    )
+
+
+# -- replicable Ordered backend ---------------------------------------------
+
+
+def _ordered_worker_main(
+    spec_factory,
+    factory_args,
+    stype_factory,
+    stype_args,
+    task_q,
+    result_q,
+    best,
+    done_flag,
+    share_poll,
+    queue_poll,
+):
+    """Worker process for the Ordered coordination: atomic pinned tasks.
+
+    Pulls ``(seq, root, depth, pinned_bound)`` leases and runs each
+    through :func:`~repro.core.ordered.run_task_fixed_bound` — a pure
+    function of ``(root, bound)``, so nothing this worker does depends
+    on timing.  A lease with ``pinned_bound=None`` is speculative: the
+    bound is read once from the shared finalised-prefix best (written
+    only by the parent) at task start; the parent's ledger re-issues
+    the task with the bound pinned if speculation ran stale.  Results
+    are never merged here and no incumbent is ever published — ordering
+    and merging belong to the parent's ledger alone.
+    """
+    try:
+        task_q.cancel_join_thread()
+        spec = spec_factory(*factory_args)
+        stype = stype_factory(*stype_args)
+        enum = stype.kind == "enumeration"
+        best_raw = best.get_obj()  # lock-free read (parent is sole writer)
+
+        def aborted() -> bool:
+            return bool(done_flag.value)
+
+        while not done_flag.value:
+            try:
+                seq, root, depth, pinned = task_q.get(timeout=queue_poll)
+            except Empty:
+                continue
+            bound = None
+            if not enum:
+                bound = pinned if pinned is not None else best_raw.value
+            payload = run_task_fixed_bound(
+                spec, stype, root, depth, bound,
+                poll=share_poll, should_abort=aborted,
+            )
+            if payload is None:
+                break  # asked to wind down mid-task; nothing published
+            if not enum:
+                payload["bound"] = bound
+            try:
+                result_q.put(("ok", seq, payload))
+            except Exception:
+                # Unpicklable witness: keep the value (it drives bound
+                # enforcement), drop the node.
+                if not enum:
+                    payload["node"] = None
+                    result_q.put(("ok", seq, payload))
+                else:
+                    raise
+    except BaseException as exc:  # report crashes instead of dying silently
+        try:
+            result_q.put(("error", -1, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+
+
+def multiprocessing_ordered_search(
+    spec_factory: Callable[..., Any],
+    factory_args: tuple,
+    stype_factory: Callable[..., SearchType],
+    stype_args: tuple = (),
+    *,
+    n_processes: int = 2,
+    d_cutoff: int = 2,
+    share_poll: int = 64,
+    queue_poll: float = 0.02,
+) -> SearchResult:
+    """Replicable Ordered search over worker processes.
+
+    The parent expands the depth-``d_cutoff`` frontier sequentially
+    (:func:`~repro.core.ordered.ordered_frontier`), numbering subtree
+    tasks in discovery order, then drives an
+    :class:`~repro.core.ordered.OrderedLedger`: tasks execute atomically
+    on the workers from whatever bound was current (speculation), and
+    the ledger finalises results strictly in sequence order, re-issuing
+    any task whose bound proves stale with the required bound pinned.
+    Two runs with the same instance return the identical value, witness
+    *and* node counters at any ``n_processes`` — see
+    :func:`~repro.core.ordered.ordered_reference_search` for the
+    executable statement of that contract.
+
+    Factories and the non-negative integer objective requirement are as
+    for the other backends; a worker death raises RuntimeError (crash
+    *tolerance* for Ordered lives in the cluster backend, which can
+    re-lease atomic tasks).
+    """
+    if n_processes < 1:
+        raise ValueError("need at least one process")
+    if share_poll < 1:
+        raise ValueError("share_poll must be >= 1")
+    spec = spec_factory(*factory_args)
+    stype = stype_factory(*stype_args)
+    started = time.perf_counter()
+
+    frontier = ordered_frontier(spec, stype, d_cutoff=d_cutoff)
+    ledger = OrderedLedger(stype, frontier)
+    if stype.kind != "enumeration":
+        _checked_incumbent_seed(frontier.knowledge.value)
+
+    error: Optional[str] = None
+    if not ledger.finished:
+        best = Value(
+            "q",
+            0 if stype.kind == "enumeration" else frontier.knowledge.value,
+        )
+        done_flag = Value("b", 0, lock=False)
+        task_q: Queue = Queue()
+        result_q: Queue = Queue()
+        tasks_by_seq = {t.seq: t for t in frontier.tasks}
+        for t in frontier.tasks:
+            task_q.put((t.seq, t.node, t.depth, None))
+
+        procs = [
+            Process(
+                target=_ordered_worker_main,
+                args=(
+                    spec_factory, factory_args, stype_factory, stype_args,
+                    task_q, result_q, best, done_flag, share_poll, queue_poll,
+                ),
+                daemon=True,
+            )
+            for _ in range(n_processes)
+        ]
+        for p in procs:
+            p.start()
+
+        while not ledger.finished:
+            try:
+                tag, seq, body = result_q.get(timeout=0.1)
+            except Empty:
+                crashed = [
+                    p.exitcode for p in procs if p.exitcode not in (None, 0)
+                ]
+                if crashed:
+                    error = (
+                        f"worker died with exit code {crashed[0]} before "
+                        "reporting results"
+                    )
+                    break
+                if all(p.exitcode is not None for p in procs) and not result_q._reader.poll():
+                    error = "all workers exited without reporting results"
+                    break
+                continue
+            if tag == "error":
+                error = body
+                break
+            ledger.record(seq, body)
+            for rerun_seq, rerun_bound in ledger.advance():
+                t = tasks_by_seq[rerun_seq]
+                task_q.put((rerun_seq, t.node, t.depth, rerun_bound))
+            if stype.kind != "enumeration":
+                # Publish the finalised-prefix best for speculation; the
+                # parent is the only writer, so no lock is needed for
+                # correctness — workers read it lock-free.
+                with best.get_lock():
+                    best.get_obj().value = ledger.required_bound()
+
+        done_flag.value = 1  # normal completion and error paths alike
+        if error is not None:
+            for p in procs:
+                p.terminate()
+        # Drain leftover leases so worker feeder threads never block.
+        while True:
+            try:
+                task_q.get_nowait()
+            except (Empty, OSError, EOFError):
+                break
+        for p in procs:
+            p.join(timeout=5.0)
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=5.0)
+        # Drop anything the feeder thread flushes after the drain (the
+        # drain races it); joining a feeder blocked on the reader-less
+        # pipe would hang interpreter exit.
+        task_q.cancel_join_thread()
+        task_q.close()
+        result_q.close()
+    if error is not None:
+        raise RuntimeError(f"ordered backend worker failed: {error}")
+
+    knowledge = ledger.knowledge
+    metrics = ledger.metrics
+    metrics.weighted_nodes = metrics.nodes
+    elapsed = time.perf_counter() - started
+    if isinstance(knowledge, Incumbent):
+        return SearchResult(
+            kind=stype.kind,
+            value=knowledge.value,
+            node=knowledge.node,
+            found=(ledger.goal or stype.is_goal(knowledge))
             if stype.kind == "decision"
             else None,
             metrics=metrics,
@@ -798,7 +1314,20 @@ def run_with_processes(
             n_processes=params.n_processes, budget=params.budget,
             share_poll=params.share_poll,
         )
+    if coordination == "stacksteal":
+        return multiprocessing_stacksteal_search(
+            spec_factory, factory_args, make_stype, (kind, kwargs),
+            n_processes=params.n_processes, chunked=params.chunked,
+            share_poll=params.share_poll,
+        )
+    if coordination == "ordered":
+        return multiprocessing_ordered_search(
+            spec_factory, factory_args, make_stype, (kind, kwargs),
+            n_processes=params.n_processes, d_cutoff=params.d_cutoff,
+            share_poll=params.share_poll,
+        )
     raise ValueError(
-        f"the processes backend implements the 'depthbounded' and 'budget' "
-        f"coordinations, not {coordination!r}; use backend='sim' for the rest"
+        f"the processes backend implements the 'depthbounded', 'budget', "
+        f"'stacksteal' and 'ordered' coordinations, not {coordination!r}; "
+        "use backend='sim' for the rest"
     )

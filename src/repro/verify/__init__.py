@@ -13,16 +13,23 @@ hand-picked library instances:
 - :mod:`repro.verify.differential` — drives each backend over the same
   instances under seeded knob sweeps and diffs the results;
 - :mod:`repro.verify.chaos` — seeded :class:`FaultPlan` schedules that
-  exercise the cluster's epoch/re-lease fault tolerance reproducibly.
+  exercise the cluster's epoch/re-lease fault tolerance reproducibly;
+- :mod:`repro.verify.repetition` — the repetition oracle: the same
+  cell N times across worker counts (and one chaos round), demanding
+  stable values everywhere and bit-identical search fingerprints from
+  the ordered coordination.
 
-Entry point: ``repro verify`` (see :mod:`repro.cli`) or
-:func:`repro.verify.differential.run_verify`.
+Entry point: ``repro verify`` (see :mod:`repro.cli`),
+:func:`repro.verify.differential.run_verify`, or
+``repro verify --repeat N`` /
+:func:`repro.verify.repetition.run_repetition`.
 """
 
 from repro.verify.chaos import FaultPlan
 from repro.verify.differential import run_verify
 from repro.verify.generators import Instance, instance_spec
 from repro.verify.oracle import OracleReport, build_report, check_result
+from repro.verify.repetition import result_fingerprint, run_repetition
 
 __all__ = [
     "FaultPlan",
@@ -31,5 +38,7 @@ __all__ = [
     "build_report",
     "check_result",
     "instance_spec",
+    "result_fingerprint",
+    "run_repetition",
     "run_verify",
 ]

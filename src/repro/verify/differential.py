@@ -50,7 +50,8 @@ __all__ = [
 BACKENDS = ("sequential", "sim", "processes", "cluster")
 
 _SIM_COORDINATIONS = ("depthbounded", "stacksteal", "budget", "random", "ordered")
-_PROC_COORDINATIONS = ("depthbounded", "budget")
+_PROC_COORDINATIONS = ("depthbounded", "budget", "stacksteal", "ordered")
+_CLUSTER_COORDINATIONS = ("budget", "stacksteal", "ordered")
 
 # Families whose search type tolerates losing a worker (enumeration is
 # defined to fail loudly instead — exercised by a dedicated test).
@@ -91,18 +92,25 @@ def _choice(rng: SplitMix64, seq):
 
 
 def sample_config(
-    backend: str, rng: SplitMix64, *, chaos: bool = False
+    backend: str,
+    rng: SplitMix64,
+    *,
+    chaos: bool = False,
+    coordination: Optional[str] = None,
 ) -> BackendConfig:
     """Draw one seeded knob setting for ``backend``.
 
     The sweeps deliberately include degenerate values (budget=1,
     single-worker topologies): those are where split/merge edge cases
-    live, not in the comfortable defaults.
+    live, not in the comfortable defaults.  ``coordination`` pins the
+    coordination instead of drawing it (the knobs are still drawn), so
+    a targeted sweep — ``repro verify --coordination ordered`` — walks
+    the same seeded knob space as the mixed one.
     """
     if backend == "sequential":
         return BackendConfig("sequential", "sequential")
     if backend == "sim":
-        coordination = _choice(rng, _SIM_COORDINATIONS)
+        coordination = coordination or _choice(rng, _SIM_COORDINATIONS)
         return BackendConfig(
             "sim",
             coordination,
@@ -118,7 +126,7 @@ def sample_config(
             },
         )
     if backend == "processes":
-        coordination = _choice(rng, _PROC_COORDINATIONS)
+        coordination = coordination or _choice(rng, _PROC_COORDINATIONS)
         return BackendConfig(
             "processes",
             coordination,
@@ -149,7 +157,7 @@ def sample_config(
             )
             return BackendConfig(
                 "cluster",
-                "budget",
+                coordination or _choice(rng, _CLUSTER_COORDINATIONS),
                 {
                     "elastic": True,
                     "min_workers": 1,
@@ -169,7 +177,7 @@ def sample_config(
         )
         return BackendConfig(
             "cluster",
-            "budget",
+            coordination or _choice(rng, _CLUSTER_COORDINATIONS),
             {
                 "cluster_workers": workers,
                 "budget": _choice(rng, (1, 2, 5, 20)),
@@ -216,7 +224,7 @@ def run_config(
             factory_args=(inst.family, inst.args),
         )
     if cfg.backend == "cluster":
-        from repro.cluster.local import cluster_budget_search
+        from repro.cluster.local import cluster_search
 
         chaotic = cfg.fault_plan is not None and bool(cfg.fault_plan.events)
         if cfg.knobs.get("elastic"):
@@ -226,23 +234,27 @@ def run_config(
                 instance_spec,
                 (inst.family, inst.args),
                 stype,
+                coordination=cfg.coordination,
                 minimum=cfg.knobs.get("min_workers", 1),
                 maximum=cfg.knobs.get("max_workers", 2),
                 budget=cfg.knobs.get("budget", 5),
                 share_poll=cfg.knobs.get("share_poll", 16),
+                d_cutoff=cfg.knobs.get("d_cutoff", 2),
                 timeout=cluster_timeout,
                 heartbeat_interval=0.1 if chaotic else 0.5,
                 heartbeat_timeout=1.0 if chaotic else 5.0,
                 wire_codec=cfg.knobs.get("wire_codec", "binary"),
                 fault_plan=cfg.fault_plan.to_dict() if chaotic else None,
             )
-        return cluster_budget_search(
+        return cluster_search(
             instance_spec,
             (inst.family, inst.args),
             stype,
+            coordination=cfg.coordination,
             n_workers=cfg.knobs.get("cluster_workers", 2),
             budget=cfg.knobs.get("budget", 5),
             share_poll=cfg.knobs.get("share_poll", 16),
+            d_cutoff=cfg.knobs.get("d_cutoff", 2),
             timeout=cluster_timeout,
             # Chaos leans on the watchdog: beat fast, declare death
             # fast, so injected partitions resolve within the timeout.
@@ -279,6 +291,7 @@ def run_verify(
     seed: int = 0,
     rounds: int = 20,
     chaos: bool = False,
+    coordination: Optional[str] = None,
     artifact_dir: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
     cluster_timeout: float = 60.0,
@@ -288,9 +301,10 @@ def run_verify(
 
     Rounds cycle through the instance families; every backend named by
     ``backend`` (or all of them) runs each round under a fresh seeded
-    knob draw.  On a violation the instance is greedily shrunk under
-    the same configuration and a JSON repro artifact is written to
-    ``artifact_dir``.
+    knob draw.  ``coordination`` pins every parallel cell to one
+    coordination method instead of drawing it.  On a violation the
+    instance is greedily shrunk under the same configuration and a
+    JSON repro artifact is written to ``artifact_dir``.
     """
     emit = log if log is not None else (lambda line: None)
     if backend == "all":
@@ -304,6 +318,23 @@ def run_verify(
         )
     if chaos and "cluster" not in backends:
         raise ValueError("--chaos only applies to the cluster backend")
+    if coordination is not None:
+        supported = {
+            "sim": _SIM_COORDINATIONS,
+            "processes": _PROC_COORDINATIONS,
+            "cluster": _CLUSTER_COORDINATIONS,
+        }
+        # sequential stays (it is the oracle's determinism recheck);
+        # parallel backends that don't implement the pin drop out.
+        backends = [
+            b for b in backends
+            if b == "sequential" or coordination in supported[b]
+        ]
+        if all(b == "sequential" for b in backends):
+            raise ValueError(
+                f"no selected backend implements coordination "
+                f"{coordination!r}"
+            )
 
     families = _CHAOS_FAMILIES if chaos else FAMILIES
     rng = SplitMix64((seed << 4) ^ 0x5EED5EED)
@@ -322,7 +353,12 @@ def run_verify(
             )
             continue
         for name in backends:
-            cfg = sample_config(name, rng, chaos=chaos and name == "cluster")
+            cfg = sample_config(
+                name,
+                rng,
+                chaos=chaos and name == "cluster",
+                coordination=coordination if name != "sequential" else None,
+            )
             issues = check_config(
                 inst, cfg, report, cluster_timeout=cluster_timeout
             )

@@ -1,0 +1,148 @@
+"""End-to-end ordered & stack-stealing cluster runs: real processes.
+
+The ordered coordination's acceptance bar is the Replicable BnB
+guarantee: same instance, same d_cutoff, ANY worker count — the same
+objective, the same witness, and the same node/prune/backtrack counts,
+all equal to :func:`ordered_reference_search`.  Including under a
+``kill_worker`` fault plan: ordered tasks are pure functions of
+``(root, bound)``, so a re-leased task re-runs bit-identically and the
+death is invisible in the fingerprint.
+
+Stack-stealing is held to the usual bars: enumeration bit-identical to
+sequential (every node counted exactly once however the stack is
+split), optimisation value-and-witness exact.
+"""
+
+import pytest
+
+from repro.cluster.local import cluster_search
+from repro.core.ordered import ordered_reference_search
+from repro.core.results import validate_result
+from repro.core.searchtypes import make_search_type
+from repro.core.sequential import sequential_search
+from repro.instances.library import library_spec_factory, spec_for
+from repro.verify.generators import Instance, instance_spec, search_setup
+from repro.verify.repetition import result_fingerprint
+
+MAXCLIQUE_ARGS = (12, 60, 3)
+UTS_ARGS = (2, 4, 9)
+KNAPSACK_ARGS = (8, 5)
+
+# Tight heartbeats for the chaos runs so a killed worker's leases
+# re-issue within the test budget.
+CHAOS = dict(heartbeat_interval=0.1, heartbeat_timeout=0.8)
+KILL_PLAN = {
+    "events": [{"kind": "kill_worker", "worker": "local-1", "at_task": 1}]
+}
+
+
+def _setup(family, args):
+    spec, kind, kwargs = search_setup(Instance(family, tuple(args)))
+    return spec, make_search_type(kind, **kwargs)
+
+
+def _ordered(family, args, *, n_workers, d_cutoff=2, **kw):
+    return cluster_search(
+        instance_spec, (family, list(args)),
+        _setup(family, args)[1],
+        coordination="ordered", n_workers=n_workers, d_cutoff=d_cutoff,
+        timeout=120, **kw,
+    )
+
+
+class TestOrderedReplicable:
+    def test_fingerprint_identical_across_worker_counts(self):
+        spec, stype = _setup("maxclique", MAXCLIQUE_ARGS)
+        want = result_fingerprint(
+            ordered_reference_search(spec, stype, d_cutoff=2), counts=True
+        )
+        for n in (1, 2, 4):
+            res = _ordered("maxclique", MAXCLIQUE_ARGS, n_workers=n)
+            assert result_fingerprint(res, counts=True) == want, n
+            assert validate_result(spec, res)
+
+    def test_repeated_runs_bit_identical(self):
+        spec, stype = _setup("knapsack", KNAPSACK_ARGS)
+        want = result_fingerprint(
+            ordered_reference_search(spec, stype, d_cutoff=2), counts=True
+        )
+        prints = [
+            result_fingerprint(
+                _ordered("knapsack", KNAPSACK_ARGS, n_workers=2), counts=True
+            )
+            for _ in range(3)
+        ]
+        assert prints == [want] * 3
+
+    def test_enumeration_ordered_matches_reference(self):
+        spec, stype = _setup("uts", UTS_ARGS)
+        ref = ordered_reference_search(spec, stype, d_cutoff=2)
+        seq = sequential_search(spec, stype)
+        res = _ordered("uts", UTS_ARGS, n_workers=2)
+        assert res.value == ref.value == seq.value
+        assert res.metrics.nodes == ref.metrics.nodes == seq.metrics.nodes
+
+    def test_kill_worker_chaos_fingerprint_unchanged(self):
+        spec, stype = _setup("maxclique", MAXCLIQUE_ARGS)
+        want = result_fingerprint(
+            ordered_reference_search(spec, stype, d_cutoff=2), counts=True
+        )
+        res = _ordered(
+            "maxclique", MAXCLIQUE_ARGS, n_workers=3,
+            fault_plan=KILL_PLAN, **CHAOS,
+        )
+        assert result_fingerprint(res, counts=True) == want
+        # The kill really happened and really was survived.
+        assert res.metrics.reassigned >= 1
+
+    def test_enumeration_survives_kill_worker(self):
+        # The one enumeration flow where losing a worker is sound:
+        # ordered tasks re-run bit-identically, so the accumulator
+        # cannot double- or under-count.
+        spec, stype = _setup("uts", UTS_ARGS)
+        ref = ordered_reference_search(spec, stype, d_cutoff=2)
+        res = _ordered(
+            "uts", UTS_ARGS, n_workers=3, fault_plan=KILL_PLAN, **CHAOS,
+        )
+        assert res.value == ref.value
+        assert res.metrics.nodes == ref.metrics.nodes
+        assert res.metrics.reassigned >= 1
+
+
+class TestStackStealEndToEnd:
+    def test_enumeration_bit_identical_with_real_steals(self):
+        spec, tname, kwargs = spec_for("uts-bin-med")
+        stype = make_search_type(tname, **kwargs)
+        res = cluster_search(
+            library_spec_factory, ("uts-bin-med",), stype,
+            coordination="stacksteal", n_workers=3, share_poll=32,
+            timeout=120,
+        )
+        seq = sequential_search(spec, stype)
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes
+        assert res.metrics.steals > 0  # thefts actually happened
+        assert res.workers == 3
+
+    def test_optimisation_value_and_witness(self):
+        spec, stype = _setup("maxclique", MAXCLIQUE_ARGS)
+        res = cluster_search(
+            instance_spec, ("maxclique", list(MAXCLIQUE_ARGS)), stype,
+            coordination="stacksteal", n_workers=2, timeout=120,
+        )
+        seq = sequential_search(spec, stype)
+        assert res.value == seq.value
+        assert validate_result(spec, res)
+
+    def test_unchunked_split_matches_sequential(self):
+        # chunked=False steals one frame instead of half the stack —
+        # the work movement differs, the answer must not.
+        spec, stype = _setup("uts", UTS_ARGS)
+        res = cluster_search(
+            instance_spec, ("uts", list(UTS_ARGS)), stype,
+            coordination="stacksteal", n_workers=2, chunked=False,
+            timeout=120,
+        )
+        seq = sequential_search(spec, stype)
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes

@@ -22,6 +22,12 @@ from repro.util.rng import SplitMix64
 
 FRAME_TYPES = C.FRAME_TYPES
 
+# Interned keys usable as *dict keys* in a generated message: the node
+# collection tags ("__tuple__" etc.) would turn the message into a
+# tagged node and change its decode, so they are filtered by name (the
+# tags sit mid-tuple now that newer keys append after them).
+_PLAIN_KEYS = tuple(k for k in C._KEYS if not k.startswith("__"))
+
 
 # -- seeded message generator ------------------------------------------------
 
@@ -79,7 +85,7 @@ def _gen_message(rng: SplitMix64) -> dict:
     msg = {"type": mtype}
     for i in range(rng.randrange(6)):
         key = (
-            C._KEYS[rng.randrange(len(C._KEYS) - 4)]  # skip node tags
+            _PLAIN_KEYS[rng.randrange(len(_PLAIN_KEYS))]
             if rng.randrange(2)
             else f"field_{i}"
         )
@@ -159,6 +165,85 @@ class TestFuzzRoundtrip:
         for v in (0, -1, 1, 2**63, -(2**63), 2**200, -(2**200) + 1):
             msg = {"type": P.RESULT, "value": v}
             assert C.decode_body(C.BINARY_CODEC.encode(msg)) == msg
+
+
+class TestStealFrames:
+    """STEAL/STOLEN (protocol v3) across both codecs.
+
+    These frames are the stack-stealing coordination's entire wire
+    surface, so they get targeted adversarial coverage on top of the
+    generic fuzz: registered-tag compactness, node payload fidelity,
+    and the empty-STOLEN ("dry") shape the coordinator keys off.
+    """
+
+    def test_steal_and_stolen_are_registered_frame_types(self):
+        assert P.STEAL in C.FRAME_TYPES
+        assert P.STOLEN in C.FRAME_TYPES
+        # Registered: one byte of type tag, not an escaped string.
+        assert len(C.BINARY_CODEC.encode({"type": P.STEAL})) == 3
+
+    def test_steal_request_roundtrips_both_codecs(self):
+        msg = {"type": P.STEAL, "job": 7}
+        assert C.decode_body(C.BINARY_CODEC.encode(msg)) == msg
+        assert C.decode_body(C.JSON_CODEC.encode(msg)) == msg
+
+    def test_stolen_offcuts_roundtrip_identically(self):
+        nodes = [
+            P.encode_node((3, frozenset({1, 4}), "partial")),
+            P.encode_node((5, frozenset(), "leaf")),
+        ]
+        msg = {
+            "type": P.STOLEN, "job": 2, "task": 11, "epoch": 1,
+            "depth": 4, "nodes": nodes,
+        }
+        via_binary = C.decode_body(C.BINARY_CODEC.encode(msg))
+        via_json = C.decode_body(C.JSON_CODEC.encode(msg))
+        assert via_binary == via_json == msg
+        assert [P.decode_node(n) for n in via_binary["nodes"]] == [
+            (3, frozenset({1, 4}), "partial"), (5, frozenset(), "leaf"),
+        ]
+
+    def test_empty_stolen_is_dry_not_malformed(self):
+        # A victim with nothing to give answers with an empty node list
+        # and no task/epoch — that exact shape must survive the wire.
+        msg = {"type": P.STOLEN, "job": 2, "nodes": []}
+        assert C.decode_body(C.BINARY_CODEC.encode(msg)) == msg
+        assert C.decode_body(C.JSON_CODEC.encode(msg)) == msg
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fuzzed_stolen_bodies_match_across_codecs(self, seed):
+        rng = SplitMix64(0x57EA1 + seed)
+        for _ in range(100):
+            msg = {
+                "type": P.STOLEN,
+                "job": rng.randrange(1 << 32),
+                "task": rng.randrange(1 << 48),
+                "epoch": rng.randrange(1 << 16),
+                "depth": rng.randrange(64),
+                "nodes": [_gen_value(rng, 1) for _ in range(rng.randrange(5))],
+            }
+            assert (
+                C.decode_body(C.BINARY_CODEC.encode(msg))
+                == C.decode_body(C.JSON_CODEC.encode(msg))
+                == msg
+            )
+
+    def test_truncated_stolen_rejected_at_every_cut(self):
+        msg = {"type": P.STOLEN, "job": 1, "task": 2, "epoch": 0,
+               "depth": 3, "nodes": [P.encode_node((1, 2))]}
+        body = C.BINARY_CODEC.encode(msg)
+        for cut in range(len(body)):
+            with pytest.raises(P.ProtocolError):
+                C.decode_body(body[:cut])
+
+    def test_ordered_lease_bound_key_is_interned(self):
+        # Ordered leases ride TASK frames with a 5th "bound" element and
+        # v1 fallbacks carry a "bound" key — it must be in the intern
+        # table (compact) and round-trip as the exact string.
+        assert "bound" in C._KEYS
+        msg = {"type": P.TASK, "job": 1, "bound": -17,
+               "leases": [[4, 0, P.encode_node((1,)), 2, 9]]}
+        assert C.decode_body(C.BINARY_CODEC.encode(msg)) == msg
 
 
 class TestStrictDecode:

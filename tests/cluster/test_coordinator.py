@@ -90,13 +90,21 @@ class FakeWorker:
 
     @staticmethod
     def _decompose(msg):
-        """A batched TASK frame becomes one pseudo-frame per lease."""
+        """A batched TASK frame becomes one pseudo-frame per lease.
+
+        Ordered leases carry a 5th ``bound`` element; it is surfaced on
+        the pseudo-frame the same way the real worker reads it.
+        """
         if msg["type"] == P.TASK and "leases" in msg:
-            return [
-                {"type": P.TASK, "job": msg["job"], "task": tid,
-                 "epoch": epoch, "node": node, "depth": depth}
-                for tid, epoch, node, depth in msg["leases"]
-            ]
+            pseudo = []
+            for lease in msg["leases"]:
+                tid, epoch, node, depth = lease[:4]
+                frame = {"type": P.TASK, "job": msg["job"], "task": tid,
+                         "epoch": epoch, "node": node, "depth": depth}
+                if len(lease) > 4:
+                    frame["bound"] = lease[4]
+                pseudo.append(frame)
+            return pseudo
         return [msg]
 
     def recv_raw(self, want_type, timeout=5.0):

@@ -1,0 +1,287 @@
+"""Stack-stealing and ordered protocol tests, driven by scripted workers.
+
+The STEAL/STOLEN exchange and the ordered fixed-bound lease/re-issue
+cycle are coordinator decisions, so they are tested at the wire level
+with the :class:`FakeWorker` from ``test_coordinator``: every frame the
+coordinator emits (or must NOT emit) is observable deterministically.
+"""
+
+import pytest
+
+from repro.cluster import protocol as P
+from repro.cluster.coordinator import ClusterHandle
+
+from tests.cluster.test_coordinator import (
+    ENUM_PAYLOAD,
+    OPT_PAYLOAD,
+    FakeWorker,
+    result_frame,
+)
+
+STEAL_ENUM = dict(ENUM_PAYLOAD, coordination="stacksteal")
+STEAL_OPT = dict(OPT_PAYLOAD, coordination="stacksteal")
+
+# Tiny seeded maxclique: the ordered frontier at d_cutoff=1 is small
+# enough to script every lease by hand.
+ORDERED_OPT = {
+    "factory": "repro.verify.generators:instance_spec",
+    "factory_args": ["maxclique", [6, 50, 1]],
+    "stype_kind": "optimisation",
+    "stype_kwargs": {},
+    "coordination": "ordered",
+    "d_cutoff": 1,
+    "budget": 1000,
+    "share_poll": 64,
+}
+
+
+@pytest.fixture
+def handle():
+    h = ClusterHandle(heartbeat_interval=0.1, heartbeat_timeout=0.6)
+    h.start()
+    yield h
+    h.shutdown(drain_workers=False)
+
+
+def stolen_frame(task_msg, nodes, depth=3):
+    """A STOLEN frame splitting ``nodes`` off the held lease."""
+    return {
+        "type": P.STOLEN,
+        "job": task_msg["job"],
+        "task": task_msg["task"],
+        "epoch": task_msg["epoch"],
+        "depth": depth,
+        "nodes": [P.encode_node(n) for n in nodes],
+    }
+
+
+class TestStealMediation:
+    def test_idle_worker_triggers_steal_from_victim(self, handle):
+        w1 = FakeWorker(*handle.address, name="victim")
+        w2 = FakeWorker(*handle.address, name="thief")
+        try:
+            fut = handle.run_job_future(STEAL_ENUM, timeout=10)
+            root = w1.recv(P.TASK)
+            # Queue is empty and w2 is idle: the coordinator must ask
+            # the one busy worker to split its live stack.
+            steal = w1.recv(P.STEAL)
+            assert steal["job"] == root["job"]
+            w1.send(stolen_frame(root, [(1, 2)]))
+            t2 = w2.recv(P.TASK)
+            assert P.decode_node(t2["node"]) == (1, 2)
+            assert t2["depth"] == 3
+            w1.send(result_frame(root, knowledge=1))
+            w2.send(result_frame(t2, knowledge=10))
+            res = fut.result(timeout=10)
+            assert res.value == 11
+            assert res.metrics.steals == 1
+            assert res.workers == 2
+        finally:
+            w1.close()
+            w2.close()
+
+    def test_no_second_steal_while_one_is_pending(self, handle):
+        w1 = FakeWorker(*handle.address, name="victim")
+        w2 = FakeWorker(*handle.address, name="thief")
+        try:
+            fut = handle.run_job_future(STEAL_ENUM, timeout=10)
+            root = w1.recv(P.TASK)
+            w1.recv(P.STEAL)
+            # The victim hasn't answered: no duplicate request may
+            # arrive no matter how often the pump runs.
+            w1.assert_no_frame(P.STEAL, within=0.5)
+            w1.send(stolen_frame(root, [(5,)]))
+            t2 = w2.recv(P.TASK)
+            w1.send(result_frame(root, knowledge=1))
+            w2.send(result_frame(t2, knowledge=10))
+            assert fut.result(timeout=10).value == 11
+        finally:
+            w1.close()
+            w2.close()
+
+    def test_dry_victim_not_asked_again_until_next_result(self, handle):
+        w1 = FakeWorker(*handle.address, name="victim")
+        w2 = FakeWorker(*handle.address, name="thief")
+        try:
+            fut = handle.run_job_future(STEAL_ENUM, timeout=10)
+            root = w1.recv(P.TASK)
+            w1.recv(P.STEAL)
+            # Empty STOLEN: nothing divisible on the stack right now.
+            w1.send({"type": P.STOLEN, "job": root["job"], "nodes": []})
+            # A dry victim must not be hammered with more requests...
+            w1.assert_no_frame(P.STEAL, within=0.5)
+            # ...until new work appears: a RESULT clears the dry flags.
+            w1.send(stolen_frame(root, [(8,)]))  # late fruit, still valid
+            t2 = w2.recv(P.TASK)
+            w2.send(result_frame(t2, knowledge=100))
+            w1.recv(P.STEAL)  # w2 went idle again -> fresh request
+            w1.send(result_frame(root, knowledge=1))
+            assert fut.result(timeout=10).value == 101
+        finally:
+            w1.close()
+            w2.close()
+
+    def test_old_protocol_peers_are_never_victims_or_thieves(self, handle):
+        # A v2 peer cannot answer STEAL or run coordination-aware
+        # leases, so for a stacksteal job it is invisible: not a lease
+        # target, not a victim, and its idleness must not trigger
+        # steals it could never consume.
+        w_old = FakeWorker(*handle.address, name="v2-peer", version=2)
+        w_victim = FakeWorker(*handle.address, name="v3-victim")
+        w_thief = FakeWorker(*handle.address, name="v3-thief")
+        try:
+            fut = handle.run_job_future(STEAL_ENUM, timeout=10)
+            # Only v3 peers are eligible: the root skips the v2 peer
+            # even though it connected first.
+            root = w_victim.recv(P.TASK)
+            w_old.assert_no_frame(P.STEAL, within=0.4)
+            w_victim.recv(P.STEAL)  # on behalf of the idle v3 thief
+            w_victim.send(stolen_frame(root, [(4,)]))
+            w_old.assert_no_frame(P.TASK, within=0.4)
+            t2 = w_thief.recv(P.TASK)
+            assert P.decode_node(t2["node"]) == (4,)
+            w_victim.send(result_frame(root, knowledge=1))
+            w_thief.send(result_frame(t2, knowledge=10))
+            res = fut.result(timeout=10)
+            assert res.value == 11
+            assert res.workers == 2
+        finally:
+            w_old.close()
+            w_victim.close()
+            w_thief.close()
+
+    def test_stolen_racing_retire_drain(self, handle):
+        """A STEAL answered after the victim was told to RETIRE.
+
+        The offcuts are still a valid split of a lease the retiring
+        worker holds, so they must be accepted and re-leased to the
+        survivor — and the drained worker must get no further STEAL.
+        """
+        w1 = FakeWorker(*handle.address, name="w1")
+        w2 = FakeWorker(*handle.address, name="w2")
+        try:
+            fut = handle.run_job_future(STEAL_OPT, timeout=15)
+            root = w1.recv(P.TASK)
+            w1.recv(P.STEAL)
+            # The deployment decides to drain w1 while the steal request
+            # is in flight.
+            assert handle.retire_worker("w1") is True
+            w1.recv(P.RETIRE)
+            # The STOLEN answer crosses the RETIRE on the wire.
+            w1.send(stolen_frame(root, [("s",)]))
+            t2 = w2.recv(P.TASK)
+            assert P.decode_node(t2["node"]) == ("s",)
+            # The retiring worker finishes its running task and is gone;
+            # it must never be asked to split again.
+            w1.send(result_frame(root, value=3, node=("r3",)))
+            w1.assert_no_frame(P.STEAL, within=0.4)
+            w2.send(result_frame(t2, value=7, node=("s7",)))
+            res = fut.result(timeout=10)
+            assert res.value == 7
+            assert res.node == ("s7",)
+            assert res.metrics.steals == 1
+        finally:
+            w1.close()
+            w2.close()
+
+    def test_stale_stolen_epoch_rejected(self, handle):
+        w1 = FakeWorker(*handle.address, name="victim")
+        w2 = FakeWorker(*handle.address, name="thief")
+        try:
+            fut = handle.run_job_future(STEAL_ENUM, timeout=10)
+            root = w1.recv(P.TASK)
+            w1.recv(P.STEAL)
+            # Wrong epoch: if accepted, outstanding would overcount and
+            # the job below could never finish.
+            bad = stolen_frame(root, [(9,)])
+            bad["epoch"] = root["epoch"] + 5
+            w1.send(bad)
+            w2.assert_no_frame(P.TASK, within=0.4)
+            w1.send(result_frame(root, knowledge=7))
+            res = fut.result(timeout=10)
+            assert res.value == 7
+            assert res.metrics.steals == 0
+        finally:
+            w1.close()
+            w2.close()
+
+
+class TestOrderedLeases:
+    def test_leases_carry_bounds_and_reissue_on_stale_bound(self, handle):
+        """The replicable-BnB speculation loop at the wire level.
+
+        Frontier tasks lease out with ``bound=None`` (speculative); a
+        RESULT searched under a bound that is stale by finalisation
+        time is discarded and the task re-issued with the required
+        bound pinned in the lease — observable as an epoch bump plus a
+        concrete 5th lease element.
+        """
+        w = FakeWorker(*handle.address, slots=1)
+        try:
+            fut = handle.run_job_future(ORDERED_OPT, timeout=20)
+            job = w.recv(P.JOB)
+            assert job["coordination"] == "ordered"
+            base = job["best"]  # the search type's identity bound
+
+            first = w.recv(P.TASK)
+            assert first["bound"] is None  # speculative first issue
+            w.send(result_frame(first, value=5, node=("w5",), bound=base))
+
+            reissued = 0
+            answered = 1
+            while not fut.done():
+                try:
+                    task = w.recv(P.TASK, timeout=2.0)
+                except (AssertionError, TimeoutError):
+                    break  # job completed while we waited
+                if task["bound"] is not None:
+                    # Pinned re-issue: the bound the ledger now demands.
+                    assert task["epoch"] >= 1
+                    assert task["bound"] == 5
+                    reissued += 1
+                    w.send(result_frame(task, bound=task["bound"]))
+                else:
+                    # Deliberately answer under the stale identity bound
+                    # so finalisation must reject and re-issue it.
+                    w.send(result_frame(task, bound=base))
+                answered += 1
+            res = fut.result(timeout=10)
+            assert res.value == 5
+            assert res.node == ("w5",)
+            assert reissued >= 1
+            assert res.metrics.reassigned == reissued
+            assert res.metrics.broadcasts >= 1  # best=5 was broadcast
+        finally:
+            w.close()
+
+    def test_ordered_enum_survives_worker_death(self, handle):
+        """Ordered enumeration tasks are pure functions of (root,
+        bound), so a worker death re-leases instead of failing the job
+        — the one enumeration flow where that is sound."""
+        enum_payload = dict(ORDERED_OPT, stype_kind="enumeration",
+                            factory_args=["uts", [2, 3, 7]])
+        w1 = FakeWorker(*handle.address, name="doomed")
+        w2 = FakeWorker(*handle.address, name="survivor", slots=4)
+        try:
+            fut = handle.run_job_future(enum_payload, timeout=20)
+            first = w1.recv(P.TASK)
+            w1.stop_heartbeat()  # dies holding an ordered lease
+            seen = {first["task"]: 0}
+            while not fut.done():
+                try:
+                    task = w2.recv(P.TASK, timeout=2.0)
+                except (AssertionError, TimeoutError):
+                    break  # job completed while we waited
+                w2.send(result_frame(task, knowledge=3, bound=None))
+                seen[task["task"]] = seen.get(task["task"], 0) + 1
+            res = fut.result(timeout=10)
+            # The doomed worker's task was re-run by the survivor.
+            assert seen[first["task"]] == 1
+            assert res.metrics.reassigned >= 1
+            # Every task's accumulator counted exactly once, on top of
+            # the coordinator's own phase-1 prefix contribution.
+            assert res.value >= 3 * len(seen)
+            assert (res.value - 3 * len(seen)) < 3  # no double count
+        finally:
+            w1.close()
+            w2.close()

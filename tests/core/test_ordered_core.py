@@ -1,0 +1,299 @@
+"""Unit tests for the Ordered coordination's deterministic core.
+
+Everything here runs in-process with scripted arrival orders, so the
+properties the parallel drivers rely on are pinned exactly: discovery-
+order task numbering, the purity of ``run_task_fixed_bound``, the
+ledger's in-order finalisation with bound enforcement, and — with the
+``ordered-tiebreak`` mutation active — the witness flip the repetition
+oracle exists to catch, demonstrated deterministically.
+"""
+
+import pytest
+
+from repro.core.ordered import (
+    OrderedLedger,
+    ordered_frontier,
+    ordered_reference_search,
+    run_task_fixed_bound,
+)
+from repro.core.searchtypes import Decision, Enumeration, Incumbent, Optimisation
+from repro.core.sequential import sequential_search
+
+from tests.conftest import make_toy_spec
+
+WIDE = {
+    "root": ["a", "b", "c"],
+    "a": ["aa", "ab"],
+    "c": ["ca"],
+    "ca": ["caa"],
+}
+WIDE_VALUES = {
+    "root": 0, "a": 1, "b": 5, "c": 2, "aa": 3, "ab": 2, "ca": 7, "caa": 4,
+}
+
+
+def wide_spec():
+    return make_toy_spec(dict(WIDE), dict(WIDE_VALUES))
+
+
+def tied_spec():
+    return make_toy_spec({"root": ["a", "b"]}, {"root": 0, "a": 5, "b": 5})
+
+
+class TestOrderedFrontier:
+    def test_tasks_numbered_in_discovery_order(self):
+        f = ordered_frontier(wide_spec(), Optimisation(), d_cutoff=1)
+        assert [t.node for t in f.tasks] == ["a", "b", "c"]
+        assert [t.seq for t in f.tasks] == [0, 1, 2]
+        assert [t.depth for t in f.tasks] == [1, 1, 1]
+        # Sorting by key IS sorting by seq.
+        assert sorted(f.tasks, key=lambda t: t.key) == f.tasks
+
+    def test_prefix_covers_exactly_the_region_above_cutoff(self):
+        f = ordered_frontier(wide_spec(), Optimisation(), d_cutoff=1)
+        assert f.metrics.nodes == 1  # just the root
+        assert f.metrics.spawns == 3
+        f2 = ordered_frontier(wide_spec(), Optimisation(), d_cutoff=2)
+        assert f2.metrics.nodes == 4  # root, a, b, c
+        assert [t.node for t in f2.tasks] == ["aa", "ab", "ca"]
+
+    def test_d_cutoff_zero_completes_inline(self):
+        f = ordered_frontier(wide_spec(), Optimisation(), d_cutoff=0)
+        assert f.tasks == []
+        seq = sequential_search(wide_spec(), Optimisation())
+        assert f.knowledge.value == seq.value
+
+    def test_decision_goal_short_circuits_expansion(self):
+        f = ordered_frontier(wide_spec(), Decision(target=0), d_cutoff=2)
+        assert f.goal is True
+        assert f.tasks == []
+
+
+class TestRunTaskFixedBound:
+    def test_pure_function_of_root_and_bound(self):
+        spec = wide_spec()
+        runs = [
+            run_task_fixed_bound(spec, Optimisation(), "c", 1, 2)
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+        assert runs[0]["value"] == 7
+        assert runs[0]["node"] == "ca"
+        assert runs[0]["nodes"] == 2  # c, ca; caa pruned under the new 7
+
+    def test_bound_is_a_strict_floor(self):
+        spec = wide_spec()
+        # Nothing in c's subtree beats bound=7: value is None and the
+        # subtree root itself is pruned (its admissible bound is 7).
+        p = run_task_fixed_bound(spec, Optimisation(), "c", 1, 7)
+        assert p["value"] is None
+        assert p["node"] is None
+        assert p["prunes"] >= 1
+        # Lowering the bound re-opens it deterministically.
+        assert run_task_fixed_bound(spec, Optimisation(), "c", 1, 6)["value"] == 7
+
+    def test_shared_incumbent_never_consulted(self):
+        # Two tasks with different bounds visit different node counts —
+        # proof the payload depends only on (root, bound), nothing
+        # global.
+        spec = wide_spec()
+        wide_open = run_task_fixed_bound(spec, Optimisation(), "a", 1, 0)
+        clamped = run_task_fixed_bound(spec, Optimisation(), "a", 1, 5)
+        assert wide_open["nodes"] > 1
+        assert clamped["nodes"] == 1  # root visited, children pruned away
+        assert clamped["value"] is None
+
+    def test_enumeration_ignores_bound(self):
+        spec = wide_spec()
+        a = run_task_fixed_bound(spec, Enumeration(), "a", 1, None)
+        b = run_task_fixed_bound(spec, Enumeration(), "a", 1, 999)
+        assert a == b
+        assert a["knowledge"] == 6  # objective sum over a, aa, ab
+        assert a["nodes"] == 3
+
+    def test_abort_is_clean(self):
+        spec = wide_spec()
+        p = run_task_fixed_bound(
+            spec, Enumeration(), "root", 0, None,
+            poll=1, should_abort=lambda: True,
+        )
+        assert p is None
+
+    def test_decision_goal_short_circuits(self):
+        p = run_task_fixed_bound(wide_spec(), Decision(target=3), "a", 1, 0)
+        assert p["goal"] is True
+
+
+def _frontier_and_payloads(spec, stype, *, d_cutoff=1, bound=0):
+    """Phase 1 plus honest speculative payloads for every task."""
+    f = ordered_frontier(spec, stype, d_cutoff=d_cutoff)
+    payloads = {}
+    for t in f.tasks:
+        p = run_task_fixed_bound(spec, stype, t.node, t.depth, bound)
+        p["bound"] = bound
+        payloads[t.seq] = p
+    return f, payloads
+
+
+class TestOrderedLedger:
+    def test_finalises_only_in_sequence_order(self):
+        spec = wide_spec()
+        f, payloads = _frontier_and_payloads(spec, Optimisation())
+        ledger = OrderedLedger(Optimisation(), f)
+        # Arrivals out of order: seq 2 and 1 park, nothing finalises.
+        ledger.record(2, payloads[2])
+        ledger.record(1, payloads[1])
+        assert ledger.advance() == []
+        assert ledger.next_seq == 0
+        # seq 0 lands: it finalises (best becomes 3), and the parked
+        # seq-1 payload — searched under the now-stale bound 0 — is the
+        # single re-run demanded.
+        ledger.record(0, payloads[0])
+        assert ledger.advance() == [(1, 3)]
+        assert ledger.next_seq == 1
+
+    def test_stale_bound_rejected_and_reissued_pinned(self):
+        spec = wide_spec()
+        f, payloads = _frontier_and_payloads(spec, Optimisation())
+        ledger = OrderedLedger(Optimisation(), f)
+        ledger.record(0, payloads[0])  # a: value 3 under bound 0 -> best 3
+        assert ledger.advance() == []
+        assert ledger.required_bound() == 3
+        # b ran speculatively under bound 0; by its turn the required
+        # bound is 3, so it must be discarded and demanded again.
+        ledger.record(1, payloads[1])
+        assert ledger.advance() == [(1, 3)]
+        assert ledger.metrics.reassigned == 1
+        # The pinned re-run finalises.
+        p1 = run_task_fixed_bound(spec, Optimisation(), "b", 1, 3)
+        p1["bound"] = 3
+        ledger.record(1, p1)
+        assert ledger.advance() == []
+        assert ledger.next_seq == 2
+        assert ledger.required_bound() == 5
+
+    def test_journal_records_finalisation_bounds(self):
+        spec = wide_spec()
+        f, payloads = _frontier_and_payloads(spec, Optimisation())
+        ledger = OrderedLedger(Optimisation(), f)
+        ledger.record(0, payloads[0])
+        ledger.advance()
+        assert ledger.journal == [(0, 0, payloads[0]["nodes"])]
+
+    def test_stale_and_out_of_range_arrivals_ignored(self):
+        spec = wide_spec()
+        f, payloads = _frontier_and_payloads(spec, Optimisation())
+        ledger = OrderedLedger(Optimisation(), f)
+        ledger.record(0, payloads[0])
+        ledger.advance()
+        before = ledger.knowledge
+        ledger.record(0, {"value": 99, "node": "bogus"})  # already final
+        ledger.record(99, {"value": 99, "node": "bogus"})  # no such task
+        assert ledger.advance() == []
+        assert ledger.knowledge == before
+
+    def test_enumeration_accumulates_on_prefix(self):
+        spec = wide_spec()
+        f, payloads = _frontier_and_payloads(spec, Enumeration(), bound=None)
+        for p in payloads.values():
+            p.pop("bound")
+        ledger = OrderedLedger(Enumeration(), f)
+        for seq in (0, 1, 2):
+            ledger.record(seq, payloads[seq])
+        assert ledger.advance() == []
+        assert ledger.finished
+        seq_res = sequential_search(spec, Enumeration())
+        assert ledger.knowledge == seq_res.value
+        assert ledger.metrics.nodes == seq_res.metrics.nodes
+
+    def test_decision_goal_finishes_early(self):
+        spec = wide_spec()
+        stype = Decision(target=5)
+        f, payloads = _frontier_and_payloads(spec, stype)
+        ledger = OrderedLedger(stype, f)
+        ledger.record(0, payloads[0])
+        ledger.advance()
+        rb = ledger.required_bound()
+        p1 = run_task_fixed_bound(spec, stype, "b", 1, rb)
+        p1["bound"] = rb
+        ledger.record(1, p1)  # b hits the target
+        ledger.advance()
+        assert ledger.goal is True
+        assert ledger.finished
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("d_cutoff", [0, 1, 2, 5])
+    def test_optimisation_value_matches_sequential(self, d_cutoff):
+        spec = wide_spec()
+        ref = ordered_reference_search(spec, Optimisation(), d_cutoff=d_cutoff)
+        seq = sequential_search(spec, Optimisation())
+        assert ref.value == seq.value == 7
+        assert ref.node == "ca"
+
+    @pytest.mark.parametrize("d_cutoff", [0, 1, 2, 5])
+    def test_enumeration_counts_match_sequential(self, d_cutoff):
+        spec = wide_spec()
+        ref = ordered_reference_search(spec, Enumeration(), d_cutoff=d_cutoff)
+        seq = sequential_search(spec, Enumeration())
+        assert ref.value == seq.value
+        assert ref.metrics.nodes == seq.metrics.nodes
+
+    def test_reference_is_deterministic(self):
+        spec = wide_spec()
+        a = ordered_reference_search(spec, Optimisation(), d_cutoff=1)
+        b = ordered_reference_search(spec, Optimisation(), d_cutoff=1)
+        assert a.value == b.value
+        assert a.node == b.node
+        assert a.metrics.to_dict() == b.metrics.to_dict()
+
+
+class TestOrderedTiebreakMutation:
+    """The deterministic witness flip, with arrival order scripted.
+
+    The exact anomaly the mutation plants: two optima tied at 5, task
+    'b' executed speculatively under a stale bound.  Clean semantics
+    discard the stale payload at finalisation and the tie keeps the
+    lower-seq witness 'a'; the mutated ledger merges at arrival with
+    ``>=``, so the late tied arrival 'b' takes the witness — while the
+    bound machinery (and therefore every counter) is untouched.
+    """
+
+    def _drive(self):
+        spec = tied_spec()
+        stype = Optimisation()
+        f, payloads = _frontier_and_payloads(spec, stype, bound=0)
+        ledger = OrderedLedger(stype, f)
+        ledger.record(0, payloads[0])        # a: value 5 under bound 0
+        assert ledger.advance() == []
+        ledger.record(1, payloads[1])        # b: tied 5, stale bound 0
+        assert ledger.advance() == [(1, 5)]  # rejected, re-issued pinned
+        p1 = run_task_fixed_bound(spec, stype, "b", 1, 5)
+        p1["bound"] = 5
+        ledger.record(1, p1)                 # nothing beats 5 under 5
+        assert ledger.advance() == []
+        assert ledger.finished
+        return ledger
+
+    def test_clean_tiebreak_is_priority_wins(self):
+        ledger = self._drive()
+        assert ledger.knowledge == Incumbent(5, "a")
+
+    def test_mutated_tiebreak_is_arrival_wins(self, monkeypatch):
+        clean = self._drive()
+        monkeypatch.setenv("REPRO_VERIFY_MUTATION", "ordered-tiebreak")
+        mutated = self._drive()
+        # Witness flips to the late tied arrival...
+        assert mutated.knowledge == Incumbent(5, "b")
+        # ...and nothing else moves: same value, same required bound,
+        # identical counters and journal — exactly the corruption only
+        # a witness-aware repetition oracle can see.
+        assert mutated.knowledge.value == clean.knowledge.value
+        assert mutated.required_bound() == clean.required_bound()
+        assert mutated.metrics.to_dict() == clean.metrics.to_dict()
+        assert mutated.journal == clean.journal
+
+    def test_reference_search_is_immune(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_MUTATION", "ordered-tiebreak")
+        ref = ordered_reference_search(tied_spec(), Optimisation(), d_cutoff=1)
+        assert ref.node == "a"  # the oracle stays sound under mutation

@@ -1,0 +1,187 @@
+"""Tests for the multiprocessing Ordered (replicable) backend.
+
+The contract under test is Replicable BnB: same instance, same
+``d_cutoff`` — identical objective, witness AND node counters at any
+process count, all equal to
+:func:`~repro.core.ordered.ordered_reference_search`.  The suite pins
+that with full-count fingerprints rather than value-only checks.
+
+Also hosts the process-level half of the ``ordered-tiebreak`` mutation
+test (satellite: mutation testing).  The deterministic witness-flip
+lives at the ledger level in ``tests/core/test_ordered_core.py``; here
+we assert the process backend's counters are immune to the mutation by
+construction, and the repetition-oracle catch is in
+``tests/verify/test_repetition.py``.
+"""
+
+import pytest
+
+from repro.core.ordered import ordered_reference_search
+from repro.core.results import validate_result
+from repro.core.searchtypes import Decision, Enumeration, Optimisation
+from repro.core.sequential import sequential_search
+from repro.runtime.processes import multiprocessing_ordered_search
+from repro.verify.repetition import result_fingerprint
+
+from tests.runtime.test_processes import (
+    clique_spec_factory,
+    decision_factory,
+    enumeration_factory,
+    optimisation_factory,
+    uts_spec_factory,
+)
+
+# Small enough that repeated runs stay cheap, big enough that the
+# frontier has real ties and stale-bound speculation to get wrong.
+CLIQUE_ARGS = (16, 0.6, 7)
+UTS_ARGS = (2.0, 4, 11)
+
+
+def tied_witness_factory():
+    """Two leaves tied at the optimum: 'a' must win by discovery order."""
+    from tests.conftest import make_toy_spec
+
+    return make_toy_spec({"root": ["a", "b"]}, {"root": 0, "a": 5, "b": 5})
+
+
+def _reference(spec_factory, args, stype, *, d_cutoff=2):
+    return ordered_reference_search(
+        spec_factory(*args), stype, d_cutoff=d_cutoff
+    )
+
+
+class TestReplicable:
+    def test_fingerprint_identical_across_process_counts(self):
+        want = result_fingerprint(
+            _reference(clique_spec_factory, CLIQUE_ARGS, Optimisation()),
+            counts=True,
+        )
+        for n in (1, 2, 3):
+            res = multiprocessing_ordered_search(
+                clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+                n_processes=n, d_cutoff=2,
+            )
+            assert result_fingerprint(res, counts=True) == want, n
+            assert validate_result(clique_spec_factory(*CLIQUE_ARGS), res)
+
+    def test_repeated_runs_bit_identical(self):
+        want = result_fingerprint(
+            _reference(clique_spec_factory, CLIQUE_ARGS, Optimisation()),
+            counts=True,
+        )
+        prints = [
+            result_fingerprint(
+                multiprocessing_ordered_search(
+                    clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+                    n_processes=2, d_cutoff=2,
+                ),
+                counts=True,
+            )
+            for _ in range(5)
+        ]
+        assert prints == [want] * 5
+
+    def test_enumeration_counts_match_reference_and_sequential(self):
+        seq = sequential_search(uts_spec_factory(*UTS_ARGS), Enumeration())
+        ref = _reference(uts_spec_factory, UTS_ARGS, Enumeration())
+        res = multiprocessing_ordered_search(
+            uts_spec_factory, UTS_ARGS, enumeration_factory,
+            n_processes=3, d_cutoff=2,
+        )
+        assert res.value == ref.value == seq.value
+        assert res.metrics.nodes == ref.metrics.nodes == seq.metrics.nodes
+        assert res.metrics.max_depth == ref.metrics.max_depth
+
+    def test_decision_found_and_refuted(self):
+        seq = sequential_search(
+            clique_spec_factory(*CLIQUE_ARGS), Optimisation()
+        )
+        hit = multiprocessing_ordered_search(
+            clique_spec_factory, CLIQUE_ARGS, decision_factory, (seq.value,),
+            n_processes=2, d_cutoff=2,
+        )
+        assert hit.found is True
+        assert hit.value >= seq.value
+        miss = multiprocessing_ordered_search(
+            clique_spec_factory, CLIQUE_ARGS, decision_factory,
+            (seq.value + 1,),
+            n_processes=2, d_cutoff=2,
+        )
+        assert miss.found is False
+
+
+class TestEdgeCases:
+    def test_d_cutoff_deeper_than_tree_runs_inline(self):
+        # The whole tree fits in the phase-1 prefix: no tasks, no
+        # processes, and the answer still matches the reference.
+        args = (2.0, 2, 5)
+        ref = _reference(uts_spec_factory, args, Enumeration(), d_cutoff=6)
+        res = multiprocessing_ordered_search(
+            uts_spec_factory, args, enumeration_factory,
+            n_processes=2, d_cutoff=6,
+        )
+        assert result_fingerprint(res, counts=True) == result_fingerprint(
+            ref, counts=True
+        )
+
+    def test_singleton_tree(self):
+        args = (1, 0.5, 0)
+        res = multiprocessing_ordered_search(
+            clique_spec_factory, args, optimisation_factory,
+            n_processes=2, d_cutoff=2,
+        )
+        seq = sequential_search(clique_spec_factory(*args), Optimisation())
+        assert res.value == seq.value
+        assert res.metrics.nodes == seq.metrics.nodes
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            multiprocessing_ordered_search(
+                clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+                n_processes=0,
+            )
+        with pytest.raises(ValueError):
+            multiprocessing_ordered_search(
+                clique_spec_factory, CLIQUE_ARGS, optimisation_factory,
+                n_processes=1, share_poll=0,
+            )
+
+
+class TestOrderedTiebreakMutation:
+    """Process-level checks for the ``ordered-tiebreak`` mutation.
+
+    The mutation corrupts witness tie-breaking only: node counters and
+    the objective must be untouched no matter how speculation lands, so
+    those are asserted exactly even with the mutation active.  (The
+    deterministic witness-flip is pinned at the ledger level in
+    tests/core/test_ordered_core.py, where arrival order is scripted.)
+    """
+
+    def test_clean_run_witness_is_discovery_order(self):
+        res = multiprocessing_ordered_search(
+            tied_witness_factory, (), optimisation_factory,
+            n_processes=1, d_cutoff=1,
+        )
+        ref = ordered_reference_search(
+            tied_witness_factory(), Optimisation(), d_cutoff=1
+        )
+        assert res.value == ref.value == 5
+        assert res.node == ref.node == "a"  # priority wins the tie
+
+    def test_mutation_cannot_perturb_counts_or_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_MUTATION", "ordered-tiebreak")
+        ref = ordered_reference_search(
+            tied_witness_factory(), Optimisation(), d_cutoff=1
+        )
+        res = multiprocessing_ordered_search(
+            tied_witness_factory, (), optimisation_factory,
+            n_processes=1, d_cutoff=1,
+        )
+        # Bounds are tracked apart from the witness: value and every
+        # counter stay exact even under the mutation...
+        assert res.value == ref.value
+        assert res.metrics.nodes == ref.metrics.nodes
+        assert res.metrics.prunes == ref.metrics.prunes
+        assert res.metrics.backtracks == ref.metrics.backtracks
+        # ...and the witness can only move between the tied optima.
+        assert res.node in ("a", "b")
